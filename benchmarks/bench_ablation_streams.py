@@ -1,0 +1,85 @@
+"""Ablation: blank-node stream resources vs. direct pop→pop edges.
+
+Section 2.2 motivates the stream/blank-node design with the ambiguity
+problem: a common subexpression (TEMP) consumed in several places must
+yield distinct match contexts per consumption.  This bench compares the
+stream-based relationship encoding against the flat ``hasChildPop``
+shortcut on a plan with a shared TEMP, both for correctness (occurrence
+counts) and for cost (four triples per edge vs one).
+"""
+
+import pytest
+
+from repro.core import transform_plan
+from repro.core.vocabulary import SPARQL_PREFIXES
+from repro.qep import BaseObject, PlanGraph, PlanOperator, StreamRole
+from repro.sparql import prepare_query, query
+
+#: Stream-based query: which joins consume a TEMP on their inner stream?
+_STREAM_QUERY = prepare_query(SPARQL_PREFIXES + """
+SELECT ?join ?temp WHERE {
+  ?join predURI:isAJoin ?x .
+  ?join predURI:hasInnerInputStream ?stream .
+  ?stream predURI:hasInnerInputStream ?temp .
+  ?temp predURI:hasPopType "TEMP" .
+}
+""")
+
+#: Flat query using the derived direct edge (loses the stream role!).
+_FLAT_QUERY = prepare_query(SPARQL_PREFIXES + """
+SELECT ?join ?temp WHERE {
+  ?join predURI:isAJoin ?x .
+  ?join predURI:hasChildPop ?temp .
+  ?temp predURI:hasPopType "TEMP" .
+}
+""")
+
+
+@pytest.fixture(scope="module")
+def shared_temp_plan():
+    plan = PlanGraph("shared-temp-bench")
+    scan = PlanOperator(6, "TBSCAN", cardinality=100, total_cost=50)
+    scan.add_input(BaseObject("S", "T", 1000))
+    temp = PlanOperator(5, "TEMP", cardinality=100, total_cost=60)
+    temp.add_input(scan)
+    all_ops = [temp, scan]
+    joins = []
+    for index in range(3):  # three joins consume the same TEMP
+        other = PlanOperator(7 + index, "TBSCAN", cardinality=10,
+                             total_cost=10)
+        other.add_input(BaseObject("S", f"U{index}", 100))
+        join = PlanOperator(2 + index, "HSJOIN", cardinality=10,
+                            total_cost=200 + index)
+        join.add_input(other, StreamRole.OUTER)
+        join.add_input(temp, StreamRole.INNER)
+        joins.append(join)
+        all_ops.extend([other, join])
+    top = joins[0]
+    for offset, join in enumerate(joins[1:]):
+        parent = PlanOperator(20 + offset, "MSJOIN", cardinality=10,
+                              total_cost=top.total_cost + join.total_cost + 1)
+        parent.add_input(top, StreamRole.OUTER)
+        parent.add_input(join, StreamRole.INNER)
+        all_ops.append(parent)
+        top = parent
+    ret = PlanOperator(1, "RETURN", cardinality=10, total_cost=top.total_cost)
+    ret.add_input(top)
+    all_ops.append(ret)
+    for op in all_ops:
+        plan.add_operator(op)
+    plan.set_root(ret)
+    return transform_plan(plan)
+
+
+def test_stream_query_counts_each_consumption(benchmark, shared_temp_plan):
+    rows = benchmark(lambda: list(query(shared_temp_plan.graph, _STREAM_QUERY)))
+    # three joins x one TEMP = three (join, temp) consumptions
+    assert len(rows) == 3
+
+
+def test_flat_query_also_counts_but_loses_roles(benchmark, shared_temp_plan):
+    rows = benchmark(lambda: list(query(shared_temp_plan.graph, _FLAT_QUERY)))
+    # hasChildPop cannot say *which stream* the TEMP feeds: a pattern
+    # like Pattern A (inner-specific) is inexpressible on the flat edge,
+    # which is why the stream design exists.
+    assert len(rows) == 3

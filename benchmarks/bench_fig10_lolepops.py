@@ -1,0 +1,49 @@
+"""Figure 10 — per-plan search time versus number of LOLEPOPs.
+
+Regenerates the six paper buckets ([1-50] ... [200-250], [500-550]) and
+asserts that per-plan time grows with plan size (the paper's linearity
+claim) rather than blowing up super-linearly.  Individual benchmarks
+time one-plan searches for a small and a large plan.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.core.matcher import search_plan
+from repro.core.transform import transform_plan
+from repro.experiments import fig10, linear_fit_r2
+from repro.experiments.workloads import PAPER_PLANT_RATES, controlled_config
+from repro.workload.generator import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def sized_plans():
+    generator = WorkloadGenerator(seed=77, config=controlled_config())
+    small = generator.generate_plan_in_range("small", 30, 60, plant=["A"])
+    large = generator.generate_plan_in_range("large", 480, 560, plant=["A", "B"])
+    return {
+        "small": transform_plan(small),
+        "large": transform_plan(large),
+    }
+
+
+@pytest.mark.parametrize("size", ["small", "large"])
+@pytest.mark.parametrize("label", ["#1", "#2", "#3"])
+def test_search_one_plan(benchmark, sized_plans, queries, size, label):
+    benchmark(search_plan, queries[label], sized_plans[size])
+
+
+def test_fig10_report(benchmark, scale):
+    table = benchmark.pedantic(
+        fig10.run, kwargs={"scale": scale, "seed": 2016}, rounds=1, iterations=1
+    )
+    write_report("fig10", table.to_text())
+    series = fig10.series_from_table(table)
+    ops = series["avg_ops"]
+    # per-plan time grows with size for the non-recursive patterns and
+    # does not grow drastically faster than linearly.
+    for label in ("#1", "#3"):
+        times = series[label]
+        assert times[-1] > times[0]
+        r2 = linear_fit_r2(ops, times)
+        assert r2 > 0.6, f"pattern {label} not roughly linear (R2={r2:.3f})"

@@ -1,0 +1,45 @@
+"""Figure 11 — knowledge-base run time versus number of recommendations.
+
+Regenerates the paper's sweep over KB sizes and asserts linear scaling
+in the number of stored pattern/recommendation entries.  Individual
+benchmarks time one full Algorithm 5 run at two KB sizes.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.experiments import fig11, linear_fit_r2
+from repro.kb.builtin import builtin_knowledge_base
+
+
+@pytest.fixture(scope="module")
+def small_kb():
+    return builtin_knowledge_base("ABC")
+
+
+@pytest.fixture(scope="module")
+def grown_kb():
+    return builtin_knowledge_base("ABC", extra_copies=22)  # 25 entries
+
+
+def test_kb_run_small(benchmark, workload, small_kb):
+    subset = workload[: max(5, len(workload) // 10)]
+    report = benchmark(small_kb.find_recommendations, subset)
+    assert len(report.plans) == len(subset)
+
+
+def test_kb_run_grown(benchmark, workload, grown_kb):
+    subset = workload[: max(5, len(workload) // 10)]
+    report = benchmark(grown_kb.find_recommendations, subset)
+    assert len(report.plans) == len(subset)
+
+
+def test_fig11_report(benchmark, scale):
+    table = benchmark.pedantic(
+        fig11.run, kwargs={"scale": scale, "seed": 2016}, rounds=1, iterations=1
+    )
+    write_report("fig11", table.to_text())
+    series = fig11.series_from_table(table)
+    r2 = linear_fit_r2(series["kb_sizes"], series["seconds"])
+    assert r2 > 0.8, f"KB-size scaling deviates from linear (R2={r2:.3f})"
+    assert series["seconds"][-1] > series["seconds"][0]

@@ -1,0 +1,41 @@
+"""Figure 9 — search time versus number of QEP files.
+
+``test_fig9_report`` regenerates the figure's series (all ten buckets,
+all three patterns) and asserts the paper's shape claims: linear growth
+and Pattern #2 costing more than the non-recursive patterns.  The
+``test_search_*`` benchmarks time the individual measured operation
+(matching one pattern over the full workload).
+"""
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.core.matcher import find_matches
+from repro.experiments import fig9, linear_fit_r2
+
+
+@pytest.mark.parametrize("label", ["#1", "#2", "#3"])
+def test_search_full_workload(benchmark, workload, queries, label):
+    result = benchmark(find_matches, queries[label], workload)
+    assert isinstance(result, list)
+
+
+@pytest.mark.parametrize("fraction", [0.25, 0.5, 1.0])
+def test_search_scaling_pattern1(benchmark, workload, queries, fraction):
+    subset = workload[: max(1, int(len(workload) * fraction))]
+    benchmark(find_matches, queries["#1"], subset)
+
+
+def test_fig9_report(benchmark, scale):
+    table = benchmark.pedantic(
+        fig9.run, kwargs={"scale": scale, "seed": 2016}, rounds=1, iterations=1
+    )
+    write_report("fig9", table.to_text())
+    series = fig9.series_from_table(table)
+    sizes = series["sizes"]
+    for label in ("#1", "#2", "#3"):
+        r2 = linear_fit_r2(sizes, series[label])
+        assert r2 > 0.7, f"pattern {label} deviates from linear (R2={r2:.3f})"
+    # Pattern #2 (recursive) is the most expensive one at full size.
+    assert series["#2"][-1] >= series["#1"][-1] * 0.8
+    assert series["#2"][-1] >= series["#3"][-1] * 0.8

@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+Workload sizes are controlled by ``OPTIMATCH_SCALE`` (default 0.1; the
+paper's sizes correspond to 1.0).  Fixtures are session-scoped so the
+(deterministic) generation and transform cost is paid once per run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.transform import transform_workload
+from repro.experiments.common import default_scale
+from repro.experiments.workloads import experiment_workload
+from repro.kb.builtin import builtin_sparql
+from repro.sparql import prepare_query
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("OPTIMATCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def workload_plans(scale):
+    """The main benchmark workload (paper shape, scaled size)."""
+    n_plans = max(10, int(round(100 * scale * 10)))  # scale 0.1 -> 100
+    return experiment_workload(n_plans, seed=2016)
+
+
+@pytest.fixture(scope="session")
+def workload(workload_plans):
+    """Transformed (RDF) version of the main workload."""
+    return transform_workload(workload_plans)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    """Prepared SPARQL for the paper's three timing patterns."""
+    return {
+        "#1": prepare_query(builtin_sparql("A")),
+        "#2": prepare_query(builtin_sparql("B")),
+        "#3": prepare_query(builtin_sparql("C")),
+    }
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist an experiment table next to the benchmark outputs."""
+    directory = os.path.join(os.path.dirname(__file__), "reports")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")

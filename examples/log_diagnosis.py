@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Beyond query plans: log diagnosis with the same machinery.
+
+The paper closes (Section 5) claiming the methodology "can certainly be
+applied to other general software determination problems (e.g., log
+data relating to network usage, security, or software compiling...)" —
+anything that "lends itself to property graph representation".  This
+example backs the claim: a microservice request trace is transformed to
+RDF the same way a QEP is, and the *same* SPARQL engine hunts for
+diagnostic patterns — including a recursive one (``caused+``), the exact
+mechanism Pattern B uses on query plans.
+
+Run:  python examples/log_diagnosis.py
+"""
+
+from repro.logdiag import (
+    TraceGenerator,
+    error_cascade_query,
+    scan_trace,
+    transform_trace,
+)
+
+# A request trace with three planted problems.
+trace = TraceGenerator(seed=42).generate(
+    "req-7f3a", n_events=35, plant=["cascade", "cliff", "storm"]
+)
+print(f"trace {trace.trace_id}: {len(trace)} events")
+for event in list(trace)[:6]:
+    print(f"  [{event.timestamp:7.3f}s] {event.level:<5} "
+          f"{event.component:<13} {event.message}")
+print("  ...\n")
+
+# Transform — Algorithm 1, different domain.
+transformed = transform_trace(trace)
+print(f"transformed to {len(transformed.graph)} RDF triples\n")
+
+# The recursive cascade pattern, using the same property-path machinery
+# as the paper's Pattern B:
+print("=== error-cascade SPARQL (note the caused+ property path) ===")
+print(error_cascade_query())
+
+findings = scan_trace(transformed)
+print("=== findings ===")
+for name, occurrences in sorted(findings.items()):
+    print(f"{name}: {len(occurrences)} occurrence(s)")
+    for occurrence in occurrences[:3]:
+        parts = []
+        for key, value in sorted(occurrence.items()):
+            if hasattr(value, "component"):
+                parts.append(f"{key}={value.component}#{value.event_id}"
+                             f"({value.level})")
+            else:
+                parts.append(f"{key}={value}")
+        print("   " + "  ".join(parts))
+
+assert set(findings) == {"error-cascade", "latency-cliff", "retry-storm"}
+print("\nAll three planted problems found — the QEP machinery generalizes.")

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Quickstart: diagnose the paper's Figure 1 plan in five steps.
+
+1. Parse a DB2-style explain file (here: generated inline).
+2. Transform the QEP into an RDF graph (Algorithm 1).
+3. Build the Figure 3 problem pattern with the pattern builder.
+4. Compile it to SPARQL through handlers (Algorithm 2, Figure 6) and
+   search (Algorithm 3).
+5. Run the expert knowledge base for ranked recommendations (Section 2.3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    OptImatch,
+    PatternBuilder,
+    builtin_knowledge_base,
+    write_plan,
+)
+from repro.rdf import to_ntriples
+
+# ----------------------------------------------------------------------
+# Step 0: get an explain file.  Real users point OptImatch at db2exfmt
+# output; here we synthesize the paper's Figure 1 plan with the plan API.
+# ----------------------------------------------------------------------
+from repro import BaseObject, PlanGraph, PlanOperator, Predicate, StreamRole
+
+
+def build_figure1_plan() -> PlanGraph:
+    plan = PlanGraph("fig1", "SELECT ... FROM SALES_FACT, CUST_DIM ...")
+    sales = BaseObject("TPCD", "SALES_FACT", 2.87997e7,
+                       columns=("S_CUSTKEY", "S_AMT"), indexes=("IDX1",))
+    cust = BaseObject("TPCD", "CUST_DIM", 4043.0,
+                      columns=("C_CUSTKEY", "C_NAME"))
+    ixscan = PlanOperator(4, "IXSCAN", cardinality=754.34, total_cost=25.66,
+                          io_cost=3.0, arguments={"INDEXNAME": "IDX1"})
+    ixscan.add_input(sales)
+    fetch = PlanOperator(3, "FETCH", cardinality=754.34, total_cost=368.38,
+                         io_cost=50.0)
+    fetch.add_input(ixscan)
+    fetch.add_input(sales)
+    tbscan = PlanOperator(
+        5, "TBSCAN", cardinality=4043.0, total_cost=15771.9, io_cost=1212.0,
+        predicates=[Predicate("(Q2.C_CUSTKEY = Q1.S_CUSTKEY)", "join-equality",
+                              ("C_CUSTKEY", "S_CUSTKEY"), 0.001)],
+    )
+    tbscan.add_input(cust)
+    nljoin = PlanOperator(2, "NLJOIN", cardinality=4043.0,
+                          total_cost=2.87997e7, io_cost=21113.0)
+    nljoin.add_input(fetch, StreamRole.OUTER)
+    nljoin.add_input(tbscan, StreamRole.INNER)
+    ret = PlanOperator(1, "RETURN", cardinality=4043.0, total_cost=2.88e7,
+                       io_cost=21113.0)
+    ret.add_input(nljoin)
+    for op in (ret, nljoin, fetch, ixscan, tbscan):
+        plan.add_operator(op)
+    plan.set_root(ret)
+    return plan
+
+
+plan = build_figure1_plan()
+explain_text = write_plan(plan)
+print("=== The explain file (excerpt) ===")
+print("\n".join(explain_text.splitlines()[:32]))
+print("...\n")
+
+# ----------------------------------------------------------------------
+# Steps 1-2: load it; the tool parses and transforms to RDF internally.
+# ----------------------------------------------------------------------
+tool = OptImatch()
+transformed = tool.load_explain_text(explain_text)
+print(f"=== RDF graph: {len(transformed.graph)} triples (excerpt) ===")
+print("\n".join(to_ntriples(transformed.graph).splitlines()[:8]))
+print("...\n")
+
+# ----------------------------------------------------------------------
+# Step 3: describe the problem pattern (Figure 3): an NLJOIN whose
+# outer produces more than one row and whose inner is a large TBSCAN.
+# ----------------------------------------------------------------------
+builder = PatternBuilder("nested-loop-rescan")
+top = builder.pop("NLJOIN", alias="TOP")
+outer = builder.pop("ANY").where("hasEstimateCardinality", ">", 1)
+inner = builder.pop("TBSCAN", alias="SCAN").where("hasEstimateCardinality", ">", 100)
+base = builder.pop("BASE OB", alias="BASE")
+builder.outer(top, outer)
+builder.inner(top, inner)
+builder.input(inner, base)
+pattern = builder.build()
+
+# ----------------------------------------------------------------------
+# Step 4: compile and search.
+# ----------------------------------------------------------------------
+print("=== Auto-generated SPARQL (Figure 6) ===")
+print(tool.compile(pattern))
+
+for plan_matches in tool.search(pattern):
+    for occurrence in plan_matches:
+        print("match:", occurrence.describe())
+print()
+
+# ----------------------------------------------------------------------
+# Step 5: the knowledge base returns context-adapted recommendations.
+# ----------------------------------------------------------------------
+report = tool.run_knowledge_base(builtin_knowledge_base())
+print("=== Knowledge-base recommendations ===")
+print(report.summary())

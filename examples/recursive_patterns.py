@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Recursive (descendant) patterns and the shared-TEMP ambiguity case.
+
+Two of the paper's subtler mechanics, demonstrated concretely:
+
+* **Pattern B** (Figure 7): a join with left-outer joins somewhere below
+  *both* streams — not necessarily immediate children.  The pattern
+  compiles to SPARQL 1.1 property paths (the ``(outer/outer)/((any/any))*``
+  shape) and matches however deeply the LOJs are buried.
+* **Blank-node streams** (Section 2.2): when a TEMP over a common
+  subexpression feeds two different joins, each consumption must be a
+  distinct match context.  The transform gives every (child, parent)
+  edge its own stream resource, so occurrence counts stay correct.
+
+Run:  python examples/recursive_patterns.py
+"""
+
+from repro import (
+    BaseObject,
+    OptImatch,
+    PatternBuilder,
+    PlanGraph,
+    PlanOperator,
+    StreamRole,
+    pattern_to_sparql,
+    write_plan,
+)
+from repro.qep import JoinSemantics
+from repro.workload import WorkloadGenerator
+
+# ----------------------------------------------------------------------
+# Part 1: Pattern B over a generated plan with buried LOJs.
+# ----------------------------------------------------------------------
+generator = WorkloadGenerator(seed=2016)
+plan = generator.generate_plan("fig7-like", target_ops=35, plant=["B"])
+print("=== Plan with a buried (T1 LOJ T2) JOIN (T3 LOJ T4) shape ===")
+print(write_plan(plan).split("Plan Details:")[0])
+
+builder = PatternBuilder("poor-join-order")
+top = builder.pop("JOIN", alias="TOP")
+outer_loj = builder.pop("JOIN", alias="OUTERLOJ").where(
+    "hasJoinSemantics", "=", "LEFT_OUTER"
+)
+inner_loj = builder.pop("JOIN", alias="INNERLOJ").where(
+    "hasJoinSemantics", "=", "LEFT_OUTER"
+)
+builder.outer(top, outer_loj, descendant=True)   # descendant, not child!
+builder.inner(top, inner_loj, descendant=True)
+pattern_b = builder.build()
+
+print("=== Descendant relationships compile to property paths ===")
+print(pattern_to_sparql(pattern_b))
+
+tool = OptImatch()
+tool.add_plan(plan)
+for plan_matches in tool.search(pattern_b):
+    for occurrence in plan_matches:
+        print("match:", occurrence.describe())
+print()
+
+# ----------------------------------------------------------------------
+# Part 2: the shared-TEMP ambiguity case.  One TEMP, two consumers.
+# ----------------------------------------------------------------------
+shared = PlanGraph("shared-temp")
+scan = PlanOperator(6, "TBSCAN", cardinality=500, total_cost=50)
+scan.add_input(BaseObject("TPCD", "PROD_DIM", 240000))
+temp = PlanOperator(5, "TEMP", cardinality=500, total_cost=60)
+temp.add_input(scan)
+left_scan = PlanOperator(7, "TBSCAN", cardinality=900, total_cost=80)
+left_scan.add_input(BaseObject("TPCD", "CUST_DIM", 1200000))
+right_scan = PlanOperator(8, "TBSCAN", cardinality=700, total_cost=70)
+right_scan.add_input(BaseObject("TPCD", "STORE_DIM", 1450))
+nljoin = PlanOperator(3, "NLJOIN", cardinality=400, total_cost=5000)
+nljoin.add_input(left_scan, StreamRole.OUTER)
+nljoin.add_input(temp, StreamRole.INNER)
+hsjoin = PlanOperator(4, "HSJOIN", cardinality=300, total_cost=400)
+hsjoin.add_input(right_scan, StreamRole.OUTER)
+hsjoin.add_input(temp, StreamRole.INNER)
+top_join = PlanOperator(2, "MSJOIN", cardinality=200, total_cost=6000)
+top_join.add_input(nljoin, StreamRole.OUTER)
+top_join.add_input(hsjoin, StreamRole.INNER)
+ret = PlanOperator(1, "RETURN", cardinality=200, total_cost=6000)
+ret.add_input(top_join)
+for op in (ret, top_join, nljoin, hsjoin, temp, scan, left_scan, right_scan):
+    shared.add_operator(op)
+shared.set_root(ret)
+
+print("=== Shared TEMP: one subexpression, two join consumers ===")
+print(write_plan(shared).split("Plan Details:")[0])
+
+# "Which joins consume the TEMP, and with what role?"  Each consumption
+# must appear separately even though the TEMP (and its cardinality) is
+# one resource — that is what the per-edge stream nodes guarantee.
+builder = PatternBuilder("temp-consumers")
+consumer = builder.pop("JOIN", alias="CONSUMER")
+the_temp = builder.pop("TEMP", alias="TEMP")
+builder.inner(consumer, the_temp)
+pattern_temp = builder.build()
+
+tool2 = OptImatch()
+tool2.add_plan(shared)
+matches = tool2.search(pattern_temp)[0]
+print(f"TEMP(5) is consumed by {matches.count} distinct joins:")
+for occurrence in matches:
+    consumer_op = occurrence.node("CONSUMER")
+    print(f"  {consumer_op.display_name}({consumer_op.number}) "
+          f"<- TEMP({occurrence.node('TEMP').number})")
+assert matches.count == 2, "each consumption is a distinct occurrence"

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Workload analysis: the introduction's motivating questions.
+
+The paper's intro (Section 1.1) lists questions a user wants answered
+over a large workload without reading thousands of explain lines:
+
+* "after searching and determining the cost of a table scan on a
+  particular table ... know how many queries in the workload do an index
+  scan access on the table and get a sense of the implications of
+  dropping the index by comparing the index access cost to that of the
+  table scan";
+* "find all the queries ... that might have a spilling hash join below
+  an aggregation and the cost is more than a constant N";
+* per-pattern hit statistics over the whole workload.
+
+This example generates a 40-plan synthetic workload and answers those
+questions with ad-hoc patterns and direct SPARQL (including aggregates).
+
+Run:  python examples/workload_analysis.py
+"""
+
+from collections import Counter
+
+from repro import OptImatch, PatternBuilder, generate_workload
+from repro.core.vocabulary import SPARQL_PREFIXES
+from repro.sparql import query
+
+# ----------------------------------------------------------------------
+# A seeded synthetic workload standing in for the IBM customer workload.
+# ----------------------------------------------------------------------
+plans = generate_workload(
+    40,
+    seed=7,
+    plant_rates={"A": 0.2, "D": 0.2},
+    size_sampler=lambda rng: rng.randint(20, 90),
+)
+tool = OptImatch()
+tool.add_plans(plans)
+print(f"workload: {len(plans)} plans, "
+      f"{sum(p.op_count for p in plans)} operators total\n")
+
+# ----------------------------------------------------------------------
+# Q1: How is the SALES_FACT table accessed across the workload, and what
+# would dropping its index cost?  (index scans vs table scans + costs)
+# ----------------------------------------------------------------------
+ACCESS_QUERY = SPARQL_PREFIXES + """
+SELECT ?scanType (COUNT(?scan) AS ?n) (AVG(?cost) AS ?avgCost)
+WHERE {
+  ?scan predURI:isAScan ?x .
+  ?scan predURI:hasPopType ?scanType .
+  ?scan predURI:hasTotalCost ?cost .
+  ?scan (predURI:hasInputStream/predURI:hasInputStream) ?obj .
+  ?obj predURI:hasBaseObjectName "SALES_FACT" .
+}
+GROUP BY ?scanType
+ORDER BY ?scanType
+"""
+
+print("Q1: SALES_FACT access methods (per-plan SPARQL aggregates):")
+totals = Counter()
+costs = {}
+for transformed in tool.workload:
+    for row in query(transformed.graph, ACCESS_QUERY):
+        kind = row.text("scanType")
+        totals[kind] += int(row.number("n"))
+        costs.setdefault(kind, []).append(row.number("avgCost"))
+for kind in sorted(totals):
+    avg = sum(costs[kind]) / len(costs[kind])
+    print(f"  {kind:<8} {totals[kind]:>4} scans, avg cumulative cost {avg:,.0f}")
+if "IXSCAN" in costs and "TBSCAN" in costs:
+    ix = sum(costs["IXSCAN"]) / len(costs["IXSCAN"])
+    tb = sum(costs["TBSCAN"]) / len(costs["TBSCAN"])
+    print(f"  -> dropping the index trades ~{ix:,.0f} for ~{tb:,.0f} "
+          f"per access ({tb / max(ix, 1e-9):.1f}x)\n")
+
+# ----------------------------------------------------------------------
+# Q2: hash joins below an aggregation with cost above a constant N
+# (an ad-hoc pattern with a descendant relationship and a cost filter).
+# ----------------------------------------------------------------------
+N = 1_000_000
+builder = PatternBuilder("hsjoin-under-aggregation")
+grpby = builder.pop("GRPBY", alias="AGG")
+hsjoin = builder.pop("HSJOIN", alias="JOIN").where("hasTotalCost", ">", N)
+builder.input(grpby, hsjoin, descendant=True)
+pattern = builder.build()
+
+matches = tool.search(pattern)
+print(f"Q2: plans with an HSJOIN (cost > {N:,}) below an aggregation: "
+      f"{len(matches)}")
+for plan_matches in matches[:5]:
+    occurrence = plan_matches.occurrences[0]
+    join = occurrence.node("JOIN")
+    print(f"  {plan_matches.plan_id}: {join.display_name}({join.number}) "
+          f"cost {join.total_cost:,.0f} under GRPBY("
+          f"{occurrence.node('AGG').number})")
+print()
+
+# ----------------------------------------------------------------------
+# Q3: subqueries (subtrees) responsible for > 50% of the plan's cost —
+# via the derived hasTotalCostIncrease / hasPlanTotalCost predicates.
+# ----------------------------------------------------------------------
+HOTSPOT_QUERY = SPARQL_PREFIXES + """
+SELECT ?pop ?type ?increase ?planCost
+WHERE {
+  ?pop predURI:hasTotalCostIncrease ?increase .
+  ?pop predURI:hasPlanTotalCost ?planCost .
+  ?pop predURI:hasPopType ?type .
+  FILTER (?increase > ?planCost * 0.5)
+}
+"""
+
+print("Q3: single operators contributing > 50% of their plan's cost:")
+hotspots = 0
+for transformed in tool.workload:
+    for row in query(transformed.graph, HOTSPOT_QUERY):
+        node = transformed.node_for(row["pop"])
+        share = row.number("increase") / max(row.number("planCost"), 1e-9)
+        print(f"  {transformed.plan_id}: {node.display_name}({node.number}) "
+              f"contributes {share:.0%}")
+        hotspots += 1
+        if hotspots >= 8:
+            break
+    if hotspots >= 8:
+        break
+print(f"  ... ({hotspots} shown)\n")
+
+# ----------------------------------------------------------------------
+# Q4: per-pattern workload statistics (the routinized check, Section 2.3)
+# ----------------------------------------------------------------------
+from repro import builtin_knowledge_base
+
+report = tool.run_knowledge_base(builtin_knowledge_base())
+print("Q4: knowledge-base hit statistics:")
+for name, count in sorted(report.entry_hit_counts().items()):
+    print(f"  {name:<12} {count:>3} / {len(plans)} plans")
+print()
+
+# ----------------------------------------------------------------------
+# Q5: cost-based clustering correlated with expert-pattern hits
+# ("Perform cost based clustering and correlate results of applying
+#  expert patterns to each cluster").
+# ----------------------------------------------------------------------
+from repro.analysis import cluster_workload, correlate_patterns
+
+clusters = cluster_workload(plans, k=3, seed=1)
+pattern_hits = {}
+for plan_recs in report.plans:
+    for result in plan_recs.results:
+        pattern_hits.setdefault(result.entry_name, []).append(plan_recs.plan_id)
+correlate_patterns(clusters, pattern_hits)
+print("Q5: pattern incidence per cost cluster:")
+print(clusters.to_text())

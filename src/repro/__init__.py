@@ -1,0 +1,82 @@
+"""OptImatch reproduction (EDBT 2016).
+
+Query performance problem determination over DB2-style query execution
+plans: QEPs are transformed to RDF graphs, user-defined problem patterns
+compile to SPARQL through handlers, and a knowledge base of expert
+patterns returns context-adapted, confidence-ranked recommendations.
+
+Quickstart::
+
+    from repro import OptImatch, PatternBuilder, builtin_knowledge_base
+
+    tool = OptImatch()
+    tool.load_workload_dir("explains/")          # *.exfmt files
+    report = tool.run_knowledge_base(builtin_knowledge_base())
+    print(report.summary())
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+from repro.core import (
+    Match,
+    OptImatch,
+    PatternBuilder,
+    PlanMatches,
+    PopSpec,
+    ProblemPattern,
+    PropertyConstraint,
+    Relationship,
+    TransformedPlan,
+    find_matches,
+    pattern_to_sparql,
+    transform_plan,
+    transform_workload,
+)
+from repro.kb import (
+    KnowledgeBase,
+    Recommendation,
+    builtin_knowledge_base,
+)
+from repro.qep import (
+    BaseObject,
+    PlanGraph,
+    PlanOperator,
+    Predicate,
+    StreamRole,
+    parse_plan,
+    validate_plan,
+    write_plan,
+)
+from repro.workload import WorkloadGenerator, generate_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseObject",
+    "KnowledgeBase",
+    "Match",
+    "OptImatch",
+    "PatternBuilder",
+    "PlanGraph",
+    "PlanMatches",
+    "PlanOperator",
+    "PopSpec",
+    "Predicate",
+    "ProblemPattern",
+    "PropertyConstraint",
+    "Recommendation",
+    "Relationship",
+    "StreamRole",
+    "TransformedPlan",
+    "WorkloadGenerator",
+    "builtin_knowledge_base",
+    "find_matches",
+    "generate_workload",
+    "parse_plan",
+    "pattern_to_sparql",
+    "transform_plan",
+    "transform_workload",
+    "validate_plan",
+    "write_plan",
+]

@@ -1,0 +1,32 @@
+"""Workload analysis extensions.
+
+Implements the introduction's fourth motivating capability: "Perform
+cost based clustering and correlate results of applying expert patterns
+to each cluster."
+"""
+
+from repro.analysis.clustering import (
+    ClusterReport,
+    cluster_workload,
+    correlate_patterns,
+    plan_features,
+)
+from repro.analysis.report import build_workload_report
+from repro.analysis.stats import (
+    TableAccessStats,
+    WorkloadStats,
+    plans_scanning_table,
+    workload_statistics,
+)
+
+__all__ = [
+    "ClusterReport",
+    "TableAccessStats",
+    "WorkloadStats",
+    "build_workload_report",
+    "cluster_workload",
+    "correlate_patterns",
+    "plan_features",
+    "plans_scanning_table",
+    "workload_statistics",
+]

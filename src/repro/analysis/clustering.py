@@ -1,0 +1,179 @@
+"""Cost-based clustering of workload plans + pattern correlation.
+
+From the paper's introduction: *"Perform cost based clustering and
+correlate results of applying expert patterns to each cluster."*  A DBA
+clusters a large workload by cost profile (cheap OLTP-ish plans vs.
+monster reporting queries), then asks which expert patterns concentrate
+in which cluster — e.g. the nested-loop rescans all live in the
+expensive cluster, so fixing them first pays the most.
+
+Implementation: k-means (numpy) over per-plan feature vectors of
+log-scaled cost/size characteristics, followed by a per-cluster hit-rate
+and lift table for each knowledge-base entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.qep.model import PlanGraph
+
+
+def plan_features(plan: PlanGraph) -> List[float]:
+    """Cost-profile feature vector for one plan.
+
+    Features (all log-scaled where heavy-tailed): total cost, total I/O
+    cost, operator count, plan depth, join count, scan count, and the
+    cost share of the single most expensive operator subtree.
+    """
+    ops = list(plan.iter_operators())
+    joins = sum(1 for op in ops if op.info.is_join)
+    scans = sum(1 for op in ops if op.info.is_scan)
+    io_cost = plan.root.io_cost if plan.root else 0.0
+    max_cost = max((op.total_cost for op in ops), default=0.0)
+    total = max(plan.total_cost, 1e-9)
+    return [
+        float(np.log10(1.0 + plan.total_cost)),
+        float(np.log10(1.0 + io_cost)),
+        float(np.log10(1.0 + len(ops))),
+        float(plan.depth()),
+        float(joins),
+        float(scans),
+        float(min(max_cost / total, 1.0)),
+    ]
+
+
+def _kmeans(
+    data: np.ndarray, k: int, seed: int, iterations: int = 50
+) -> np.ndarray:
+    """Plain k-means with k-means++-style seeding; returns labels."""
+    rng = np.random.default_rng(seed)
+    n = data.shape[0]
+    # normalize features to zero mean / unit variance
+    std = data.std(axis=0)
+    std[std == 0] = 1.0
+    normalized = (data - data.mean(axis=0)) / std
+    # k-means++ seeding
+    centers = [normalized[rng.integers(n)]]
+    while len(centers) < k:
+        distances = np.min(
+            [np.sum((normalized - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = distances.sum()
+        if total == 0:
+            centers.append(normalized[rng.integers(n)])
+            continue
+        centers.append(normalized[rng.choice(n, p=distances / total)])
+    centroids = np.array(centers)
+    labels = np.zeros(n, dtype=int)
+    for _ in range(iterations):
+        distances = np.array(
+            [np.sum((normalized - c) ** 2, axis=1) for c in centroids]
+        )
+        new_labels = distances.argmin(axis=0)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for index in range(k):
+            members = normalized[labels == index]
+            if len(members):
+                centroids[index] = members.mean(axis=0)
+    return labels
+
+
+@dataclass
+class ClusterReport:
+    """Clustering outcome plus per-cluster pattern correlation."""
+
+    k: int
+    labels: Dict[str, int]                      # plan id -> cluster
+    sizes: List[int] = field(default_factory=list)
+    mean_costs: List[float] = field(default_factory=list)
+    #: entry name -> list of per-cluster hit rates
+    hit_rates: Dict[str, List[float]] = field(default_factory=dict)
+    #: entry name -> list of per-cluster lift vs workload-wide rate
+    lifts: Dict[str, List[float]] = field(default_factory=dict)
+
+    def cluster_of(self, plan_id: str) -> int:
+        return self.labels[plan_id]
+
+    def to_text(self) -> str:
+        lines = [f"cost-based clustering (k={self.k})"]
+        for index in range(self.k):
+            lines.append(
+                f"  cluster {index}: {self.sizes[index]} plans, "
+                f"mean total cost {self.mean_costs[index]:,.0f}"
+            )
+        for name in sorted(self.hit_rates):
+            rates = ", ".join(
+                f"c{index}={rate:.0%}"
+                for index, rate in enumerate(self.hit_rates[name])
+            )
+            lines.append(f"  {name}: {rates}")
+        return "\n".join(lines)
+
+
+def cluster_workload(
+    plans: Sequence[PlanGraph], k: int = 3, seed: int = 0
+) -> ClusterReport:
+    """Cluster *plans* by cost profile into *k* groups."""
+    if not plans:
+        raise ValueError("cannot cluster an empty workload")
+    k = min(k, len(plans))
+    data = np.array([plan_features(plan) for plan in plans])
+    labels = _kmeans(data, k, seed)
+    # Relabel clusters by ascending mean cost so cluster 0 is always the
+    # cheapest — stable, human-readable output.
+    costs = np.array([plan.total_cost for plan in plans])
+    order = np.argsort(
+        [costs[labels == index].mean() if (labels == index).any() else np.inf
+         for index in range(k)]
+    )
+    remap = {old: new for new, old in enumerate(order)}
+    labels = np.array([remap[label] for label in labels])
+    report = ClusterReport(
+        k=k,
+        labels={plan.plan_id: int(label) for plan, label in zip(plans, labels)},
+    )
+    for index in range(k):
+        members = labels == index
+        report.sizes.append(int(members.sum()))
+        report.mean_costs.append(
+            float(costs[members].mean()) if members.any() else 0.0
+        )
+    return report
+
+
+def correlate_patterns(
+    report: ClusterReport,
+    pattern_hits: Dict[str, Iterable[str]],
+) -> ClusterReport:
+    """Fill per-cluster hit rates and lifts for each pattern.
+
+    *pattern_hits* maps a pattern/entry name to the plan ids it matched
+    (e.g. from ``KBReport`` or ``OptImatch.matching_plan_ids``).
+    """
+    total_plans = len(report.labels)
+    for name, plan_ids in pattern_hits.items():
+        hit_set = set(plan_ids)
+        overall = len(hit_set & set(report.labels)) / max(total_plans, 1)
+        rates: List[float] = []
+        lifts: List[float] = []
+        for index in range(report.k):
+            members = [
+                plan_id
+                for plan_id, label in report.labels.items()
+                if label == index
+            ]
+            if members:
+                rate = len(hit_set & set(members)) / len(members)
+            else:
+                rate = 0.0
+            rates.append(rate)
+            lifts.append(rate / overall if overall > 0 else 0.0)
+        report.hit_rates[name] = rates
+        report.lifts[name] = lifts
+    return report

@@ -1,0 +1,121 @@
+"""Workload health report.
+
+Combines everything the tool knows into one Markdown document — the
+artifact a DBA attaches to a ticket: workload statistics, cost-based
+clusters, knowledge-base findings ranked by how many plans they affect,
+and the top concrete recommendations with their plan context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.clustering import cluster_workload, correlate_patterns
+from repro.analysis.stats import workload_statistics
+from repro.core import OptImatch
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.qep.model import PlanGraph
+
+
+def build_workload_report(
+    plans: Sequence[PlanGraph],
+    knowledge_base: KnowledgeBase,
+    *,
+    title: str = "Workload health report",
+    clusters: int = 3,
+    max_recommendations: int = 10,
+    seed: int = 0,
+) -> str:
+    """Analyze *plans* against *knowledge_base* and render Markdown."""
+    if not plans:
+        raise ValueError("cannot report on an empty workload")
+    tool = OptImatch()
+    tool.add_plans(plans)
+    kb_report = tool.run_knowledge_base(knowledge_base)
+    stats = workload_statistics(plans)
+    cluster_report = cluster_workload(plans, k=clusters, seed=seed)
+    hits: Dict[str, List[str]] = {}
+    for plan_recs in kb_report.plans:
+        for result in plan_recs.results:
+            hits.setdefault(result.entry_name, []).append(plan_recs.plan_id)
+    correlate_patterns(cluster_report, hits)
+
+    lines: List[str] = [f"# {title}", ""]
+
+    # ------------------------------------------------------------------
+    lines += ["## Workload overview", ""]
+    lines.append(
+        f"- **{stats.plan_count} plans**, {stats.operator_count} operators "
+        f"(sizes {stats.size_min}-{stats.size_max}, mean {stats.size_mean:.0f})"
+    )
+    lines.append(
+        f"- total cost: mean {stats.cost_mean:,.0f}, max {stats.cost_max:,.0f}"
+    )
+    join_mix = ", ".join(
+        f"{name} x{count}" for name, count in sorted(stats.join_methods.items())
+    )
+    lines.append(f"- join methods: {join_mix or '(none)'} "
+                 f"({stats.left_outer_joins} left outer)")
+    lines.append(
+        f"- shared subexpressions: {stats.shared_subexpressions}"
+    )
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    flagged = kb_report.plans_with_recommendations()
+    lines += ["## Findings", ""]
+    lines.append(
+        f"{len(flagged)} of {stats.plan_count} plans matched at least one "
+        f"of the {len(knowledge_base)} stored expert patterns."
+    )
+    lines.append("")
+    if hits:
+        lines.append("| pattern | plans affected | share |")
+        lines.append("|---|---|---|")
+        for name, plan_ids in sorted(
+            hits.items(), key=lambda kv: -len(kv[1])
+        ):
+            share = len(plan_ids) / stats.plan_count
+            lines.append(f"| {name} | {len(plan_ids)} | {share:.0%} |")
+        lines.append("")
+
+    # ------------------------------------------------------------------
+    lines += ["## Cost clusters", ""]
+    for index in range(cluster_report.k):
+        lines.append(
+            f"- cluster {index}: {cluster_report.sizes[index]} plans, "
+            f"mean cost {cluster_report.mean_costs[index]:,.0f}"
+        )
+    if cluster_report.hit_rates:
+        lines.append("")
+        lines.append("Pattern incidence per cluster (hit rate):")
+        lines.append("")
+        header = "| pattern | " + " | ".join(
+            f"c{index}" for index in range(cluster_report.k)
+        ) + " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (cluster_report.k + 1))
+        for name in sorted(cluster_report.hit_rates):
+            rates = cluster_report.hit_rates[name]
+            lines.append(
+                f"| {name} | " + " | ".join(f"{r:.0%}" for r in rates) + " |"
+            )
+    lines.append("")
+
+    # ------------------------------------------------------------------
+    lines += ["## Top recommendations", ""]
+    ranked: List[tuple] = []
+    for plan_recs in kb_report.plans:
+        for result in plan_recs.results:
+            ranked.append((result.confidence, plan_recs.plan_id, result))
+    ranked.sort(key=lambda item: (-item[0], item[1]))
+    if not ranked:
+        lines.append("_No stored pattern matched this workload._")
+    for confidence, plan_id, result in ranked[:max_recommendations]:
+        lines.append(
+            f"1. **[{plan_id}]** ({confidence:.2f}) {result.entry_name}:"
+        )
+        for text in result.texts()[:2]:
+            lines.append(f"   - {text}")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Workload statistics.
+
+Answers the paper's simple-user questions over a whole workload ("how
+many queries in the workload do an index scan access on the table...")
+with one call, and provides the summary a DBA wants before diving into
+pattern search: operator mix, size/cost distributions, per-table access
+methods with their costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.qep.model import PlanGraph
+
+
+@dataclass
+class TableAccessStats:
+    """How one base table is accessed across the workload."""
+
+    table: str
+    plans: int = 0                              # plans touching the table
+    scans_by_method: Dict[str, int] = field(default_factory=dict)
+    cost_by_method: Dict[str, float] = field(default_factory=dict)
+
+    def avg_cost(self, method: str) -> float:
+        count = self.scans_by_method.get(method, 0)
+        if not count:
+            return 0.0
+        return self.cost_by_method.get(method, 0.0) / count
+
+    def index_vs_table_scan_ratio(self) -> Optional[float]:
+        """Average TBSCAN cost over average IXSCAN cost — the "what does
+        dropping the index cost" number from the paper's intro."""
+        ix = self.avg_cost("IXSCAN")
+        tb = self.avg_cost("TBSCAN")
+        if ix <= 0 or tb <= 0:
+            return None
+        return tb / ix
+
+
+@dataclass
+class WorkloadStats:
+    """Aggregate statistics over a workload."""
+
+    plan_count: int = 0
+    operator_count: int = 0
+    operator_mix: Dict[str, int] = field(default_factory=dict)
+    size_min: int = 0
+    size_max: int = 0
+    size_mean: float = 0.0
+    cost_mean: float = 0.0
+    cost_max: float = 0.0
+    join_methods: Dict[str, int] = field(default_factory=dict)
+    left_outer_joins: int = 0
+    shared_subexpressions: int = 0
+    tables: Dict[str, TableAccessStats] = field(default_factory=dict)
+
+    def table(self, qualified_name: str) -> TableAccessStats:
+        return self.tables[qualified_name]
+
+    def to_text(self) -> str:
+        lines = [
+            f"workload: {self.plan_count} plans, {self.operator_count} operators "
+            f"(sizes {self.size_min}-{self.size_max}, mean {self.size_mean:.0f})",
+            f"cost: mean {self.cost_mean:,.0f}, max {self.cost_max:,.0f}",
+            "join methods: "
+            + ", ".join(
+                f"{name}={count}" for name, count in sorted(self.join_methods.items())
+            )
+            + f" (left outer: {self.left_outer_joins})",
+            f"shared subexpressions (multi-consumer operators): "
+            f"{self.shared_subexpressions}",
+            "top operator types: "
+            + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(
+                    self.operator_mix.items(), key=lambda kv: -kv[1]
+                )[:8]
+            ),
+        ]
+        interesting = [
+            stats
+            for stats in self.tables.values()
+            if stats.index_vs_table_scan_ratio() is not None
+        ]
+        if interesting:
+            lines.append("tables accessed by both index and table scan:")
+            for stats in sorted(interesting, key=lambda s: s.table):
+                ratio = stats.index_vs_table_scan_ratio()
+                lines.append(
+                    f"  {stats.table}: IXSCAN x{stats.scans_by_method.get('IXSCAN', 0)} "
+                    f"avg {stats.avg_cost('IXSCAN'):,.0f} | "
+                    f"TBSCAN x{stats.scans_by_method.get('TBSCAN', 0)} "
+                    f"avg {stats.avg_cost('TBSCAN'):,.0f} "
+                    f"(dropping the index ~{ratio:.1f}x per access)"
+                )
+        return "\n".join(lines)
+
+
+def workload_statistics(plans: Sequence[PlanGraph]) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for *plans*."""
+    stats = WorkloadStats(plan_count=len(plans))
+    if not plans:
+        return stats
+    sizes: List[int] = []
+    costs: List[float] = []
+    for plan in plans:
+        sizes.append(plan.op_count)
+        costs.append(plan.total_cost)
+        tables_seen = set()
+        for op in plan.iter_operators():
+            stats.operator_count += 1
+            stats.operator_mix[op.op_type] = (
+                stats.operator_mix.get(op.op_type, 0) + 1
+            )
+            if op.info.is_join:
+                stats.join_methods[op.op_type] = (
+                    stats.join_methods.get(op.op_type, 0) + 1
+                )
+                if op.is_left_outer_join:
+                    stats.left_outer_joins += 1
+            if len(plan.parents_of(op)) > 1:
+                stats.shared_subexpressions += 1
+            if op.info.reads_base_object:
+                for obj in op.base_objects():
+                    table_stats = stats.tables.setdefault(
+                        obj.qualified_name,
+                        TableAccessStats(table=obj.qualified_name),
+                    )
+                    table_stats.scans_by_method[op.op_type] = (
+                        table_stats.scans_by_method.get(op.op_type, 0) + 1
+                    )
+                    table_stats.cost_by_method[op.op_type] = (
+                        table_stats.cost_by_method.get(op.op_type, 0.0)
+                        + op.total_cost
+                    )
+                    if obj.qualified_name not in tables_seen:
+                        tables_seen.add(obj.qualified_name)
+                        table_stats.plans += 1
+    stats.size_min = min(sizes)
+    stats.size_max = max(sizes)
+    stats.size_mean = sum(sizes) / len(sizes)
+    stats.cost_mean = sum(costs) / len(costs)
+    stats.cost_max = max(costs)
+    return stats
+
+
+def plans_scanning_table(
+    plans: Sequence[PlanGraph], table: str, method: Optional[str] = None
+) -> List[str]:
+    """Plan ids that access *table* (optionally with a specific method) —
+    the intro's "how many queries in the workload do an index scan access
+    on the table" question."""
+    out: List[str] = []
+    for plan in plans:
+        for op in plan.iter_operators():
+            if method is not None and op.op_type != method:
+                continue
+            if not op.info.reads_base_object:
+                continue
+            if any(obj.qualified_name == table for obj in op.base_objects()):
+                out.append(plan.plan_id)
+                break
+    return out

@@ -1,0 +1,30 @@
+"""Baselines for the comparative user study (Section 3.3).
+
+The paper compares OptImatch against three IBM experts searching explain
+files manually with their daily tools ("an example of this includes the
+grep command-line utility").  Experts are not available to a reproduction,
+so this package models them:
+
+* :mod:`~repro.baselines.grep_search` — a grep-style searcher that scans
+  raw explain text with regular expressions, inheriting the systematic
+  weaknesses the paper reports (decimal-vs-exponent formatting misses,
+  structural misreads on recursive patterns);
+* :mod:`~repro.baselines.manual_expert` — wraps the grep searcher with a
+  seeded human-error model (fatigue misses, misinterpretation false
+  positives) and a reading-time model calibrated to the paper's reported
+  numbers (~18 s per plan, i.e. ~5 h for a 1000-plan workload).
+"""
+
+from repro.baselines.grep_search import GrepSearcher
+from repro.baselines.manual_expert import (
+    ExpertTimeModel,
+    ManualSearchResult,
+    SimulatedExpert,
+)
+
+__all__ = [
+    "ExpertTimeModel",
+    "GrepSearcher",
+    "ManualSearchResult",
+    "SimulatedExpert",
+]

@@ -1,0 +1,94 @@
+"""Handler variables used during SPARQL generation (Section 2.2).
+
+The paper defines four handler types, all of which exist here:
+
+* **result handlers** — ``?pop1``, ``?pop2``... created from the pop IDs
+  of the pattern; they appear in the SELECT clause, optionally with
+  aliases (``?pop1 AS ?TOP``) that the knowledge-base tagging language
+  later refers to;
+* **internal handlers** — ``?internalHandler1``... with a server-side
+  incremented counter; used to bind property values that FILTER clauses
+  compare against;
+* **relationship handlers** — the association between two result
+  handlers derived from the JSON hierarchy (which stream predicate links
+  which pops);
+* **blank node handlers** — ``?bnodeOfPop2_to_pop1``... variables that
+  bind the *stream* resources between two pops, guaranteeing each
+  resource instance in the plan is matched uniquely even when a common
+  subexpression (TEMP) is consumed in several places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class HandlerRegistry:
+    """Allocates and remembers every handler variable for one query."""
+
+    result_handlers: Dict[int, str] = field(default_factory=dict)
+    aliases: Dict[int, str] = field(default_factory=dict)
+    internal_handlers: List[str] = field(default_factory=list)
+    blank_node_handlers: Dict[Tuple[int, int, int], str] = field(default_factory=dict)
+    relationship_handlers: List[Tuple[int, str, int, bool]] = field(
+        default_factory=list
+    )
+    _internal_counter: int = 0
+
+    # ------------------------------------------------------------------
+    # Result handlers
+    # ------------------------------------------------------------------
+    def result_handler(self, pop_id: int) -> str:
+        """The ``?popN`` variable name (without '?') for a pop ID."""
+        return self.result_handlers.setdefault(pop_id, f"pop{pop_id}")
+
+    def set_alias(self, pop_id: int, alias: str) -> None:
+        self.aliases[pop_id] = alias
+
+    def alias_for(self, pop_id: int) -> Optional[str]:
+        return self.aliases.get(pop_id)
+
+    # ------------------------------------------------------------------
+    # Internal handlers
+    # ------------------------------------------------------------------
+    def new_internal_handler(self) -> str:
+        """Allocate the next ``internalHandlerN`` variable name."""
+        self._internal_counter += 1
+        name = f"internalHandler{self._internal_counter}"
+        self.internal_handlers.append(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Blank node handlers
+    # ------------------------------------------------------------------
+    def blank_node_handler(self, child_id: int, parent_id: int, ordinal: int = 0) -> str:
+        """The stream variable between two pops (``bnodeOfPopX_to_popY``)."""
+        key = (child_id, parent_id, ordinal)
+        if key not in self.blank_node_handlers:
+            suffix = f"_{ordinal}" if ordinal else ""
+            self.blank_node_handlers[key] = (
+                f"bnodeOfPop{child_id}_to_pop{parent_id}{suffix}"
+            )
+        return self.blank_node_handlers[key]
+
+    # ------------------------------------------------------------------
+    # Relationship handlers
+    # ------------------------------------------------------------------
+    def record_relationship(
+        self, parent_id: int, kind: str, child_id: int, descendant: bool
+    ) -> None:
+        self.relationship_handlers.append((parent_id, kind, child_id, descendant))
+
+    def select_clause(self, pop_ids: List[int]) -> str:
+        """The SELECT projection with aliases, Figure 6 style."""
+        parts = []
+        for pop_id in pop_ids:
+            handler = self.result_handler(pop_id)
+            alias = self.alias_for(pop_id)
+            if alias:
+                parts.append(f"?{handler} AS ?{alias}")
+            else:
+                parts.append(f"?{handler}")
+        return "SELECT " + " ".join(parts)

@@ -1,0 +1,157 @@
+"""Pattern matching against transformed plans (Algorithm 3).
+
+``find_matches`` compiles the pattern once, evaluates the SPARQL query
+against every plan's RDF graph, and *de-transforms* each solution: every
+result-handler binding is mapped from its RDF resource back to the
+:class:`PlanOperator` / :class:`BaseObject` it came from, so callers see
+plan context (operator numbers, table names, costs) rather than URIs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.pattern import ProblemPattern
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.core.transform import TransformedPlan
+from repro.qep.model import BaseObject, PlanOperator
+from repro.sparql import prepare_query, query as run_query
+from repro.sparql.results import ResultRow
+
+PlanNode = Union[PlanOperator, BaseObject]
+
+
+@dataclass
+class Match:
+    """One occurrence of a pattern in one plan.
+
+    ``bindings`` maps output names (aliases such as ``TOP`` or raw result
+    handlers such as ``pop3``) to de-transformed plan nodes.
+    """
+
+    plan_id: str
+    bindings: Dict[str, PlanNode] = field(default_factory=dict)
+
+    def node(self, name: str) -> Optional[PlanNode]:
+        key = name[1:] if name.startswith("?") else name
+        return self.bindings.get(key)
+
+    def operators(self) -> List[PlanOperator]:
+        return [n for n in self.bindings.values() if isinstance(n, PlanOperator)]
+
+    def signature(self) -> tuple:
+        """Hashable identity of this occurrence (for dedup in reports)."""
+        parts = []
+        for name in sorted(self.bindings):
+            node = self.bindings[name]
+            if isinstance(node, PlanOperator):
+                parts.append((name, "op", node.number))
+            else:
+                parts.append((name, "obj", node.qualified_name))
+        return tuple(parts)
+
+    def describe(self) -> str:
+        parts = []
+        for name in sorted(self.bindings):
+            node = self.bindings[name]
+            if isinstance(node, PlanOperator):
+                parts.append(f"?{name}={node.display_name}({node.number})")
+            else:
+                parts.append(f"?{name}={node.qualified_name}")
+        return f"[{self.plan_id}] " + " ".join(parts)
+
+
+@dataclass
+class PlanMatches:
+    """All occurrences of one pattern within one plan."""
+
+    transformed: TransformedPlan
+    occurrences: List[Match] = field(default_factory=list)
+
+    @property
+    def plan_id(self) -> str:
+        return self.transformed.plan_id
+
+    @property
+    def count(self) -> int:
+        return len(self.occurrences)
+
+    def __bool__(self) -> bool:
+        return bool(self.occurrences)
+
+    def __iter__(self):
+        return iter(self.occurrences)
+
+
+def _detransform_row(
+    row: ResultRow, transformed: TransformedPlan
+) -> Optional[Match]:
+    """Map one SPARQL solution back to plan nodes (de-transformation)."""
+    match = Match(plan_id=transformed.plan_id)
+    for name, term in row.items():
+        if term is None:
+            continue
+        node = transformed.node_for(term)
+        if node is not None:
+            match.bindings[name] = node
+    if not match.bindings:
+        return None
+    return match
+
+
+def _prepare(sparql_or_pattern) -> object:
+    """Accept a ProblemPattern, a SPARQL string, or an already-parsed AST."""
+    if isinstance(sparql_or_pattern, ProblemPattern):
+        return prepare_query(pattern_to_sparql(sparql_or_pattern))
+    if isinstance(sparql_or_pattern, str):
+        return prepare_query(sparql_or_pattern)
+    return sparql_or_pattern  # assume a prepared query AST
+
+
+def search_plan(
+    sparql_or_pattern: Union[str, ProblemPattern, object],
+    transformed: TransformedPlan,
+) -> PlanMatches:
+    """Match one pattern (or SPARQL text / prepared query) against one plan."""
+    ast = _prepare(sparql_or_pattern)
+    result = PlanMatches(transformed=transformed)
+    seen = set()
+    for row in run_query(transformed.graph, ast):
+        match = _detransform_row(row, transformed)
+        if match is None:
+            continue
+        signature = match.signature()
+        if signature in seen:
+            continue
+        seen.add(signature)
+        result.occurrences.append(match)
+    return result
+
+
+def find_matches(
+    sparql_or_pattern: Union[str, ProblemPattern],
+    workload: Iterable[TransformedPlan],
+) -> List[PlanMatches]:
+    """Algorithm 3: match the pattern against every plan in the workload.
+
+    Returns one :class:`PlanMatches` per plan that has at least one
+    occurrence, in workload order.
+    """
+    ast = _prepare(sparql_or_pattern)
+    matches: List[PlanMatches] = []
+    for transformed in workload:
+        result = PlanMatches(transformed=transformed)
+        seen = set()
+        for row in run_query(transformed.graph, ast):
+            match = _detransform_row(row, transformed)
+            if match is None:
+                continue
+            signature = match.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            result.occurrences.append(match)
+        if result:
+            matches.append(result)
+    return matches

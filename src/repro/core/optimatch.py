@@ -1,0 +1,143 @@
+"""The OptImatch facade: workload loading, pattern search, KB runs.
+
+This is the top-level entry point a downstream user interacts with::
+
+    from repro import OptImatch
+    tool = OptImatch()
+    tool.load_workload_dir("explains/")       # or add_plan / load files
+    matches = tool.search(pattern)            # ad-hoc pattern search
+    report = tool.run_knowledge_base(kb)      # routinized plan checks
+
+Plans are transformed to RDF once and cached; every subsequent search or
+knowledge-base run reuses the cached graphs, mirroring the architecture
+of Figure 4 (transformation engine feeding the matching engine).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.core.matcher import PlanMatches, find_matches
+from repro.core.pattern import ProblemPattern
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.core.transform import TransformedPlan, transform_plan
+from repro.qep.model import PlanGraph
+from repro.qep.parser import parse_plan, parse_plan_file
+
+
+class OptImatch:
+    """Query performance problem determination over a QEP workload."""
+
+    def __init__(self):
+        self._workload: List[TransformedPlan] = []
+        self._by_id: Dict[str, TransformedPlan] = {}
+
+    # ------------------------------------------------------------------
+    # Workload management
+    # ------------------------------------------------------------------
+    def add_plan(self, plan: PlanGraph) -> TransformedPlan:
+        """Transform *plan* and add it to the workload."""
+        if plan.plan_id in self._by_id:
+            raise ValueError(f"duplicate plan id {plan.plan_id!r} in workload")
+        transformed = transform_plan(plan)
+        self._workload.append(transformed)
+        self._by_id[plan.plan_id] = transformed
+        return transformed
+
+    def add_plans(self, plans: Iterable[PlanGraph]) -> None:
+        for plan in plans:
+            self.add_plan(plan)
+
+    def load_explain_text(self, text: str, plan_id: Optional[str] = None) -> TransformedPlan:
+        """Parse explain *text* and add the plan to the workload.
+
+        Accepts both full explain files (Plan Details section) and bare
+        ASCII tree snippets like the paper's Figure 1.
+        """
+        if "Plan Details:" in text:
+            plan = parse_plan(text, plan_id)
+        else:
+            from repro.qep.tree_parser import parse_tree
+
+            plan = parse_tree(text, plan_id or "tree-snippet")
+        return self.add_plan(plan)
+
+    def load_explain_file(self, path: str) -> TransformedPlan:
+        return self.add_plan(parse_plan_file(path))
+
+    def load_workload_dir(
+        self,
+        directory: str,
+        suffix: str = ".exfmt",
+        use_rdf_cache: bool = False,
+    ) -> int:
+        """Load every ``*.exfmt`` explain file under *directory*.
+
+        With *use_rdf_cache* the transformed RDF is persisted as ``.nt``
+        sidecar files and reused on subsequent loads (the DB2 RDF Store
+        role; see :mod:`repro.core.store`).  Returns the number of plans
+        loaded.
+        """
+        if use_rdf_cache:
+            from repro.core.store import load_workload_cached
+
+            loaded = load_workload_cached(directory, suffix)
+            for transformed in loaded:
+                if transformed.plan_id in self._by_id:
+                    raise ValueError(
+                        f"duplicate plan id {transformed.plan_id!r} in workload"
+                    )
+                self._workload.append(transformed)
+                self._by_id[transformed.plan_id] = transformed
+            return len(loaded)
+        count = 0
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(suffix):
+                self.load_explain_file(os.path.join(directory, name))
+                count += 1
+        return count
+
+    @property
+    def workload(self) -> List[TransformedPlan]:
+        return list(self._workload)
+
+    @property
+    def plan_count(self) -> int:
+        return len(self._workload)
+
+    def plan(self, plan_id: str) -> TransformedPlan:
+        return self._by_id[plan_id]
+
+    def clear(self) -> None:
+        self._workload.clear()
+        self._by_id.clear()
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def compile(self, pattern: ProblemPattern) -> str:
+        """Compile a pattern to its SPARQL text (for inspection/storage)."""
+        return pattern_to_sparql(pattern)
+
+    def search(
+        self, pattern: Union[ProblemPattern, str]
+    ) -> List[PlanMatches]:
+        """Search the whole workload for *pattern* (Algorithm 3)."""
+        return find_matches(pattern, self._workload)
+
+    def matching_plan_ids(self, pattern: Union[ProblemPattern, str]) -> List[str]:
+        """Plan IDs that contain at least one occurrence of *pattern*."""
+        return [m.plan_id for m in self.search(pattern)]
+
+    # ------------------------------------------------------------------
+    # Knowledge base
+    # ------------------------------------------------------------------
+    def run_knowledge_base(self, knowledge_base) -> "object":
+        """Run every KB entry against the workload (Algorithm 5).
+
+        Delegates to :meth:`repro.kb.KnowledgeBase.find_recommendations`;
+        accepting the KB as a parameter keeps the core free of a kb
+        dependency.
+        """
+        return knowledge_base.find_recommendations(self._workload)

@@ -1,0 +1,238 @@
+"""Problem patterns as RDF (the knowledge base's second stored form).
+
+Section 2.3: "the problem pattern is preserved in the knowledge base in
+two forms: an executable SPARQL query that is applied to the QEP provided
+by the user and as an RDF structure describing this pattern."  The RDF
+form makes the pattern *library itself* queryable — e.g. "which stored
+patterns constrain an NLJOIN?" — which is how a large organization keeps
+hundreds of expert patterns discoverable.
+
+Vocabulary (``patdef:`` namespace)::
+
+    <pattern/NAME>  patdef:hasName        "NAME"
+                    patdef:hasDescription "..."
+                    patdef:hasPop         <pattern/NAME/pop/1>
+    <.../pop/1>     patdef:hasPopId       1
+                    patdef:hasPopType     "NLJOIN"
+                    patdef:hasAlias       "TOP"
+                    patdef:hasConstraint  <.../pop/1/constraint/0>
+                    patdef:hasRelationship <.../pop/1/rel/0>
+    <.../constraint/0> patdef:onProperty  "hasEstimateCardinality"
+                       patdef:hasSign     ">"
+                       patdef:hasValue    "100"
+    <.../rel/0>     patdef:hasKind        "hasInnerInputStream"
+                    patdef:hasTarget      <pattern/NAME/pop/3>
+                    patdef:isDescendant   "false"
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.pattern import (
+    PopSpec,
+    ProblemPattern,
+    PropertyConstraint,
+    Relationship,
+)
+from repro.rdf import Graph, Literal, Namespace, URIRef
+
+#: Namespace for pattern-definition resources and predicates.
+PATTERN = Namespace("http://optimatch/patterndef/")
+PATDEF = Namespace("http://optimatch/patterndef#")
+
+
+def _pattern_uri(name: str) -> URIRef:
+    return PATTERN.term(name)
+
+
+def pattern_to_rdf(pattern: ProblemPattern, graph: Optional[Graph] = None) -> Graph:
+    """Serialize *pattern* into RDF (appending to *graph* when given)."""
+    pattern.validate()
+    if graph is None:
+        graph = Graph(identifier=f"pattern:{pattern.name}")
+    root = _pattern_uri(pattern.name)
+    graph.add((root, PATDEF.hasName, Literal(pattern.name)))
+    if pattern.description:
+        graph.add((root, PATDEF.hasDescription, Literal(pattern.description)))
+    pop_uris: Dict[int, URIRef] = {
+        pop_id: PATTERN.term(f"{pattern.name}/pop/{pop_id}")
+        for pop_id in pattern.pops
+    }
+    for pop_id, spec in sorted(pattern.pops.items()):
+        pop_uri = pop_uris[pop_id]
+        graph.add((root, PATDEF.hasPop, pop_uri))
+        graph.add((pop_uri, PATDEF.hasPopId, Literal(pop_id)))
+        graph.add((pop_uri, PATDEF.hasPopType, Literal(spec.type)))
+        if spec.alias:
+            graph.add((pop_uri, PATDEF.hasAlias, Literal(spec.alias)))
+        for index, constraint in enumerate(spec.constraints):
+            c_uri = PATTERN.term(f"{pattern.name}/pop/{pop_id}/constraint/{index}")
+            graph.add((pop_uri, PATDEF.hasConstraint, c_uri))
+            graph.add((c_uri, PATDEF.onProperty, Literal(constraint.name)))
+            graph.add((c_uri, PATDEF.hasSign, Literal(constraint.sign)))
+            graph.add((c_uri, PATDEF.hasValue, Literal(str(constraint.value))))
+            graph.add((c_uri, PATDEF.hasOrdinal, Literal(index)))
+        for index, relationship in enumerate(spec.relationships):
+            r_uri = PATTERN.term(f"{pattern.name}/pop/{pop_id}/rel/{index}")
+            graph.add((pop_uri, PATDEF.hasRelationship, r_uri))
+            graph.add((r_uri, PATDEF.hasKind, Literal(relationship.kind)))
+            graph.add((r_uri, PATDEF.hasTarget, pop_uris[relationship.target_id]))
+            graph.add(
+                (
+                    r_uri,
+                    PATDEF.isDescendant,
+                    Literal("true" if relationship.descendant else "false"),
+                )
+            )
+            graph.add((r_uri, PATDEF.hasOrdinal, Literal(index)))
+    for key, value in sorted(pattern.plan_details.items()):
+        d_uri = PATTERN.term(f"{pattern.name}/detail/{key}")
+        graph.add((root, PATDEF.hasPlanDetail, d_uri))
+        graph.add((d_uri, PATDEF.onProperty, Literal(key)))
+        if isinstance(value, (list, tuple)):
+            sign, val = value
+        else:
+            sign, val = "=", value
+        graph.add((d_uri, PATDEF.hasSign, Literal(str(sign))))
+        graph.add((d_uri, PATDEF.hasValue, Literal(str(val))))
+    for index, constraint in enumerate(pattern.cross_constraints):
+        x_uri = PATTERN.term(f"{pattern.name}/cross/{index}")
+        graph.add((root, PATDEF.hasCrossConstraint, x_uri))
+        graph.add((x_uri, PATDEF.hasOrdinal, Literal(index)))
+        graph.add((x_uri, PATDEF.hasLeftPop, pop_uris[constraint.left_id]))
+        graph.add((x_uri, PATDEF.hasLeftProperty,
+                   Literal(constraint.left_property)))
+        graph.add((x_uri, PATDEF.hasSign, Literal(constraint.sign)))
+        graph.add((x_uri, PATDEF.hasRightPop, pop_uris[constraint.right_id]))
+        graph.add((x_uri, PATDEF.hasRightProperty,
+                   Literal(constraint.right_property)))
+        graph.add((x_uri, PATDEF.hasFactor, Literal(repr(constraint.factor))))
+    return graph
+
+
+def _literal_value(graph: Graph, subject: URIRef, predicate: URIRef) -> Optional[str]:
+    value = graph.value(subject, predicate)
+    return value.lexical if isinstance(value, Literal) else None
+
+
+def _coerce(text: str):
+    """Constraint values round-trip as strings; restore numbers."""
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    if number.is_integer() and "." not in text and "e" not in text.lower():
+        return int(number)
+    return number
+
+
+def pattern_from_rdf(graph: Graph, name: str) -> ProblemPattern:
+    """Reconstruct the named pattern from its RDF form."""
+    root = _pattern_uri(name)
+    if graph.value(root, PATDEF.hasName) is None:
+        raise KeyError(f"no pattern named {name!r} in graph")
+    pattern = ProblemPattern(
+        name=name,
+        description=_literal_value(graph, root, PATDEF.hasDescription) or "",
+    )
+    uri_to_id: Dict[URIRef, int] = {}
+    pop_uris = sorted(graph.objects(root, PATDEF.hasPop), key=lambda u: u.value)
+    for pop_uri in pop_uris:
+        pop_id = int(_literal_value(graph, pop_uri, PATDEF.hasPopId))
+        uri_to_id[pop_uri] = pop_id
+    for pop_uri in pop_uris:
+        pop_id = uri_to_id[pop_uri]
+        spec = PopSpec(
+            id=pop_id,
+            type=_literal_value(graph, pop_uri, PATDEF.hasPopType) or "ANY",
+            alias=_literal_value(graph, pop_uri, PATDEF.hasAlias),
+        )
+        constraints: List[tuple] = []
+        for c_uri in graph.objects(pop_uri, PATDEF.hasConstraint):
+            ordinal = int(_literal_value(graph, c_uri, PATDEF.hasOrdinal) or 0)
+            constraints.append(
+                (
+                    ordinal,
+                    PropertyConstraint(
+                        name=_literal_value(graph, c_uri, PATDEF.onProperty),
+                        sign=_literal_value(graph, c_uri, PATDEF.hasSign),
+                        value=_coerce(
+                            _literal_value(graph, c_uri, PATDEF.hasValue)
+                        ),
+                    ),
+                )
+            )
+        spec.constraints = [c for _, c in sorted(constraints, key=lambda t: t[0])]
+        relationships: List[tuple] = []
+        for r_uri in graph.objects(pop_uri, PATDEF.hasRelationship):
+            ordinal = int(_literal_value(graph, r_uri, PATDEF.hasOrdinal) or 0)
+            target_uri = graph.value(r_uri, PATDEF.hasTarget)
+            relationships.append(
+                (
+                    ordinal,
+                    Relationship(
+                        kind=_literal_value(graph, r_uri, PATDEF.hasKind),
+                        target_id=uri_to_id[target_uri],
+                        descendant=_literal_value(graph, r_uri, PATDEF.isDescendant)
+                        == "true",
+                    ),
+                )
+            )
+        spec.relationships = [
+            r for _, r in sorted(relationships, key=lambda t: t[0])
+        ]
+        pattern.pops[pop_id] = spec
+    for d_uri in graph.objects(root, PATDEF.hasPlanDetail):
+        key = _literal_value(graph, d_uri, PATDEF.onProperty)
+        sign = _literal_value(graph, d_uri, PATDEF.hasSign)
+        value = _coerce(_literal_value(graph, d_uri, PATDEF.hasValue))
+        pattern.plan_details[key] = value if sign == "=" else [sign, value]
+    cross: List[tuple] = []
+    for x_uri in graph.objects(root, PATDEF.hasCrossConstraint):
+        from repro.core.pattern import CrossPopConstraint
+
+        ordinal = int(_literal_value(graph, x_uri, PATDEF.hasOrdinal) or 0)
+        cross.append(
+            (
+                ordinal,
+                CrossPopConstraint(
+                    left_id=uri_to_id[graph.value(x_uri, PATDEF.hasLeftPop)],
+                    left_property=_literal_value(
+                        graph, x_uri, PATDEF.hasLeftProperty
+                    ),
+                    sign=_literal_value(graph, x_uri, PATDEF.hasSign),
+                    right_id=uri_to_id[graph.value(x_uri, PATDEF.hasRightPop)],
+                    right_property=_literal_value(
+                        graph, x_uri, PATDEF.hasRightProperty
+                    ),
+                    factor=float(
+                        _literal_value(graph, x_uri, PATDEF.hasFactor) or 1.0
+                    ),
+                ),
+            )
+        )
+    pattern.cross_constraints = [c for _, c in sorted(cross, key=lambda t: t[0])]
+    pattern.validate()
+    return pattern
+
+
+def pattern_names(graph: Graph) -> List[str]:
+    """Names of every pattern stored in *graph*."""
+    return sorted(
+        value.lexical
+        for _, _, value in graph.triples(predicate=PATDEF.hasName)
+        if isinstance(value, Literal)
+    )
+
+
+def patterns_mentioning_type(graph: Graph, op_type: str) -> List[str]:
+    """Names of stored patterns that constrain the given operator type —
+    pattern-library introspection via the RDF form."""
+    names = set()
+    for pop_uri in graph.subjects(PATDEF.hasPopType, Literal(op_type)):
+        for pattern_uri in graph.subjects(PATDEF.hasPop, pop_uri):
+            name = graph.value(pattern_uri, PATDEF.hasName)
+            if isinstance(name, Literal):
+                names.add(name.lexical)
+    return sorted(names)

@@ -1,0 +1,246 @@
+"""Problem pattern → executable SPARQL (Algorithm 2, Figure 6).
+
+Generation is modular, "one layer (one operator) at a time": for every
+pop spec the generator emits its type constraint, its property filters
+(through internal handlers) and its relationships (through blank-node
+handlers for immediate children, property paths for descendants).
+
+An immediate relationship between ``?pop2`` and ``?pop1`` over the outer
+stream produces exactly the four-triple shape of Figure 6::
+
+    ?pop1 predURI:hasOuterInputStream ?bnodeOfPop2_to_pop1 .
+    ?bnodeOfPop2_to_pop1 predURI:hasOuterInputStream ?pop2 .
+    ?pop2 predURI:hasOutputStream ?bnodeOfPop2_to_pop1 .
+    ?bnodeOfPop2_to_pop1 predURI:hasOutputStream ?pop1 .
+
+A descendant relationship compiles to a SPARQL 1.1 property path whose
+first hop honours the requested stream role and whose remaining hops may
+use any role::
+
+    ?pop1 (predURI:hasOuterInputStream/predURI:hasOuterInputStream)/
+          ((predURI:hasInputStream|predURI:hasOuterInputStream|predURI:hasInnerInputStream)/
+           (predURI:hasInputStream|predURI:hasOuterInputStream|predURI:hasInnerInputStream))* ?pop2 .
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import List, Optional
+
+from repro.core.handlers import HandlerRegistry
+from repro.core.pattern import (
+    BASE_OBJECT_TYPE,
+    PopSpec,
+    ProblemPattern,
+    PropertyConstraint,
+    Relationship,
+)
+from repro.core.vocabulary import (
+    GUI_PROPERTY_PREDICATES,
+    PRED,
+    SPARQL_PREFIXES,
+)
+
+_ANY_STREAM = (
+    "(predURI:hasInputStream|predURI:hasOuterInputStream|"
+    "predURI:hasInnerInputStream)"
+)
+_ANY_HOP = f"({_ANY_STREAM}/{_ANY_STREAM})"
+
+_PLAN_DETAIL_PREDICATES = {
+    "hasPlanTotalCost": "hasPlanTotalCost",
+    "hasOperatorCount": "hasOperatorCount",
+}
+
+
+def _local_name(prop: str) -> str:
+    predicate = GUI_PROPERTY_PREDICATES[prop]
+    return PRED.local_name(predicate)
+
+
+def _format_value(value) -> str:
+    """Render a constraint value as a SPARQL literal."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, numbers.Number):
+        return repr(value)
+    text = str(value)
+    # Numeric strings compare numerically (the QEP prints numbers both in
+    # decimal and exponent form, so string equality would be wrong).
+    try:
+        float(text)
+        return text
+    except ValueError:
+        escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+
+
+def _is_numeric(value) -> bool:
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, numbers.Number):
+        return True
+    try:
+        float(str(value))
+        return True
+    except ValueError:
+        return False
+
+
+def pattern_to_sparql(
+    pattern: ProblemPattern,
+    registry: Optional[HandlerRegistry] = None,
+    project: Optional[List[int]] = None,
+) -> str:
+    """Compile *pattern* into an executable SPARQL query string.
+
+    *registry* (created if omitted) exposes the handler allocation for
+    callers that need the alias map afterwards (the knowledge base does).
+    *project* restricts the SELECT clause to the given pop IDs; all pops
+    are projected by default.
+    """
+    pattern.validate()
+    if registry is None:
+        registry = HandlerRegistry()
+    aliases = pattern.aliases()
+    for pop_id, alias in aliases.items():
+        registry.set_alias(pop_id, alias)
+
+    where: List[str] = []
+    for pop_id in sorted(pattern.pops):
+        spec = pattern.pops[pop_id]
+        where.extend(_type_clauses(spec, registry))
+        for constraint in spec.constraints:
+            where.extend(_constraint_clauses(spec, constraint, registry))
+        for rel_index, rel in enumerate(spec.relationships):
+            registry.record_relationship(
+                spec.id, rel.kind, rel.target_id, rel.descendant
+            )
+            where.extend(_relationship_clauses(spec, rel, rel_index, registry))
+    for constraint in pattern.cross_constraints:
+        where.extend(_cross_constraint_clauses(constraint, registry))
+    where.extend(_plan_detail_clauses(pattern, registry))
+
+    pop_ids = project if project is not None else sorted(pattern.pops)
+    select = registry.select_clause(list(pop_ids))
+    roots = pattern.root_ids()
+    order = f"ORDER BY ?{registry.result_handler(roots[0])}" if roots else ""
+    body = "\n".join(f"  {clause}" for clause in where)
+    query = f"{SPARQL_PREFIXES}{select}\nWHERE {{\n{body}\n}}\n{order}".rstrip()
+    return query + "\n"
+
+
+def _type_clauses(spec: PopSpec, registry: HandlerRegistry) -> List[str]:
+    handler = registry.result_handler(spec.id)
+    if spec.type == "ANY":
+        return []
+    if spec.type == BASE_OBJECT_TYPE:
+        internal = registry.new_internal_handler()
+        return [f"?{handler} predURI:isABaseObj ?{internal} ."]
+    if spec.type == "JOIN":
+        internal = registry.new_internal_handler()
+        return [f"?{handler} predURI:isAJoin ?{internal} ."]
+    if spec.type == "SCAN":
+        internal = registry.new_internal_handler()
+        return [f"?{handler} predURI:isAScan ?{internal} ."]
+    return [f'?{handler} predURI:hasPopType "{spec.type}" .']
+
+
+def _constraint_clauses(
+    spec: PopSpec, constraint: PropertyConstraint, registry: HandlerRegistry
+) -> List[str]:
+    handler = registry.result_handler(spec.id)
+    predicate = _local_name(constraint.name)
+    value = constraint.value
+    # String equality binds the literal directly in the triple pattern;
+    # everything else goes through an internal handler + FILTER.
+    if constraint.sign == "=" and not _is_numeric(value):
+        return [f"?{handler} predURI:{predicate} {_format_value(value)} ."]
+    internal = registry.new_internal_handler()
+    triple = f"?{handler} predURI:{predicate} ?{internal} ."
+    if constraint.sign == "contains":
+        flt = f"FILTER CONTAINS(STR(?{internal}), {_format_value(str(value))})"
+    elif constraint.sign == "regex":
+        flt = f"FILTER regex(STR(?{internal}), {_format_value(str(value))})"
+    else:
+        flt = f"FILTER (?{internal} {constraint.sign} {_format_value(value)})"
+    return [triple, flt]
+
+
+def _relationship_clauses(
+    spec: PopSpec, rel: Relationship, rel_index: int, registry: HandlerRegistry
+) -> List[str]:
+    parent = registry.result_handler(spec.id)
+    child = registry.result_handler(rel.target_id)
+    predicate = f"predURI:{rel.kind}"
+    if not rel.descendant:
+        bnode = registry.blank_node_handler(rel.target_id, spec.id, rel_index)
+        return [
+            f"?{parent} {predicate} ?{bnode} .",
+            f"?{bnode} {predicate} ?{child} .",
+            f"?{child} predURI:hasOutputStream ?{bnode} .",
+            f"?{bnode} predURI:hasOutputStream ?{parent} .",
+        ]
+    if rel.kind == "hasInputStream":
+        first_hop = _ANY_HOP
+    else:
+        first_hop = f"({predicate}/{predicate})"
+    path = f"{first_hop}/{_ANY_HOP}*"
+    return [f"?{parent} {path} ?{child} ."]
+
+
+def _cross_constraint_clauses(constraint, registry: HandlerRegistry) -> List[str]:
+    """Compile a cross-pop comparison: bind each side's property into an
+    internal handler, compare in a FILTER (Pattern D's spill shape)."""
+    left_handler = registry.result_handler(constraint.left_id)
+    right_handler = registry.result_handler(constraint.right_id)
+    left_internal = registry.new_internal_handler()
+    right_internal = registry.new_internal_handler()
+    left_pred = _local_name(constraint.left_property)
+    right_pred = _local_name(constraint.right_property)
+    right_expr = f"?{right_internal}"
+    if constraint.factor != 1.0:
+        right_expr = f"?{right_internal} * {constraint.factor!r}"
+    return [
+        f"?{left_handler} predURI:{left_pred} ?{left_internal} .",
+        f"?{right_handler} predURI:{right_pred} ?{right_internal} .",
+        f"FILTER (?{left_internal} {constraint.sign} {right_expr})",
+    ]
+
+
+def _plan_detail_clauses(
+    pattern: ProblemPattern, registry: HandlerRegistry
+) -> List[str]:
+    """Plan-level constraints, applied to the pattern's root pop.
+
+    ``plan_details`` maps a plan property name to either a scalar
+    (equality) or a ``[sign, value]`` pair, e.g.
+    ``{"hasOperatorCount": [">", 100]}``.
+    """
+    if not pattern.plan_details:
+        return []
+    roots = pattern.root_ids()
+    root_handler = registry.result_handler(roots[0])
+    clauses: List[str] = []
+    for name, spec_value in pattern.plan_details.items():
+        if name not in _PLAN_DETAIL_PREDICATES:
+            raise ValueError(
+                f"unknown plan detail {name!r}; known: "
+                f"{sorted(_PLAN_DETAIL_PREDICATES)}"
+            )
+        if isinstance(spec_value, (list, tuple)):
+            sign, value = spec_value
+        else:
+            sign, value = "=", spec_value
+        internal = registry.new_internal_handler()
+        if name == "hasOperatorCount":
+            # Operator count lives on the plan resource (each RDF graph
+            # holds exactly one plan, so binding it by hasPlanId is safe).
+            plan_var = registry.new_internal_handler()
+            plan_id_var = registry.new_internal_handler()
+            clauses.append(f"?{plan_var} predURI:hasPlanId ?{plan_id_var} .")
+            clauses.append(f"?{plan_var} predURI:{name} ?{internal} .")
+        else:
+            clauses.append(f"?{root_handler} predURI:{name} ?{internal} .")
+        clauses.append(f"FILTER (?{internal} {sign} {_format_value(value)})")
+    return clauses

@@ -1,0 +1,199 @@
+"""QEP → RDF transformation (Algorithm 1 / Figure 2 of the paper).
+
+Every LOLEPOP becomes a resource; every property becomes a predicate +
+literal; every edge between a child and its consumer becomes a dedicated
+*stream resource* linked in all four directions::
+
+    parent  --hasXInputStream-->  stream
+    stream  --hasXInputStream-->  child
+    child   --hasOutputStream-->  stream
+    stream  --hasOutputStream-->  parent
+
+where X is the stream role (generic / outer / inner).  The stream node is
+what the paper's *blank node handlers* bind to: when the same operator
+(e.g. a TEMP over a common subexpression) feeds several consumers, each
+consumption has its own stream resource, so matches in different parts of
+the plan stay distinguishable.
+
+The transform also materializes derived predicates
+(``hasTotalCostIncrease``, ``hasIOCostIncrease``, ``hasChildPop``) as
+Section 2.1 describes, and keeps a resource→plan-node mapping used later
+to de-transform SPARQL matches back into plan context (Algorithm 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.qep.model import BaseObject, PlanGraph, PlanOperator, format_number
+from repro.qep.operators import StreamRole
+from repro.rdf import Graph, Literal, Term, URIRef
+from repro.core import vocabulary as voc
+
+_ROLE_PREDICATES = {
+    StreamRole.INPUT: voc.HAS_INPUT_STREAM,
+    StreamRole.OUTER: voc.HAS_OUTER_INPUT_STREAM,
+    StreamRole.INNER: voc.HAS_INNER_INPUT_STREAM,
+}
+
+
+@dataclass
+class TransformedPlan:
+    """An RDF graph plus the bidirectional resource/plan-node mapping."""
+
+    plan: PlanGraph
+    graph: Graph
+    pop_resources: Dict[int, URIRef] = field(default_factory=dict)
+    object_resources: Dict[str, URIRef] = field(default_factory=dict)
+    resource_to_node: Dict[URIRef, Union[PlanOperator, BaseObject]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def plan_id(self) -> str:
+        return self.plan.plan_id
+
+    def node_for(self, resource: Term) -> Optional[Union[PlanOperator, BaseObject]]:
+        """De-transform: map an RDF resource back to its plan node."""
+        if isinstance(resource, URIRef):
+            return self.resource_to_node.get(resource)
+        return None
+
+
+def _pop_uri(plan_id: str, number: int) -> URIRef:
+    return voc.POP.term(f"{plan_id}/{number}")
+
+
+def _stream_uri(plan_id: str, child_key: str, parent: int, ordinal: int) -> URIRef:
+    return voc.STREAM.term(f"{plan_id}/{child_key}-{parent}.{ordinal}")
+
+
+def _obj_uri(plan_id: str, qualified_name: str) -> URIRef:
+    return voc.OBJ.term(f"{plan_id}/{qualified_name}")
+
+
+def _num(value: float) -> Literal:
+    """Literal with the db2exfmt lexical form (decimal or exponent)."""
+    return Literal(format_number(value))
+
+
+def transform_plan(plan: PlanGraph) -> TransformedPlan:
+    """Transform one plan into its RDF graph (Algorithm 1)."""
+    graph = Graph(identifier=plan.plan_id)
+    transformed = TransformedPlan(plan=plan, graph=graph)
+    plan_res = voc.PLAN.term(plan.plan_id)
+    graph.add((plan_res, voc.HAS_PLAN_ID, Literal(plan.plan_id)))
+    graph.add((plan_res, voc.HAS_OPERATOR_COUNT, Literal(plan.op_count)))
+
+    # Pass 1: operator resources with their literal properties.
+    for op in plan.iter_operators():
+        res = _pop_uri(plan.plan_id, op.number)
+        transformed.pop_resources[op.number] = res
+        transformed.resource_to_node[res] = op
+        graph.add((res, voc.HAS_POP_TYPE, Literal(op.op_type)))
+        graph.add((res, voc.HAS_POP_NUMBER, Literal(op.number)))
+        graph.add((res, voc.HAS_ESTIMATE_CARDINALITY, _num(op.cardinality)))
+        graph.add((res, voc.HAS_TOTAL_COST, _num(op.total_cost)))
+        graph.add((res, voc.HAS_IO_COST, _num(op.io_cost)))
+        graph.add((res, voc.HAS_CPU_COST, _num(op.cpu_cost)))
+        graph.add((res, voc.HAS_FIRST_ROW_COST, _num(op.first_row_cost)))
+        graph.add((res, voc.HAS_BUFFERPOOL_BUFFERS, _num(op.buffers)))
+        graph.add((res, voc.HAS_PLAN_TOTAL_COST, _num(plan.total_cost)))
+        if op.info.is_join:
+            graph.add((res, voc.IS_A_JOIN, Literal("true")))
+            graph.add(
+                (res, voc.HAS_JOIN_SEMANTICS, Literal(op.join_semantics.name))
+            )
+        if op.info.is_scan:
+            graph.add((res, voc.IS_A_SCAN, Literal("true")))
+        for name, value in op.arguments.items():
+            graph.add(
+                (res, voc.PRED.term(voc.HAS_ARGUMENT_PREFIX + name), Literal(value))
+            )
+        for predicate in op.predicates:
+            graph.add((res, voc.HAS_PREDICATE_TEXT, Literal(predicate.text)))
+            graph.add((res, voc.HAS_PREDICATE_KIND, Literal(predicate.kind)))
+            for column in predicate.columns:
+                graph.add((res, voc.HAS_PREDICATE_COLUMN, Literal(column)))
+            if predicate.selectivity is not None:
+                graph.add(
+                    (res, voc.HAS_PREDICATE_SELECTIVITY, _num(predicate.selectivity))
+                )
+        for column in op.columns:
+            graph.add((res, voc.HAS_OUTPUT_COLUMN, Literal(column)))
+
+    if plan.root is not None:
+        graph.add(
+            (plan_res, voc.HAS_ROOT_POP, transformed.pop_resources[plan.root.number])
+        )
+
+    # Pass 2: streams, base objects, derived predicates.
+    for op in plan.iter_operators():
+        parent_res = transformed.pop_resources[op.number]
+        child_cost_total = 0.0
+        child_io_total = 0.0
+        for ordinal, stream in enumerate(op.inputs):
+            source = stream.source
+            role_pred = _ROLE_PREDICATES[stream.role]
+            if isinstance(source, BaseObject):
+                child_res = _object_resource(transformed, graph, source)
+                child_key = source.qualified_name
+                child_card = source.cardinality
+            else:
+                child_res = transformed.pop_resources[source.number]
+                child_key = str(source.number)
+                child_card = source.cardinality
+                child_cost_total += source.total_cost
+                child_io_total += source.io_cost
+                graph.add((parent_res, voc.HAS_CHILD_POP, child_res))
+            stream_res = _stream_uri(plan.plan_id, child_key, op.number, ordinal)
+            graph.add((parent_res, role_pred, stream_res))
+            graph.add((stream_res, role_pred, child_res))
+            graph.add((child_res, voc.HAS_OUTPUT_STREAM, stream_res))
+            graph.add((stream_res, voc.HAS_OUTPUT_STREAM, parent_res))
+            graph.add((stream_res, voc.HAS_STREAM_CARDINALITY, _num(child_card)))
+        graph.add(
+            (
+                parent_res,
+                voc.HAS_TOTAL_COST_INCREASE,
+                _num(max(0.0, op.total_cost - child_cost_total)),
+            )
+        )
+        graph.add(
+            (
+                parent_res,
+                voc.HAS_IO_COST_INCREASE,
+                _num(max(0.0, op.io_cost - child_io_total)),
+            )
+        )
+    return transformed
+
+
+def _object_resource(
+    transformed: TransformedPlan, graph: Graph, obj: BaseObject
+) -> URIRef:
+    existing = transformed.object_resources.get(obj.qualified_name)
+    if existing is not None:
+        return existing
+    res = _obj_uri(transformed.plan_id, obj.qualified_name)
+    transformed.object_resources[obj.qualified_name] = res
+    transformed.resource_to_node[res] = obj
+    graph.add((res, voc.IS_A_BASE_OBJ, Literal("true")))
+    graph.add((res, voc.HAS_BASE_OBJECT_NAME, Literal(obj.name)))
+    graph.add((res, voc.HAS_SCHEMA_NAME, Literal(obj.schema)))
+    graph.add((res, voc.HAS_BASE_CARDINALITY, _num(obj.cardinality)))
+    # Base objects also expose hasEstimateCardinality so patterns like
+    # Pattern C can filter them with the same property they use on pops.
+    graph.add((res, voc.HAS_ESTIMATE_CARDINALITY, _num(obj.cardinality)))
+    graph.add((res, voc.HAS_POP_TYPE, Literal("BASE OB")))
+    for column in obj.columns:
+        graph.add((res, voc.HAS_COLUMN, Literal(column)))
+    for index in obj.indexes:
+        graph.add((res, voc.HAS_INDEX, Literal(index)))
+    return res
+
+
+def transform_workload(plans: Iterable[PlanGraph]) -> List[TransformedPlan]:
+    """Transform every plan in a workload (the loop of Algorithm 1)."""
+    return [transform_plan(plan) for plan in plans]

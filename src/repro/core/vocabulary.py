@@ -1,0 +1,113 @@
+"""RDF vocabulary used by the QEP transform.
+
+The URIs follow the shape shown in Figure 2 of the paper: one namespace
+for LOLEPOP resources, one for stream resources, one for base objects,
+and a predicate namespace (``hasPopType``, ``hasEstimateCardinality``,
+``hasOuterInputStream``...).
+"""
+
+from __future__ import annotations
+
+from repro.rdf import Namespace
+
+#: LOLEPOP resources: pop:{plan-id}/{operator-number}
+POP = Namespace("http://optimatch/pop/")
+#: Stream resources: stream:{plan-id}/{child}-{parent}
+STREAM = Namespace("http://optimatch/stream/")
+#: Base-object resources: obj:{plan-id}/{schema}.{name}
+OBJ = Namespace("http://optimatch/object/")
+#: Plan resources: plan:{plan-id}
+PLAN = Namespace("http://optimatch/plan/")
+#: Predicates
+PRED = Namespace("http://optimatch/predicate#")
+
+# Core operator predicates (Figure 2 of the paper).
+HAS_POP_TYPE = PRED.hasPopType
+HAS_POP_NUMBER = PRED.hasPopNumber
+HAS_ESTIMATE_CARDINALITY = PRED.hasEstimateCardinality
+HAS_TOTAL_COST = PRED.hasTotalCost
+HAS_IO_COST = PRED.hasIOCost
+HAS_CPU_COST = PRED.hasCPUCost
+HAS_FIRST_ROW_COST = PRED.hasFirstRowCost
+HAS_BUFFERPOOL_BUFFERS = PRED.hasBufferPoolBuffers
+HAS_JOIN_SEMANTICS = PRED.hasJoinSemantics
+IS_A_JOIN = PRED.isAJoin
+IS_A_SCAN = PRED.isAScan
+
+# Derived predicates computed during the transform (Section 2.1: "during
+# the transformation ... additional derived properties can be defined").
+HAS_TOTAL_COST_INCREASE = PRED.hasTotalCostIncrease
+HAS_IO_COST_INCREASE = PRED.hasIOCostIncrease
+HAS_CHILD_POP = PRED.hasChildPop          # direct pop→pop shortcut
+HAS_PLAN_TOTAL_COST = PRED.hasPlanTotalCost
+
+# Stream predicates: parent --hasXInputStream--> stream node
+#                    stream --hasXInputStream--> child
+#                    child  --hasOutputStream--> stream node
+#                    stream --hasOutputStream--> parent
+HAS_INPUT_STREAM = PRED.hasInputStream
+HAS_OUTER_INPUT_STREAM = PRED.hasOuterInputStream
+HAS_INNER_INPUT_STREAM = PRED.hasInnerInputStream
+HAS_OUTPUT_STREAM = PRED.hasOutputStream
+HAS_STREAM_CARDINALITY = PRED.hasStreamCardinality
+
+# Base-object predicates.
+IS_A_BASE_OBJ = PRED.isABaseObj
+HAS_BASE_OBJECT_NAME = PRED.hasBaseObjectName
+HAS_SCHEMA_NAME = PRED.hasSchemaName
+HAS_BASE_CARDINALITY = PRED.hasBaseCardinality
+HAS_COLUMN = PRED.hasColumn
+HAS_INDEX = PRED.hasIndex
+
+# Predicate (SQL predicate) and argument predicates.
+HAS_PREDICATE_TEXT = PRED.hasPredicateText
+HAS_PREDICATE_KIND = PRED.hasPredicateKind
+HAS_PREDICATE_COLUMN = PRED.hasPredicateColumn
+HAS_PREDICATE_SELECTIVITY = PRED.hasPredicateSelectivity
+HAS_OUTPUT_COLUMN = PRED.hasOutputColumn
+HAS_ARGUMENT_PREFIX = "hasArgument_"
+
+# Plan-level predicates.
+HAS_PLAN_ID = PRED.hasPlanId
+HAS_OPERATOR_COUNT = PRED.hasOperatorCount
+HAS_ROOT_POP = PRED.hasRootPop
+
+#: Mapping from the property names shown in the pattern-builder GUI
+#: (Figure 3 / Figure 5 JSON) to predicate URIs.
+GUI_PROPERTY_PREDICATES = {
+    "hasPopType": HAS_POP_TYPE,
+    "hasPopNumber": HAS_POP_NUMBER,
+    "hasEstimateCardinality": HAS_ESTIMATE_CARDINALITY,
+    "hasTotalCost": HAS_TOTAL_COST,
+    "hasIOCost": HAS_IO_COST,
+    "hasCPUCost": HAS_CPU_COST,
+    "hasFirstRowCost": HAS_FIRST_ROW_COST,
+    "hasBufferPoolBuffers": HAS_BUFFERPOOL_BUFFERS,
+    "hasTotalCostIncrease": HAS_TOTAL_COST_INCREASE,
+    "hasIOCostIncrease": HAS_IO_COST_INCREASE,
+    "hasPlanTotalCost": HAS_PLAN_TOTAL_COST,
+    "hasJoinSemantics": HAS_JOIN_SEMANTICS,
+    "hasBaseCardinality": HAS_BASE_CARDINALITY,
+    "hasBaseObjectName": HAS_BASE_OBJECT_NAME,
+    "hasSchemaName": HAS_SCHEMA_NAME,
+    "hasPredicateText": HAS_PREDICATE_TEXT,
+    "hasIndex": HAS_INDEX,
+    "hasColumn": HAS_COLUMN,
+}
+
+#: Relationship names accepted in pattern JSON (Figure 5).
+RELATIONSHIP_PREDICATES = {
+    "hasInputStream": HAS_INPUT_STREAM,
+    "hasOuterInputStream": HAS_OUTER_INPUT_STREAM,
+    "hasInnerInputStream": HAS_INNER_INPUT_STREAM,
+    "hasOutputStream": HAS_OUTPUT_STREAM,
+}
+
+#: SPARQL prefix block shared by every generated query (Figure 6 uses
+#: popURI/predURI prefixes; we keep the same idea).
+SPARQL_PREFIXES = (
+    f"PREFIX popURI: <{POP.base}>\n"
+    f"PREFIX predURI: <{PRED.base}>\n"
+    f"PREFIX streamURI: <{STREAM.base}>\n"
+    f"PREFIX objURI: <{OBJ.base}>\n"
+)

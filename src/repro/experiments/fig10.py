@@ -1,0 +1,84 @@
+"""Figure 10: per-plan search time versus number of LOLEPOPs.
+
+Paper setup (Section 3.2.2): the workload is split into operator-count
+buckets [0-50], [50-100], [100-150], [150-200], [200-250] and [500-550]
+(buckets 250-500 were empty in the customer workload); for each bucket
+the average per-plan analysis time in milliseconds is reported.  Time
+grows linearly in plan size; even ~500-operator plans stay under ~400 ms
+in the paper's setup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.matcher import search_plan
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.core.transform import transform_plan
+from repro.experiments.common import ExperimentTable, default_scale, timed
+from repro.experiments.workloads import bucketed_workload
+from repro.kb.builtin import make_pattern
+
+#: The paper's buckets (operator-count ranges).
+PAPER_BUCKETS = [(1, 50), (50, 100), (100, 150), (150, 200), (200, 250), (500, 550)]
+
+PATTERN_IDS = {"#1": "A", "#2": "B", "#3": "C"}
+
+
+def run(
+    scale: Optional[float] = None,
+    seed: int = 2016,
+    plans_per_bucket: Optional[int] = None,
+) -> ExperimentTable:
+    """Run the Figure 10 sweep: average ms per plan, per bucket."""
+    scale = default_scale() if scale is None else scale
+    if plans_per_bucket is None:
+        # Per-plan times vary a lot with pattern incidence (especially
+        # Pattern #2, which is nearly free on LOJ-less plans), so keep a
+        # minimum sample per bucket even at small scales.
+        plans_per_bucket = max(4, int(round(30 * scale)))
+    workloads = bucketed_workload(PAPER_BUCKETS, plans_per_bucket, seed=seed)
+    queries = {
+        label: pattern_to_sparql(make_pattern(letter))
+        for label, letter in PATTERN_IDS.items()
+    }
+
+    table = ExperimentTable(
+        title="Figure 10 — per-plan search time vs number of LOLEPOPs",
+        headers=[
+            "Bucket (ops)",
+            "Plans",
+            "Avg ops",
+            "Pattern #1 [ms]",
+            "Pattern #2 [ms]",
+            "Pattern #3 [ms]",
+        ],
+    )
+    for (low, high), plans in workloads.items():
+        transformed = [transform_plan(plan) for plan in plans]
+        avg_ops = sum(p.op_count for p in plans) / len(plans)
+        row: List[object] = [f"[{low}-{high}]", len(plans), round(avg_ops, 1)]
+        for label, sparql in queries.items():
+            total = 0.0
+            for item in transformed:
+                elapsed, _ = timed(search_plan, sparql, item)
+                total += elapsed
+            row.append(total / len(transformed) * 1000.0)
+        table.add_row(*row)
+    table.add_note(
+        f"{plans_per_bucket} plans per bucket (scale={scale:g}); buckets "
+        "(250-500) are empty by construction, as in the paper's workload"
+    )
+    table.add_note(
+        "paper reference: linear growth; < 400 ms per plan at ~500 LOLEPOPs"
+    )
+    return table
+
+
+def series_from_table(table: ExperimentTable) -> Dict[str, List[float]]:
+    return {
+        "avg_ops": [row[2] for row in table.rows],
+        "#1": [row[3] for row in table.rows],
+        "#2": [row[4] for row in table.rows],
+        "#3": [row[5] for row in table.rows],
+    }

@@ -1,0 +1,44 @@
+"""Knowledge base: stored expert patterns + recommendations (Section 2.3).
+
+Entries pair a problem pattern (kept both as a compiled SPARQL query and
+as a JSON/RDF-serializable pattern object) with recommendation templates
+written in the handler *tagging language* (``@alias`` substitution).
+Running the KB against a workload (Algorithm 5) matches every entry,
+adapts recommendation text to the concrete plan context through the
+tags, and ranks results with statistical correlation analysis.
+"""
+
+from repro.kb.recommendation import Recommendation, RenderedRecommendation
+from repro.kb.tagging import TaggingError, render_template, parse_template
+from repro.kb.knowledge_base import (
+    KBEntry,
+    KBReport,
+    KnowledgeBase,
+    NO_RECOMMENDATION,
+    PlanRecommendations,
+    RecommendationResult,
+)
+from repro.kb.ranking import confidence_score, occurrence_profile
+from repro.kb.builtin import builtin_knowledge_base, builtin_sparql, make_pattern
+from repro.kb.library import extended_knowledge_base, library_entries
+
+__all__ = [
+    "KBEntry",
+    "KBReport",
+    "KnowledgeBase",
+    "NO_RECOMMENDATION",
+    "PlanRecommendations",
+    "Recommendation",
+    "RecommendationResult",
+    "RenderedRecommendation",
+    "TaggingError",
+    "builtin_knowledge_base",
+    "builtin_sparql",
+    "confidence_score",
+    "extended_knowledge_base",
+    "library_entries",
+    "make_pattern",
+    "occurrence_profile",
+    "parse_template",
+    "render_template",
+]

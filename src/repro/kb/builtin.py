@@ -1,0 +1,245 @@
+"""Built-in expert patterns A-D with their paper recommendations.
+
+These are the patterns used throughout the paper's experimental study
+(Section 3.1: Pattern #1 = A, #2 = B, #3 = C) plus the SORT-spill
+Pattern D from Section 2.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.pattern import PatternBuilder, ProblemPattern
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.recommendation import Recommendation
+
+
+def pattern_a() -> ProblemPattern:
+    """NLJOIN with (i) an outer input of cardinality > 1 and (ii) an
+    inner TBSCAN of cardinality > 100 over a base object (Figure 3)."""
+    builder = PatternBuilder(
+        "pattern-a",
+        "Nested loop join rescans a large inner table for every outer row",
+    )
+    top = builder.pop("NLJOIN", alias="TOP")
+    outer = builder.pop("ANY").where("hasEstimateCardinality", ">", 1)
+    inner = builder.pop("TBSCAN", alias="SCAN").where(
+        "hasEstimateCardinality", ">", 100
+    )
+    base = builder.pop("BASE OB", alias="BASE")
+    builder.outer(top, outer)
+    builder.inner(top, inner)
+    builder.input(inner, base)
+    return builder.build()
+
+
+def pattern_b() -> ProblemPattern:
+    """JOIN with a descendant left-outer join below both its outer and
+    inner streams — the poor-join-order rewrite case (Figure 7)."""
+    builder = PatternBuilder(
+        "pattern-b",
+        "(T1 LOJ T2) JOIN (T3 LOJ T4) shape; rewrite to ((T1 LOJ T2) JOIN T3) LOJ T4",
+    )
+    top = builder.pop("JOIN", alias="TOP")
+    outer_loj = builder.pop("JOIN", alias="OUTERLOJ").where(
+        "hasJoinSemantics", "=", "LEFT_OUTER"
+    )
+    inner_loj = builder.pop("JOIN", alias="INNERLOJ").where(
+        "hasJoinSemantics", "=", "LEFT_OUTER"
+    )
+    builder.outer(top, outer_loj, descendant=True)
+    builder.inner(top, inner_loj, descendant=True)
+    return builder.build()
+
+
+def pattern_c() -> ProblemPattern:
+    """IXSCAN/TBSCAN with cardinality < 0.001 over a base object bigger
+    than 1e6 rows — cardinality underestimation (Figure 8)."""
+    builder = PatternBuilder(
+        "pattern-c",
+        "Suspicious cardinality underestimate on a scan of a large table",
+    )
+    scan = builder.pop("SCAN", alias="SCAN").where(
+        "hasEstimateCardinality", "<", 0.001
+    )
+    base = builder.pop("BASE OB", alias="BASE").where(
+        "hasEstimateCardinality", ">", 1000000
+    )
+    builder.input(scan, base)
+    return builder.build()
+
+
+def pattern_d() -> ProblemPattern:
+    """SORT whose immediate input has lower I/O cost than the SORT —
+    the sort-spill signature (Section 2.3).
+
+    The I/O comparison between the two pops is a *cross-pop constraint*
+    (``compare``): it relates properties of two result handlers, which a
+    single-pop property filter cannot express."""
+    builder = PatternBuilder(
+        "pattern-d",
+        "Sort spills to disk (sort I/O exceeds its input's I/O)",
+    )
+    sort = builder.pop("SORT", alias="SORT")
+    below = builder.pop("ANY", alias="INPUT")
+    builder.input(sort, below)
+    builder.compare(below, "hasIOCost", "<", sort, "hasIOCost")
+    return builder.build()
+
+
+#: Which reference-checker letter corresponds to each builtin entry.
+ENTRY_LETTERS: Dict[str, str] = {
+    "pattern-a": "A",
+    "pattern-b": "B",
+    "pattern-c": "C",
+    "pattern-d": "D",
+}
+
+
+def make_pattern(letter: str) -> ProblemPattern:
+    """The builtin pattern for letter 'A'-'D'."""
+    factory = {
+        "A": pattern_a,
+        "B": pattern_b,
+        "C": pattern_c,
+        "D": pattern_d,
+    }[letter.upper()]
+    return factory()
+
+
+def builtin_sparql(letter: str) -> str:
+    """The complete executable SPARQL for a builtin pattern.
+
+    (All builtin patterns, including Pattern D's cross-pop I/O
+    comparison, are now fully declarative, so this is a plain compile.)
+    """
+    from repro.core.sparqlgen import pattern_to_sparql
+
+    return pattern_to_sparql(make_pattern(letter))
+
+
+def builtin_knowledge_base(
+    letters: str = "ABCD", extra_copies: int = 0
+) -> KnowledgeBase:
+    """The expert knowledge base used by examples and benchmarks.
+
+    *extra_copies* clones entries under synthetic names to grow the KB
+    for the Figure 11 scalability experiment (timing is what matters
+    there, not novelty of the patterns).
+    """
+    kb = KnowledgeBase()
+    if "A" in letters:
+        kb.add_entry(
+            "pattern-a",
+            pattern_a(),
+            [
+                Recommendation(
+                    title="Create index",
+                    # The paper's exact tagging example: the input columns
+                    # coming from ?BASE into the NLJOIN "are valid
+                    # candidates for the index creation".
+                    template=(
+                        "Create an index on @table(BASE) covering columns "
+                        "@columns(TOP, INPUT, BASE) so the nested loop join "
+                        "@TOP does not scan the entire table "
+                        "(cardinality @SCAN.cardinality) for each outer row."
+                    ),
+                    max_occurrences=1,
+                ),
+                Recommendation(
+                    title="Collect statistics",
+                    template=(
+                        "Collect column group statistics on @table(BASE) to "
+                        "improve cardinality estimates; the optimizer may "
+                        "then choose a hash join instead of @TOP."
+                    ),
+                    max_occurrences=1,
+                ),
+            ],
+            exemplar_profile=[3.6, 7.5, 4.1, 2.9, 4.2, 3.1, 3.6, 4.2, 3.1, 6.1, 0.0, 0.0],
+            description="Pattern #1 of the experimental study (indexing).",
+        )
+    if "B" in letters:
+        kb.add_entry(
+            "pattern-b",
+            pattern_b(),
+            [
+                Recommendation(
+                    title="Rewrite query",
+                    template=(
+                        "Rewrite the query: @TOP joins two left-outer-join "
+                        "streams (@OUTERLOJ and @INNERLOJ). Restructure "
+                        "(T1 LOJ T2) JOIN (T3 LOJ T4) as "
+                        "((T1 LOJ T2) JOIN T3) LOJ T4 for a more efficient "
+                        "join order."
+                    ),
+                    max_occurrences=1,
+                ),
+            ],
+            exemplar_profile=[4.9, 6.8, 3.9, 4.7, 6.2, 3.7, 4.5, 6.9, 4.0],
+            description="Pattern #2 of the experimental study (query rewrite).",
+        )
+    if "C" in letters:
+        kb.add_entry(
+            "pattern-c",
+            pattern_c(),
+            [
+                Recommendation(
+                    title="Column group statistics",
+                    template=(
+                        "Create column group statistics (CGS) on the equality "
+                        "local predicate columns (@columns(SCAN, PREDICATE)) "
+                        "and on the equality join predicate columns of "
+                        "@table(BASE): the scan @SCAN has an estimated "
+                        "cardinality of @SCAN.cardinality against a table of "
+                        "@BASE.cardinality rows."
+                    ),
+                    max_occurrences=1,
+                ),
+            ],
+            exemplar_profile=[8.5, 0.0, 0.0, 0.0, 5.2, 4.8],
+            description="Pattern #3 of the experimental study (statistics).",
+        )
+    if "D" in letters:
+        kb.add_entry(
+            "pattern-d",
+            pattern_d(),
+            [
+                Recommendation(
+                    title="Increase sort memory",
+                    template=(
+                        "The sort @SORT performs more I/O than its input "
+                        "@INPUT (spill). Increase the sort memory "
+                        "configuration (SORTHEAP) if @count() occurrence(s) "
+                        "of this pattern affect enough queries in the "
+                        "workload."
+                    ),
+                ),
+            ],
+            description="Sort spilling (Section 2.3, Pattern D).",
+        )
+    if extra_copies:
+        _clone_entries(kb, extra_copies)
+    return kb
+
+
+def _clone_entries(kb: KnowledgeBase, extra_copies: int) -> None:
+    """Grow the KB with renamed clones of its current entries."""
+    from repro.kb.knowledge_base import KBEntry
+
+    base_entries = list(kb.entries)
+    added = 0
+    index = 0
+    while added < extra_copies:
+        source = base_entries[index % len(base_entries)]
+        clone = KBEntry(
+            name=f"{source.name}-copy{added + 1}",
+            pattern=source.pattern,
+            sparql=source.sparql,
+            recommendations=source.recommendations,
+            exemplar_profile=source.exemplar_profile,
+            description=f"clone of {source.name} (KB scalability benchmark)",
+        )
+        kb.add(clone)
+        added += 1
+        index += 1

@@ -1,0 +1,304 @@
+"""The knowledge base proper (Algorithms 4 and 5).
+
+An entry stores the problem pattern in two forms — the pattern object
+(JSON-serializable, Figure 5 shape) and the compiled executable SPARQL —
+plus its recommendations and optional exemplar profile for ranking, just
+as the paper describes ("the problem pattern is preserved in the
+knowledge base in two forms: an executable SPARQL query ... and as an
+RDF structure describing this pattern").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.matcher import Match, search_plan
+from repro.core.pattern import ProblemPattern
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.core.transform import TransformedPlan
+from repro.kb.ranking import confidence_score
+from repro.kb.recommendation import Recommendation, RenderedRecommendation
+from repro.sparql import prepare_query
+
+#: Sentinel text from Algorithm 5, line 6.
+NO_RECOMMENDATION = "There is currently no recommendation in knowledge base"
+
+
+@dataclass
+class KBEntry:
+    """One stored pattern with its recommendations."""
+
+    name: str
+    pattern: ProblemPattern
+    recommendations: List[Recommendation]
+    sparql: str = ""
+    exemplar_profile: Optional[List[float]] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.sparql:
+            self.sparql = pattern_to_sparql(self.pattern)
+        self._compiled = prepare_query(self.sparql)
+        self._validate_recommendations()
+
+    @property
+    def compiled(self):
+        """The parsed query AST (compiled once at entry creation)."""
+        return self._compiled
+
+    def _validate_recommendations(self) -> None:
+        """Fail fast on broken entries: every ``@alias`` a recommendation
+        uses must be produced by the pattern's result handlers.  Without
+        this check a bad template only explodes at match time, deep in a
+        workload run."""
+        produced = set(self.pattern.aliases().values())
+        for recommendation in self.recommendations:
+            for alias in recommendation.aliases_used():
+                if alias not in produced:
+                    raise ValueError(
+                        f"KB entry {self.name!r}: recommendation tag "
+                        f"@{alias} does not match any result-handler alias "
+                        f"of its pattern (available: {sorted(produced)})"
+                    )
+
+    def pattern_rdf(self):
+        """The pattern's RDF form (Section 2.3: patterns are stored both
+        as executable SPARQL and as an RDF structure)."""
+        from repro.core.pattern_rdf import pattern_to_rdf
+
+        return pattern_to_rdf(self.pattern)
+
+    def to_json_object(self) -> dict:
+        data = {
+            "name": self.name,
+            "description": self.description,
+            "pattern": self.pattern.to_json_object(),
+            "sparql": self.sparql,
+            "recommendations": [
+                r.to_json_object() for r in self.recommendations
+            ],
+        }
+        if self.exemplar_profile is not None:
+            data["exemplarProfile"] = list(self.exemplar_profile)
+        return data
+
+    @classmethod
+    def from_json_object(cls, data: dict) -> "KBEntry":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            pattern=ProblemPattern.from_json_object(data["pattern"]),
+            sparql=data.get("sparql", ""),
+            recommendations=[
+                Recommendation.from_json_object(r)
+                for r in data.get("recommendations", [])
+            ],
+            exemplar_profile=data.get("exemplarProfile"),
+        )
+
+
+@dataclass
+class RecommendationResult:
+    """All output of one KB entry for one plan, with its confidence."""
+
+    entry_name: str
+    confidence: float
+    occurrence_count: int
+    rendered: List[RenderedRecommendation]
+
+    def texts(self) -> List[str]:
+        return [str(r) for r in self.rendered]
+
+
+@dataclass
+class PlanRecommendations:
+    """Ranked recommendation results for one plan (Algorithm 5)."""
+
+    plan_id: str
+    results: List[RecommendationResult] = field(default_factory=list)
+
+    @property
+    def has_recommendations(self) -> bool:
+        return bool(self.results)
+
+    def summary(self) -> str:
+        if not self.results:
+            return f"[{self.plan_id}] {NO_RECOMMENDATION}"
+        lines = [f"[{self.plan_id}]"]
+        for result in self.results:
+            lines.append(
+                f"  ({result.confidence:.2f}) {result.entry_name} "
+                f"x{result.occurrence_count}"
+            )
+            for text in result.texts():
+                lines.append(f"      - {text}")
+        return "\n".join(lines)
+
+
+@dataclass
+class KBReport:
+    """The full output of a knowledge-base run over a workload."""
+
+    plans: List[PlanRecommendations] = field(default_factory=list)
+
+    def for_plan(self, plan_id: str) -> Optional[PlanRecommendations]:
+        for plan in self.plans:
+            if plan.plan_id == plan_id:
+                return plan
+        return None
+
+    def plans_with_recommendations(self) -> List[PlanRecommendations]:
+        return [p for p in self.plans if p.has_recommendations]
+
+    def entry_hit_counts(self) -> Dict[str, int]:
+        """How many plans each KB entry matched."""
+        counts: Dict[str, int] = {}
+        for plan in self.plans:
+            for result in plan.results:
+                counts[result.entry_name] = counts.get(result.entry_name, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        return "\n".join(plan.summary() for plan in self.plans)
+
+
+class KnowledgeBase:
+    """A library of expert patterns and recommendations."""
+
+    def __init__(self):
+        self._entries: Dict[str, KBEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Algorithm 4: SavingRecommendationsKB
+    # ------------------------------------------------------------------
+    def add_entry(
+        self,
+        name: str,
+        pattern: ProblemPattern,
+        recommendations: Sequence[Recommendation],
+        exemplar_profile: Optional[Sequence[float]] = None,
+        description: str = "",
+    ) -> KBEntry:
+        """Compile *pattern* to SPARQL and store it with its
+        recommendations (Algorithm 4)."""
+        if name in self._entries:
+            raise ValueError(f"knowledge base already has an entry {name!r}")
+        entry = KBEntry(
+            name=name,
+            pattern=pattern,
+            recommendations=list(recommendations),
+            exemplar_profile=list(exemplar_profile) if exemplar_profile else None,
+            description=description,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def add(self, entry: KBEntry) -> KBEntry:
+        if entry.name in self._entries:
+            raise ValueError(f"knowledge base already has an entry {entry.name!r}")
+        self._entries[entry.name] = entry
+        return entry
+
+    def remove(self, name: str) -> None:
+        del self._entries[name]
+
+    def entry(self, name: str) -> KBEntry:
+        return self._entries[name]
+
+    @property
+    def entries(self) -> List[KBEntry]:
+        return [self._entries[name] for name in sorted(self._entries)]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # ------------------------------------------------------------------
+    # Algorithm 5: FindingRecommendationsKB
+    # ------------------------------------------------------------------
+    def find_recommendations(
+        self, workload: Iterable[TransformedPlan]
+    ) -> KBReport:
+        """Match every entry against every plan; rank by confidence."""
+        report = KBReport()
+        for transformed in workload:
+            plan_result = PlanRecommendations(plan_id=transformed.plan_id)
+            for entry in self.entries:
+                # Reuse the entry's precompiled query AST: re-parsing the
+                # SPARQL per plan x entry dominates small-pattern runs.
+                matches = search_plan(entry.compiled, transformed)
+                if not matches:
+                    continue
+                occurrences: List[Match] = matches.occurrences
+                confidence = max(
+                    confidence_score(
+                        occurrence,
+                        transformed.plan.total_cost,
+                        entry.exemplar_profile,
+                    )
+                    for occurrence in occurrences
+                )
+                rendered: List[RenderedRecommendation] = []
+                for recommendation in entry.recommendations:
+                    rendered.extend(recommendation.render(occurrences))
+                plan_result.results.append(
+                    RecommendationResult(
+                        entry_name=entry.name,
+                        confidence=confidence,
+                        occurrence_count=len(occurrences),
+                        rendered=rendered,
+                    )
+                )
+            plan_result.results.sort(
+                key=lambda r: (-r.confidence, r.entry_name)
+            )
+            report.plans.append(plan_result)
+        return report
+
+    # ------------------------------------------------------------------
+    # Pattern-library introspection
+    # ------------------------------------------------------------------
+    def pattern_library_graph(self):
+        """One RDF graph holding every stored pattern's RDF form.
+
+        Queryable with SPARQL / :func:`repro.core.pattern_rdf.
+        patterns_mentioning_type` — how a large pattern library stays
+        discoverable.
+        """
+        from repro.core.pattern_rdf import pattern_to_rdf
+        from repro.rdf import Graph
+
+        graph = Graph("kb-pattern-library")
+        for entry in self.entries:
+            pattern_to_rdf(entry.pattern, graph)
+        return graph
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(
+            {"entries": [e.to_json_object() for e in self.entries]},
+            indent=indent,
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "KnowledgeBase":
+        data = json.loads(text)
+        kb = cls()
+        for entry_data in data.get("entries", []):
+            kb.add(KBEntry.from_json_object(entry_data))
+        return kb
+
+    @classmethod
+    def load(cls, path: str) -> "KnowledgeBase":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

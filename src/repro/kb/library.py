@@ -1,0 +1,360 @@
+"""Extended expert pattern library.
+
+The paper describes the knowledge base as a collaboratively grown
+"library of patterns and recommendations" (Section 2.3) — the Figure 11
+experiment runs 250 entries.  Beyond the four patterns the paper spells
+out (A-D, in :mod:`repro.kb.builtin`), this module contributes a set of
+additional expert entries of the kinds the paper enumerates: database
+configuration changes, statistics quality, materialized views, alternate
+query/schema design, and integrity constraints that promote performance.
+
+Each entry is a plain :class:`KBEntry` built from the public pattern
+builder — exactly what an expert user of the tool would write.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.pattern import PatternBuilder
+from repro.kb.knowledge_base import KBEntry, KnowledgeBase
+from repro.kb.recommendation import Recommendation
+
+
+def _entry(name, pattern, recommendations, description="") -> KBEntry:
+    return KBEntry(
+        name=name,
+        pattern=pattern,
+        recommendations=recommendations,
+        description=description,
+    )
+
+
+# ----------------------------------------------------------------------
+# Individual expert entries
+# ----------------------------------------------------------------------
+def cartesian_product_entry() -> KBEntry:
+    """A join producing far more rows than either input suggests a
+    missing or badly estimated join predicate."""
+    builder = PatternBuilder(
+        "exploding-join", "Join output cardinality far above its cost share"
+    )
+    join = builder.pop("JOIN", alias="JOIN").where(
+        "hasEstimateCardinality", ">", 1e9
+    )
+    return _entry(
+        "exploding-join",
+        builder.build(),
+        [
+            Recommendation(
+                title="Check join predicates",
+                template=(
+                    "The join @JOIN is estimated to produce "
+                    "@JOIN.cardinality rows. Verify its join predicates — "
+                    "a missing equality predicate turns the join into a "
+                    "near-cartesian product; consider adding referential "
+                    "integrity constraints so the optimizer can reason "
+                    "about the relationship."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="query/schema design (near-cartesian join)",
+    )
+
+
+def fat_fetch_entry() -> KBEntry:
+    """A FETCH whose cardinality is large relative to its index scan:
+    the index qualifies too many rows — a wider index would help."""
+    builder = PatternBuilder(
+        "fat-fetch", "FETCH over an IXSCAN qualifying too many rows"
+    )
+    fetch = builder.pop("FETCH", alias="FETCH").where(
+        "hasEstimateCardinality", ">", 100000
+    )
+    ixscan = builder.pop("IXSCAN", alias="IX")
+    base = builder.pop("BASE OB", alias="BASE")
+    builder.input(fetch, ixscan)
+    builder.input(ixscan, base)
+    return _entry(
+        "fat-fetch",
+        builder.build(),
+        [
+            Recommendation(
+                title="Widen the index",
+                template=(
+                    "The fetch @FETCH reads @FETCH.cardinality rows from "
+                    "@table(BASE) through index @index(IX). Consider adding "
+                    "the fetched columns to the index (include columns) so "
+                    "the access becomes index-only."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="indexing (index-only access opportunity)",
+    )
+
+
+def temp_spill_entry() -> KBEntry:
+    """A TEMP materializing a very large intermediate result."""
+    builder = PatternBuilder(
+        "large-temp", "TEMP materializing a huge intermediate result"
+    )
+    temp = builder.pop("TEMP", alias="TEMP").where(
+        "hasEstimateCardinality", ">", 1e7
+    )
+    return _entry(
+        "large-temp",
+        builder.build(),
+        [
+            Recommendation(
+                title="Avoid materialization",
+                template=(
+                    "The temporary table @TEMP materializes "
+                    "@TEMP.cardinality rows. Check whether the common "
+                    "subexpression can be rewritten away, or define a "
+                    "materialized query table (MQT) so it is computed once "
+                    "ahead of time."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="materialized views (MQT candidate)",
+    )
+
+
+def grpby_no_sort_entry() -> KBEntry:
+    """GRPBY directly over a SORT — an index providing the grouping
+    order avoids the sort entirely (order-dependency reasoning)."""
+    builder = PatternBuilder(
+        "grpby-over-sort", "Group-by fed by an explicit sort"
+    )
+    grpby = builder.pop("GRPBY", alias="AGG")
+    sort = builder.pop("SORT", alias="SORT")
+    builder.input(grpby, sort)
+    return _entry(
+        "grpby-over-sort",
+        builder.build(),
+        [
+            Recommendation(
+                title="Exploit interesting orders",
+                template=(
+                    "The aggregation @AGG sorts its input (@SORT, "
+                    "@SORT.cardinality rows) only to group it. An index on "
+                    "the grouping columns — or declared order dependencies "
+                    "— lets the optimizer stream groups without sorting."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="integrity constraints / order dependencies",
+    )
+
+
+def msjoin_double_sort_entry() -> KBEntry:
+    """Merge join sorting both inputs (also used in the examples)."""
+    builder = PatternBuilder(
+        "msjoin-double-sort", "MSJOIN sorting both of its inputs"
+    )
+    join = builder.pop("MSJOIN", alias="JOIN")
+    outer_sort = builder.pop("SORT", alias="OUTERSORT")
+    inner_sort = builder.pop("SORT", alias="INNERSORT")
+    builder.outer(join, outer_sort)
+    builder.inner(join, inner_sort)
+    return _entry(
+        "msjoin-double-sort",
+        builder.build(),
+        [
+            Recommendation(
+                title="Provide join order via index",
+                template=(
+                    "The merge join @JOIN sorts both inputs "
+                    "(@[OUTERSORT,INNERSORT]). An index supplying the join "
+                    "order on either side removes a sort."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="indexing (sort avoidance)",
+    )
+
+
+def hsjoin_small_build_entry() -> KBEntry:
+    """Hash join whose build (inner) side is huge while the probe side
+    is small — swapped join inputs or stale statistics."""
+    builder = PatternBuilder(
+        "hsjoin-big-build", "HSJOIN building its hash table on the big side"
+    )
+    join = builder.pop("HSJOIN", alias="JOIN")
+    outer = builder.pop("ANY", alias="PROBE").where(
+        "hasEstimateCardinality", "<", 1000
+    )
+    inner = builder.pop("ANY", alias="BUILD").where(
+        "hasEstimateCardinality", ">", 1e6
+    )
+    builder.outer(join, outer)
+    builder.inner(join, inner)
+    return _entry(
+        "hsjoin-big-build",
+        builder.build(),
+        [
+            Recommendation(
+                title="Refresh statistics",
+                template=(
+                    "The hash join @JOIN builds on @BUILD.cardinality rows "
+                    "while probing with only @PROBE.cardinality. Refresh "
+                    "table statistics (RUNSTATS) so the optimizer can swap "
+                    "the inputs, or increase sort/hash memory."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="statistics quality (join side choice)",
+    )
+
+
+def deep_nljoin_pipeline_entry() -> KBEntry:
+    """A nested loop join somewhere below another nested loop join —
+    compounding rescans (descendant/recursive pattern)."""
+    builder = PatternBuilder(
+        "stacked-nljoins", "NLJOIN feeding another NLJOIN (rescan compounding)"
+    )
+    top = builder.pop("NLJOIN", alias="TOP")
+    below = builder.pop("NLJOIN", alias="BELOW")
+    builder.inner(top, below, descendant=True)
+    return _entry(
+        "stacked-nljoins",
+        builder.build(),
+        [
+            Recommendation(
+                title="Break the rescan chain",
+                template=(
+                    "Nested loop join @BELOW runs underneath the inner "
+                    "stream of @TOP, so its input is rescanned per outer "
+                    "row of both joins. Materialize the inner (TEMP/MQT) "
+                    "or create indexes enabling hash or merge joins."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="query rewrite (compounded rescans, recursive pattern)",
+    )
+
+
+def expensive_filter_entry() -> KBEntry:
+    """A FILTER operator that contributes a large share of plan cost —
+    a residual predicate applied too late."""
+    builder = PatternBuilder(
+        "late-filter", "Residual FILTER with a large own-cost contribution"
+    )
+    flt = builder.pop("FILTER", alias="FILTER").where(
+        "hasTotalCostIncrease", ">", 100000
+    )
+    return _entry(
+        "late-filter",
+        builder.build(),
+        [
+            Recommendation(
+                title="Push the predicate down",
+                template=(
+                    "The residual filter @FILTER adds substantial cost "
+                    "after its input is computed. Rewrite the query so the "
+                    "predicate (@columns(FILTER, PREDICATE)) can be applied "
+                    "at the scans, or add a functional dependency that lets "
+                    "the optimizer push it down."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="query rewrite / integrity constraints",
+    )
+
+
+def union_no_dedup_entry() -> KBEntry:
+    """A UNIQUE over a UNION — UNION ALL plus constraints may avoid the
+    duplicate elimination."""
+    builder = PatternBuilder(
+        "union-dedup", "Duplicate elimination over a UNION"
+    )
+    unique = builder.pop("UNIQUE", alias="DEDUP")
+    union = builder.pop("UNION", alias="UNION")
+    builder.input(unique, union)
+    return _entry(
+        "union-dedup",
+        builder.build(),
+        [
+            Recommendation(
+                title="Consider UNION ALL",
+                template=(
+                    "@DEDUP removes duplicates produced by @UNION. If the "
+                    "branches are disjoint by construction (e.g. range "
+                    "partitioned), declare the constraint or rewrite with "
+                    "UNION ALL to skip duplicate elimination of "
+                    "@UNION.cardinality rows."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="query rewrite (UNION ALL)",
+    )
+
+
+def zero_card_estimate_entry() -> KBEntry:
+    """An operator estimated to produce ~0 rows feeding a join: if the
+    estimate is wrong the whole plan shape is wrong."""
+    builder = PatternBuilder(
+        "zero-estimate-join-input",
+        "Join input estimated at (near) zero rows",
+    )
+    join = builder.pop("JOIN", alias="JOIN")
+    feed = builder.pop("ANY", alias="INPUT").where(
+        "hasEstimateCardinality", "<", 0.01
+    )
+    builder.outer(join, feed)
+    return _entry(
+        "zero-estimate-join-input",
+        builder.build(),
+        [
+            Recommendation(
+                title="Validate the tiny estimate",
+                template=(
+                    "@INPUT is estimated to deliver @INPUT.cardinality rows "
+                    "into @JOIN. Near-zero estimates usually come from "
+                    "correlated equality predicates; create column group "
+                    "statistics so the optimizer does not over-multiply "
+                    "selectivities."
+                ),
+                max_occurrences=1,
+            )
+        ],
+        description="statistics quality (correlation, like Pattern C)",
+    )
+
+
+_LIBRARY_BUILDERS = [
+    cartesian_product_entry,
+    fat_fetch_entry,
+    temp_spill_entry,
+    grpby_no_sort_entry,
+    msjoin_double_sort_entry,
+    hsjoin_small_build_entry,
+    deep_nljoin_pipeline_entry,
+    expensive_filter_entry,
+    union_no_dedup_entry,
+    zero_card_estimate_entry,
+]
+
+
+def library_entries() -> List[KBEntry]:
+    """All extended-library entries (fresh instances)."""
+    return [build() for build in _LIBRARY_BUILDERS]
+
+
+def extended_knowledge_base(include_builtin: bool = True) -> KnowledgeBase:
+    """The builtin Patterns A-D plus the extended expert library."""
+    from repro.kb.builtin import builtin_knowledge_base
+
+    kb = builtin_knowledge_base() if include_builtin else KnowledgeBase()
+    for entry in library_entries():
+        kb.add(entry)
+    return kb

@@ -1,0 +1,128 @@
+"""Statistical ranking of knowledge-base matches (Section 2.3).
+
+The paper: "Our system returns ranked recommendations by using
+statistical correlation analysis ... comparing the QEP context of
+cardinality and cost estimates with that in the expert provided
+patterns", returned "with a confidence score".
+
+Concretely (documented substitution, see DESIGN.md): each KB entry may
+carry an *exemplar profile* — the feature vector of a canonical
+occurrence the expert had in mind.  A matched occurrence's confidence
+blends two signals:
+
+* **cost impact** — the fraction of the whole plan's cost attributable
+  to the matched subtree (operators whose cost dominates the plan matter
+  more, mirroring how the paper prioritizes by "estimated or actual
+  cost" characteristics);
+* **profile correlation** — Spearman rank correlation between the
+  occurrence's log-scaled cardinality/cost features and the exemplar
+  profile, mapped from [-1, 1] to [0, 1].
+
+Without an exemplar the confidence is the cost impact alone.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.core.matcher import Match
+from repro.qep.model import PlanOperator
+
+_COST_WEIGHT = 0.6
+_PROFILE_WEIGHT = 0.4
+
+
+def occurrence_profile(match: Match) -> List[float]:
+    """Log-scaled cardinality/cost/IO features of an occurrence.
+
+    Features are ordered by sorted alias name so profiles from the same
+    pattern are always comparable.
+    """
+    features: List[float] = []
+    for name in sorted(match.bindings):
+        node = match.bindings[name]
+        if isinstance(node, PlanOperator):
+            features.append(math.log10(1.0 + max(node.cardinality, 0.0)))
+            features.append(math.log10(1.0 + max(node.total_cost, 0.0)))
+            features.append(math.log10(1.0 + max(node.io_cost, 0.0)))
+        else:
+            features.append(math.log10(1.0 + max(node.cardinality, 0.0)))
+            features.append(0.0)
+            features.append(0.0)
+    return features
+
+
+def _spearman(a: Sequence[float], b: Sequence[float]) -> Optional[float]:
+    """Spearman rank correlation; None when undefined (constant input)."""
+    n = min(len(a), len(b))
+    if n < 2:
+        return None
+    a, b = list(a[:n]), list(b[:n])
+
+    def ranks(values: List[float]) -> List[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        out = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            rank = (i + j) / 2.0 + 1.0
+            for k in range(i, j + 1):
+                out[order[k]] = rank
+            i = j + 1
+        return out
+
+    ra, rb = ranks(a), ranks(b)
+    mean_a = sum(ra) / n
+    mean_b = sum(rb) / n
+    cov = sum((x - mean_a) * (y - mean_b) for x, y in zip(ra, rb))
+    var_a = sum((x - mean_a) ** 2 for x in ra)
+    var_b = sum((y - mean_b) ** 2 for y in rb)
+    if var_a == 0 or var_b == 0:
+        return None
+    return cov / math.sqrt(var_a * var_b)
+
+
+def cost_impact_in_plan(match: Match, plan_total_cost: float) -> float:
+    """Fraction of the plan's total cost under the matched subtree root."""
+    operators = match.operators()
+    if not operators or plan_total_cost <= 0:
+        return 0.0
+    top = max(operators, key=lambda op: op.total_cost)
+    return max(0.0, min(1.0, top.total_cost / plan_total_cost))
+
+
+def confidence_score(
+    match: Match,
+    plan_total_cost: float,
+    exemplar_profile: Optional[Sequence[float]] = None,
+) -> float:
+    """Confidence in [0, 1] for one matched occurrence."""
+    impact = cost_impact_in_plan(match, plan_total_cost)
+    if not exemplar_profile:
+        return impact
+    correlation = _spearman(occurrence_profile(match), exemplar_profile)
+    if correlation is None:
+        similarity = 0.5
+    else:
+        similarity = (correlation + 1.0) / 2.0
+    return _COST_WEIGHT * impact + _PROFILE_WEIGHT * similarity
+
+
+def rank_matches(
+    matches: List[Match],
+    plan_total_cost: float,
+    exemplar_profile: Optional[Sequence[float]] = None,
+) -> List[tuple]:
+    """Sort occurrences by confidence, highest first.
+
+    Returns ``[(confidence, match), ...]``.
+    """
+    scored = [
+        (confidence_score(m, plan_total_cost, exemplar_profile), m)
+        for m in matches
+    ]
+    scored.sort(key=lambda pair: (-pair[0], pair[1].signature()))
+    return scored

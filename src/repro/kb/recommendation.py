@@ -1,0 +1,86 @@
+"""Recommendation model: a tagged template plus rendering policy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.matcher import Match
+from repro.kb.tagging import (
+    Segment,
+    parse_template,
+    render_segments,
+    template_aliases,
+)
+
+
+@dataclass
+class Recommendation:
+    """One expert recommendation attached to a KB pattern.
+
+    *template* uses the tagging language (:mod:`repro.kb.tagging`).
+    *max_occurrences* limits how many occurrences of a common pattern are
+    rendered per plan ("for common patterns ... a user may limit the
+    number of occurrences of the pattern that is returned"); ``None``
+    renders all, ``1`` reproduces the paper's ``first-occurrence``
+    example.
+    """
+
+    template: str
+    title: str = ""
+    max_occurrences: Optional[int] = None
+    _segments: List[Segment] = field(default_factory=list, repr=False)
+
+    def __post_init__(self):
+        self._segments = parse_template(self.template)
+
+    def aliases_used(self) -> List[str]:
+        return template_aliases(self._segments)
+
+    def render(self, occurrences: List[Match]) -> List["RenderedRecommendation"]:
+        """Render against each occurrence (respecting *max_occurrences*)."""
+        limit = (
+            len(occurrences)
+            if self.max_occurrences is None
+            else min(self.max_occurrences, len(occurrences))
+        )
+        out: List[RenderedRecommendation] = []
+        for occurrence in occurrences[:limit]:
+            text = render_segments(
+                self._segments, occurrence.bindings, len(occurrences)
+            )
+            out.append(
+                RenderedRecommendation(
+                    title=self.title, text=text, occurrence=occurrence
+                )
+            )
+        return out
+
+    def to_json_object(self) -> dict:
+        data: Dict[str, object] = {"template": self.template}
+        if self.title:
+            data["title"] = self.title
+        if self.max_occurrences is not None:
+            data["maxOccurrences"] = self.max_occurrences
+        return data
+
+    @classmethod
+    def from_json_object(cls, data: dict) -> "Recommendation":
+        return cls(
+            template=data["template"],
+            title=data.get("title", ""),
+            max_occurrences=data.get("maxOccurrences"),
+        )
+
+
+@dataclass
+class RenderedRecommendation:
+    """A recommendation bound to one concrete occurrence."""
+
+    title: str
+    text: str
+    occurrence: Match
+
+    def __str__(self) -> str:
+        prefix = f"{self.title}: " if self.title else ""
+        return prefix + self.text

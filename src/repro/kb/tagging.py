@@ -1,0 +1,309 @@
+"""The handler tagging language (Section 2.3).
+
+Knowledge-base recommendations are written *without* knowing the user's
+plans; tags re-bind them to concrete context at match time.  Recognised
+constructs, all introduced with ``@`` ("surrounding static parts of
+recommendations with dynamic components generated through aliases by
+preceding each alias of the handler with [the @] sign"):
+
+``@ALIAS``
+    The plan node bound to result-handler alias ``ALIAS`` — rendered as
+    ``NLJOIN(2)`` for operators, ``TPCD.CUST_DIM`` for base objects.
+``@ALIAS.prop``
+    A property of the bound node: ``type``, ``number``, ``cardinality``,
+    ``totalCost``, ``ioCost``, ``table``, ``schema``, ``name``.
+``@[A,B]``
+    Several aliases at once, joined with a comma ("a user may include
+    multiple result handlers ... by using array brackets").
+``@table(ALIAS)``
+    The qualified table name of the bound base object (or of the base
+    object read by a bound scan operator).
+``@columns(ALIAS, PREDICATE)``
+    Columns referenced by predicates applied at the bound node (the
+    paper's ``PREDICATE`` keyword).
+``@columns(ALIAS, INPUT)`` / ``@columns(ALIAS, INPUT, FROM)``
+    Input columns flowing into ``ALIAS`` — restricted to those coming
+    from base object ``FROM`` when given (the paper's ``INPUT`` keyword:
+    "all input columns coming from ?BASE4 ... into the NLJOIN ... are
+    valid candidates for the index creation").
+``@index(ALIAS)``
+    The index used by the bound operator (IXSCAN) or the first index of
+    the bound base object.
+
+Unknown aliases raise :class:`TaggingError` at render time so broken KB
+entries are caught by tests instead of silently producing garbage.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.qep.model import BaseObject, PlanOperator
+
+PlanNode = Union[PlanOperator, BaseObject]
+
+
+class TaggingError(ValueError):
+    """Raised for malformed templates or unresolvable tags."""
+
+
+# ----------------------------------------------------------------------
+# Template segments
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TextSegment:
+    text: str
+
+
+@dataclass(frozen=True)
+class AliasSegment:
+    alias: str
+    prop: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ListSegment:
+    aliases: tuple
+
+
+@dataclass(frozen=True)
+class FunctionSegment:
+    name: str
+    args: tuple
+
+
+Segment = Union[TextSegment, AliasSegment, ListSegment, FunctionSegment]
+
+_TAG_RE = re.compile(
+    r"@(?:"
+    r"\[(?P<list>[^\]]+)\]"
+    r"|(?P<func>[a-z][A-Za-z0-9_]*)\((?P<args>[^)]*)\)"
+    r"|(?P<alias>[A-Z][A-Za-z0-9_]*)(?:\.(?P<prop>[A-Za-z][A-Za-z0-9_]*))?"
+    r")"
+)
+
+_FUNCTIONS = ("table", "columns", "index", "count")
+
+
+def parse_template(template: str) -> List[Segment]:
+    """Compile a template string into a segment list (done once per KB
+    entry, not per match)."""
+    segments: List[Segment] = []
+    position = 0
+    for match in _TAG_RE.finditer(template):
+        if match.start() > position:
+            segments.append(TextSegment(template[position:match.start()]))
+        if match.group("list") is not None:
+            aliases = tuple(
+                a.strip().lstrip("?") for a in match.group("list").split(",")
+            )
+            if not all(aliases):
+                raise TaggingError(f"empty alias in list tag: {match.group(0)!r}")
+            segments.append(ListSegment(aliases))
+        elif match.group("func") is not None:
+            name = match.group("func")
+            if name not in _FUNCTIONS:
+                raise TaggingError(
+                    f"unknown tagging function @{name}(); known: {_FUNCTIONS}"
+                )
+            args = tuple(
+                a.strip().lstrip("?")
+                for a in match.group("args").split(",")
+                if a.strip()
+            )
+            segments.append(FunctionSegment(name, args))
+        else:
+            segments.append(
+                AliasSegment(match.group("alias"), match.group("prop"))
+            )
+        position = match.end()
+    if position < len(template):
+        segments.append(TextSegment(template[position:]))
+    return segments
+
+
+def template_aliases(segments: Sequence[Segment]) -> List[str]:
+    """Every alias a compiled template refers to."""
+    out: List[str] = []
+    for segment in segments:
+        if isinstance(segment, AliasSegment):
+            out.append(segment.alias)
+        elif isinstance(segment, ListSegment):
+            out.extend(segment.aliases)
+        elif isinstance(segment, FunctionSegment):
+            out.extend(a for a in segment.args if a not in ("PREDICATE", "INPUT"))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _node_display(node: PlanNode) -> str:
+    if isinstance(node, PlanOperator):
+        return f"{node.display_name}({node.number})"
+    return node.qualified_name
+
+
+def _node_property(node: PlanNode, prop: str) -> str:
+    if isinstance(node, PlanOperator):
+        values: Dict[str, Callable[[], str]] = {
+            "type": lambda: node.op_type,
+            "number": lambda: str(node.number),
+            "cardinality": lambda: f"{node.cardinality:g}",
+            "totalCost": lambda: f"{node.total_cost:g}",
+            "ioCost": lambda: f"{node.io_cost:g}",
+            "table": lambda: (
+                node.base_objects()[0].qualified_name
+                if node.base_objects()
+                else ""
+            ),
+        }
+    else:
+        values = {
+            "type": lambda: "BASE OB",
+            "name": lambda: node.name,
+            "schema": lambda: node.schema,
+            "table": lambda: node.qualified_name,
+            "cardinality": lambda: f"{node.cardinality:g}",
+        }
+    if prop not in values:
+        raise TaggingError(
+            f"unknown property {prop!r} for {_node_display(node)}; "
+            f"known: {sorted(values)}"
+        )
+    return values[prop]()
+
+
+def _resolve(bindings: Dict[str, PlanNode], alias: str) -> PlanNode:
+    node = bindings.get(alias)
+    if node is None:
+        raise TaggingError(
+            f"alias @{alias} is not bound by this pattern; bound aliases: "
+            f"{sorted(bindings)}"
+        )
+    return node
+
+
+def _base_object_of(node: PlanNode) -> Optional[BaseObject]:
+    if isinstance(node, BaseObject):
+        return node
+    bases = node.base_objects()
+    return bases[0] if bases else None
+
+
+def _fn_table(bindings, args, occurrence_count) -> str:
+    if len(args) != 1:
+        raise TaggingError("@table() takes exactly one alias")
+    base = _base_object_of(_resolve(bindings, args[0]))
+    if base is None:
+        raise TaggingError(f"@table(?{args[0]}): no base object in context")
+    return base.qualified_name
+
+
+def _fn_index(bindings, args, occurrence_count) -> str:
+    if len(args) != 1:
+        raise TaggingError("@index() takes exactly one alias")
+    node = _resolve(bindings, args[0])
+    if isinstance(node, PlanOperator) and "INDEXNAME" in node.arguments:
+        return node.arguments["INDEXNAME"]
+    base = _base_object_of(node)
+    if base is not None and base.indexes:
+        return base.indexes[0]
+    raise TaggingError(f"@index(?{args[0]}): no index in context")
+
+
+def _fn_count(bindings, args, occurrence_count) -> str:
+    return str(occurrence_count)
+
+
+def _fn_columns(bindings, args, occurrence_count) -> str:
+    if not args:
+        raise TaggingError("@columns() needs an alias argument")
+    node = _resolve(bindings, args[0])
+    mode = args[1].upper() if len(args) > 1 else "PREDICATE"
+    if mode == "PREDICATE":
+        if not isinstance(node, PlanOperator):
+            raise TaggingError("@columns(..., PREDICATE) needs an operator alias")
+        columns: List[str] = []
+        for predicate in node.predicates:
+            for column in predicate.columns:
+                if column not in columns:
+                    columns.append(column)
+        return ", ".join(columns) if columns else "(no predicate columns)"
+    if mode == "INPUT":
+        source: Optional[BaseObject] = None
+        if len(args) > 2:
+            source = _base_object_of(_resolve(bindings, args[2]))
+        if source is None and not isinstance(node, PlanOperator):
+            source = _base_object_of(node)
+        if source is not None:
+            # Input columns from `source` into `node`: prefer the columns
+            # the node's predicates touch; fall back to the table columns.
+            if isinstance(node, PlanOperator):
+                touched = [
+                    column
+                    for predicate in node.predicates
+                    for column in predicate.columns
+                    if column in source.columns
+                ]
+                if touched:
+                    return ", ".join(dict.fromkeys(touched))
+            return ", ".join(source.columns) if source.columns else "(no columns)"
+        if isinstance(node, PlanOperator):
+            if node.columns:
+                return ", ".join(node.columns)
+            gathered = [
+                column
+                for base in node.base_objects()
+                for column in base.columns
+            ]
+            if gathered:
+                return ", ".join(dict.fromkeys(gathered))
+        return "(no columns)"
+    raise TaggingError(f"unknown @columns mode {mode!r} (use PREDICATE or INPUT)")
+
+
+_FUNCTION_IMPLS = {
+    "table": _fn_table,
+    "columns": _fn_columns,
+    "index": _fn_index,
+    "count": _fn_count,
+}
+
+
+def render_segments(
+    segments: Sequence[Segment],
+    bindings: Dict[str, PlanNode],
+    occurrence_count: int = 1,
+) -> str:
+    """Render a compiled template against one occurrence's bindings."""
+    out: List[str] = []
+    for segment in segments:
+        if isinstance(segment, TextSegment):
+            out.append(segment.text)
+        elif isinstance(segment, AliasSegment):
+            node = _resolve(bindings, segment.alias)
+            if segment.prop:
+                out.append(_node_property(node, segment.prop))
+            else:
+                out.append(_node_display(node))
+        elif isinstance(segment, ListSegment):
+            out.append(
+                ", ".join(
+                    _node_display(_resolve(bindings, alias))
+                    for alias in segment.aliases
+                )
+            )
+        elif isinstance(segment, FunctionSegment):
+            impl = _FUNCTION_IMPLS[segment.name]
+            out.append(impl(bindings, segment.args, occurrence_count))
+    return "".join(out)
+
+
+def render_template(
+    template: str, bindings: Dict[str, PlanNode], occurrence_count: int = 1
+) -> str:
+    """One-shot template rendering (parse + render)."""
+    return render_segments(parse_template(template), bindings, occurrence_count)

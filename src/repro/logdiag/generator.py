@@ -1,0 +1,90 @@
+"""Synthetic trace generator for the log-diagnosis demonstration."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.logdiag.model import LogEvent, LogTrace
+
+_COMPONENTS = (
+    "gateway", "auth", "orders", "billing", "inventory", "notifications",
+)
+_MESSAGES = (
+    "request received", "cache miss", "query executed", "response sent",
+    "connection pooled", "token validated",
+)
+
+
+class TraceGenerator:
+    """Seeded generator of request traces with optional planted problems."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def generate(
+        self,
+        trace_id: str,
+        n_events: int = 30,
+        plant: Sequence[str] = (),
+    ) -> LogTrace:
+        """Generate a trace of roughly *n_events* events.
+
+        *plant* may contain ``"cascade"``, ``"cliff"`` and/or
+        ``"storm"`` to inject the corresponding diagnostic pattern.
+        """
+        rng = self._rng
+        trace = LogTrace(trace_id)
+        next_id = 0
+
+        def emit(level, component, message, cause=None, duration=None,
+                 attrs=None) -> LogEvent:
+            nonlocal next_id
+            event = LogEvent(
+                event_id=next_id,
+                timestamp=next_id * rng.uniform(0.001, 0.01),
+                level=level,
+                component=component,
+                message=message,
+                duration_ms=duration if duration is not None
+                else rng.uniform(0.5, 50.0),
+                cause_id=cause.event_id if cause else None,
+                attrs=attrs or {},
+            )
+            next_id += 1
+            trace.add(event)
+            return event
+
+        root = emit("INFO", "gateway", "request received")
+        open_spans: List[LogEvent] = [root]
+        while len(trace) < max(n_events - 12 * len(plant), 5):
+            cause = rng.choice(open_spans)
+            component = rng.choice(_COMPONENTS)
+            level = "WARN" if rng.random() < 0.05 else (
+                "DEBUG" if rng.random() < 0.3 else "INFO"
+            )
+            event = emit(level, component, rng.choice(_MESSAGES), cause)
+            if rng.random() < 0.6:
+                open_spans.append(event)
+            if len(open_spans) > 8:
+                open_spans.pop(0)
+
+        if "cascade" in plant:
+            origin = emit("ERROR", "billing", "payment backend unreachable",
+                          rng.choice(open_spans))
+            hop = emit("ERROR", "orders", "order could not be finalized",
+                       origin)
+            emit("FATAL", "gateway", "request failed", hop)
+        if "cliff" in plant:
+            fast = emit("INFO", "inventory", "stock lookup",
+                        rng.choice(open_spans), duration=3.0)
+            emit("WARN", "inventory", "bulk reservation slow", fast,
+                 duration=4200.0)
+        if "storm" in plant:
+            flaky = emit("WARN", "notifications", "push endpoint flaky",
+                         rng.choice(open_spans))
+            for attempt in range(4):
+                emit("WARN", "notifications",
+                     f"retry attempt {attempt + 1}", flaky,
+                     attrs={"retry": "true"})
+        return trace

@@ -1,0 +1,90 @@
+"""Event-trace model for log diagnosis.
+
+A :class:`LogTrace` is a DAG of :class:`LogEvent` records: each event
+may have a *cause* (the request/span that triggered it), giving the same
+graph-shaped structure QEPs have — which is the property the paper's
+generalization argument rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+LEVELS = ("DEBUG", "INFO", "WARN", "ERROR", "FATAL")
+
+
+@dataclass
+class LogEvent:
+    """One structured log record."""
+
+    event_id: int
+    timestamp: float            # seconds since trace start
+    level: str                  # DEBUG/INFO/WARN/ERROR/FATAL
+    component: str              # subsystem emitting the event
+    message: str
+    duration_ms: float = 0.0    # for span-like events
+    cause_id: Optional[int] = None  # event that triggered this one
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.level not in LEVELS:
+            raise ValueError(
+                f"unknown level {self.level!r}; expected one of {LEVELS}"
+            )
+
+    @property
+    def is_error(self) -> bool:
+        return self.level in ("ERROR", "FATAL")
+
+
+class LogTrace:
+    """An ordered collection of events with causal links."""
+
+    def __init__(self, trace_id: str):
+        self.trace_id = trace_id
+        self._events: Dict[int, LogEvent] = {}
+
+    def add(self, event: LogEvent) -> LogEvent:
+        if event.event_id in self._events:
+            raise ValueError(
+                f"duplicate event id {event.event_id} in trace {self.trace_id}"
+            )
+        if event.cause_id is not None and event.cause_id not in self._events:
+            raise ValueError(
+                f"event {event.event_id} references unknown cause "
+                f"{event.cause_id}"
+            )
+        self._events[event.event_id] = event
+        return event
+
+    def event(self, event_id: int) -> LogEvent:
+        return self._events[event_id]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[LogEvent]:
+        for event_id in sorted(self._events):
+            yield self._events[event_id]
+
+    def events_by_level(self, level: str) -> List[LogEvent]:
+        return [e for e in self if e.level == level]
+
+    def children_of(self, event: LogEvent) -> List[LogEvent]:
+        return [e for e in self if e.cause_id == event.event_id]
+
+    def causal_chain(self, event: LogEvent) -> List[LogEvent]:
+        """The event's ancestry, root first."""
+        chain: List[LogEvent] = [event]
+        current = event
+        while current.cause_id is not None:
+            current = self._events[current.cause_id]
+            if current in chain:  # defensive: cycles cannot normally occur
+                break
+            chain.append(current)
+        chain.reverse()
+        return chain
+
+    def __repr__(self) -> str:
+        return f"<LogTrace {self.trace_id!r} events={len(self)}>"

@@ -1,0 +1,98 @@
+"""Diagnostic patterns over log traces — plain SPARQL, same engine.
+
+Three patterns of the kind the paper's generalization section imagines:
+
+* **error cascade** — an ERROR/FATAL event whose causal *descendants*
+  (via the ``caused+`` property path — the recursive machinery Pattern B
+  uses on QEPs) include further errors in a *different* component:
+  a fault propagating across subsystem boundaries;
+* **latency cliff** — an operation that took far longer than a threshold
+  while its direct cause was fast: the slowdown originated here;
+* **retry storm** — one cause event fanning out into many retry
+  children of the same component.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.logdiag.transform import LOGPRED, TransformedTrace
+from repro.sparql import query
+
+_PREFIX = f"PREFIX lp: <{LOGPRED.base}>\n"
+
+
+def error_cascade_query() -> str:
+    """ERROR with a causally-descendant ERROR in another component."""
+    return _PREFIX + """
+SELECT ?root AS ?ROOT ?downstream AS ?DOWNSTREAM
+WHERE {
+  ?root lp:isError "true" .
+  ?root lp:hasComponent ?rootComponent .
+  ?root lp:caused+ ?downstream .
+  ?downstream lp:isError "true" .
+  ?downstream lp:hasComponent ?downstreamComponent .
+  FILTER (?rootComponent != ?downstreamComponent)
+}
+ORDER BY ?root
+"""
+
+
+def latency_cliff_query(threshold_ms: float = 1000.0) -> str:
+    """Slow event whose direct cause was an order of magnitude faster."""
+    return _PREFIX + f"""
+SELECT ?slow AS ?SLOW ?cause AS ?CAUSE
+WHERE {{
+  ?slow lp:hasDurationMs ?duration .
+  FILTER (?duration > {threshold_ms})
+  ?slow lp:causedBy ?cause .
+  ?cause lp:hasDurationMs ?causeDuration .
+  FILTER (?causeDuration < ?duration / 10)
+}}
+ORDER BY ?slow
+"""
+
+
+def retry_storm_query(min_retries: int = 3) -> str:
+    """A cause event with many same-component retry children."""
+    return _PREFIX + f"""
+SELECT ?cause AS ?CAUSE (COUNT(?retry) AS ?RETRIES)
+WHERE {{
+  ?cause lp:caused ?retry .
+  ?retry lp:hasAttr_retry "true" .
+}}
+GROUP BY ?cause
+HAVING (COUNT(?retry) >= {min_retries})
+ORDER BY ?cause
+"""
+
+
+#: name -> zero-arg query factory.
+DIAGNOSTIC_PATTERNS: Dict[str, Callable[[], str]] = {
+    "error-cascade": error_cascade_query,
+    "latency-cliff": latency_cliff_query,
+    "retry-storm": retry_storm_query,
+}
+
+
+def scan_trace(transformed: TransformedTrace) -> Dict[str, List[dict]]:
+    """Run every diagnostic pattern against one trace.
+
+    Returns per-pattern occurrence lists; resources are de-transformed
+    back to :class:`LogEvent` objects, mirroring Algorithm 3.
+    """
+    findings: Dict[str, List[dict]] = {}
+    for name, factory in DIAGNOSTIC_PATTERNS.items():
+        rows = query(transformed.graph, factory())
+        occurrences: List[dict] = []
+        for row in rows:
+            bindings = {}
+            for key, term in row.items():
+                event = transformed.event_for(term)
+                bindings[key] = event if event is not None else (
+                    term.lexical if hasattr(term, "lexical") else term
+                )
+            occurrences.append(bindings)
+        if occurrences:
+            findings[name] = occurrences
+    return findings

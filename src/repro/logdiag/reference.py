@@ -1,0 +1,75 @@
+"""Independent reference checkers for the log-diagnosis patterns.
+
+Same role as :mod:`repro.workload.reference` for QEPs: plain graph
+algorithms over :class:`LogTrace` that share no code with the RDF/SPARQL
+path, used as ground truth and for differential testing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set
+
+from repro.logdiag.model import LogEvent, LogTrace
+
+Occurrence = Dict[str, object]
+
+
+def _descendants(trace: LogTrace, event: LogEvent) -> List[LogEvent]:
+    out: List[LogEvent] = []
+    frontier = trace.children_of(event)
+    seen: Set[int] = set()
+    while frontier:
+        node = frontier.pop()
+        if node.event_id in seen:
+            continue
+        seen.add(node.event_id)
+        out.append(node)
+        frontier.extend(trace.children_of(node))
+    return out
+
+
+def find_error_cascades(trace: LogTrace) -> List[Occurrence]:
+    """ERROR/FATAL with a causally-downstream error in another component."""
+    occurrences: List[Occurrence] = []
+    for event in trace:
+        if not event.is_error:
+            continue
+        for downstream in _descendants(trace, event):
+            if downstream.is_error and downstream.component != event.component:
+                occurrences.append({"ROOT": event, "DOWNSTREAM": downstream})
+    return occurrences
+
+
+def find_latency_cliffs(
+    trace: LogTrace, threshold_ms: float = 1000.0
+) -> List[Occurrence]:
+    """Slow event whose direct cause was >10x faster."""
+    occurrences: List[Occurrence] = []
+    for event in trace:
+        if event.duration_ms <= threshold_ms or event.cause_id is None:
+            continue
+        cause = trace.event(event.cause_id)
+        if cause.duration_ms < event.duration_ms / 10:
+            occurrences.append({"SLOW": event, "CAUSE": cause})
+    return occurrences
+
+
+def find_retry_storms(trace: LogTrace, min_retries: int = 3) -> List[Occurrence]:
+    """A cause with at least *min_retries* retry-tagged children."""
+    occurrences: List[Occurrence] = []
+    for event in trace:
+        retries = [
+            child
+            for child in trace.children_of(event)
+            if child.attrs.get("retry") == "true"
+        ]
+        if len(retries) >= min_retries:
+            occurrences.append({"CAUSE": event, "RETRIES": len(retries)})
+    return occurrences
+
+
+LOG_REFERENCE_CHECKERS: Dict[str, Callable[[LogTrace], List[Occurrence]]] = {
+    "error-cascade": find_error_cascades,
+    "latency-cliff": find_latency_cliffs,
+    "retry-storm": find_retry_storms,
+}

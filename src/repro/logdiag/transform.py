@@ -1,0 +1,80 @@
+"""Trace → RDF transform (Algorithm 1, applied to a second domain).
+
+Mirrors :mod:`repro.core.transform`: events become resources, fields
+become predicates, causal links become edges — and the resulting graph
+is queried by the very same SPARQL engine that searches QEPs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.logdiag.model import LogEvent, LogTrace
+from repro.rdf import Graph, Literal, Namespace, URIRef
+
+#: Event resources: event:{trace}/{id}
+EVENT = Namespace("http://optimatch/logevent/")
+#: Predicates for the log domain.
+LOGPRED = Namespace("http://optimatch/logpred#")
+
+HAS_LEVEL = LOGPRED.hasLevel
+HAS_COMPONENT = LOGPRED.hasComponent
+HAS_MESSAGE = LOGPRED.hasMessage
+HAS_TIMESTAMP = LOGPRED.hasTimestamp
+HAS_DURATION = LOGPRED.hasDurationMs
+HAS_EVENT_ID = LOGPRED.hasEventId
+CAUSED = LOGPRED.caused            # cause -> effect (forward edge)
+CAUSED_BY = LOGPRED.causedBy       # effect -> cause
+IS_ERROR = LOGPRED.isError
+HAS_ATTR_PREFIX = "hasAttr_"
+
+
+@dataclass
+class TransformedTrace:
+    """RDF graph plus the resource ↔ event mapping (de-transformation)."""
+
+    trace: LogTrace
+    graph: Graph
+    event_resources: Dict[int, URIRef] = field(default_factory=dict)
+    resource_to_event: Dict[URIRef, LogEvent] = field(default_factory=dict)
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace.trace_id
+
+    def event_for(self, resource) -> Optional[LogEvent]:
+        if isinstance(resource, URIRef):
+            return self.resource_to_event.get(resource)
+        return None
+
+
+def transform_trace(trace: LogTrace) -> TransformedTrace:
+    """Transform one trace into its RDF graph."""
+    graph = Graph(identifier=f"trace:{trace.trace_id}")
+    transformed = TransformedTrace(trace=trace, graph=graph)
+    for event in trace:
+        resource = EVENT.term(f"{trace.trace_id}/{event.event_id}")
+        transformed.event_resources[event.event_id] = resource
+        transformed.resource_to_event[resource] = event
+        graph.add((resource, HAS_EVENT_ID, Literal(event.event_id)))
+        graph.add((resource, HAS_LEVEL, Literal(event.level)))
+        graph.add((resource, HAS_COMPONENT, Literal(event.component)))
+        graph.add((resource, HAS_MESSAGE, Literal(event.message)))
+        graph.add((resource, HAS_TIMESTAMP, Literal(repr(event.timestamp))))
+        graph.add((resource, HAS_DURATION, Literal(repr(event.duration_ms))))
+        if event.is_error:
+            graph.add((resource, IS_ERROR, Literal("true")))
+        for key, value in event.attrs.items():
+            graph.add(
+                (resource, LOGPRED.term(HAS_ATTR_PREFIX + key), Literal(value))
+            )
+    # Causal edges in both directions (like the stream back-links).
+    for event in trace:
+        if event.cause_id is None:
+            continue
+        effect = transformed.event_resources[event.event_id]
+        cause = transformed.event_resources[event.cause_id]
+        graph.add((cause, CAUSED, effect))
+        graph.add((effect, CAUSED_BY, cause))
+    return transformed

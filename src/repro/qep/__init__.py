@@ -1,0 +1,42 @@
+"""Query-execution-plan substrate.
+
+Models IBM DB2-style query execution plans (QEPs): the operator catalog
+(:mod:`~repro.qep.operators`), the plan graph (:mod:`~repro.qep.model`),
+a db2exfmt-style text writer (:mod:`~repro.qep.writer`) and parser
+(:mod:`~repro.qep.parser`), plus structural validation
+(:mod:`~repro.qep.validate`).
+"""
+
+from repro.qep.operators import (
+    JOIN_TYPES,
+    JoinSemantics,
+    OPERATOR_CATALOG,
+    OperatorInfo,
+    SCAN_TYPES,
+    StreamRole,
+)
+from repro.qep.model import BaseObject, PlanGraph, PlanOperator, Predicate, Stream
+from repro.qep.writer import write_plan
+from repro.qep.parser import parse_plan, QepParseError
+from repro.qep.tree_parser import parse_tree
+from repro.qep.validate import validate_plan, PlanValidationError
+
+__all__ = [
+    "BaseObject",
+    "JOIN_TYPES",
+    "JoinSemantics",
+    "OPERATOR_CATALOG",
+    "OperatorInfo",
+    "PlanGraph",
+    "PlanOperator",
+    "PlanValidationError",
+    "Predicate",
+    "QepParseError",
+    "SCAN_TYPES",
+    "Stream",
+    "StreamRole",
+    "parse_plan",
+    "parse_tree",
+    "validate_plan",
+    "write_plan",
+]

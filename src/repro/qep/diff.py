@@ -1,0 +1,220 @@
+"""Plan diffing.
+
+Section 2.1: "The plan structure is highly dynamic and can change based
+on configuration, statistics ... even if query characteristics remain
+similar.  However, plan changes are difficult to spot manually as they
+tend to spawn thousands of lines."  This module compares two plans of
+the same query (before/after a configuration change, a RUNSTATS, an
+upgrade) and reports what actually changed:
+
+* operators present only in one plan (join method switches, added
+  sorts);
+* per-table access-path changes (TBSCAN → IXSCAN and vice versa);
+* cost and cardinality deltas on structurally matched operators.
+
+Matching is structural: operators pair up when their subtree signature —
+operator type plus the multiset of child signatures plus base-object
+names — is identical, so renumbering between explains does not produce
+noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.qep.model import PlanGraph, PlanOperator, format_number
+
+
+def _signature(op: PlanOperator, memo: Dict[int, str]) -> str:
+    """Structural signature of the subtree rooted at *op*."""
+    cached = memo.get(id(op))
+    if cached is not None:
+        return cached
+    parts = [op.display_name]
+    child_signatures = sorted(
+        _signature(stream.source, memo)
+        if isinstance(stream.source, PlanOperator)
+        else f"obj:{stream.source.qualified_name}"
+        for stream in op.inputs
+    )
+    signature = f"{'/'.join(parts)}({','.join(child_signatures)})"
+    memo[id(op)] = signature
+    return signature
+
+
+@dataclass
+class OperatorDelta:
+    """A structurally matched operator pair with its metric changes."""
+
+    signature: str
+    before: PlanOperator
+    after: PlanOperator
+
+    @property
+    def cost_delta(self) -> float:
+        return self.after.total_cost - self.before.total_cost
+
+    @property
+    def cardinality_delta(self) -> float:
+        return self.after.cardinality - self.before.cardinality
+
+    @property
+    def changed(self) -> bool:
+        return (
+            abs(self.cost_delta) > 1e-9 or abs(self.cardinality_delta) > 1e-9
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.before.display_name} #{self.before.number}->"
+            f"#{self.after.number}: cost "
+            f"{format_number(self.before.total_cost)} -> "
+            f"{format_number(self.after.total_cost)}, rows "
+            f"{format_number(self.before.cardinality)} -> "
+            f"{format_number(self.after.cardinality)}"
+        )
+
+
+@dataclass
+class AccessPathChange:
+    """How a base table's access method changed between the plans."""
+
+    table: str
+    before_methods: Tuple[str, ...]
+    after_methods: Tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.table}: {'/'.join(self.before_methods) or '(none)'} -> "
+            f"{'/'.join(self.after_methods) or '(none)'}"
+        )
+
+
+@dataclass
+class PlanDiff:
+    """The full comparison result."""
+
+    before_id: str
+    after_id: str
+    matched: List[OperatorDelta] = field(default_factory=list)
+    removed: List[PlanOperator] = field(default_factory=list)  # only in before
+    added: List[PlanOperator] = field(default_factory=list)    # only in after
+    access_changes: List[AccessPathChange] = field(default_factory=list)
+
+    @property
+    def total_cost_delta(self) -> float:
+        before = next(
+            (d.before.total_cost for d in self.matched
+             if d.before.op_type == "RETURN"),
+            None,
+        )
+        after = next(
+            (d.after.total_cost for d in self.matched
+             if d.after.op_type == "RETURN"),
+            None,
+        )
+        if before is not None and after is not None:
+            return after - before
+        return 0.0
+
+    @property
+    def is_identical(self) -> bool:
+        return (
+            not self.removed
+            and not self.added
+            and not self.access_changes
+            and all(not delta.changed for delta in self.matched)
+        )
+
+    def to_text(self) -> str:
+        lines = [f"plan diff: {self.before_id} -> {self.after_id}"]
+        if self.is_identical:
+            lines.append("  plans are structurally and numerically identical")
+            return "\n".join(lines)
+        if self.removed:
+            lines.append("  operators only in the old plan:")
+            for op in self.removed:
+                lines.append(f"    - {op.display_name} #{op.number} "
+                             f"(cost {format_number(op.total_cost)})")
+        if self.added:
+            lines.append("  operators only in the new plan:")
+            for op in self.added:
+                lines.append(f"    + {op.display_name} #{op.number} "
+                             f"(cost {format_number(op.total_cost)})")
+        if self.access_changes:
+            lines.append("  access-path changes:")
+            for change in self.access_changes:
+                lines.append(f"    * {change.describe()}")
+        changed = [d for d in self.matched if d.changed]
+        if changed:
+            lines.append("  matched operators with metric changes:")
+            for delta in sorted(
+                changed, key=lambda d: -abs(d.cost_delta)
+            )[:20]:
+                lines.append(f"    ~ {delta.describe()}")
+        return "\n".join(lines)
+
+
+def _access_methods(plan: PlanGraph) -> Dict[str, Tuple[str, ...]]:
+    """table -> sorted tuple of scan methods used against it."""
+    methods: Dict[str, set] = {}
+    for op in plan.iter_operators():
+        if not op.info.reads_base_object:
+            continue
+        for obj in op.base_objects():
+            methods.setdefault(obj.qualified_name, set()).add(op.op_type)
+    return {table: tuple(sorted(kinds)) for table, kinds in methods.items()}
+
+
+def diff_plans(before: PlanGraph, after: PlanGraph) -> PlanDiff:
+    """Compare two plans (typically of the same statement)."""
+    result = PlanDiff(before_id=before.plan_id, after_id=after.plan_id)
+
+    memo_before: Dict[int, str] = {}
+    memo_after: Dict[int, str] = {}
+    before_by_sig: Dict[str, List[PlanOperator]] = {}
+    for op in before.iter_operators():
+        before_by_sig.setdefault(_signature(op, memo_before), []).append(op)
+    unmatched_after: List[Tuple[str, PlanOperator]] = []
+    for op in after.iter_operators():
+        signature = _signature(op, memo_after)
+        candidates = before_by_sig.get(signature)
+        if candidates:
+            result.matched.append(
+                OperatorDelta(signature, candidates.pop(0), op)
+            )
+        else:
+            unmatched_after.append((signature, op))
+    leftovers = [op for ops in before_by_sig.values() for op in ops]
+
+    # Second pass: pair leftovers by bare operator type (a join whose
+    # subtree changed still corresponds to "the" join of that type when
+    # each side has exactly one).
+    by_type_before: Dict[str, List[PlanOperator]] = {}
+    for op in leftovers:
+        by_type_before.setdefault(op.display_name, []).append(op)
+    still_unmatched_after: List[PlanOperator] = []
+    for signature, op in unmatched_after:
+        candidates = by_type_before.get(op.display_name)
+        if candidates and len(candidates) == 1:
+            result.matched.append(
+                OperatorDelta(signature, candidates.pop(0), op)
+            )
+            by_type_before.pop(op.display_name, None)
+        else:
+            still_unmatched_after.append(op)
+    result.removed = sorted(
+        (op for ops in by_type_before.values() for op in ops),
+        key=lambda o: o.number,
+    )
+    result.added = sorted(still_unmatched_after, key=lambda o: o.number)
+
+    before_access = _access_methods(before)
+    after_access = _access_methods(after)
+    for table in sorted(set(before_access) | set(after_access)):
+        old = before_access.get(table, ())
+        new = after_access.get(table, ())
+        if old != new:
+            result.access_changes.append(AccessPathChange(table, old, new))
+    return result

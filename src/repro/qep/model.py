@@ -1,0 +1,261 @@
+"""Plan graph model.
+
+A query execution plan is a rooted DAG of :class:`PlanOperator` nodes —
+a DAG rather than a tree because a TEMP over a common subexpression can
+feed several consumers, which is precisely the ambiguity case the paper's
+blank-node stream design exists to handle.  Scan-type operators
+additionally reference a :class:`BaseObject` (table or index target).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.qep.operators import (
+    JoinSemantics,
+    OperatorInfo,
+    StreamRole,
+    operator_info,
+)
+
+
+@dataclass
+class BaseObject:
+    """A table (or materialized target) referenced by the plan."""
+
+    schema: str
+    name: str
+    cardinality: float = 0.0
+    columns: Tuple[str, ...] = ()
+    indexes: Tuple[str, ...] = ()
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.schema}.{self.name}"
+
+    def __hash__(self):
+        return hash((self.schema, self.name))
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One predicate applied by an operator.
+
+    ``kind`` follows the paper's recommendation vocabulary: equality join
+    predicates and equality local predicates drive the column-group
+    statistics recommendation (Pattern C).
+    """
+
+    text: str
+    kind: str = "local"  # 'join-equality', 'local-equality', 'range', 'local'
+    columns: Tuple[str, ...] = ()
+    selectivity: Optional[float] = None
+
+
+@dataclass
+class Stream:
+    """A directed edge: *source* feeds its parent with the given role."""
+
+    source: Union["PlanOperator", BaseObject]
+    role: StreamRole = StreamRole.INPUT
+
+    @property
+    def is_base_object(self) -> bool:
+        return isinstance(self.source, BaseObject)
+
+
+class PlanOperator:
+    """One LOLEPOP with its costs, cardinality and input streams."""
+
+    def __init__(
+        self,
+        number: int,
+        op_type: str,
+        *,
+        cardinality: float = 0.0,
+        total_cost: float = 0.0,
+        io_cost: float = 0.0,
+        cpu_cost: float = 0.0,
+        first_row_cost: float = 0.0,
+        buffers: float = 0.0,
+        join_semantics: JoinSemantics = JoinSemantics.INNER,
+        arguments: Optional[Dict[str, str]] = None,
+        predicates: Optional[List[Predicate]] = None,
+        columns: Optional[Sequence[str]] = None,
+    ):
+        self.info: OperatorInfo = operator_info(op_type)
+        self.number = number
+        self.op_type = op_type
+        self.cardinality = cardinality
+        self.total_cost = total_cost
+        self.io_cost = io_cost
+        self.cpu_cost = cpu_cost
+        self.first_row_cost = first_row_cost
+        self.buffers = buffers
+        self.join_semantics = join_semantics
+        self.arguments: Dict[str, str] = dict(arguments or {})
+        self.predicates: List[Predicate] = list(predicates or [])
+        self.columns: List[str] = list(columns or [])
+        self.inputs: List[Stream] = []
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def add_input(
+        self,
+        source: Union["PlanOperator", BaseObject],
+        role: Optional[StreamRole] = None,
+    ) -> Stream:
+        """Attach *source* as an input stream and return the stream."""
+        if role is None:
+            existing = len(self.inputs)
+            if self.info.uses_outer_inner:
+                role = StreamRole.OUTER if existing == 0 else StreamRole.INNER
+            else:
+                role = StreamRole.INPUT
+        stream = Stream(source, role)
+        self.inputs.append(stream)
+        return stream
+
+    @property
+    def display_name(self) -> str:
+        """Operator name with join-semantics prefix, e.g. ``>HSJOIN``."""
+        return self.join_semantics.value + self.op_type
+
+    @property
+    def is_left_outer_join(self) -> bool:
+        return self.info.is_join and self.join_semantics is JoinSemantics.LEFT_OUTER
+
+    def child_operators(self) -> List["PlanOperator"]:
+        return [s.source for s in self.inputs if isinstance(s.source, PlanOperator)]
+
+    def base_objects(self) -> List[BaseObject]:
+        return [s.source for s in self.inputs if isinstance(s.source, BaseObject)]
+
+    def input_with_role(self, role: StreamRole) -> Optional[Stream]:
+        for stream in self.inputs:
+            if stream.role is role:
+                return stream
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<PlanOperator #{self.number} {self.display_name} "
+            f"card={self.cardinality:g} cost={self.total_cost:g}>"
+        )
+
+
+class PlanGraph:
+    """A complete query execution plan."""
+
+    def __init__(self, plan_id: str, statement: str = ""):
+        self.plan_id = plan_id
+        self.statement = statement
+        self.operators: Dict[int, PlanOperator] = {}
+        self.root: Optional[PlanOperator] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_operator(self, operator: PlanOperator) -> PlanOperator:
+        if operator.number in self.operators:
+            raise ValueError(
+                f"duplicate operator number {operator.number} in plan {self.plan_id}"
+            )
+        self.operators[operator.number] = operator
+        return operator
+
+    def set_root(self, operator: PlanOperator) -> None:
+        if operator.number not in self.operators:
+            raise ValueError("root must be an operator of this plan")
+        self.root = operator
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def op_count(self) -> int:
+        return len(self.operators)
+
+    @property
+    def total_cost(self) -> float:
+        return self.root.total_cost if self.root else 0.0
+
+    def operator(self, number: int) -> PlanOperator:
+        return self.operators[number]
+
+    def iter_operators(self) -> Iterator[PlanOperator]:
+        """Operators in ascending number order (deterministic)."""
+        for number in sorted(self.operators):
+            yield self.operators[number]
+
+    def operators_of_type(self, *op_types: str) -> List[PlanOperator]:
+        wanted = set(op_types)
+        return [op for op in self.iter_operators() if op.op_type in wanted]
+
+    def base_objects(self) -> Dict[str, BaseObject]:
+        """All base objects referenced anywhere in the plan, by name."""
+        out: Dict[str, BaseObject] = {}
+        for op in self.iter_operators():
+            for obj in op.base_objects():
+                out[obj.qualified_name] = obj
+        return out
+
+    def parents_of(self, operator: PlanOperator) -> List[PlanOperator]:
+        """All operators that consume *operator* (>=2 for shared TEMPs)."""
+        return [
+            op
+            for op in self.iter_operators()
+            if operator in op.child_operators()
+        ]
+
+    def descendants_of(self, operator: PlanOperator) -> Set[PlanOperator]:
+        """Transitive operator children of *operator*."""
+        seen: Set[int] = set()
+        out: Set[PlanOperator] = set()
+        frontier = list(operator.child_operators())
+        while frontier:
+            node = frontier.pop()
+            if node.number in seen:
+                continue
+            seen.add(node.number)
+            out.add(node)
+            frontier.extend(node.child_operators())
+        return out
+
+    def depth(self) -> int:
+        """Longest operator chain from the root to a leaf."""
+        if self.root is None:
+            return 0
+        cache: Dict[int, int] = {}
+
+        def walk(op: PlanOperator) -> int:
+            if op.number in cache:
+                return cache[op.number]
+            children = op.child_operators()
+            depth = 1 + (max((walk(c) for c in children), default=0))
+            cache[op.number] = depth
+            return depth
+
+        return walk(self.root)
+
+    def __repr__(self) -> str:
+        return f"<PlanGraph {self.plan_id!r} ops={self.op_count} cost={self.total_cost:g}>"
+
+
+def format_number(value: float) -> str:
+    """Format a cost/cardinality the way db2exfmt prints them.
+
+    Small values keep a plain decimal form; large or tiny values switch
+    to exponent notation (e.g. ``2.87997e+07``).  The mixed formats are
+    deliberate: the paper's user study found that manual grep searches
+    miss matches because of exactly this inconsistency.
+    """
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e7 or abs(value) < 1e-3:
+        return f"{value:.6g}"
+    if float(value).is_integer() and abs(value) < 1e7:
+        return str(int(value))
+    return f"{value:.6g}"

@@ -1,0 +1,168 @@
+"""Catalog of plan operators (LOLEPOPs) and their characteristics.
+
+The catalog mirrors the DB2 LOLEPOP vocabulary the paper uses: joins
+(NLJOIN / HSJOIN / MSJOIN), scans (TBSCAN / IXSCAN), FETCH, SORT, TEMP,
+GRPBY and friends.  Each entry records how many inputs the operator takes
+and which stream roles those inputs use — joins distinguish *outer* and
+*inner* streams, everything else uses the generic *input* stream — plus
+the operator-specific argument names the paper calls out (NLJOIN has
+``FETCHMAX``, TBSCAN has ``MAXPAGES``, and so on).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple
+
+
+class StreamRole(enum.Enum):
+    """How a child stream feeds its parent operator."""
+
+    INPUT = "input"
+    OUTER = "outer"
+    INNER = "inner"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+
+class JoinSemantics(enum.Enum):
+    """Join flavour; rendered as the db2exfmt operator-name prefix."""
+
+    INNER = ""
+    LEFT_OUTER = ">"  # e.g. >HSJOIN in Figure 7 of the paper
+    EARLY_OUT = "^"   # e.g. ^HSJOIN
+    FULL_OUTER = "+"
+    ANTI = "!"
+
+    @classmethod
+    def from_prefix(cls, prefix: str) -> "JoinSemantics":
+        for semantics in cls:
+            if semantics.value == prefix:
+                return semantics
+        raise ValueError(f"unknown join prefix {prefix!r}")
+
+
+@dataclass(frozen=True)
+class OperatorInfo:
+    """Static description of one operator type."""
+
+    name: str
+    description: str
+    arity: Tuple[int, int]  # (min inputs, max inputs); max -1 = unbounded
+    uses_outer_inner: bool = False
+    is_join: bool = False
+    is_scan: bool = False
+    reads_base_object: bool = False
+    argument_names: Tuple[str, ...] = ()
+
+    def roles_for(self, n_inputs: int) -> Tuple[StreamRole, ...]:
+        """Default stream roles for an operator with *n_inputs* children."""
+        if self.uses_outer_inner and n_inputs == 2:
+            return (StreamRole.OUTER, StreamRole.INNER)
+        return tuple(StreamRole.INPUT for _ in range(n_inputs))
+
+
+def _op(name, description, arity, **kwargs) -> OperatorInfo:
+    return OperatorInfo(name=name, description=description, arity=arity, **kwargs)
+
+
+#: Every operator type the writer, parser, generator and transform know.
+OPERATOR_CATALOG: Dict[str, OperatorInfo] = {
+    info.name: info
+    for info in [
+        _op("RETURN", "Return Result", (1, 1)),
+        _op(
+            "NLJOIN",
+            "Nested Loop Join",
+            (2, 2),
+            uses_outer_inner=True,
+            is_join=True,
+            argument_names=("EARLYOUT", "FETCHMAX", "ISCANMAX"),
+        ),
+        _op(
+            "HSJOIN",
+            "Hash Join",
+            (2, 2),
+            uses_outer_inner=True,
+            is_join=True,
+            argument_names=("BITFLTR", "HASHCODE", "TEMPSIZE"),
+        ),
+        _op(
+            "MSJOIN",
+            "Merge Scan Join",
+            (2, 2),
+            uses_outer_inner=True,
+            is_join=True,
+            argument_names=("EARLYOUT", "INNERCOL", "OUTERCOL"),
+        ),
+        _op(
+            "TBSCAN",
+            "Table Scan",
+            (1, 1),
+            is_scan=True,
+            reads_base_object=True,
+            argument_names=("MAXPAGES", "PREFETCH", "SCANDIR"),
+        ),
+        _op(
+            "IXSCAN",
+            "Index Scan",
+            (1, 1),
+            is_scan=True,
+            reads_base_object=True,
+            argument_names=("MAXPAGES", "PREFETCH", "SCANDIR", "INDEXNAME"),
+        ),
+        _op(
+            "FETCH",
+            "Fetch",
+            (1, 2),
+            reads_base_object=True,
+            argument_names=("MAXPAGES", "PREFETCH"),
+        ),
+        _op(
+            "SORT",
+            "Sort",
+            (1, 1),
+            argument_names=("DUPLWARN", "NUMROWS", "ROWWIDTH", "SORTKEY", "SPILLED"),
+        ),
+        _op(
+            "GRPBY",
+            "Group By",
+            (1, 1),
+            argument_names=("AGGMODE", "GROUPBYC", "GROUPBYN"),
+        ),
+        _op("TEMP", "Temporary Table Construction", (1, 1), argument_names=("TEMPSIZE",)),
+        _op("UNION", "Union", (2, -1)),
+        _op("UNIQUE", "Duplicate Elimination", (1, 1), argument_names=("KEYCOLS",)),
+        _op("FILTER", "Residual Predicate Filter", (1, 1)),
+        _op("RIDSCN", "Row Identifier Scan", (1, -1)),
+        _op("IXAND", "Dynamic Bitmap Index ANDing", (2, -1)),
+        _op("CMPEXP", "Compute Expression", (1, 1)),
+        _op("SHIP", "Ship Query to Remote System", (1, 1)),
+        _op("INSERT", "Insert", (1, 1)),
+        _op("UPDATE", "Update", (1, 1)),
+        _op("DELETE", "Delete", (1, 1)),
+    ]
+}
+
+#: Operator names in the JOIN family (matched by pattern type "JOIN").
+JOIN_TYPES: FrozenSet[str] = frozenset(
+    name for name, info in OPERATOR_CATALOG.items() if info.is_join
+)
+
+#: Operator names in the SCAN family (matched by pattern type "SCAN").
+SCAN_TYPES: FrozenSet[str] = frozenset(
+    name for name, info in OPERATOR_CATALOG.items() if info.is_scan
+)
+
+
+def operator_info(name: str) -> OperatorInfo:
+    """Catalog entry for *name*; raises KeyError with a helpful message."""
+    try:
+        return OPERATOR_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown operator type {name!r}; known: {sorted(OPERATOR_CATALOG)}"
+        ) from None

@@ -1,0 +1,322 @@
+"""Parse db2exfmt-style explain text back into a :class:`PlanGraph`.
+
+The parser is a line-oriented state machine over the *Plan Details*
+section (the authoritative, machine-friendly part of an explain file);
+the ASCII tree section is informational and skipped.  Streams reference
+operators by number, so wiring happens in a second pass once every
+operator block has been read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.qep.model import BaseObject, PlanGraph, PlanOperator, Predicate
+from repro.qep.operators import JoinSemantics, OPERATOR_CATALOG, StreamRole
+
+
+class QepParseError(ValueError):
+    """Raised on malformed explain text."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        prefix = f"line {line_no}: " if line_no is not None else ""
+        super().__init__(prefix + message)
+        self.line_no = line_no
+
+
+_PLAN_ID_RE = re.compile(r"^Plan ID:\s*(.+)$")
+_TOTAL_COST_RE = re.compile(r"^\s*Total Cost:\s*([-\d.eE+]+)\s*$")
+_OP_HEADER_RE = re.compile(
+    r"^\t(\d+)\)\s+([>^+!]?)([A-Z]+):\s+\((.*)\)\s*$"
+)
+_COST_RE = re.compile(r"^\t\t(Cumulative Total Cost|Cumulative CPU Cost|"
+                      r"Cumulative I/O Cost|Cumulative First Row Cost|"
+                      r"Estimated Bufferpool Buffers|Estimated Cardinality):"
+                      r"\s*(\S+)\s*$")
+_STREAM_OP_RE = re.compile(
+    r"^\t\t\t(\d+)\)\s+From Operator #(\d+)\s+\((\w+)\)\s*$"
+)
+_STREAM_OBJ_RE = re.compile(
+    r"^\t\t\t(\d+)\)\s+From Object (\S+)\.(\S+)\s+\((\w+)\)\s*$"
+)
+_STREAM_ROWS_RE = re.compile(
+    r"^\t\t\t\tEstimated number of rows:\s*([-\d.eE+]+)\s*$"
+)
+_PREDICATE_RE = re.compile(
+    r"^\t\t(\d+)\)\s+Predicate \(([\w-]+)\)(?:,\s*selectivity\s+([-\d.eE+]+))?\s*$"
+)
+_PRED_COLUMNS_RE = re.compile(r"^\t\t\tColumns:\s*(.*)$")
+_OUTPUT_COLUMNS_RE = re.compile(r"^\t\tOutput Columns:\s*(.*)$")
+_ARG_NAME_RE = re.compile(r"^\t\t([A-Z][A-Z0-9_]*):\s*$")
+_ARG_VALUE_RE = re.compile(r"^\t\t\t(.*)$")
+_OBJ_FIELD_RE = re.compile(r"^\t(Schema|Name|Cardinality|Columns|Indexes):\s*(.*)$")
+
+_COST_FIELDS = {
+    "Cumulative Total Cost": "total_cost",
+    "Cumulative CPU Cost": "cpu_cost",
+    "Cumulative I/O Cost": "io_cost",
+    "Cumulative First Row Cost": "first_row_cost",
+    "Estimated Bufferpool Buffers": "buffers",
+    "Estimated Cardinality": "cardinality",
+}
+
+
+def _parse_float(text: str, line_no: int) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise QepParseError(f"bad number {text!r}", line_no)
+
+
+class _PendingStream:
+    __slots__ = ("parent", "op_number", "base_obj", "role", "rows")
+
+    def __init__(self, parent, op_number, base_obj, role, rows=0.0):
+        self.parent = parent
+        self.op_number = op_number
+        self.base_obj = base_obj
+        self.role = role
+        self.rows = rows
+
+
+def parse_plan(text: str, plan_id: Optional[str] = None) -> PlanGraph:
+    """Parse explain *text* into a :class:`PlanGraph`.
+
+    *plan_id* overrides the ``Plan ID:`` header when given (useful when
+    parsing snippets).
+    """
+    lines = text.splitlines()
+    parsed_id = plan_id
+    statement_lines: List[str] = []
+    operators: Dict[int, PlanOperator] = {}
+    pending_streams: List[_PendingStream] = []
+    objects: Dict[Tuple[str, str], BaseObject] = {}
+
+    current_op: Optional[PlanOperator] = None
+    current_pred: Optional[dict] = None
+    current_arg: Optional[str] = None
+    section = "header"
+    expecting_pred_text = False
+    in_statement = False
+    current_obj: Optional[dict] = None
+
+    def flush_predicate():
+        nonlocal current_pred
+        if current_pred is not None and current_op is not None:
+            current_op.predicates.append(
+                Predicate(
+                    text=current_pred.get("text", ""),
+                    kind=current_pred.get("kind", "local"),
+                    columns=tuple(current_pred.get("columns", ())),
+                    selectivity=current_pred.get("selectivity"),
+                )
+            )
+        current_pred = None
+
+    def flush_object():
+        nonlocal current_obj
+        if current_obj and "Schema" in current_obj and "Name" in current_obj:
+            key = (current_obj["Schema"], current_obj["Name"])
+            raw_cardinality = current_obj.get("Cardinality", 0) or 0
+            try:
+                cardinality = float(raw_cardinality)
+            except ValueError:
+                raise QepParseError(
+                    f"bad base-object cardinality {raw_cardinality!r}"
+                )
+            objects[key] = BaseObject(
+                schema=current_obj["Schema"],
+                name=current_obj["Name"],
+                cardinality=cardinality,
+                columns=tuple(
+                    c.strip()
+                    for c in current_obj.get("Columns", "").split(",")
+                    if c.strip()
+                ),
+                indexes=tuple(
+                    i.strip()
+                    for i in current_obj.get("Indexes", "").split(",")
+                    if i.strip()
+                ),
+            )
+        current_obj = None
+
+    for line_no, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if in_statement:
+            if line.startswith("  "):
+                statement_lines.append(line[2:])
+                continue
+            in_statement = False
+        if not parsed_id:
+            match = _PLAN_ID_RE.match(line)
+            if match:
+                parsed_id = match.group(1).strip()
+                continue
+        if stripped == "Statement:":
+            in_statement = True
+            continue
+        if stripped == "Plan Details:":
+            section = "details"
+            continue
+        if stripped == "Objects Used in Access Plan:":
+            flush_predicate()
+            section = "objects"
+            continue
+        if section == "objects":
+            match = _OBJ_FIELD_RE.match(line)
+            if match:
+                field, value = match.group(1), match.group(2).strip()
+                if field == "Schema":
+                    flush_object()
+                    current_obj = {}
+                if current_obj is None:
+                    current_obj = {}
+                current_obj[field] = value
+            continue
+        if section != "details":
+            continue
+
+        match = _OP_HEADER_RE.match(line)
+        if match:
+            flush_predicate()
+            number = int(match.group(1))
+            prefix = match.group(2)
+            op_name = match.group(3)
+            if op_name not in OPERATOR_CATALOG:
+                raise QepParseError(f"unknown operator {op_name!r}", line_no)
+            current_op = PlanOperator(
+                number,
+                op_name,
+                join_semantics=JoinSemantics.from_prefix(prefix),
+            )
+            if number in operators:
+                raise QepParseError(f"duplicate operator #{number}", line_no)
+            operators[number] = current_op
+            current_arg = None
+            expecting_pred_text = False
+            continue
+        if current_op is None:
+            continue
+
+        match = _COST_RE.match(line)
+        if match:
+            setattr(
+                current_op,
+                _COST_FIELDS[match.group(1)],
+                _parse_float(match.group(2), line_no),
+            )
+            continue
+        match = _STREAM_OP_RE.match(line)
+        if match:
+            flush_predicate()
+            role = _parse_role(match.group(3), line_no)
+            pending_streams.append(
+                _PendingStream(current_op, int(match.group(2)), None, role)
+            )
+            continue
+        match = _STREAM_OBJ_RE.match(line)
+        if match:
+            flush_predicate()
+            role = _parse_role(match.group(4), line_no)
+            pending_streams.append(
+                _PendingStream(
+                    current_op, None, (match.group(2), match.group(3)), role
+                )
+            )
+            continue
+        match = _STREAM_ROWS_RE.match(line)
+        if match:
+            if pending_streams:
+                pending_streams[-1].rows = _parse_float(match.group(1), line_no)
+            continue
+        match = _PREDICATE_RE.match(line)
+        if match:
+            flush_predicate()
+            current_pred = {"kind": match.group(2)}
+            if match.group(3) is not None:
+                current_pred["selectivity"] = _parse_float(match.group(3), line_no)
+            expecting_pred_text = False
+            continue
+        if current_pred is not None:
+            match = _PRED_COLUMNS_RE.match(line)
+            if match and not expecting_pred_text:
+                current_pred["columns"] = [
+                    c.strip() for c in match.group(1).split(",") if c.strip()
+                ]
+                continue
+            if stripped == "Predicate Text:":
+                expecting_pred_text = True
+                continue
+            if expecting_pred_text and stripped.startswith("---"):
+                continue
+            if expecting_pred_text and stripped:
+                current_pred["text"] = stripped
+                expecting_pred_text = False
+                flush_predicate()
+                continue
+        match = _OUTPUT_COLUMNS_RE.match(line)
+        if match:
+            current_op.columns = [
+                c.strip() for c in match.group(1).split(",") if c.strip()
+            ]
+            continue
+        match = _ARG_NAME_RE.match(line)
+        if match and stripped not in ("Arguments:", "Predicates:"):
+            current_arg = match.group(1)
+            continue
+        if current_arg is not None:
+            match = _ARG_VALUE_RE.match(line)
+            if match:
+                current_op.arguments[current_arg] = match.group(1).strip()
+                current_arg = None
+                continue
+
+    flush_predicate()
+    flush_object()
+
+    if not operators:
+        raise QepParseError("no operators found in Plan Details section")
+
+    plan = PlanGraph(parsed_id or "unnamed-plan", "\n".join(statement_lines))
+    for op in operators.values():
+        plan.add_operator(op)
+
+    # Second pass: wire streams now that all operators exist.
+    consumed: set = set()
+    for pending in pending_streams:
+        if pending.op_number is not None:
+            child = operators.get(pending.op_number)
+            if child is None:
+                raise QepParseError(
+                    f"stream references unknown operator #{pending.op_number}"
+                )
+            pending.parent.add_input(child, pending.role)
+            consumed.add(pending.op_number)
+        else:
+            schema, name = pending.base_obj
+            obj = objects.get((schema, name))
+            if obj is None:
+                obj = BaseObject(schema=schema, name=name, cardinality=pending.rows)
+                objects[(schema, name)] = obj
+            pending.parent.add_input(obj, pending.role)
+
+    roots = [op for num, op in sorted(operators.items()) if num not in consumed]
+    if not roots:
+        raise QepParseError("plan has no root operator (cycle?)")
+    plan.set_root(roots[0])
+    return plan
+
+
+def _parse_role(label: str, line_no: int) -> StreamRole:
+    try:
+        return StreamRole(label.lower())
+    except ValueError:
+        raise QepParseError(f"unknown stream role {label!r}", line_no)
+
+
+def parse_plan_file(path: str) -> PlanGraph:
+    """Parse the explain file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_plan(handle.read())

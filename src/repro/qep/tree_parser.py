@@ -1,0 +1,327 @@
+"""Parse ASCII access-plan *trees* (the Figure 1 format).
+
+The primary parser (:mod:`repro.qep.parser`) consumes the Plan Details
+section of an explain file.  Figures in papers and support tickets often
+contain only the tree snippet::
+
+            4043
+           NLJOIN
+           (   2)
+         2.87997e+07
+           21113
+         /        \\
+     754.34       4043
+     FETCH       TBSCAN
+     (   3)      (   5)
+     368.38      15771.9
+       50         1212
+
+This module reconstructs a :class:`PlanGraph` from that layout alone.
+Stream roles are not printed in the tree, so joins assign outer/inner by
+left-to-right child order (DB2's own convention) and other operators use
+generic input streams.  Costs not shown in the tree (CPU, first row,
+buffers) default to zero.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.qep.model import BaseObject, PlanGraph, PlanOperator
+from repro.qep.operators import JoinSemantics, OPERATOR_CATALOG, StreamRole
+from repro.qep.parser import QepParseError
+
+_CONNECTOR_RE = re.compile(r"^[\s/\\|+]+$")
+_NUMBER_RE = re.compile(r"^[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?$")
+_OPNUM_RE = re.compile(r"^\(\s*(\d+)\s*\)$")
+_OPNAME_RE = re.compile(r"^([>^+!]?)([A-Z]+)$")
+
+
+@dataclass
+class _Block:
+    """One column-aligned node block within a level."""
+
+    col_start: int
+    col_end: int
+    lines: List[str] = field(default_factory=list)
+
+    @property
+    def anchor(self) -> int:
+        return (self.col_start + self.col_end) // 2
+
+    @property
+    def tokens(self) -> List[str]:
+        return [line for line in (l.strip() for l in self.lines) if line]
+
+
+def _is_connector_row(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and bool(_CONNECTOR_RE.match(line)) and any(
+        ch in stripped for ch in "/\\|"
+    )
+
+
+def _split_level_blocks(lines: List[str]) -> List[_Block]:
+    """Split a group of content lines into side-by-side blocks.
+
+    A block is a maximal run of columns where at least one line has a
+    non-space character; blocks are separated by columns blank in every
+    line of the level.
+    """
+    width = max(len(line) for line in lines)
+    occupied = [
+        any(col < len(line) and line[col] != " " for line in lines)
+        for col in range(width)
+    ]
+    blocks: List[_Block] = []
+    col = 0
+    while col < width:
+        if not occupied[col]:
+            col += 1
+            continue
+        start = col
+        while col < width and (
+            occupied[col] or (col + 1 < width and occupied[col + 1])
+        ):
+            col += 1
+        end = col - 1
+        block = _Block(start, end)
+        for line in lines:
+            block.lines.append(line[start:end + 1])
+        blocks.append(block)
+    return blocks
+
+
+@dataclass
+class _ParsedNode:
+    block: _Block
+    is_base_object: bool
+    op_number: Optional[int] = None
+    op_type: str = ""
+    prefix: str = ""
+    cardinality: float = 0.0
+    total_cost: float = 0.0
+    io_cost: float = 0.0
+    object_schema: str = ""
+    object_name: str = ""
+
+
+def _parse_number(token: str, what: str) -> float:
+    if not _NUMBER_RE.match(token):
+        raise QepParseError(f"tree: bad {what} value {token!r}")
+    return float(token)
+
+
+def _parse_block(block: _Block) -> _ParsedNode:
+    tokens = block.tokens
+    if not tokens:
+        raise QepParseError("tree: empty node block")
+    # Operator blocks: card / NAME / (num) / total / io  (cost lines may
+    # be truncated in snippets).  Base objects: card / SCHEMA.NAME.
+    for index, token in enumerate(tokens):
+        match = _OPNUM_RE.match(token)
+        if match and index >= 1:
+            name_match = _OPNAME_RE.match(tokens[index - 1])
+            if not name_match:
+                raise QepParseError(
+                    f"tree: expected operator name above {token!r}, "
+                    f"got {tokens[index - 1]!r}"
+                )
+            prefix, op_type = name_match.group(1), name_match.group(2)
+            if op_type not in OPERATOR_CATALOG:
+                raise QepParseError(f"tree: unknown operator {op_type!r}")
+            node = _ParsedNode(
+                block=block,
+                is_base_object=False,
+                op_number=int(match.group(1)),
+                op_type=op_type,
+                prefix=prefix,
+            )
+            if index >= 2:
+                node.cardinality = _parse_number(
+                    tokens[index - 2], "cardinality"
+                )
+            if index + 1 < len(tokens):
+                node.total_cost = _parse_number(tokens[index + 1], "cost")
+            if index + 2 < len(tokens):
+                node.io_cost = _parse_number(tokens[index + 2], "I/O cost")
+            return node
+    # Base object: a name token containing '.', optionally preceded by a
+    # cardinality.
+    name_index = next(
+        (i for i, token in enumerate(tokens) if "." in token
+         and not _NUMBER_RE.match(token)),
+        None,
+    )
+    if name_index is None:
+        raise QepParseError(
+            f"tree: unrecognized node block {tokens!r}"
+        )
+    node = _ParsedNode(block=block, is_base_object=True)
+    schema, _, name = tokens[name_index].partition(".")
+    node.object_schema = schema
+    node.object_name = name
+    if name_index >= 1 and _NUMBER_RE.match(tokens[name_index - 1]):
+        node.cardinality = float(tokens[name_index - 1])
+    return node
+
+
+def _find_parent(
+    child: _ParsedNode, connector: str, parents: List[_ParsedNode]
+) -> _ParsedNode:
+    """Resolve which parent block a child's connector points at."""
+    span = range(child.block.col_start - 1, child.block.col_end + 2)
+    marks = [
+        (col, connector[col])
+        for col in span
+        if 0 <= col < len(connector) and connector[col] in "/\\|"
+    ]
+    if not marks:
+        raise QepParseError(
+            f"tree: no connector found above block at columns "
+            f"{child.block.col_start}-{child.block.col_end}"
+        )
+    col, mark = marks[0]
+    if mark == "|":
+        candidates = parents
+    elif mark == "/":
+        candidates = [p for p in parents if p.block.anchor >= col] or parents
+    else:  # '\\'
+        candidates = [p for p in parents if p.block.anchor <= col] or parents
+    return min(candidates, key=lambda p: abs(p.block.anchor - col))
+
+
+def parse_tree(text: str, plan_id: str = "tree-snippet") -> PlanGraph:
+    """Parse an ASCII access-plan tree into a :class:`PlanGraph`."""
+    lines = [line.rstrip("\n") for line in text.split("\n")]
+    # Trim leading/trailing blank lines but keep internal structure.
+    while lines and not lines[0].strip():
+        lines.pop(0)
+    while lines and not lines[-1].strip():
+        lines.pop()
+    if not lines:
+        raise QepParseError("tree: empty input")
+
+    # Partition into alternating levels and connector rows.
+    levels: List[List[str]] = []
+    connectors: List[str] = []
+    current: List[str] = []
+    for line in lines:
+        if _is_connector_row(line):
+            if not current:
+                raise QepParseError("tree: connector row before any node")
+            levels.append(current)
+            connectors.append(line)
+            current = []
+        elif line.strip():
+            current.append(line)
+        elif current:
+            current.append(line)  # blank inside a level (padded block)
+    if current:
+        levels.append(current)
+    if len(connectors) != len(levels) - 1:
+        raise QepParseError(
+            f"tree: {len(levels)} levels but {len(connectors)} connector rows"
+        )
+
+    parsed_levels: List[List[_ParsedNode]] = [
+        [_parse_block(block) for block in _split_level_blocks(level)]
+        for level in levels
+    ]
+    if len(parsed_levels[0]) != 1:
+        raise QepParseError("tree: the top level must hold exactly one node")
+    if parsed_levels[0][0].is_base_object:
+        raise QepParseError("tree: root cannot be a base object")
+
+    # Materialize operators (shared nodes repeat with the same number).
+    operators: Dict[int, PlanOperator] = {}
+    objects: Dict[str, BaseObject] = {}
+    node_to_op: Dict[int, PlanOperator] = {}
+
+    def realize(node: _ParsedNode) -> Optional[PlanOperator]:
+        if node.is_base_object:
+            return None
+        existing = operators.get(node.op_number)
+        if existing is not None:
+            if existing.op_type != node.op_type:
+                raise QepParseError(
+                    f"tree: operator #{node.op_number} appears as both "
+                    f"{existing.op_type} and {node.op_type}"
+                )
+            return existing
+        op = PlanOperator(
+            node.op_number,
+            node.op_type,
+            cardinality=node.cardinality,
+            total_cost=node.total_cost,
+            io_cost=node.io_cost,
+            join_semantics=JoinSemantics.from_prefix(node.prefix),
+        )
+        operators[node.op_number] = op
+        return op
+
+    def realize_object(node: _ParsedNode) -> BaseObject:
+        key = f"{node.object_schema}.{node.object_name}"
+        obj = objects.get(key)
+        if obj is None:
+            obj = BaseObject(
+                schema=node.object_schema,
+                name=node.object_name,
+                cardinality=node.cardinality,
+            )
+            objects[key] = obj
+        return obj
+
+    expanded: Dict[int, bool] = {}
+    for level_index, level_nodes in enumerate(parsed_levels):
+        for node in level_nodes:
+            if not node.is_base_object:
+                realize(node)
+
+    # Wire children to parents level by level.
+    for level_index in range(1, len(parsed_levels)):
+        connector = connectors[level_index - 1]
+        parents = [n for n in parsed_levels[level_index - 1]
+                   if not n.is_base_object]
+        if not parents:
+            raise QepParseError("tree: base objects cannot have children")
+        # Children attach left-to-right so join outer/inner order holds.
+        pending: Dict[int, List[_ParsedNode]] = {}
+        for child in parsed_levels[level_index]:
+            parent = _find_parent(child, connector, parents)
+            pending.setdefault(id(parent), []).append(child)
+        for parent in parents:
+            children = pending.get(id(parent), [])
+            parent_op = operators[parent.op_number]
+            if not parent.is_base_object and parent.op_number in expanded:
+                if children:
+                    raise QepParseError(
+                        f"tree: shared operator #{parent.op_number} "
+                        "re-expanded with children"
+                    )
+                continue
+            if children:
+                expanded[parent.op_number] = True
+            for child in sorted(children, key=lambda n: n.block.col_start):
+                if child.is_base_object:
+                    parent_op.add_input(realize_object(child))
+                else:
+                    child_op = operators[child.op_number]
+                    role = None
+                    if parent_op.info.uses_outer_inner:
+                        role = (
+                            StreamRole.OUTER
+                            if parent_op.input_with_role(StreamRole.OUTER)
+                            is None
+                            else StreamRole.INNER
+                        )
+                    parent_op.add_input(child_op, role)
+
+    plan = PlanGraph(plan_id)
+    for op in operators.values():
+        plan.add_operator(op)
+    root_number = parsed_levels[0][0].op_number
+    plan.set_root(operators[root_number])
+    return plan

@@ -1,0 +1,143 @@
+"""Structural validation of plan graphs.
+
+Used by tests, by the workload generator (every generated plan must be
+valid), and exposed publicly so downstream users can sanity-check parsed
+plans before transforming them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.qep.model import PlanGraph, PlanOperator
+from repro.qep.operators import StreamRole
+
+
+class PlanValidationError(ValueError):
+    """Raised when a plan violates a structural invariant."""
+
+    def __init__(self, plan_id: str, problems: List[str]):
+        super().__init__(
+            f"plan {plan_id!r} failed validation:\n  - " + "\n  - ".join(problems)
+        )
+        self.problems = problems
+
+
+def validate_plan(plan: PlanGraph, strict_costs: bool = True) -> None:
+    """Raise :class:`PlanValidationError` if *plan* is malformed.
+
+    Checks: a root exists and is reachable from no one; every operator is
+    reachable from the root; the graph is acyclic; input arity and stream
+    roles match the operator catalog; costs and cardinalities are
+    non-negative; and (with *strict_costs*) cumulative total cost is
+    monotone — a parent costs at least as much as each child it consumes
+    once (shared children are exempt because their cost is shared).
+    """
+    problems: List[str] = []
+    if plan.root is None:
+        raise PlanValidationError(plan.plan_id, ["plan has no root operator"])
+
+    # Reachability and acyclicity via iterative DFS with colors.
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {num: WHITE for num in plan.operators}
+    stack = [(plan.root, iter(plan.root.child_operators()))]
+    color[plan.root.number] = GRAY
+    while stack:
+        node, children = stack[-1]
+        advanced = False
+        for child in children:
+            state = color.get(child.number, WHITE)
+            if state == GRAY:
+                problems.append(
+                    f"cycle detected through operator #{child.number}"
+                )
+                continue
+            if state == WHITE:
+                color[child.number] = GRAY
+                stack.append((child, iter(child.child_operators())))
+                advanced = True
+                break
+        if not advanced:
+            color[node.number] = BLACK
+            stack.pop()
+
+    unreachable = [num for num, c in color.items() if c == WHITE]
+    if unreachable:
+        problems.append(
+            f"operators unreachable from root: {sorted(unreachable)}"
+        )
+
+    for op in plan.iter_operators():
+        problems.extend(_validate_operator(plan, op, strict_costs))
+
+    if problems:
+        raise PlanValidationError(plan.plan_id, problems)
+
+
+def _validate_operator(
+    plan: PlanGraph, op: PlanOperator, strict_costs: bool
+) -> List[str]:
+    problems: List[str] = []
+    label = f"#{op.number} {op.op_type}"
+    min_in, max_in = op.info.arity
+    n_op_inputs = len(op.child_operators())
+    n_inputs = len(op.inputs)
+    if n_op_inputs < min_in and not op.base_objects():
+        problems.append(
+            f"{label}: {n_inputs} input(s), needs at least {min_in}"
+        )
+    if max_in != -1 and n_op_inputs > max_in:
+        problems.append(f"{label}: {n_op_inputs} operator input(s), max {max_in}")
+    if op.info.uses_outer_inner and n_op_inputs == 2:
+        roles = sorted(s.role.label for s in op.inputs if not s.is_base_object)
+        if roles != ["inner", "outer"]:
+            problems.append(
+                f"{label}: join inputs must be one outer + one inner, got {roles}"
+            )
+    if not op.info.uses_outer_inner:
+        bad = [s.role.label for s in op.inputs if s.role is not StreamRole.INPUT]
+        if bad:
+            problems.append(
+                f"{label}: non-join operator with outer/inner stream roles {bad}"
+            )
+    if op.info.reads_base_object and not op.base_objects():
+        problems.append(f"{label}: scan operator without a base object")
+    for field in ("cardinality", "total_cost", "io_cost", "cpu_cost",
+                  "first_row_cost", "buffers"):
+        value = getattr(op, field)
+        if value < 0:
+            problems.append(f"{label}: negative {field} ({value})")
+    if strict_costs:
+        shared = {
+            child.number
+            for child in op.child_operators()
+            if len(plan.parents_of(child)) > 1
+        }
+        for child in op.child_operators():
+            if child.number in shared:
+                continue
+            if child.total_cost > op.total_cost * (1 + 1e-9):
+                problems.append(
+                    f"{label}: cumulative cost {op.total_cost:g} below "
+                    f"child #{child.number} cost {child.total_cost:g}"
+                )
+    return problems
+
+
+def plan_statistics(plan: PlanGraph) -> dict:
+    """Summary statistics used by workload reports and tests."""
+    ops = list(plan.iter_operators())
+    by_type: dict = {}
+    for op in ops:
+        by_type[op.op_type] = by_type.get(op.op_type, 0) + 1
+    return {
+        "plan_id": plan.plan_id,
+        "op_count": len(ops),
+        "depth": plan.depth(),
+        "total_cost": plan.total_cost,
+        "operator_types": by_type,
+        "base_objects": sorted(plan.base_objects()),
+        "shared_operators": sorted(
+            op.number for op in ops if len(plan.parents_of(op)) > 1
+        ),
+    }

@@ -1,0 +1,27 @@
+"""In-memory RDF substrate.
+
+This package replaces the Apache Jena RDF API used by the original
+OptImatch implementation.  It provides the term model (:mod:`~repro.rdf.term`),
+an indexed triple store (:mod:`~repro.rdf.graph`), namespace helpers
+(:mod:`~repro.rdf.namespace`) and an N-Triples style serializer/parser
+(:mod:`~repro.rdf.serializer`, :mod:`~repro.rdf.parser`).
+"""
+
+from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
+from repro.rdf.namespace import Namespace
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.serializer import to_ntriples
+from repro.rdf.parser import from_ntriples
+
+__all__ = [
+    "BNode",
+    "Graph",
+    "Literal",
+    "Namespace",
+    "Term",
+    "Triple",
+    "URIRef",
+    "Variable",
+    "from_ntriples",
+    "to_ntriples",
+]

@@ -1,0 +1,291 @@
+"""Indexed in-memory triple store.
+
+The store maintains three permutation indexes (SPO, POS, OSP) so that any
+triple pattern with at least one ground position resolves to a hash lookup
+rather than a scan.  This is the property the paper relies on when it says
+SPARQL "performs graph traversal and pattern matching efficiently" over
+QEP graphs: basic-graph-pattern evaluation issues point lookups per bound
+position.
+
+A :class:`Graph` stores only ground terms; variables belong to queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.rdf.term import Literal, Term, URIRef, is_ground
+
+#: A ground RDF triple (subject, predicate, object).
+Triple = Tuple[Term, Term, Term]
+
+_Index = Dict[Term, Dict[Term, Set[Term]]]
+
+
+def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+    index.setdefault(a, {}).setdefault(b, set()).add(c)
+
+
+def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+    try:
+        second = index[a]
+        third = second[b]
+        third.discard(c)
+        if not third:
+            del second[b]
+        if not second:
+            del index[a]
+    except KeyError:
+        pass
+
+
+class Graph:
+    """A set of RDF triples with SPO / POS / OSP permutation indexes."""
+
+    def __init__(self, identifier: Optional[str] = None):
+        self.identifier = identifier
+        self._spo: _Index = {}
+        self._pos: _Index = {}
+        self._osp: _Index = {}
+        self._size = 0
+        self._version = 0  # bumped on mutation; lets caches detect staleness
+        self._pred_total: Dict[Term, int] = {}  # triples per predicate
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, triple: Triple) -> None:
+        """Insert *triple*; duplicates are ignored (set semantics)."""
+        s, p, o = triple
+        self._validate(s, p, o)
+        before = len(self._spo.get(s, {}).get(p, ()))
+        _index_add(self._spo, s, p, o)
+        if len(self._spo[s][p]) == before:
+            return  # duplicate
+        _index_add(self._pos, p, o, s)
+        _index_add(self._osp, o, s, p)
+        self._size += 1
+        self._version += 1
+        self._pred_total[p] = self._pred_total.get(p, 0) + 1
+
+    def add_all(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.add(triple)
+
+    def remove(self, triple: Triple) -> None:
+        """Remove *triple* if present; removing a missing triple is a no-op."""
+        s, p, o = triple
+        if not self.contains(triple):
+            return
+        _index_remove(self._spo, s, p, o)
+        _index_remove(self._pos, p, o, s)
+        _index_remove(self._osp, o, s, p)
+        self._size -= 1
+        self._version += 1
+        remaining = self._pred_total.get(p, 0) - 1
+        if remaining > 0:
+            self._pred_total[p] = remaining
+        else:
+            self._pred_total.pop(p, None)
+
+    @staticmethod
+    def _validate(s: Term, p: Term, o: Term) -> None:
+        if not (is_ground(s) and is_ground(p) and is_ground(o)):
+            raise TypeError("graphs hold only ground terms (no variables)")
+        if isinstance(s, Literal):
+            raise TypeError("literal cannot be a triple subject")
+        if not isinstance(p, URIRef):
+            raise TypeError("triple predicate must be a URIRef")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def contains(self, triple: Triple) -> bool:
+        s, p, o = triple
+        return o in self._spo.get(s, {}).get(p, ())
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.contains(triple)
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern; ``None`` is a wildcard.
+
+        Index selection: the most selective permutation whose prefix is
+        bound is used, so every call with at least one bound position is
+        a dictionary lookup followed by iteration over the hits only.
+        """
+        s, p, o = subject, predicate, obj
+        if s is not None:
+            by_pred = self._spo.get(s)
+            if not by_pred:
+                return
+            if p is not None:
+                objs = by_pred.get(p)
+                if not objs:
+                    return
+                if o is not None:
+                    if o in objs:
+                        yield (s, p, o)
+                    return
+                for obj_ in list(objs):
+                    yield (s, p, obj_)
+                return
+            if o is not None:
+                preds = self._osp.get(o, {}).get(s)
+                if not preds:
+                    return
+                for p_ in list(preds):
+                    yield (s, p_, o)
+                return
+            for p_, objs in list(by_pred.items()):
+                for obj_ in list(objs):
+                    yield (s, p_, obj_)
+            return
+        if p is not None:
+            by_obj = self._pos.get(p)
+            if not by_obj:
+                return
+            if o is not None:
+                subs = by_obj.get(o)
+                if not subs:
+                    return
+                for s_ in list(subs):
+                    yield (s_, p, o)
+                return
+            for o_, subs in list(by_obj.items()):
+                for s_ in list(subs):
+                    yield (s_, p, o_)
+            return
+        if o is not None:
+            by_sub = self._osp.get(o)
+            if not by_sub:
+                return
+            for s_, preds in list(by_sub.items()):
+                for p_ in list(preds):
+                    yield (s_, p_, o)
+            return
+        for s_, by_pred in list(self._spo.items()):
+            for p_, objs in list(by_pred.items()):
+                for obj_ in list(objs):
+                    yield (s_, p_, obj_)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Number of triples matching the pattern (cheap for bound prefixes)."""
+        if subject is None and predicate is None and obj is None:
+            return self._size
+        return sum(1 for _ in self.triples(subject, predicate, obj))
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    def value(self, subject: Term, predicate: Term) -> Optional[Term]:
+        """The unique object for (subject, predicate), or ``None``.
+
+        Raises :class:`ValueError` when more than one object exists, to
+        surface modelling bugs instead of returning an arbitrary one.
+        """
+        objs = self._spo.get(subject, {}).get(predicate)
+        if not objs:
+            return None
+        if len(objs) > 1:
+            raise ValueError(
+                f"multiple objects for ({subject!r}, {predicate!r}); use objects()"
+            )
+        return next(iter(objs))
+
+    def objects(self, subject: Term, predicate: Term) -> Iterator[Term]:
+        yield from self._spo.get(subject, {}).get(predicate, ())
+
+    def subjects(self, predicate: Term, obj: Term) -> Iterator[Term]:
+        yield from self._pos.get(predicate, {}).get(obj, ())
+
+    def predicates(self, subject: Term, obj: Term) -> Iterator[Term]:
+        yield from self._osp.get(obj, {}).get(subject, ())
+
+    def subject_set(self) -> Set[Term]:
+        return set(self._spo)
+
+    def predicate_set(self) -> Set[Term]:
+        return set(self._pos)
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever the triple set changes."""
+        return self._version
+
+    def estimate(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> int:
+        """Cheap upper-bound estimate of matching triples.
+
+        Used by the SPARQL evaluator's greedy join ordering.  Every case
+        is O(1) or O(distinct predicates of one node) — never a scan.
+        """
+        s, p, o = subject, predicate, obj
+        if s is not None and p is not None:
+            objs = self._spo.get(s, {}).get(p)
+            if objs is None:
+                return 0
+            if o is not None:
+                return 1 if o in objs else 0
+            return len(objs)
+        if p is not None and o is not None:
+            subs = self._pos.get(p, {}).get(o)
+            return len(subs) if subs else 0
+        if s is not None and o is not None:
+            preds = self._osp.get(o, {}).get(s)
+            return len(preds) if preds else 0
+        if s is not None:
+            return sum(len(v) for v in self._spo.get(s, {}).values())
+        if o is not None:
+            return sum(len(v) for v in self._osp.get(o, {}).values())
+        if p is not None:
+            return self._pred_total.get(p, 0)
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def copy(self) -> "Graph":
+        clone = Graph(self.identifier)
+        clone.add_all(self)
+        return clone
+
+    def __eq__(self, other) -> bool:
+        """Triple-set equality.
+
+        Blank nodes compare by label; graphs produced by the same
+        deterministic transform are therefore comparable.  Full bnode
+        isomorphism is intentionally out of scope.
+        """
+        if not isinstance(other, Graph):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(t in other for t in self)
+
+    def __repr__(self) -> str:
+        ident = f" id={self.identifier!r}" if self.identifier else ""
+        return f"<Graph{ident} size={self._size}>"

@@ -1,0 +1,52 @@
+"""Namespace helper for minting URIRefs under a common prefix."""
+
+from __future__ import annotations
+
+from repro.rdf.term import URIRef
+
+
+class Namespace:
+    """A URI prefix that produces :class:`URIRef` terms.
+
+    >>> PRED = Namespace("http://optimatch/predicate#")
+    >>> PRED.hasPopType
+    URIRef('http://optimatch/predicate#hasPopType')
+    >>> PRED["hasTotalCost"]
+    URIRef('http://optimatch/predicate#hasTotalCost')
+    """
+
+    def __init__(self, base: str):
+        if not base:
+            raise ValueError("Namespace requires a non-empty base IRI")
+        self._base = base
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def term(self, name: str) -> URIRef:
+        return URIRef(self._base + name)
+
+    def __getitem__(self, name: str) -> URIRef:
+        return self.term(name)
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __contains__(self, uri) -> bool:
+        value = uri.value if isinstance(uri, URIRef) else str(uri)
+        return value.startswith(self._base)
+
+    def local_name(self, uri: URIRef) -> str:
+        """Strip the namespace base from *uri*.
+
+        Raises :class:`ValueError` if *uri* is not inside this namespace.
+        """
+        if uri not in self:
+            raise ValueError(f"{uri!r} is not in namespace {self._base!r}")
+        return uri.value[len(self._base):]
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base!r})"

@@ -1,0 +1,174 @@
+"""N-Triples parser (round-trips :func:`repro.rdf.serializer.to_ntriples`).
+
+Supports the subset of N-Triples the serializer emits plus comments and
+blank lines: IRI terms, blank nodes, plain / typed literals with the
+standard string escapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.rdf.graph import Graph
+from repro.rdf.term import BNode, Literal, Term, URIRef
+
+
+class NTriplesSyntaxError(ValueError):
+    """Raised on malformed N-Triples input, with line information."""
+
+    def __init__(self, message: str, line_no: int, line: str):
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_ESCAPES = {
+    "\\": "\\",
+    '"': '"',
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+
+def _unescape(text: str, line_no: int, line: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= len(text):
+            raise NTriplesSyntaxError("dangling escape", line_no, line)
+        nxt = text[i + 1]
+        if nxt in _ESCAPES:
+            out.append(_ESCAPES[nxt])
+            i += 2
+        elif nxt == "u" and i + 6 <= len(text):
+            out.append(chr(int(text[i + 2:i + 6], 16)))
+            i += 6
+        else:
+            raise NTriplesSyntaxError(f"bad escape \\{nxt}", line_no, line)
+    return "".join(out)
+
+
+class _LineScanner:
+    """Cursor over a single N-Triples line."""
+
+    def __init__(self, line: str, line_no: int):
+        self.line = line
+        self.line_no = line_no
+        self.pos = 0
+
+    def error(self, message: str) -> NTriplesSyntaxError:
+        return NTriplesSyntaxError(message, self.line_no, self.line)
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def expect(self, ch: str) -> None:
+        if self.at_end() or self.line[self.pos] != ch:
+            raise self.error(f"expected {ch!r}")
+        self.pos += 1
+
+    def read_term(self) -> Term:
+        self.skip_ws()
+        if self.at_end():
+            raise self.error("unexpected end of line")
+        ch = self.line[self.pos]
+        if ch == "<":
+            return self._read_iri()
+        if ch == "_":
+            return self._read_bnode()
+        if ch == '"':
+            return self._read_literal()
+        raise self.error(f"unexpected character {ch!r}")
+
+    def _read_iri(self) -> URIRef:
+        end = self.line.find(">", self.pos)
+        if end == -1:
+            raise self.error("unterminated IRI")
+        value = self.line[self.pos + 1:end]
+        self.pos = end + 1
+        return URIRef(value)
+
+    def _read_bnode(self) -> BNode:
+        if not self.line.startswith("_:", self.pos):
+            raise self.error("malformed blank node")
+        start = self.pos + 2
+        end = start
+        while end < len(self.line) and (
+            self.line[end].isalnum() or self.line[end] in "_-"
+        ):
+            end += 1
+        if end == start:
+            raise self.error("empty blank node label")
+        label = self.line[start:end]
+        self.pos = end
+        return BNode(label)
+
+    def _read_literal(self) -> Literal:
+        # Find the closing quote, honouring backslash escapes.
+        i = self.pos + 1
+        while i < len(self.line):
+            if self.line[i] == "\\":
+                i += 2
+                continue
+            if self.line[i] == '"':
+                break
+            i += 1
+        else:
+            raise self.error("unterminated literal")
+        raw = self.line[self.pos + 1:i]
+        lexical = _unescape(raw, self.line_no, self.line)
+        self.pos = i + 1
+        datatype = None
+        if self.line.startswith("^^", self.pos):
+            self.pos += 2
+            self.expect("<")
+            self.pos -= 1  # _read_iri expects to start at '<'
+            datatype = self._read_iri().value
+        return Literal(lexical, datatype=datatype)
+
+
+def iter_ntriples(text: str) -> Iterator[Tuple[Term, Term, Term]]:
+    """Yield triples parsed from *text*; skips comments and blank lines."""
+    # Split on '\n' only: str.splitlines() also breaks on NEL/LS/PS and
+    # vertical tabs, which may legitimately appear inside literals.
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        scanner = _LineScanner(line, line_no)
+        subject = scanner.read_term()
+        predicate = scanner.read_term()
+        obj = scanner.read_term()
+        scanner.skip_ws()
+        scanner.expect(".")
+        scanner.skip_ws()
+        if not scanner.at_end():
+            raise scanner.error("trailing content after '.'")
+        if isinstance(subject, Literal):
+            raise scanner.error("literal subject")
+        if not isinstance(predicate, URIRef):
+            raise scanner.error("predicate must be an IRI")
+        yield (subject, predicate, obj)
+
+
+def from_ntriples(text: str, identifier: str = None) -> Graph:
+    """Parse N-Triples *text* into a fresh :class:`Graph`."""
+    graph = Graph(identifier)
+    graph.add_all(iter_ntriples(text))
+    return graph
+
+
+def read_ntriples(path: str, identifier: str = None) -> Graph:
+    """Read an N-Triples file from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return from_ntriples(handle.read(), identifier or path)

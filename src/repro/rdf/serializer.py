@@ -1,0 +1,40 @@
+"""N-Triples style serialization.
+
+The output mirrors Figure 2 of the paper: one ``<s> <p> <o> .`` statement
+per line, deterministic ordering so diffs and tests are stable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.term import BNode, Literal, Term, URIRef
+
+
+def _sort_key(term: Term):
+    if isinstance(term, URIRef):
+        return (0, term.value)
+    if isinstance(term, BNode):
+        return (1, term.label)
+    if isinstance(term, Literal):
+        return (2, term.lexical, term.datatype or "")
+    return (3, repr(term))
+
+
+def triple_sort_key(triple: Triple):
+    s, p, o = triple
+    return (_sort_key(s), _sort_key(p), _sort_key(o))
+
+
+def to_ntriples(graph_or_triples: Iterable[Triple]) -> str:
+    """Serialize a graph (or any iterable of triples) to N-Triples text."""
+    triples = sorted(graph_or_triples, key=triple_sort_key)
+    lines = [f"{s.n3()} {p.n3()} {o.n3()} ." for s, p, o in triples]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_ntriples(graph: Graph, path: str) -> None:
+    """Serialize *graph* to *path* as UTF-8 N-Triples."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_ntriples(graph))

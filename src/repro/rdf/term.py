@@ -1,0 +1,211 @@
+"""RDF term model: URI references, blank nodes, literals and variables.
+
+Terms are immutable, hashable value objects so they can be used directly
+as keys in the triple-store indexes.  Literal values keep their lexical
+form but expose a :meth:`Literal.as_number` coercion used by SPARQL
+filters — query plans print costs either in decimal or exponent notation
+(``15771.9`` vs ``2.87997e+07``) and comparisons must treat both alike.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Optional, Union
+
+
+class Term:
+    """Base class for every RDF term."""
+
+    __slots__ = ()
+
+    def n3(self) -> str:
+        """Return the N-Triples / SPARQL surface syntax for this term."""
+        raise NotImplementedError
+
+
+class URIRef(Term):
+    """An IRI term, e.g. ``<http://.../predicate#hasPopType>``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if not value:
+            raise ValueError("URIRef requires a non-empty IRI string")
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, val):  # pragma: no cover - immutability guard
+        raise AttributeError("URIRef is immutable")
+
+    def n3(self) -> str:
+        return f"<{self.value}>"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, URIRef) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("uri", self.value))
+
+    def __repr__(self) -> str:
+        return f"URIRef({self.value!r})"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class BNode(Term):
+    """A blank node.
+
+    Blank nodes carry a label unique within the graph that minted them.
+    OptImatch uses them (via *blank node handlers*) to represent the
+    stream resources that disambiguate shared subexpressions.
+    """
+
+    __slots__ = ("label",)
+    _counter = itertools.count()
+
+    def __init__(self, label: Optional[str] = None):
+        if label is None:
+            label = f"b{next(BNode._counter)}"
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name, val):  # pragma: no cover - immutability guard
+        raise AttributeError("BNode is immutable")
+
+    def n3(self) -> str:
+        return f"_:{self.label}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BNode) and self.label == other.label
+
+    def __hash__(self) -> int:
+        return hash(("bnode", self.label))
+
+    def __repr__(self) -> str:
+        return f"BNode({self.label!r})"
+
+
+class Literal(Term):
+    """A literal value with its lexical form and optional datatype IRI."""
+
+    __slots__ = ("lexical", "datatype")
+
+    #: XSD datatypes treated as numeric by :meth:`as_number`.
+    _NUMERIC_DATATYPES = frozenset(
+        {
+            "http://www.w3.org/2001/XMLSchema#integer",
+            "http://www.w3.org/2001/XMLSchema#decimal",
+            "http://www.w3.org/2001/XMLSchema#double",
+            "http://www.w3.org/2001/XMLSchema#float",
+        }
+    )
+
+    def __init__(self, value: Union[str, int, float], datatype: Optional[str] = None):
+        if isinstance(value, bool):
+            lexical = "true" if value else "false"
+            datatype = datatype or "http://www.w3.org/2001/XMLSchema#boolean"
+        elif isinstance(value, int):
+            lexical = str(value)
+            datatype = datatype or "http://www.w3.org/2001/XMLSchema#integer"
+        elif isinstance(value, float):
+            lexical = repr(value)
+            datatype = datatype or "http://www.w3.org/2001/XMLSchema#double"
+        else:
+            lexical = str(value)
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+
+    def __setattr__(self, name, val):  # pragma: no cover - immutability guard
+        raise AttributeError("Literal is immutable")
+
+    def as_number(self) -> Optional[float]:
+        """Best-effort numeric interpretation of the lexical form.
+
+        Returns ``None`` when the literal is not a number.  This accepts
+        both plain decimals and exponent notation, which is exactly the
+        formatting hazard the paper identifies in manual QEP search.
+        """
+        try:
+            value = float(self.lexical)
+        except (TypeError, ValueError):
+            return None
+        # NaN breaks equality/hash consistency (nan != nan) and neither
+        # NaN nor infinities appear as numbers in explain files; treat
+        # such lexical forms ("NaN", "inf", overflowing exponents) as
+        # plain strings.
+        if math.isnan(value) or math.isinf(value):
+            return None
+        return value
+
+    def is_numeric(self) -> bool:
+        return self.as_number() is not None
+
+    def n3(self) -> str:
+        escaped = (
+            self.lexical.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        if self.datatype and self.datatype not in (
+            "http://www.w3.org/2001/XMLSchema#string",
+        ):
+            return f'"{escaped}"^^<{self.datatype}>'
+        return f'"{escaped}"'
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Literal):
+            return False
+        # Numeric literals compare by value so "100" == "100.0" == "1e2".
+        a, b = self.as_number(), other.as_number()
+        if a is not None and b is not None:
+            return a == b
+        return self.lexical == other.lexical and self.datatype == other.datatype
+
+    def __hash__(self) -> int:
+        num = self.as_number()
+        if num is not None:
+            return hash(("literal-num", num))
+        return hash(("literal", self.lexical, self.datatype))
+
+    def __repr__(self) -> str:
+        if self.datatype:
+            return f"Literal({self.lexical!r}, datatype={self.datatype!r})"
+        return f"Literal({self.lexical!r})"
+
+    def __str__(self) -> str:
+        return self.lexical
+
+
+class Variable(Term):
+    """A SPARQL variable, e.g. ``?pop1``.  Only valid inside queries."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Variable requires a non-empty name")
+        if name.startswith("?") or name.startswith("$"):
+            name = name[1:]
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, val):  # pragma: no cover - immutability guard
+        raise AttributeError("Variable is immutable")
+
+    def n3(self) -> str:
+        return f"?{self.name}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("var", self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+def is_ground(term: Term) -> bool:
+    """True when *term* can appear in a graph (i.e. it is not a variable)."""
+    return isinstance(term, (URIRef, BNode, Literal))

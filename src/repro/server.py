@@ -1,0 +1,243 @@
+"""HTTP server facade — the paper's client/server architecture.
+
+OptImatch is a web tool (Figure 4: a web-based GUI talking to a server
+holding the transformation and matching engines; Section 3.2.1 even
+notes the client/server communication as an optimization target).  This
+module exposes the same architecture over a small JSON/HTTP API built on
+the standard library, so the GUI's role can be played by ``curl`` or any
+front end:
+
+======  =====================  ==========================================
+method  path                   body / effect
+======  =====================  ==========================================
+GET     /health                liveness + workload size
+GET     /plans                 list loaded plan ids
+POST    /plans                 explain text (or tree snippet) → loads it
+DELETE  /plans                 clear the workload
+POST    /search                Figure 5 pattern JSON → matches
+POST    /search/sparql         raw SPARQL text → matches
+GET     /kb/entries            stored entry names
+POST    /kb/entries            entry JSON (pattern + recommendations)
+POST    /kb/run                run all entries → recommendations report
+======  =====================  ==========================================
+
+Start one with ``optimatch serve --port 8080`` or programmatically::
+
+    from repro.server import OptImatchServer
+    server = OptImatchServer(port=0)     # 0 = ephemeral port
+    server.start()
+    ...
+    server.stop()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.core import OptImatch, ProblemPattern
+from repro.kb import KnowledgeBase, builtin_knowledge_base
+from repro.kb.knowledge_base import KBEntry
+from repro.qep.parser import QepParseError
+
+
+class ServerState:
+    """Shared state behind the HTTP handlers (thread-safe)."""
+
+    def __init__(self, knowledge_base: Optional[KnowledgeBase] = None):
+        self.tool = OptImatch()
+        self.kb = knowledge_base or builtin_knowledge_base()
+        self.lock = threading.Lock()
+
+
+def _matches_to_json(matches) -> list:
+    out = []
+    for plan_matches in matches:
+        occurrences = []
+        for occurrence in plan_matches:
+            bindings = {}
+            for name, node in sorted(occurrence.bindings.items()):
+                if hasattr(node, "op_type"):
+                    bindings[name] = {
+                        "kind": "operator",
+                        "type": node.op_type,
+                        "number": node.number,
+                        "cardinality": node.cardinality,
+                        "totalCost": node.total_cost,
+                    }
+                else:
+                    bindings[name] = {
+                        "kind": "baseObject",
+                        "table": node.qualified_name,
+                        "cardinality": node.cardinality,
+                    }
+            occurrences.append(bindings)
+        out.append(
+            {"planId": plan_matches.plan_id, "occurrences": occurrences}
+        )
+    return out
+
+
+def _report_to_json(report) -> dict:
+    plans = []
+    for plan_recs in report.plans:
+        results = [
+            {
+                "entry": result.entry_name,
+                "confidence": result.confidence,
+                "occurrences": result.occurrence_count,
+                "recommendations": result.texts(),
+            }
+            for result in plan_recs.results
+        ]
+        plans.append({"planId": plan_recs.plan_id, "results": results})
+    return {"plans": plans, "hits": report.entry_hit_counts()}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the server instance injects ``state``."""
+
+    state: ServerState  # set by OptImatchServer
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format, *args):  # silence default stderr noise
+        pass
+
+    def _body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0))
+        return self.rfile.read(length) if length else b""
+
+    def _send(self, status: int, payload) -> None:
+        data = json.dumps(payload, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self):
+        state = self.state
+        if self.path == "/health":
+            with state.lock:
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "plans": state.tool.plan_count,
+                        "kbEntries": len(state.kb),
+                    },
+                )
+        elif self.path == "/plans":
+            with state.lock:
+                self._send(
+                    200,
+                    {"plans": [t.plan_id for t in state.tool.workload]},
+                )
+        elif self.path == "/kb/entries":
+            with state.lock:
+                self._send(
+                    200, {"entries": [e.name for e in state.kb.entries]}
+                )
+        else:
+            self._error(404, f"unknown path {self.path}")
+
+    def do_DELETE(self):
+        if self.path == "/plans":
+            with self.state.lock:
+                self.state.tool.clear()
+            self._send(200, {"cleared": True})
+        else:
+            self._error(404, f"unknown path {self.path}")
+
+    def do_POST(self):
+        state = self.state
+        body = self._body()
+        try:
+            if self.path == "/plans":
+                text = body.decode("utf-8")
+                with state.lock:
+                    transformed = state.tool.load_explain_text(text)
+                self._send(
+                    201,
+                    {
+                        "planId": transformed.plan_id,
+                        "operators": transformed.plan.op_count,
+                        "triples": len(transformed.graph),
+                    },
+                )
+            elif self.path == "/search":
+                pattern = ProblemPattern.from_json(body.decode("utf-8"))
+                with state.lock:
+                    matches = state.tool.search(pattern)
+                self._send(200, {"matches": _matches_to_json(matches)})
+            elif self.path == "/search/sparql":
+                sparql = body.decode("utf-8")
+                with state.lock:
+                    matches = state.tool.search(sparql)
+                self._send(200, {"matches": _matches_to_json(matches)})
+            elif self.path == "/kb/entries":
+                entry = KBEntry.from_json_object(json.loads(body))
+                with state.lock:
+                    state.kb.add(entry)
+                self._send(201, {"added": entry.name})
+            elif self.path == "/kb/run":
+                with state.lock:
+                    report = state.tool.run_knowledge_base(state.kb)
+                self._send(200, _report_to_json(report))
+            else:
+                self._error(404, f"unknown path {self.path}")
+        except (QepParseError, ValueError, KeyError) as exc:
+            self._error(400, str(exc))
+
+
+class OptImatchServer:
+    """A threaded HTTP server wrapping one :class:`OptImatch` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        knowledge_base: Optional[KnowledgeBase] = None,
+    ):
+        self.state = ServerState(knowledge_base)
+        handler = type("BoundHandler", (_Handler,), {"state": self.state})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "OptImatchServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

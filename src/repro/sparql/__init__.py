@@ -1,0 +1,41 @@
+"""SPARQL query engine for the OptImatch-generated query subset.
+
+Replaces Jena ARQ.  Supported surface: ``PREFIX``, ``SELECT`` (with
+``AS`` aliases, ``DISTINCT``, ``*`` and aggregates), ``WHERE`` with basic
+graph patterns, ``FILTER`` expressions, ``OPTIONAL``, ``UNION``, ``BIND``,
+``EXISTS`` / ``NOT EXISTS``, property paths (``/``, ``|``, ``^``, ``+``,
+``*``, ``?``, grouping), ``GROUP BY`` / ``HAVING``, ``ORDER BY``,
+``LIMIT`` / ``OFFSET``.
+
+Usage::
+
+    from repro.sparql import query
+    results = query(graph, "SELECT ?s WHERE { ?s ?p ?o }")
+"""
+
+from repro.sparql.parser import parse_query, SparqlSyntaxError
+from repro.sparql.evaluator import evaluate_query
+from repro.sparql.results import ResultSet
+
+
+def prepare_query(text: str):
+    """Parse *text* once; the returned AST can be evaluated repeatedly."""
+    return parse_query(text)
+
+
+def query(graph, text_or_ast) -> ResultSet:
+    """Run a SELECT query against *graph* and return a :class:`ResultSet`."""
+    ast = text_or_ast
+    if isinstance(text_or_ast, str):
+        ast = parse_query(text_or_ast)
+    return evaluate_query(ast, graph)
+
+
+__all__ = [
+    "ResultSet",
+    "SparqlSyntaxError",
+    "evaluate_query",
+    "parse_query",
+    "prepare_query",
+    "query",
+]

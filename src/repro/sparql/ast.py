@@ -1,0 +1,296 @@
+"""Abstract syntax tree for the supported SPARQL subset.
+
+The nodes are deliberately plain dataclasses: the parser builds them, the
+evaluator walks them.  Property-path nodes mirror the SPARQL 1.1 path
+algebra for the operators OptImatch-generated queries use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.term import Term, URIRef, Variable
+
+
+# ----------------------------------------------------------------------
+# Property paths
+# ----------------------------------------------------------------------
+class Path:
+    """Base class for property-path expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class PathLink(Path):
+    """A single predicate IRI step."""
+
+    iri: URIRef
+
+
+@dataclass(frozen=True)
+class PathInverse(Path):
+    """``^path`` — traverse the path from object to subject."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class PathSequence(Path):
+    """``p1 / p2 / ...`` — path composition."""
+
+    parts: Tuple[Path, ...]
+
+
+@dataclass(frozen=True)
+class PathAlternative(Path):
+    """``p1 | p2 | ...`` — union of paths."""
+
+    parts: Tuple[Path, ...]
+
+
+@dataclass(frozen=True)
+class PathMod(Path):
+    """``path?``, ``path*`` or ``path+``."""
+
+    path: Path
+    modifier: str  # one of '?', '*', '+'
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class TermExpr(Expr):
+    """A variable, literal or IRI used as an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class UnaryExpr(Expr):
+    op: str  # '!', '-', '+'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryExpr(Expr):
+    op: str  # '&&' '||' '=' '!=' '<' '<=' '>' '>=' '+' '-' '*' '/'
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str  # upper-cased builtin name
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class InExpr(Expr):
+    value: Expr
+    options: Tuple[Expr, ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class ExistsExpr(Expr):
+    group: "GroupGraphPattern"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    name: str  # COUNT SUM AVG MIN MAX SAMPLE GROUP_CONCAT
+    expr: Optional[Expr]  # None => COUNT(*)
+    distinct: bool = False
+    separator: str = " "
+
+
+# ----------------------------------------------------------------------
+# Graph patterns
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TriplePattern:
+    subject: Term
+    predicate: Union[Term, Path]
+    obj: Term
+
+
+@dataclass
+class GroupGraphPattern:
+    """An ordered list of pattern elements inside ``{ ... }``."""
+
+    elements: List[object] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Filter:
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Optional_:
+    group: GroupGraphPattern
+
+
+@dataclass(frozen=True)
+class Union_:
+    groups: Tuple[GroupGraphPattern, ...]
+
+
+@dataclass(frozen=True)
+class Minus:
+    group: GroupGraphPattern
+
+
+@dataclass(frozen=True)
+class Bind:
+    expr: Expr
+    var: Variable
+
+
+@dataclass(frozen=True)
+class InlineValues:
+    variables: Tuple[Variable, ...]
+    rows: Tuple[Tuple[Optional[Term], ...], ...]
+
+
+@dataclass(frozen=True)
+class SubSelect:
+    """A nested ``{ SELECT ... }`` subquery inside a group pattern."""
+
+    query: "SelectQuery"
+
+
+# ----------------------------------------------------------------------
+# Query
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection: a bare variable or ``(expr AS ?alias)``."""
+
+    expr: Expr
+    alias: Optional[Variable] = None
+
+    def output_name(self) -> str:
+        if self.alias is not None:
+            return self.alias.name
+        if isinstance(self.expr, TermExpr) and isinstance(self.expr.term, Variable):
+            return self.expr.term.name
+        raise ValueError("non-variable select item requires an AS alias")
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    select: List[SelectItem]  # empty list means SELECT *
+    where: GroupGraphPattern
+    distinct: bool = False
+    group_by: List[Expr] = field(default_factory=list)
+    having: List[Expr] = field(default_factory=list)
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    prefixes: dict = field(default_factory=dict)
+
+    @property
+    def is_select_star(self) -> bool:
+        return not self.select
+
+    def has_aggregates(self) -> bool:
+        if self.group_by:
+            return True
+        return any(_contains_aggregate(item.expr) for item in self.select)
+
+
+@dataclass
+class AskQuery:
+    """``ASK WHERE { ... }`` — existence check, evaluates to a boolean."""
+
+    where: GroupGraphPattern
+    prefixes: dict = field(default_factory=dict)
+
+
+def _contains_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, UnaryExpr):
+        return _contains_aggregate(expr.operand)
+    if isinstance(expr, BinaryExpr):
+        return _contains_aggregate(expr.left) or _contains_aggregate(expr.right)
+    if isinstance(expr, FunctionCall):
+        return any(_contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, InExpr):
+        return _contains_aggregate(expr.value) or any(
+            _contains_aggregate(o) for o in expr.options
+        )
+    return False
+
+
+def walk_pattern_variables(element) -> set:
+    """Collect every variable mentioned in a pattern element (recursive)."""
+    out = set()
+    if isinstance(element, GroupGraphPattern):
+        for child in element.elements:
+            out |= walk_pattern_variables(child)
+    elif isinstance(element, TriplePattern):
+        for term in (element.subject, element.predicate, element.obj):
+            if isinstance(term, Variable):
+                out.add(term)
+    elif isinstance(element, (Optional_, Minus)):
+        out |= walk_pattern_variables(element.group)
+    elif isinstance(element, Union_):
+        for group in element.groups:
+            out |= walk_pattern_variables(group)
+    elif isinstance(element, Bind):
+        out.add(element.var)
+        out |= expression_variables(element.expr)
+    elif isinstance(element, Filter):
+        out |= expression_variables(element.expr)
+    elif isinstance(element, InlineValues):
+        out |= set(element.variables)
+    elif isinstance(element, SubSelect):
+        # Only the subquery's projected variables are visible outside.
+        query = element.query
+        if query.is_select_star:
+            out |= walk_pattern_variables(query.where)
+        else:
+            for item in query.select:
+                out.add(Variable(item.output_name()))
+    return out
+
+
+def expression_variables(expr: Expr) -> set:
+    """Collect variables mentioned in an expression."""
+    out = set()
+    if isinstance(expr, TermExpr):
+        if isinstance(expr.term, Variable):
+            out.add(expr.term)
+    elif isinstance(expr, UnaryExpr):
+        out |= expression_variables(expr.operand)
+    elif isinstance(expr, BinaryExpr):
+        out |= expression_variables(expr.left)
+        out |= expression_variables(expr.right)
+    elif isinstance(expr, FunctionCall):
+        for arg in expr.args:
+            out |= expression_variables(arg)
+    elif isinstance(expr, InExpr):
+        out |= expression_variables(expr.value)
+        for option in expr.options:
+            out |= expression_variables(option)
+    elif isinstance(expr, ExistsExpr):
+        out |= walk_pattern_variables(expr.group)
+    elif isinstance(expr, Aggregate) and expr.expr is not None:
+        out |= expression_variables(expr.expr)
+    return out

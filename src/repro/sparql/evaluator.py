@@ -1,0 +1,832 @@
+"""SPARQL query evaluation over :class:`repro.rdf.Graph`.
+
+Evaluation is streaming where possible: a group graph pattern produces an
+iterator of binding dictionaries (``Variable -> Term``).  Basic graph
+patterns use greedy join reordering — at each step the remaining triple
+pattern with the most bound positions is evaluated next — so index
+lookups dominate and scans are rare.  Property paths are evaluated with
+breadth-first fixpoints, matching SPARQL 1.1 semantics for ``/ | ^ + * ?``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.rdf.graph import Graph
+from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
+from repro.sparql import ast
+from repro.sparql.functions import (
+    ExprError,
+    effective_boolean_value,
+    evaluate_expression,
+    order_key,
+)
+from repro.sparql.results import ResultRow, ResultSet
+
+Bindings = Dict[Variable, Term]
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+#: Ablation switches (used by benchmarks; leave True in production).
+#: JOIN_REORDERING toggles greedy estimate-based BGP ordering;
+#: CLOSURE_CACHING toggles the per-graph property-path closure memo.
+JOIN_REORDERING = True
+CLOSURE_CACHING = True
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def evaluate_query(query, graph: Graph):
+    """Evaluate a parsed query against *graph*.
+
+    SELECT queries return a :class:`ResultSet`; ASK queries return bool.
+    """
+    if isinstance(query, ast.AskQuery):
+        return group_matches(query.where, graph, {})
+    solutions = list(eval_group(query.where, graph, {}))
+    if query.has_aggregates():
+        rows, variables = _project_aggregated(query, graph, solutions)
+        if query.order_by:
+            rows = _apply_order(query, graph, rows, variables)
+    else:
+        # ORDER BY applies before projection (it may reference WHERE
+        # variables that the SELECT clause renames, as the paper's
+        # generated queries do: SELECT ?pop1 AS ?TOP ... ORDER BY ?pop1).
+        if query.order_by:
+            solutions = _order_solutions(query, graph, solutions)
+        rows, variables = _project_plain(query, graph, solutions)
+    if query.distinct:
+        rows = _apply_distinct(rows, variables)
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[:query.limit]
+    return ResultSet(variables, [ResultRow(dict(zip(variables, r))) for r in rows])
+
+
+def group_matches(group: ast.GroupGraphPattern, graph: Graph, bindings: Bindings) -> bool:
+    """True when *group* has at least one solution under *bindings*.
+
+    Used for EXISTS / NOT EXISTS.
+    """
+    for _ in eval_group(group, graph, bindings):
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Group graph pattern evaluation
+# ----------------------------------------------------------------------
+def eval_group(
+    group: ast.GroupGraphPattern, graph: Graph, bindings: Bindings
+) -> Iterator[Bindings]:
+    """Yield solutions for *group* extending the initial *bindings*.
+
+    SPARQL scopes FILTERs to the whole group, so filters are collected
+    and applied once every non-filter element has been joined.
+    """
+    patterns = [e for e in group.elements if not isinstance(e, ast.Filter)]
+    filters = [e for e in group.elements if isinstance(e, ast.Filter)]
+    stream: Iterable[Bindings] = iter([dict(bindings)])
+    index = 0
+    while index < len(patterns):
+        element = patterns[index]
+        if isinstance(element, ast.TriplePattern):
+            # Batch this run of consecutive triple patterns into one BGP
+            # so the greedy reorderer sees them all.
+            run: List[ast.TriplePattern] = []
+            while index < len(patterns) and isinstance(
+                patterns[index], ast.TriplePattern
+            ):
+                run.append(patterns[index])
+                index += 1
+            stream = _join_bgp(stream, run, graph)
+            continue
+        stream = _apply_element(stream, element, graph)
+        index += 1
+    for solution in stream:
+        if _passes_filters(filters, solution, graph):
+            yield solution
+
+
+def _apply_element(
+    stream: Iterable[Bindings], element, graph: Graph
+) -> Iterator[Bindings]:
+    if isinstance(element, ast.GroupGraphPattern):
+        for solution in stream:
+            yield from eval_group(element, graph, solution)
+        return
+    if isinstance(element, ast.Optional_):
+        for solution in stream:
+            extended = False
+            for ext in eval_group(element.group, graph, solution):
+                extended = True
+                yield ext
+            if not extended:
+                yield solution
+        return
+    if isinstance(element, ast.Union_):
+        for solution in stream:
+            for branch in element.groups:
+                yield from eval_group(branch, graph, solution)
+        return
+    if isinstance(element, ast.Minus):
+        removed = list(eval_group(element.group, graph, {}))
+        for solution in stream:
+            if not any(_minus_conflicts(solution, other) for other in removed):
+                yield solution
+        return
+    if isinstance(element, ast.Bind):
+        for solution in stream:
+            if element.var in solution:
+                raise ValueError(
+                    f"BIND would rebind already-bound variable ?{element.var.name}"
+                )
+            new = dict(solution)
+            try:
+                new[element.var] = evaluate_expression(
+                    element.expr, solution, graph, group_matches
+                )
+            except ExprError:
+                pass  # per spec the variable stays unbound
+            yield new
+        return
+    if isinstance(element, ast.SubSelect):
+        # SPARQL evaluates subqueries bottom-up: the inner SELECT runs
+        # against the graph alone, then its projected rows join with the
+        # outer solutions on shared variables.
+        inner = evaluate_query(element.query, graph)
+        inner_bindings: List[Bindings] = []
+        for row in inner:
+            binding: Bindings = {}
+            for name, term in row.items():
+                if term is not None:
+                    binding[Variable(name)] = term
+            inner_bindings.append(binding)
+        for solution in stream:
+            for candidate in inner_bindings:
+                merged = dict(solution)
+                compatible = True
+                for var, term in candidate.items():
+                    bound = merged.get(var)
+                    if bound is None:
+                        merged[var] = term
+                    elif bound != term:
+                        compatible = False
+                        break
+                if compatible:
+                    yield merged
+        return
+    if isinstance(element, ast.InlineValues):
+        for solution in stream:
+            for row in element.rows:
+                merged = dict(solution)
+                compatible = True
+                for var, term in zip(element.variables, row):
+                    if term is None:
+                        continue
+                    bound = merged.get(var)
+                    if bound is None:
+                        merged[var] = term
+                    elif bound != term:
+                        compatible = False
+                        break
+                if compatible:
+                    yield merged
+        return
+    raise TypeError(f"unsupported pattern element {element!r}")
+
+
+def _minus_conflicts(solution: Bindings, other: Bindings) -> bool:
+    shared = set(solution) & set(other)
+    if not shared:
+        return False
+    return all(solution[v] == other[v] for v in shared)
+
+
+def _passes_filters(
+    filters: List[ast.Filter], solution: Bindings, graph: Graph
+) -> bool:
+    for flt in filters:
+        try:
+            value = evaluate_expression(flt.expr, solution, graph, group_matches)
+            if not effective_boolean_value(value):
+                return False
+        except ExprError:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Basic graph patterns with greedy reordering
+# ----------------------------------------------------------------------
+def _join_bgp(
+    stream: Iterable[Bindings], patterns: List[ast.TriplePattern], graph: Graph
+) -> Iterator[Bindings]:
+    for solution in stream:
+        yield from _eval_bgp(patterns, graph, solution)
+
+
+def _eval_bgp(
+    patterns: List[ast.TriplePattern], graph: Graph, bindings: Bindings
+) -> Iterator[Bindings]:
+    if not patterns:
+        yield bindings
+        return
+    remaining = list(patterns)
+    order = _choose_next(remaining, bindings, graph)
+    pattern = remaining.pop(order)
+    for extended in _match_triple(pattern, graph, bindings):
+        yield from _eval_bgp(remaining, graph, extended)
+
+
+#: Assumed result sizes for property-path patterns by number of bound
+#: endpoints (0, 1, 2).  A path with a bound endpoint explores one BFS
+#: closure, which on plan graphs is far cheaper than enumerating a large
+#: unbound candidate set first.
+_PATH_ESTIMATES = (1 << 30, 64, 2)
+
+
+def _choose_next(
+    patterns: List[ast.TriplePattern], bindings: Bindings, graph: Graph
+) -> int:
+    """Index of the cheapest remaining pattern under the current bindings.
+
+    Two-phase greedy: rank first by number of bound positions (cheap);
+    break ties with exact index-based estimates from the triple store
+    (property paths use a coarse bound-endpoint heuristic).  The tie
+    break is what routes recursive queries through the bound end of a
+    path instead of enumerating a large unbound candidate set.
+    """
+    if len(patterns) == 1 or not JOIN_REORDERING:
+        return 0
+
+    def bound_count(tp: ast.TriplePattern) -> int:
+        count = 0
+        if not isinstance(tp.subject, Variable) or tp.subject in bindings:
+            count += 1
+        if not isinstance(tp.predicate, ast.Path):
+            if not isinstance(tp.predicate, Variable) or tp.predicate in bindings:
+                count += 1
+        if not isinstance(tp.obj, Variable) or tp.obj in bindings:
+            count += 1
+        return count
+
+    counts = [bound_count(tp) for tp in patterns]
+    best_count = max(counts)
+    candidates = [i for i, c in enumerate(counts) if c == best_count]
+    if len(candidates) == 1:
+        return candidates[0]
+
+    def estimate(tp: ast.TriplePattern) -> Tuple[int, int]:
+        subject = _resolve(tp.subject, bindings)
+        obj = _resolve(tp.obj, bindings)
+        if isinstance(tp.predicate, ast.Path):
+            bound_ends = (subject is not None) + (obj is not None)
+            return (_PATH_ESTIMATES[bound_ends], 1)
+        predicate = _resolve(tp.predicate, bindings)
+        return (graph.estimate(subject, predicate, obj), 0)
+
+    return min(candidates, key=lambda i: estimate(patterns[i]))
+
+
+def _resolve(term: Term, bindings: Bindings) -> Optional[Term]:
+    """Ground value of *term* under bindings, or None if still free."""
+    if isinstance(term, Variable):
+        return bindings.get(term)
+    return term
+
+
+def _match_triple(
+    pattern: ast.TriplePattern, graph: Graph, bindings: Bindings
+) -> Iterator[Bindings]:
+    subject = _resolve(pattern.subject, bindings)
+    obj = _resolve(pattern.obj, bindings)
+    predicate = pattern.predicate
+    if isinstance(predicate, ast.Path):
+        for s_val, o_val in eval_path(predicate, graph, subject, obj):
+            extended = _extend(bindings, pattern.subject, s_val)
+            if extended is None:
+                continue
+            extended = _extend(extended, pattern.obj, o_val)
+            if extended is not None:
+                yield extended
+        return
+    pred = _resolve(predicate, bindings)
+    for s_val, p_val, o_val in graph.triples(subject, pred, obj):
+        extended = _extend(bindings, pattern.subject, s_val)
+        if extended is None:
+            continue
+        extended = _extend(extended, predicate, p_val)
+        if extended is None:
+            continue
+        extended = _extend(extended, pattern.obj, o_val)
+        if extended is not None:
+            yield extended
+
+
+def _extend(bindings: Bindings, term: Term, value: Term) -> Optional[Bindings]:
+    """Bind *term* (if a variable) to *value*; None on conflict."""
+    if not isinstance(term, Variable):
+        return bindings
+    bound = bindings.get(term)
+    if bound is None:
+        new = dict(bindings)
+        new[term] = value
+        return new
+    if bound == value:
+        return bindings
+    return None
+
+
+# ----------------------------------------------------------------------
+# Property paths
+# ----------------------------------------------------------------------
+def eval_path(
+    path: ast.Path, graph: Graph, subject: Optional[Term], obj: Optional[Term]
+) -> Iterator[Tuple[Term, Term]]:
+    """Yield (subject, object) pairs connected by *path*.
+
+    Either end may be bound (a ground term) or free (``None``).
+    """
+    if isinstance(path, ast.PathLink):
+        for s, _, o in graph.triples(subject, path.iri, obj):
+            yield (s, o)
+        return
+    if isinstance(path, ast.PathInverse):
+        for o, s in eval_path(path.path, graph, obj, subject):
+            yield (s, o)
+        return
+    if isinstance(path, ast.PathAlternative):
+        seen: Set[Tuple[Term, Term]] = set()
+        for part in path.parts:
+            for pair in eval_path(part, graph, subject, obj):
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+    if isinstance(path, ast.PathSequence):
+        yield from _eval_sequence(path.parts, graph, subject, obj)
+        return
+    if isinstance(path, ast.PathMod):
+        yield from _eval_mod(path, graph, subject, obj)
+        return
+    raise TypeError(f"unsupported path {path!r}")
+
+
+def _eval_sequence(
+    parts: Tuple[ast.Path, ...],
+    graph: Graph,
+    subject: Optional[Term],
+    obj: Optional[Term],
+) -> Iterator[Tuple[Term, Term]]:
+    if len(parts) == 1:
+        yield from eval_path(parts[0], graph, subject, obj)
+        return
+    # Evaluate left-to-right when the subject is bound (or both free),
+    # right-to-left when only the object is bound.
+    if subject is None and obj is not None:
+        last = parts[-1]
+        rest = parts[:-1]
+        seen: Set[Tuple[Term, Term]] = set()
+        for mid, o_val in eval_path(last, graph, None, obj):
+            for s_val, _ in _eval_sequence(rest, graph, None, mid):
+                pair = (s_val, o_val)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+    first = parts[0]
+    rest = parts[1:]
+    seen = set()
+    for s_val, mid in eval_path(first, graph, subject, None):
+        for _, o_val in _eval_sequence(rest, graph, mid, obj):
+            pair = (s_val, o_val)
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+
+
+def _path_successors(
+    path: ast.Path, graph: Graph, node: Term, forward: bool
+) -> Iterator[Term]:
+    """One application of *path* starting at *node*."""
+    if forward:
+        for _, target in eval_path(path, graph, node, None):
+            yield target
+    else:
+        for source, _ in eval_path(path, graph, None, node):
+            yield source
+
+
+# Per-graph memo for transitive-closure path evaluation.  Recursive
+# (descendant) patterns re-query the same closure for every candidate
+# binding; caching turns the repeated BFS into a dictionary lookup.  The
+# cache is keyed by graph identity (weakly, so graphs stay collectable)
+# and invalidated via the graph's mutation counter.
+_CLOSURE_CACHE: "weakref.WeakKeyDictionary[Graph, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _closure(
+    path: ast.Path, graph: Graph, start: Term, forward: bool
+) -> Iterator[Term]:
+    """Nodes reachable from *start* by one or more applications of *path*."""
+    cache = None
+    key = None
+    if CLOSURE_CACHING:
+        try:
+            state = _CLOSURE_CACHE.get(graph)
+            if state is None or state["version"] != graph.version:
+                state = {"version": graph.version, "entries": {}}
+                _CLOSURE_CACHE[graph] = state
+            cache = state["entries"]
+            # Key the path by identity, not value: hashing a nested path
+            # expression recursively on every lookup costs more than the
+            # BFS it saves.  The cached entry pins the path object so its
+            # id cannot be recycled while the entry lives.
+            key = (id(path), start, forward)
+        except TypeError:  # unhashable term; fall through uncached
+            cache = None
+            key = None
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            yield from hit[1]
+            return
+    seen: Set[Term] = set()
+    frontier = [start]
+    while frontier:
+        next_frontier: List[Term] = []
+        for node in frontier:
+            for successor in _path_successors(path, graph, node, forward):
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    if cache is not None:
+        cache[key] = (path, frozenset(seen))
+    yield from seen
+
+
+def _graph_nodes(graph: Graph) -> Set[Term]:
+    nodes: Set[Term] = set(graph.subject_set())
+    for s, p, o in graph.triples():
+        nodes.add(o)
+    return nodes
+
+
+def _eval_mod(
+    path: ast.PathMod, graph: Graph, subject: Optional[Term], obj: Optional[Term]
+) -> Iterator[Tuple[Term, Term]]:
+    inner = path.path
+    mod = path.modifier
+    emitted: Set[Tuple[Term, Term]] = set()
+
+    def emit(pair: Tuple[Term, Term]) -> Iterator[Tuple[Term, Term]]:
+        if pair not in emitted:
+            emitted.add(pair)
+            yield pair
+
+    if mod == "?":
+        # zero-length
+        if subject is not None and obj is not None:
+            if subject == obj:
+                yield from emit((subject, obj))
+        elif subject is not None:
+            yield from emit((subject, subject))
+        elif obj is not None:
+            yield from emit((obj, obj))
+        else:
+            for node in _graph_nodes(graph):
+                yield from emit((node, node))
+        for pair in eval_path(inner, graph, subject, obj):
+            yield from emit(pair)
+        return
+
+    include_zero = mod == "*"
+    if subject is not None:
+        if include_zero and (obj is None or obj == subject):
+            yield from emit((subject, subject))
+        for target in _closure(inner, graph, subject, forward=True):
+            if obj is None or target == obj:
+                yield from emit((subject, target))
+        return
+    if obj is not None:
+        if include_zero:
+            yield from emit((obj, obj))
+        for source in _closure(inner, graph, obj, forward=False):
+            yield from emit((source, obj))
+        return
+    # Both ends free: closure from every node with outgoing inner-path edges.
+    nodes = _graph_nodes(graph)
+    if include_zero:
+        for node in nodes:
+            yield from emit((node, node))
+    for node in nodes:
+        if isinstance(node, Literal):
+            continue  # literals cannot start a forward path
+        for target in _closure(inner, graph, node, forward=True):
+            yield from emit((node, target))
+
+
+# ----------------------------------------------------------------------
+# Projection, aggregation, solution modifiers
+# ----------------------------------------------------------------------
+def _project_plain(
+    query: ast.SelectQuery, graph: Graph, solutions: List[Bindings]
+) -> Tuple[List[Tuple], List[str]]:
+    if query.is_select_star:
+        names: List[str] = []
+        seen = set()
+        for var in sorted(
+            ast.walk_pattern_variables(query.where), key=lambda v: v.name
+        ):
+            if var.name not in seen:
+                seen.add(var.name)
+                names.append(var.name)
+        rows = [
+            tuple(solution.get(Variable(name)) for name in names)
+            for solution in solutions
+        ]
+        return rows, names
+    names = [item.output_name() for item in query.select]
+    rows = []
+    for solution in solutions:
+        row = []
+        for item in query.select:
+            try:
+                row.append(
+                    evaluate_expression(item.expr, solution, graph, group_matches)
+                )
+            except ExprError:
+                row.append(None)
+        rows.append(tuple(row))
+    return rows, names
+
+
+def _group_key(exprs: List[ast.Expr], solution: Bindings, graph: Graph) -> Tuple:
+    key = []
+    for expr in exprs:
+        try:
+            key.append(evaluate_expression(expr, solution, graph, group_matches))
+        except ExprError:
+            key.append(None)
+    return tuple(key)
+
+
+def _project_aggregated(
+    query: ast.SelectQuery, graph: Graph, solutions: List[Bindings]
+) -> Tuple[List[Tuple], List[str]]:
+    groups: Dict[Tuple, List[Bindings]] = {}
+    if query.group_by:
+        for solution in solutions:
+            groups.setdefault(
+                _group_key(query.group_by, solution, graph), []
+            ).append(solution)
+    else:
+        groups[()] = solutions
+    names = [item.output_name() for item in query.select]
+    rows: List[Tuple] = []
+    for key, members in groups.items():
+        if query.having and not _passes_having(query, graph, members):
+            continue
+        row = []
+        for item in query.select:
+            row.append(_eval_with_aggregates(item.expr, members, graph, query))
+        rows.append(tuple(row))
+    return rows, names
+
+
+def _passes_having(
+    query: ast.SelectQuery, graph: Graph, members: List[Bindings]
+) -> bool:
+    for expr in query.having:
+        value = _eval_with_aggregates(expr, members, graph, query)
+        if value is None:
+            return False
+        try:
+            if not effective_boolean_value(value):
+                return False
+        except ExprError:
+            return False
+    return True
+
+
+def _eval_with_aggregates(
+    expr: ast.Expr, members: List[Bindings], graph: Graph, query: ast.SelectQuery
+) -> Optional[Term]:
+    """Evaluate an expression that may contain aggregates over a group."""
+    if isinstance(expr, ast.Aggregate):
+        return _eval_aggregate(expr, members, graph)
+    if isinstance(expr, ast.TermExpr):
+        term = expr.term
+        if isinstance(term, Variable):
+            # A bare variable in an aggregate query must be a group key;
+            # take its value from the first member.
+            if members and term in members[0]:
+                return members[0][term]
+            return None
+        return term
+    if isinstance(expr, ast.UnaryExpr):
+        inner = _eval_with_aggregates(expr.operand, members, graph, query)
+        if inner is None:
+            return None
+        try:
+            return evaluate_expression(
+                ast.UnaryExpr(expr.op, ast.TermExpr(inner)), {}, graph, group_matches
+            )
+        except ExprError:
+            return None
+    if isinstance(expr, ast.BinaryExpr):
+        left = _eval_with_aggregates(expr.left, members, graph, query)
+        right = _eval_with_aggregates(expr.right, members, graph, query)
+        if left is None or right is None:
+            return None
+        try:
+            return evaluate_expression(
+                ast.BinaryExpr(expr.op, ast.TermExpr(left), ast.TermExpr(right)),
+                {},
+                graph,
+                group_matches,
+            )
+        except ExprError:
+            return None
+    if isinstance(expr, ast.FunctionCall):
+        args = []
+        for arg in expr.args:
+            value = _eval_with_aggregates(arg, members, graph, query)
+            if value is None:
+                return None
+            args.append(ast.TermExpr(value))
+        try:
+            return evaluate_expression(
+                ast.FunctionCall(expr.name, tuple(args)), {}, graph, group_matches
+            )
+        except ExprError:
+            return None
+    try:
+        return evaluate_expression(
+            expr, members[0] if members else {}, graph, group_matches
+        )
+    except ExprError:
+        return None
+
+
+def _eval_aggregate(
+    agg: ast.Aggregate, members: List[Bindings], graph: Graph
+) -> Optional[Term]:
+    if agg.name == "COUNT" and agg.expr is None:
+        return Literal(str(len(members)), datatype=_XSD + "integer")
+    values: List[Term] = []
+    for member in members:
+        try:
+            values.append(
+                evaluate_expression(agg.expr, member, graph, group_matches)
+            )
+        except ExprError:
+            continue
+    if agg.distinct:
+        unique: List[Term] = []
+        seen: Set[Term] = set()
+        for value in values:
+            if value not in seen:
+                seen.add(value)
+                unique.append(value)
+        values = unique
+    if agg.name == "COUNT":
+        return Literal(str(len(values)), datatype=_XSD + "integer")
+    if agg.name == "SAMPLE":
+        return values[0] if values else None
+    if agg.name == "GROUP_CONCAT":
+        parts = []
+        for value in values:
+            if isinstance(value, Literal):
+                parts.append(value.lexical)
+            elif isinstance(value, URIRef):
+                parts.append(value.value)
+            else:
+                parts.append(value.n3())
+        return Literal(agg.separator.join(parts))
+    numbers = []
+    for value in values:
+        if isinstance(value, Literal):
+            num = value.as_number()
+            if num is not None:
+                numbers.append(num)
+                continue
+        if agg.name in ("MIN", "MAX"):
+            continue
+        return None  # SUM/AVG over non-numbers is an error
+    if agg.name in ("MIN", "MAX"):
+        if not values:
+            return None
+        chosen = (min if agg.name == "MIN" else max)(values, key=order_key)
+        return chosen
+    if not numbers:
+        return None if agg.name == "AVG" else Literal("0", datatype=_XSD + "integer")
+    if agg.name == "SUM":
+        return _num_literal(sum(numbers))
+    if agg.name == "AVG":
+        return _num_literal(sum(numbers) / len(numbers))
+    return None
+
+
+def _num_literal(value: float) -> Literal:
+    if value == int(value) and abs(value) < 1e15:
+        return Literal(str(int(value)), datatype=_XSD + "integer")
+    return Literal(repr(value), datatype=_XSD + "double")
+
+
+def _order_solutions(
+    query: ast.SelectQuery, graph: Graph, solutions: List[Bindings]
+) -> List[Bindings]:
+    """Sort unprojected solutions by the ORDER BY conditions (stable).
+
+    Projection aliases (``SELECT (expr AS ?x)``) are in scope for ORDER
+    BY per the SPARQL spec, so each solution is extended with the
+    evaluated aliases before the sort keys are computed.
+    """
+    alias_items = [
+        (item.alias, item.expr)
+        for item in query.select
+        if item.alias is not None
+    ]
+
+    def extend(solution: Bindings) -> Bindings:
+        if not alias_items:
+            return solution
+        extended = dict(solution)
+        for alias, expr in alias_items:
+            if alias in extended:
+                continue
+            try:
+                extended[alias] = evaluate_expression(
+                    expr, solution, graph, group_matches
+                )
+            except ExprError:
+                pass
+        return extended
+
+    decorated = [(extend(solution), solution) for solution in solutions]
+    for position in reversed(range(len(query.order_by))):
+        cond = query.order_by[position]
+
+        def key_for(pair, cond=cond):
+            try:
+                value = evaluate_expression(
+                    cond.expr, pair[0], graph, group_matches
+                )
+            except ExprError:
+                value = None
+            return order_key(value)
+
+        decorated = sorted(decorated, key=key_for, reverse=cond.descending)
+    return [solution for _, solution in decorated]
+
+
+def _apply_order(
+    query: ast.SelectQuery, graph: Graph, rows: List[Tuple], names: List[str]
+) -> List[Tuple]:
+    """Sort projected *rows* by the ORDER BY conditions.
+
+    ORDER BY expressions may reference projected names (including AS
+    aliases), so a bindings dict is rebuilt per row from the projection.
+    Python's sort is stable, so conditions are applied right-to-left.
+    """
+
+    def row_bindings(row: Tuple) -> Bindings:
+        bindings: Bindings = {}
+        for name, value in zip(names, row):
+            if value is not None:
+                bindings[Variable(name)] = value
+        return bindings
+
+    decorated = rows
+    for position in reversed(range(len(query.order_by))):
+        cond = query.order_by[position]
+
+        def key_for(row, cond=cond):
+            try:
+                value = evaluate_expression(
+                    cond.expr, row_bindings(row), graph, group_matches
+                )
+            except ExprError:
+                value = None
+            return order_key(value)
+
+        decorated = sorted(decorated, key=key_for, reverse=cond.descending)
+    return decorated
+
+
+def _apply_distinct(rows: List[Tuple], variables: List[str]) -> List[Tuple]:
+    seen: Set[Tuple] = set()
+    out: List[Tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out

@@ -1,0 +1,443 @@
+"""SPARQL expression evaluation.
+
+Implements the value semantics OptImatch queries depend on: numeric
+comparison across lexical forms (decimal vs exponent notation), effective
+boolean value, and the common string/numeric builtins.  Type errors do
+not abort the query — per SPARQL semantics they make the enclosing FILTER
+reject the solution, which is modelled with :class:`ExprError`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable, Dict, Optional
+
+from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
+from repro.sparql import ast
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+
+class ExprError(Exception):
+    """A SPARQL expression type error (not a Python bug)."""
+
+
+def evaluate_expression(expr: ast.Expr, bindings: dict, graph=None, evaluator=None):
+    """Evaluate *expr* under *bindings* and return a Term or raise ExprError.
+
+    *graph* and *evaluator* are required only for EXISTS expressions.
+    """
+    if isinstance(expr, ast.TermExpr):
+        term = expr.term
+        if isinstance(term, Variable):
+            if term not in bindings:
+                raise ExprError(f"unbound variable ?{term.name}")
+            return bindings[term]
+        return term
+    if isinstance(expr, ast.UnaryExpr):
+        return _eval_unary(expr, bindings, graph, evaluator)
+    if isinstance(expr, ast.BinaryExpr):
+        return _eval_binary(expr, bindings, graph, evaluator)
+    if isinstance(expr, ast.FunctionCall):
+        return _eval_function(expr, bindings, graph, evaluator)
+    if isinstance(expr, ast.InExpr):
+        return _eval_in(expr, bindings, graph, evaluator)
+    if isinstance(expr, ast.ExistsExpr):
+        if evaluator is None or graph is None:
+            raise ExprError("EXISTS requires an evaluator context")
+        found = evaluator(expr.group, graph, bindings)
+        result = found if not expr.negated else not found
+        return _boolean(result)
+    raise ExprError(f"cannot evaluate expression {expr!r}")
+
+
+def effective_boolean_value(term: Term) -> bool:
+    """SPARQL 1.1 effective boolean value (EBV)."""
+    if isinstance(term, Literal):
+        if term.datatype == _XSD + "boolean":
+            return term.lexical.lower() == "true"
+        num = term.as_number()
+        if num is not None:
+            return num != 0 and not math.isnan(num)
+        return bool(term.lexical)
+    raise ExprError(f"no effective boolean value for {term!r}")
+
+
+def _boolean(value: bool) -> Literal:
+    return Literal("true" if value else "false", datatype=_XSD + "boolean")
+
+
+def _numeric(term: Term) -> float:
+    if isinstance(term, Literal):
+        num = term.as_number()
+        if num is not None:
+            return num
+    raise ExprError(f"not a number: {term!r}")
+
+
+def _string(term: Term) -> str:
+    if isinstance(term, Literal):
+        return term.lexical
+    if isinstance(term, URIRef):
+        return term.value
+    raise ExprError(f"not a string: {term!r}")
+
+
+def _number_literal(value: float) -> Literal:
+    if value == int(value) and abs(value) < 1e15:
+        return Literal(str(int(value)), datatype=_XSD + "integer")
+    return Literal(repr(value), datatype=_XSD + "double")
+
+
+def _eval_unary(expr: ast.UnaryExpr, bindings, graph, evaluator):
+    operand = evaluate_expression(expr.operand, bindings, graph, evaluator)
+    if expr.op == "!":
+        return _boolean(not effective_boolean_value(operand))
+    if expr.op == "-":
+        return _number_literal(-_numeric(operand))
+    if expr.op == "+":
+        return _number_literal(+_numeric(operand))
+    raise ExprError(f"unknown unary operator {expr.op!r}")
+
+
+def compare_terms(op: str, left: Term, right: Term) -> bool:
+    """SPARQL value comparison used by =, !=, <, <=, >, >=."""
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        lnum, rnum = left.as_number(), right.as_number()
+        if lnum is not None and rnum is not None:
+            return _apply_cmp(op, lnum, rnum)
+        if op in ("=", "!="):
+            equal = left.lexical == right.lexical and left.datatype == right.datatype
+            return equal if op == "=" else not equal
+        if lnum is None and rnum is None:
+            return _apply_cmp(op, left.lexical, right.lexical)
+        # Ordering a string against a number is a SPARQL type error.
+        raise ExprError(f"cannot order {left!r} against {right!r}")
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    raise ExprError(f"cannot order terms {left!r} and {right!r}")
+
+
+def _apply_cmp(op: str, a, b) -> bool:
+    if op == "=":
+        return a == b
+    if op == "!=":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == "<=":
+        return a <= b
+    if op == ">":
+        return a > b
+    if op == ">=":
+        return a >= b
+    raise ExprError(f"unknown comparison {op!r}")
+
+
+def _eval_binary(expr: ast.BinaryExpr, bindings, graph, evaluator):
+    op = expr.op
+    if op == "&&":
+        # SPARQL logical-and with error tolerance: an error on one side
+        # yields false if the other side is false.
+        try:
+            left = effective_boolean_value(
+                evaluate_expression(expr.left, bindings, graph, evaluator)
+            )
+        except ExprError:
+            right = effective_boolean_value(
+                evaluate_expression(expr.right, bindings, graph, evaluator)
+            )
+            if right:
+                raise
+            return _boolean(False)
+        if not left:
+            return _boolean(False)
+        return _boolean(
+            effective_boolean_value(
+                evaluate_expression(expr.right, bindings, graph, evaluator)
+            )
+        )
+    if op == "||":
+        try:
+            left = effective_boolean_value(
+                evaluate_expression(expr.left, bindings, graph, evaluator)
+            )
+        except ExprError:
+            right = effective_boolean_value(
+                evaluate_expression(expr.right, bindings, graph, evaluator)
+            )
+            if not right:
+                raise
+            return _boolean(True)
+        if left:
+            return _boolean(True)
+        return _boolean(
+            effective_boolean_value(
+                evaluate_expression(expr.right, bindings, graph, evaluator)
+            )
+        )
+    left = evaluate_expression(expr.left, bindings, graph, evaluator)
+    right = evaluate_expression(expr.right, bindings, graph, evaluator)
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return _boolean(compare_terms(op, left, right))
+    if op in ("+", "-", "*", "/"):
+        a, b = _numeric(left), _numeric(right)
+        if op == "+":
+            return _number_literal(a + b)
+        if op == "-":
+            return _number_literal(a - b)
+        if op == "*":
+            return _number_literal(a * b)
+        if b == 0:
+            raise ExprError("division by zero")
+        return _number_literal(a / b)
+    raise ExprError(f"unknown operator {op!r}")
+
+
+def _eval_in(expr: ast.InExpr, bindings, graph, evaluator):
+    value = evaluate_expression(expr.value, bindings, graph, evaluator)
+    found = False
+    for option in expr.options:
+        candidate = evaluate_expression(option, bindings, graph, evaluator)
+        if compare_terms("=", value, candidate):
+            found = True
+            break
+    return _boolean(found if not expr.negated else not found)
+
+
+# ----------------------------------------------------------------------
+# Builtin function table
+# ----------------------------------------------------------------------
+def _fn_regex(args, bindings, graph, evaluator):
+    if len(args) not in (2, 3):
+        raise ExprError("REGEX takes 2 or 3 arguments")
+    text = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+    pattern = _string(evaluate_expression(args[1], bindings, graph, evaluator))
+    flags = 0
+    if len(args) == 3:
+        flag_text = _string(evaluate_expression(args[2], bindings, graph, evaluator))
+        if "i" in flag_text:
+            flags |= re.IGNORECASE
+        if "s" in flag_text:
+            flags |= re.DOTALL
+        if "m" in flag_text:
+            flags |= re.MULTILINE
+    try:
+        return _boolean(re.search(pattern, text, flags) is not None)
+    except re.error as exc:
+        raise ExprError(f"bad regex: {exc}")
+
+
+def _fn_bound(args, bindings, graph, evaluator):
+    if len(args) != 1 or not isinstance(args[0], ast.TermExpr):
+        raise ExprError("BOUND takes a single variable")
+    term = args[0].term
+    if not isinstance(term, Variable):
+        raise ExprError("BOUND argument must be a variable")
+    return _boolean(term in bindings)
+
+
+def _fn_str(args, bindings, graph, evaluator):
+    term = evaluate_expression(args[0], bindings, graph, evaluator)
+    return Literal(_string(term))
+
+
+def _fn_datatype(args, bindings, graph, evaluator):
+    term = evaluate_expression(args[0], bindings, graph, evaluator)
+    if not isinstance(term, Literal):
+        raise ExprError("DATATYPE requires a literal")
+    return URIRef(term.datatype or _XSD + "string")
+
+
+def _type_check(predicate: Callable[[Term], bool]):
+    def impl(args, bindings, graph, evaluator):
+        term = evaluate_expression(args[0], bindings, graph, evaluator)
+        return _boolean(predicate(term))
+
+    return impl
+
+
+def _numeric_fn(func: Callable[[float], float]):
+    def impl(args, bindings, graph, evaluator):
+        value = _numeric(evaluate_expression(args[0], bindings, graph, evaluator))
+        return _number_literal(func(value))
+
+    return impl
+
+
+def _string_fn(func: Callable[[str], str]):
+    def impl(args, bindings, graph, evaluator):
+        value = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+        return Literal(func(value))
+
+    return impl
+
+
+def _string_pred(func: Callable[[str, str], bool]):
+    def impl(args, bindings, graph, evaluator):
+        a = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+        b = _string(evaluate_expression(args[1], bindings, graph, evaluator))
+        return _boolean(func(a, b))
+
+    return impl
+
+
+def _fn_strlen(args, bindings, graph, evaluator):
+    value = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+    return Literal(str(len(value)), datatype=_XSD + "integer")
+
+
+def _fn_substr(args, bindings, graph, evaluator):
+    value = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+    start = int(_numeric(evaluate_expression(args[1], bindings, graph, evaluator)))
+    if len(args) == 3:
+        length = int(_numeric(evaluate_expression(args[2], bindings, graph, evaluator)))
+        return Literal(value[start - 1:start - 1 + length])
+    return Literal(value[start - 1:])
+
+
+def _fn_concat(args, bindings, graph, evaluator):
+    parts = [
+        _string(evaluate_expression(arg, bindings, graph, evaluator)) for arg in args
+    ]
+    return Literal("".join(parts))
+
+
+def _fn_coalesce(args, bindings, graph, evaluator):
+    for arg in args:
+        try:
+            return evaluate_expression(arg, bindings, graph, evaluator)
+        except ExprError:
+            continue
+    raise ExprError("COALESCE: all arguments errored")
+
+
+def _fn_if(args, bindings, graph, evaluator):
+    if len(args) != 3:
+        raise ExprError("IF takes 3 arguments")
+    condition = effective_boolean_value(
+        evaluate_expression(args[0], bindings, graph, evaluator)
+    )
+    chosen = args[1] if condition else args[2]
+    return evaluate_expression(chosen, bindings, graph, evaluator)
+
+
+def _fn_sameterm(args, bindings, graph, evaluator):
+    a = evaluate_expression(args[0], bindings, graph, evaluator)
+    b = evaluate_expression(args[1], bindings, graph, evaluator)
+    return _boolean(a == b)
+
+
+def _fn_iri(args, bindings, graph, evaluator):
+    term = evaluate_expression(args[0], bindings, graph, evaluator)
+    return URIRef(_string(term))
+
+
+def _fn_strbefore(args, bindings, graph, evaluator):
+    a = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+    b = _string(evaluate_expression(args[1], bindings, graph, evaluator))
+    idx = a.find(b)
+    return Literal(a[:idx] if idx >= 0 else "")
+
+
+def _fn_strafter(args, bindings, graph, evaluator):
+    a = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+    b = _string(evaluate_expression(args[1], bindings, graph, evaluator))
+    idx = a.find(b)
+    return Literal(a[idx + len(b):] if idx >= 0 else "")
+
+
+def _fn_replace(args, bindings, graph, evaluator):
+    if len(args) < 3:
+        raise ExprError("REPLACE takes 3 or 4 arguments")
+    text = _string(evaluate_expression(args[0], bindings, graph, evaluator))
+    pattern = _string(evaluate_expression(args[1], bindings, graph, evaluator))
+    replacement = _string(evaluate_expression(args[2], bindings, graph, evaluator))
+    try:
+        return Literal(re.sub(pattern, replacement, text))
+    except re.error as exc:
+        raise ExprError(f"bad regex: {exc}")
+
+
+def _cast_double(args, bindings, graph, evaluator):
+    value = evaluate_expression(args[0], bindings, graph, evaluator)
+    return Literal(repr(_numeric(value)), datatype=_XSD + "double")
+
+
+def _cast_integer(args, bindings, graph, evaluator):
+    value = evaluate_expression(args[0], bindings, graph, evaluator)
+    return Literal(str(int(_numeric(value))), datatype=_XSD + "integer")
+
+
+def _cast_string(args, bindings, graph, evaluator):
+    return _fn_str(args, bindings, graph, evaluator)
+
+
+_FUNCTIONS: Dict[str, Callable] = {
+    "REGEX": _fn_regex,
+    "BOUND": _fn_bound,
+    "STR": _fn_str,
+    "DATATYPE": _fn_datatype,
+    "ISIRI": _type_check(lambda t: isinstance(t, URIRef)),
+    "ISURI": _type_check(lambda t: isinstance(t, URIRef)),
+    "ISBLANK": _type_check(lambda t: isinstance(t, BNode)),
+    "ISLITERAL": _type_check(lambda t: isinstance(t, Literal)),
+    "ISNUMERIC": _type_check(
+        lambda t: isinstance(t, Literal) and t.is_numeric()
+    ),
+    "ABS": _numeric_fn(abs),
+    "CEIL": _numeric_fn(math.ceil),
+    "FLOOR": _numeric_fn(math.floor),
+    "ROUND": _numeric_fn(lambda v: float(round(v))),
+    "STRLEN": _fn_strlen,
+    "SUBSTR": _fn_substr,
+    "UCASE": _string_fn(str.upper),
+    "LCASE": _string_fn(str.lower),
+    "CONTAINS": _string_pred(lambda a, b: b in a),
+    "STRSTARTS": _string_pred(str.startswith),
+    "STRENDS": _string_pred(str.endswith),
+    "STRBEFORE": _fn_strbefore,
+    "STRAFTER": _fn_strafter,
+    "REPLACE": _fn_replace,
+    "CONCAT": _fn_concat,
+    "COALESCE": _fn_coalesce,
+    "IF": _fn_if,
+    "SAMETERM": _fn_sameterm,
+    "IRI": _fn_iri,
+    "URI": _fn_iri,
+    _XSD + "double": _cast_double,
+    _XSD + "decimal": _cast_double,
+    _XSD + "float": _cast_double,
+    _XSD + "integer": _cast_integer,
+    _XSD + "string": _cast_string,
+}
+
+
+def _eval_function(expr: ast.FunctionCall, bindings, graph, evaluator):
+    func = _FUNCTIONS.get(expr.name)
+    if func is None:
+        raise ExprError(f"unknown function {expr.name!r}")
+    return func(expr.args, bindings, graph, evaluator)
+
+
+def order_key(term: Optional[Term]):
+    """Total order over optional terms for ORDER BY.
+
+    Unbound < blank nodes < IRIs < literals; numeric literals order by
+    value, others by lexical form.
+    """
+    if term is None:
+        return (0, "")
+    if isinstance(term, BNode):
+        return (1, term.label)
+    if isinstance(term, URIRef):
+        return (2, term.value)
+    if isinstance(term, Literal):
+        num = term.as_number()
+        if num is not None:
+            return (3, num, "")
+        return (4, term.lexical)
+    return (5, repr(term))

@@ -1,0 +1,646 @@
+"""Recursive-descent parser for the supported SPARQL subset."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
+from repro.sparql import ast
+from repro.sparql.tokenizer import Token, TokenType, tokenize
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT"}
+
+
+class SparqlSyntaxError(ValueError):
+    def __init__(self, message: str, token: Token):
+        super().__init__(
+            f"SPARQL syntax error at line {token.line} near "
+            f"{token.value!r}: {message}"
+        )
+        self.token = token
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.prefixes: dict = {}
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type != TokenType.EOF:
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> SparqlSyntaxError:
+        return SparqlSyntaxError(message, self.current)
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise self.error(f"expected {' or '.join(names)}")
+        return self.advance()
+
+    def expect_punct(self, value: str) -> Token:
+        if not self.current.is_punct(value):
+            raise self.error(f"expected {value!r}")
+        return self.advance()
+
+    def accept_punct(self, value: str) -> bool:
+        if self.current.is_punct(value):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.current.is_keyword(*names):
+            return self.advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self):
+        self._parse_prologue()
+        if self.current.type == TokenType.IDENT and self.current.value.upper() == "ASK":
+            self.advance()
+            query = self._parse_ask_query()
+        else:
+            query = self._parse_select_query()
+        if self.current.type != TokenType.EOF:
+            raise self.error("trailing input after query")
+        return query
+
+    def _parse_ask_query(self) -> ast.AskQuery:
+        self.accept_keyword("WHERE")
+        where = self._parse_group_graph_pattern()
+        return ast.AskQuery(where=where, prefixes=dict(self.prefixes))
+
+    def _parse_prologue(self) -> None:
+        while self.current.is_keyword("PREFIX", "BASE"):
+            keyword = self.advance()
+            if keyword.value == "BASE":
+                if self.current.type != TokenType.IRI:
+                    raise self.error("expected IRI after BASE")
+                self.prefixes[""] = self.advance().value
+                continue
+            if self.current.type != TokenType.PNAME:
+                raise self.error("expected prefix name after PREFIX")
+            pname = self.advance().value
+            if not pname.endswith(":"):
+                prefix = pname.split(":", 1)[0]
+            else:
+                prefix = pname[:-1]
+            if self.current.type != TokenType.IRI:
+                raise self.error("expected IRI in PREFIX declaration")
+            self.prefixes[prefix] = self.advance().value
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _parse_select_query(self) -> ast.SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT", "REDUCED"))
+        select: List[ast.SelectItem] = []
+        if self.accept_punct("*"):
+            pass  # SELECT *
+        else:
+            while True:
+                item = self._parse_select_item()
+                if item is None:
+                    break
+                select.append(item)
+            if not select:
+                raise self.error("SELECT requires at least one item or *")
+        if self.accept_keyword("WHERE"):
+            pass
+        where = self._parse_group_graph_pattern()
+        group_by: List[ast.Expr] = []
+        having: List[ast.Expr] = []
+        order_by: List[ast.OrderCondition] = []
+        limit = offset = None
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            while True:
+                group_by.append(self._parse_group_condition())
+                if not self._starts_group_condition():
+                    break
+        if self.accept_keyword("HAVING"):
+            while self.current.is_punct("("):
+                having.append(self._parse_bracketted_expression())
+            if not having:
+                having.append(self._parse_expression())
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                cond = self._parse_order_condition()
+                if cond is None:
+                    break
+                order_by.append(cond)
+            if not order_by:
+                raise self.error("ORDER BY requires at least one condition")
+        # LIMIT and OFFSET may appear in either order
+        for _ in range(2):
+            if self.accept_keyword("LIMIT"):
+                limit = self._parse_nonneg_integer("LIMIT")
+            elif self.accept_keyword("OFFSET"):
+                offset = self._parse_nonneg_integer("OFFSET")
+        return ast.SelectQuery(
+            select=select,
+            where=where,
+            distinct=distinct,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            prefixes=dict(self.prefixes),
+        )
+
+    def _parse_nonneg_integer(self, clause: str) -> int:
+        if self.current.type != TokenType.NUMBER:
+            raise self.error(f"expected integer after {clause}")
+        value = self.advance().value
+        try:
+            return int(value)
+        except ValueError:
+            raise self.error(f"{clause} requires an integer, got {value!r}")
+
+    def _parse_select_item(self) -> Optional[ast.SelectItem]:
+        if self.current.type == TokenType.VAR:
+            var = Variable(self.advance().value)
+            # "?a AS ?b" without parens is accepted (OptImatch emits this
+            # form, as in Figure 6 of the paper).
+            if self.accept_keyword("AS"):
+                if self.current.type != TokenType.VAR:
+                    raise self.error("expected variable after AS")
+                alias = Variable(self.advance().value)
+                return ast.SelectItem(ast.TermExpr(var), alias)
+            return ast.SelectItem(ast.TermExpr(var))
+        if self.current.is_punct("("):
+            self.advance()
+            expr = self._parse_expression()
+            self.expect_keyword("AS")
+            if self.current.type != TokenType.VAR:
+                raise self.error("expected variable after AS")
+            alias = Variable(self.advance().value)
+            self.expect_punct(")")
+            return ast.SelectItem(expr, alias)
+        return None
+
+    def _starts_group_condition(self) -> bool:
+        return self.current.type == TokenType.VAR or self.current.is_punct("(")
+
+    def _parse_group_condition(self) -> ast.Expr:
+        if self.current.type == TokenType.VAR:
+            return ast.TermExpr(Variable(self.advance().value))
+        if self.current.is_punct("("):
+            return self._parse_bracketted_expression()
+        raise self.error("expected GROUP BY condition")
+
+    def _parse_order_condition(self) -> Optional[ast.OrderCondition]:
+        if self.accept_keyword("ASC"):
+            return ast.OrderCondition(self._parse_bracketted_expression(), False)
+        if self.accept_keyword("DESC"):
+            return ast.OrderCondition(self._parse_bracketted_expression(), True)
+        if self.current.type == TokenType.VAR:
+            return ast.OrderCondition(
+                ast.TermExpr(Variable(self.advance().value)), False
+            )
+        if self.current.is_punct("("):
+            return ast.OrderCondition(self._parse_bracketted_expression(), False)
+        return None
+
+    def _parse_bracketted_expression(self) -> ast.Expr:
+        self.expect_punct("(")
+        expr = self._parse_expression()
+        self.expect_punct(")")
+        return expr
+
+    # ------------------------------------------------------------------
+    # Graph patterns
+    # ------------------------------------------------------------------
+    def _parse_group_graph_pattern(self) -> ast.GroupGraphPattern:
+        self.expect_punct("{")
+        group = ast.GroupGraphPattern()
+        while not self.current.is_punct("}"):
+            if self.current.type == TokenType.EOF:
+                raise self.error("unterminated group graph pattern")
+            if self.accept_keyword("FILTER"):
+                group.elements.append(ast.Filter(self._parse_constraint()))
+                self.accept_punct(".")
+                continue
+            if self.accept_keyword("OPTIONAL"):
+                group.elements.append(
+                    ast.Optional_(self._parse_group_graph_pattern())
+                )
+                self.accept_punct(".")
+                continue
+            if self.accept_keyword("MINUS"):
+                group.elements.append(ast.Minus(self._parse_group_graph_pattern()))
+                self.accept_punct(".")
+                continue
+            if self.accept_keyword("BIND"):
+                self.expect_punct("(")
+                expr = self._parse_expression()
+                self.expect_keyword("AS")
+                if self.current.type != TokenType.VAR:
+                    raise self.error("expected variable after AS in BIND")
+                var = Variable(self.advance().value)
+                self.expect_punct(")")
+                group.elements.append(ast.Bind(expr, var))
+                self.accept_punct(".")
+                continue
+            if self.accept_keyword("VALUES"):
+                group.elements.append(self._parse_values())
+                self.accept_punct(".")
+                continue
+            if self.current.is_punct("{"):
+                # Lookahead: `{ SELECT ...` is a subquery, not a group.
+                if self.tokens[self.index + 1].is_keyword("SELECT"):
+                    self.advance()  # consume '{'
+                    subquery = self._parse_select_query()
+                    self.expect_punct("}")
+                    group.elements.append(ast.SubSelect(subquery))
+                    self.accept_punct(".")
+                    continue
+                group.elements.append(self._parse_group_or_union())
+                self.accept_punct(".")
+                continue
+            self._parse_triples_block(group)
+        self.expect_punct("}")
+        return group
+
+    def _parse_group_or_union(self):
+        first = self._parse_group_graph_pattern()
+        groups = [first]
+        while self.accept_keyword("UNION"):
+            groups.append(self._parse_group_graph_pattern())
+        if len(groups) == 1:
+            return first
+        return ast.Union_(tuple(groups))
+
+    def _parse_constraint(self) -> ast.Expr:
+        if self.current.is_keyword("EXISTS"):
+            self.advance()
+            return ast.ExistsExpr(self._parse_group_graph_pattern(), negated=False)
+        if self.current.is_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return ast.ExistsExpr(self._parse_group_graph_pattern(), negated=True)
+        if self.current.is_punct("("):
+            return self._parse_bracketted_expression()
+        # Builtin call form: FILTER regex(...), FILTER bound(?x) ...
+        return self._parse_primary_expression()
+
+    def _parse_values(self) -> ast.InlineValues:
+        variables: List[Variable] = []
+        single = False
+        if self.current.type == TokenType.VAR:
+            variables.append(Variable(self.advance().value))
+            single = True
+        else:
+            self.expect_punct("(")
+            while self.current.type == TokenType.VAR:
+                variables.append(Variable(self.advance().value))
+            self.expect_punct(")")
+        self.expect_punct("{")
+        rows: List[Tuple[Optional[Term], ...]] = []
+        while not self.current.is_punct("}"):
+            if single:
+                rows.append((self._parse_values_term(),))
+            else:
+                self.expect_punct("(")
+                row: List[Optional[Term]] = []
+                while not self.current.is_punct(")"):
+                    row.append(self._parse_values_term())
+                self.expect_punct(")")
+                if len(row) != len(variables):
+                    raise self.error("VALUES row arity mismatch")
+                rows.append(tuple(row))
+        self.expect_punct("}")
+        return ast.InlineValues(tuple(variables), tuple(rows))
+
+    def _parse_values_term(self) -> Optional[Term]:
+        if self.current.type == TokenType.IDENT and self.current.value.upper() == "UNDEF":
+            self.advance()
+            return None
+        term = self._parse_graph_term()
+        return term
+
+    # ------------------------------------------------------------------
+    # Triples
+    # ------------------------------------------------------------------
+    def _parse_triples_block(self, group: ast.GroupGraphPattern) -> None:
+        subject = self._parse_term_or_var()
+        self._parse_property_list(group, subject)
+        while self.accept_punct("."):
+            if self.current.is_punct("}") or self.current.type == TokenType.EOF:
+                return
+            if not self._starts_term():
+                return
+            subject = self._parse_term_or_var()
+            self._parse_property_list(group, subject)
+
+    def _starts_term(self) -> bool:
+        tok = self.current
+        return tok.type in (
+            TokenType.VAR,
+            TokenType.IRI,
+            TokenType.PNAME,
+            TokenType.BNODE,
+            TokenType.STRING,
+            TokenType.NUMBER,
+        ) or tok.is_keyword("TRUE", "FALSE")
+
+    def _parse_property_list(
+        self, group: ast.GroupGraphPattern, subject: Term
+    ) -> None:
+        while True:
+            predicate = self._parse_path()
+            while True:
+                obj = self._parse_term_or_var()
+                group.elements.append(ast.TriplePattern(subject, predicate, obj))
+                if not self.accept_punct(","):
+                    break
+            if not self.accept_punct(";"):
+                return
+            if self.current.is_punct(".", "}"):
+                return  # dangling ';' before terminator
+
+    def _parse_term_or_var(self) -> Term:
+        tok = self.current
+        if tok.type == TokenType.VAR:
+            self.advance()
+            return Variable(tok.value)
+        return self._parse_graph_term()
+
+    def _parse_graph_term(self) -> Term:
+        tok = self.current
+        if tok.type == TokenType.IRI:
+            self.advance()
+            return URIRef(tok.value)
+        if tok.type == TokenType.PNAME:
+            self.advance()
+            return self._resolve_pname(tok)
+        if tok.type == TokenType.BNODE:
+            self.advance()
+            return BNode(tok.value)
+        if tok.type == TokenType.STRING:
+            self.advance()
+            if self.current.is_punct("^^"):
+                self.advance()
+                dt_tok = self.current
+                if dt_tok.type == TokenType.IRI:
+                    self.advance()
+                    return Literal(tok.value, datatype=dt_tok.value)
+                if dt_tok.type == TokenType.PNAME:
+                    self.advance()
+                    return Literal(
+                        tok.value, datatype=self._resolve_pname(dt_tok).value
+                    )
+                raise self.error("expected datatype IRI after ^^")
+            return Literal(tok.value)
+        if tok.type == TokenType.NUMBER:
+            self.advance()
+            return _number_literal(tok.value)
+        if tok.is_keyword("TRUE"):
+            self.advance()
+            return Literal("true", datatype=_XSD + "boolean")
+        if tok.is_keyword("FALSE"):
+            self.advance()
+            return Literal("false", datatype=_XSD + "boolean")
+        if tok.is_punct("-") or tok.is_punct("+"):
+            sign = self.advance().value
+            if self.current.type != TokenType.NUMBER:
+                raise self.error("expected number after sign")
+            num = self.advance().value
+            return _number_literal(sign + num)
+        raise self.error("expected RDF term")
+
+    def _resolve_pname(self, token: Token) -> URIRef:
+        if ":" not in token.value:
+            raise SparqlSyntaxError("malformed prefixed name", token)
+        prefix, local = token.value.split(":", 1)
+        if prefix not in self.prefixes:
+            raise SparqlSyntaxError(f"undeclared prefix {prefix!r}", token)
+        return URIRef(self.prefixes[prefix] + local)
+
+    # ------------------------------------------------------------------
+    # Property paths (precedence: | lowest, then /, then unary ^ and
+    # postfix ? * +)
+    # ------------------------------------------------------------------
+    def _parse_path(self) -> Union[Term, ast.Path]:
+        if self.current.type == TokenType.VAR:
+            # predicate variable — plain term, not a path
+            return Variable(self.advance().value)
+        path = self._parse_path_alternative()
+        if isinstance(path, ast.PathLink):
+            return path.iri  # plain predicate; cheaper evaluation
+        return path
+
+    def _parse_path_alternative(self) -> ast.Path:
+        parts = [self._parse_path_sequence()]
+        while self.accept_punct("|"):
+            parts.append(self._parse_path_sequence())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.PathAlternative(tuple(parts))
+
+    def _parse_path_sequence(self) -> ast.Path:
+        parts = [self._parse_path_elt()]
+        while self.accept_punct("/"):
+            parts.append(self._parse_path_elt())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.PathSequence(tuple(parts))
+
+    def _parse_path_elt(self) -> ast.Path:
+        inverse = self.accept_punct("^")
+        primary = self._parse_path_primary()
+        while True:
+            if self.accept_punct("+"):
+                primary = ast.PathMod(primary, "+")
+            elif self.accept_punct("*"):
+                primary = ast.PathMod(primary, "*")
+            elif self.accept_punct("?"):
+                primary = ast.PathMod(primary, "?")
+            else:
+                break
+        if inverse:
+            primary = ast.PathInverse(primary)
+        return primary
+
+    def _parse_path_primary(self) -> ast.Path:
+        tok = self.current
+        if tok.is_punct("("):
+            self.advance()
+            inner = self._parse_path_alternative()
+            self.expect_punct(")")
+            return inner
+        if tok.type == TokenType.IRI:
+            self.advance()
+            return ast.PathLink(URIRef(tok.value))
+        if tok.type == TokenType.PNAME:
+            self.advance()
+            return ast.PathLink(self._resolve_pname(tok))
+        if tok.is_keyword("A"):
+            self.advance()
+            return ast.PathLink(
+                URIRef("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+            )
+        raise self.error("expected predicate or property path")
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence: || < && < comparison < additive <
+    # multiplicative < unary < primary)
+    # ------------------------------------------------------------------
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self.accept_punct("||"):
+            right = self._parse_and()
+            left = ast.BinaryExpr("||", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self.accept_punct("&&"):
+            right = self._parse_relational()
+            left = ast.BinaryExpr("&&", left, right)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_additive()
+        tok = self.current
+        if tok.is_punct("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            right = self._parse_additive()
+            return ast.BinaryExpr(op, left, right)
+        if tok.is_keyword("IN"):
+            self.advance()
+            return ast.InExpr(left, self._parse_expression_list(), negated=False)
+        if tok.is_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("IN")
+            return ast.InExpr(left, self._parse_expression_list(), negated=True)
+        return left
+
+    def _parse_expression_list(self) -> Tuple[ast.Expr, ...]:
+        self.expect_punct("(")
+        options: List[ast.Expr] = []
+        if not self.current.is_punct(")"):
+            options.append(self._parse_expression())
+            while self.accept_punct(","):
+                options.append(self._parse_expression())
+        self.expect_punct(")")
+        return tuple(options)
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.is_punct("+", "-"):
+            op = self.advance().value
+            right = self._parse_multiplicative()
+            left = ast.BinaryExpr(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.is_punct("*", "/"):
+            op = self.advance().value
+            right = self._parse_unary()
+            left = ast.BinaryExpr(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self.accept_punct("!"):
+            return ast.UnaryExpr("!", self._parse_unary())
+        if self.accept_punct("-"):
+            return ast.UnaryExpr("-", self._parse_unary())
+        if self.accept_punct("+"):
+            return ast.UnaryExpr("+", self._parse_unary())
+        return self._parse_primary_expression()
+
+    def _parse_primary_expression(self) -> ast.Expr:
+        tok = self.current
+        if tok.is_punct("("):
+            return self._parse_bracketted_expression()
+        if tok.type == TokenType.VAR:
+            self.advance()
+            return ast.TermExpr(Variable(tok.value))
+        if tok.type in (TokenType.STRING, TokenType.NUMBER) or tok.is_keyword(
+            "TRUE", "FALSE"
+        ):
+            return ast.TermExpr(self._parse_graph_term())
+        if tok.type == TokenType.IRI:
+            self.advance()
+            return ast.TermExpr(URIRef(tok.value))
+        if tok.type == TokenType.KEYWORD and tok.value in _AGGREGATES:
+            return self._parse_aggregate()
+        if tok.is_keyword("EXISTS"):
+            self.advance()
+            return ast.ExistsExpr(self._parse_group_graph_pattern(), negated=False)
+        if tok.is_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return ast.ExistsExpr(self._parse_group_graph_pattern(), negated=True)
+        if tok.type == TokenType.IDENT:
+            name = self.advance().value.upper()
+            return self._parse_function_call(name)
+        if tok.type == TokenType.PNAME:
+            # Could be a typed-cast function like xsd:double(?x)
+            pname = self.advance()
+            iri = self._resolve_pname(pname)
+            if self.current.is_punct("("):
+                return self._parse_function_call(iri.value)
+            return ast.TermExpr(iri)
+        raise self.error("expected expression")
+
+    def _parse_aggregate(self) -> ast.Aggregate:
+        name = self.advance().value
+        self.expect_punct("(")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        if name == "COUNT" and self.accept_punct("*"):
+            self.expect_punct(")")
+            return ast.Aggregate("COUNT", None, distinct=distinct)
+        expr = self._parse_expression()
+        separator = " "
+        if name == "GROUP_CONCAT" and self.accept_punct(";"):
+            self.expect_keyword("SEPARATOR")
+            self.expect_punct("=")
+            if self.current.type != TokenType.STRING:
+                raise self.error("expected string separator")
+            separator = self.advance().value
+        self.expect_punct(")")
+        return ast.Aggregate(name, expr, distinct=distinct, separator=separator)
+
+    def _parse_function_call(self, name: str) -> ast.FunctionCall:
+        self.expect_punct("(")
+        args: List[ast.Expr] = []
+        if not self.current.is_punct(")"):
+            args.append(self._parse_expression())
+            while self.accept_punct(","):
+                args.append(self._parse_expression())
+        self.expect_punct(")")
+        return ast.FunctionCall(name, tuple(args))
+
+
+def _number_literal(text: str) -> Literal:
+    if any(c in text for c in ".eE"):
+        return Literal(text, datatype=_XSD + "double")
+    return Literal(text, datatype=_XSD + "integer")
+
+
+def parse_query(text: str) -> ast.SelectQuery:
+    """Parse a SELECT query and return its AST."""
+    return _Parser(text).parse()

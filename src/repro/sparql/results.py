@@ -1,0 +1,110 @@
+"""Query result container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.rdf.term import Literal, Term, URIRef
+
+
+class ResultRow:
+    """One solution: a mapping from output variable name to term (or None)."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Dict[str, Optional[Term]]):
+        self._values = values
+
+    def __getitem__(self, name: str) -> Optional[Term]:
+        key = name[1:] if name.startswith("?") else name
+        return self._values.get(key)
+
+    def get(self, name: str, default=None) -> Optional[Term]:
+        value = self[name]
+        return value if value is not None else default
+
+    def keys(self):
+        return self._values.keys()
+
+    def items(self):
+        return self._values.items()
+
+    def as_dict(self) -> Dict[str, Optional[Term]]:
+        return dict(self._values)
+
+    def number(self, name: str) -> Optional[float]:
+        """Numeric value of a literal binding, or None."""
+        term = self[name]
+        if isinstance(term, Literal):
+            return term.as_number()
+        return None
+
+    def text(self, name: str) -> Optional[str]:
+        """String form of a binding (lexical form or IRI), or None."""
+        term = self[name]
+        if term is None:
+            return None
+        if isinstance(term, Literal):
+            return term.lexical
+        if isinstance(term, URIRef):
+            return term.value
+        return term.n3()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ResultRow):
+            return self._values == other._values
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(frozenset(self._values.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"?{k}={v.n3() if v else 'UNDEF'}" for k, v in self._values.items())
+        return f"ResultRow({inner})"
+
+
+class ResultSet:
+    """An ordered sequence of :class:`ResultRow` with a known header."""
+
+    def __init__(self, variables: Sequence[str], rows: List[ResultRow]):
+        self.variables = list(variables)
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[ResultRow]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> ResultRow:
+        return self.rows[index]
+
+    def column(self, name: str) -> List[Optional[Term]]:
+        """All bindings of one output variable, in row order."""
+        return [row[name] for row in self.rows]
+
+    def to_table(self) -> str:
+        """Human-readable fixed-width table (for the CLI and examples)."""
+        headers = [f"?{v}" for v in self.variables]
+        body = [
+            [
+                (row[v].n3() if row[v] is not None else "")
+                for v in self.variables
+            ]
+            for row in self.rows
+        ]
+        widths = [
+            max([len(h)] + [len(line[i]) for line in body]) if body else len(h)
+            for i, h in enumerate(headers)
+        ]
+        def fmt(cells):
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(line) for line in body)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<ResultSet vars={self.variables} rows={len(self.rows)}>"

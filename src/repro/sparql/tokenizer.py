@@ -1,0 +1,289 @@
+"""Tokenizer for the supported SPARQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = frozenset(
+    {
+        "PREFIX",
+        "BASE",
+        "SELECT",
+        "DISTINCT",
+        "REDUCED",
+        "AS",
+        "WHERE",
+        "FILTER",
+        "OPTIONAL",
+        "UNION",
+        "MINUS",
+        "BIND",
+        "VALUES",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "SAMPLE",
+        "GROUP_CONCAT",
+        "SEPARATOR",
+        "TRUE",
+        "FALSE",
+        "A",
+    }
+)
+
+#: Built-in functions recognised as plain identifiers followed by '('.
+FUNCTIONS = frozenset(
+    {
+        "REGEX",
+        "BOUND",
+        "STR",
+        "LANG",
+        "DATATYPE",
+        "IRI",
+        "URI",
+        "ISIRI",
+        "ISURI",
+        "ISBLANK",
+        "ISLITERAL",
+        "ISNUMERIC",
+        "ABS",
+        "CEIL",
+        "FLOOR",
+        "ROUND",
+        "STRLEN",
+        "SUBSTR",
+        "UCASE",
+        "LCASE",
+        "CONTAINS",
+        "STRSTARTS",
+        "STRENDS",
+        "STRBEFORE",
+        "STRAFTER",
+        "REPLACE",
+        "CONCAT",
+        "COALESCE",
+        "IF",
+        "SAMETERM",
+        "XSD:INTEGER",
+        "XSD:DOUBLE",
+        "XSD:DECIMAL",
+        "XSD:STRING",
+    }
+)
+
+
+class TokenType:
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"  # bare identifiers (function names)
+    IRI = "IRI"
+    PNAME = "PNAME"  # prefixed name  prefix:local
+    VAR = "VAR"
+    STRING = "STRING"
+    NUMBER = "NUMBER"
+    BNODE = "BNODE"
+    PUNCT = "PUNCT"
+    EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    pos: int
+    line: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def is_punct(self, *values: str) -> bool:
+        return self.type == TokenType.PUNCT and self.value in values
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.type}, {self.value!r}, line {self.line})"
+
+
+class SparqlLexError(ValueError):
+    def __init__(self, message: str, line: int, pos: int):
+        super().__init__(f"SPARQL lex error at line {line}: {message}")
+        self.line = line
+        self.pos = pos
+
+
+_PUNCT_THREE = ("^^",)
+_PUNCT_TWO = ("<=", ">=", "!=", "&&", "||", "^^")
+_PUNCT_ONE = "{}()[],;.*+?/|^=<>!-@"
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-")
+
+
+def _is_iri_start(text: str, i: int) -> bool:
+    """Disambiguate ``<iri>`` from the less-than operator.
+
+    An IRI reference contains no whitespace and closes with ``>`` before
+    any character that cannot appear inside an IRI.
+    """
+    j = i + 1
+    while j < len(text):
+        ch = text[j]
+        if ch == ">":
+            return True
+        if ch.isspace() or ch in "<{}|^`\"":
+            return False
+        j += 1
+    return False
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; always ends with a single EOF token."""
+    tokens: List[Token] = []
+    i = 0
+    line = 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start = i
+        # IRI reference or comparison
+        if ch == "<" and _is_iri_start(text, i):
+            end = text.index(">", i)
+            tokens.append(Token(TokenType.IRI, text[i + 1:end], start, line))
+            i = end + 1
+            continue
+        # Variable
+        if ch in "?$":
+            j = i + 1
+            if j < n and (text[j] in _NAME_START or text[j].isdigit()):
+                while j < n and (text[j] in _NAME_CHARS or text[j].isdigit()):
+                    j += 1
+                tokens.append(Token(TokenType.VAR, text[i + 1:j], start, line))
+                i = j
+                continue
+            if ch == "?":  # path modifier '?'
+                tokens.append(Token(TokenType.PUNCT, "?", start, line))
+                i += 1
+                continue
+            raise SparqlLexError("lone '$'", line, i)
+        # String literal
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n:
+                c = text[j]
+                if c == "\\":
+                    if j + 1 >= n:
+                        raise SparqlLexError("dangling escape", line, j)
+                    esc = text[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "r": "\r"}.get(esc, esc))
+                    j += 2
+                    continue
+                if c == quote:
+                    break
+                if c == "\n":
+                    raise SparqlLexError("newline in string literal", line, j)
+                buf.append(c)
+                j += 1
+            else:
+                raise SparqlLexError("unterminated string", line, i)
+            tokens.append(Token(TokenType.STRING, "".join(buf), start, line))
+            i = j + 1
+            continue
+        # Number (integer, decimal, exponent).  A leading +/- is handled
+        # by the parser as a unary operator.
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            if j < n and text[j] == ".":
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            tokens.append(Token(TokenType.NUMBER, text[i:j], start, line))
+            i = j
+            continue
+        # Blank node
+        if ch == "_" and text.startswith("_:", i):
+            j = i + 2
+            while j < n and (text[j] in _NAME_CHARS or text[j].isdigit()):
+                j += 1
+            tokens.append(Token(TokenType.BNODE, text[i + 2:j], start, line))
+            i = j
+            continue
+        # Identifier, keyword, or prefixed name
+        if ch in _NAME_START:
+            j = i
+            while j < n and (text[j] in _NAME_CHARS or text[j].isdigit()):
+                j += 1
+            word = text[i:j]
+            if j < n and text[j] == ":":
+                # prefixed name: prefix:local (local may be empty)
+                k = j + 1
+                while k < n and (text[k] in _NAME_CHARS or text[k].isdigit() or text[k] == "."):
+                    k += 1
+                # trailing '.' belongs to the triple terminator, not the name
+                while k > j + 1 and text[k - 1] == ".":
+                    k -= 1
+                tokens.append(Token(TokenType.PNAME, text[i:k], start, line))
+                i = k
+                continue
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start, line))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start, line))
+            i = j
+            continue
+        # ':local' prefixed name with empty prefix
+        if ch == ":":
+            j = i + 1
+            while j < n and (text[j] in _NAME_CHARS or text[j].isdigit()):
+                j += 1
+            tokens.append(Token(TokenType.PNAME, text[i:j], start, line))
+            i = j
+            continue
+        # Multi-char punctuation
+        two = text[i:i + 2]
+        if two in _PUNCT_TWO:
+            tokens.append(Token(TokenType.PUNCT, two, start, line))
+            i += 2
+            continue
+        if ch in _PUNCT_ONE:
+            tokens.append(Token(TokenType.PUNCT, ch, start, line))
+            i += 1
+            continue
+        raise SparqlLexError(f"unexpected character {ch!r}", line, i)
+    tokens.append(Token(TokenType.EOF, "", n, line))
+    return tokens

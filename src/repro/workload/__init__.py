@@ -1,0 +1,43 @@
+"""Synthetic workload substrate.
+
+Substitutes the proprietary 1000-QEP IBM customer workload of the paper's
+evaluation with a seeded generator over a synthetic star schema.  The
+generator reproduces the workload *shape* the paper describes — plans
+averaging 100+ operators, sizes clustered below 250 or above 500, heavy
+nesting and repeated subexpressions — and can plant the expert patterns
+(A-D) at controlled rates.  Ground truth for the experiments comes from
+:mod:`repro.workload.reference`, an independent (non-RDF) plan-graph
+checker for each pattern.
+"""
+
+from repro.workload.catalog import Catalog, TableDef, default_catalog
+from repro.workload.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_workload,
+    paper_size_for,
+)
+from repro.workload.reference import (
+    REFERENCE_CHECKERS,
+    find_pattern_a,
+    find_pattern_b,
+    find_pattern_c,
+    find_pattern_d,
+    ground_truth,
+)
+
+__all__ = [
+    "Catalog",
+    "GeneratorConfig",
+    "REFERENCE_CHECKERS",
+    "TableDef",
+    "WorkloadGenerator",
+    "default_catalog",
+    "find_pattern_a",
+    "find_pattern_b",
+    "find_pattern_c",
+    "find_pattern_d",
+    "generate_workload",
+    "ground_truth",
+    "paper_size_for",
+]

@@ -1,0 +1,157 @@
+"""Synthetic star-schema catalog for the workload generator.
+
+Roughly the shape of a retail data warehouse (the paper's motivating
+domain): a couple of very large fact tables, mid-sized detail tables and
+small dimensions.  Table names reuse those visible in the paper's figures
+(SALES_FACT, CUST_DIM, TELEPHONE_DETAIL, TRAN_BASE) so generated explain
+files read like the originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.qep.model import BaseObject
+
+
+@dataclass(frozen=True)
+class TableDef:
+    """Static definition of one catalog table."""
+
+    schema: str
+    name: str
+    cardinality: float
+    columns: Tuple[str, ...]
+    indexes: Tuple[str, ...] = ()
+    is_fact: bool = False
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.schema}.{self.name}"
+
+    def to_base_object(self) -> BaseObject:
+        return BaseObject(
+            schema=self.schema,
+            name=self.name,
+            cardinality=self.cardinality,
+            columns=self.columns,
+            indexes=self.indexes,
+        )
+
+
+def _table(schema, name, card, columns, indexes=(), is_fact=False) -> TableDef:
+    return TableDef(schema, name, card, tuple(columns), tuple(indexes), is_fact)
+
+
+_DEFAULT_TABLES: List[TableDef] = [
+    _table(
+        "TPCD",
+        "SALES_FACT",
+        2.88e8,
+        ["S_CUSTKEY", "S_PRODKEY", "S_DATEKEY", "S_STOREKEY", "S_AMT", "S_QTY"],
+        ["IDX_SF_CUST", "IDX_SF_DATE"],
+        is_fact=True,
+    ),
+    _table(
+        "TPCD",
+        "TRAN_BASE",
+        2.87997e8,
+        ["T_TRANKEY", "T_ACCTKEY", "T_DATEKEY", "T_AMT", "T_TYPE"],
+        ["IDX9"],
+        is_fact=True,
+    ),
+    _table(
+        "TPCD",
+        "TELEPHONE_DETAIL",
+        5.1e7,
+        ["TD_CALLKEY", "TD_CUSTKEY", "TD_DURATION", "TD_DATEKEY"],
+        ["IDX_TD_CUST"],
+        is_fact=True,
+    ),
+    _table(
+        "TPCD",
+        "CUST_DIM",
+        1.2e6,
+        ["C_CUSTKEY", "C_NAME", "C_SEGMENT", "C_REGION", "C_PHONE"],
+        ["IDX_CD_KEY"],
+    ),
+    _table(
+        "TPCD",
+        "ACCT_DIM",
+        3.4e6,
+        ["A_ACCTKEY", "A_CUSTKEY", "A_TYPE", "A_OPEN_DATE"],
+        ["IDX_AD_KEY"],
+    ),
+    _table(
+        "TPCD",
+        "PROD_DIM",
+        2.4e5,
+        ["P_PRODKEY", "P_NAME", "P_CATEGORY", "P_BRAND", "P_PRICE"],
+        ["IDX_PD_KEY"],
+    ),
+    _table(
+        "TPCD",
+        "STORE_DIM",
+        1450.0,
+        ["ST_STOREKEY", "ST_NAME", "ST_CITY", "ST_REGION"],
+    ),
+    _table(
+        "TPCD",
+        "DATE_DIM",
+        7300.0,
+        ["D_DATEKEY", "D_DATE", "D_MONTH", "D_QUARTER", "D_YEAR"],
+        ["IDX_DD_KEY"],
+    ),
+    _table(
+        "TPCD",
+        "PROMO_DIM",
+        12000.0,
+        ["PR_PROMOKEY", "PR_NAME", "PR_TYPE", "PR_BUDGET"],
+    ),
+    _table(
+        "TPCD",
+        "EMP_DIM",
+        52000.0,
+        ["E_EMPKEY", "E_NAME", "E_STOREKEY", "E_ROLE"],
+    ),
+]
+
+
+@dataclass
+class Catalog:
+    """A set of tables available to the plan generator."""
+
+    tables: List[TableDef] = field(default_factory=lambda: list(_DEFAULT_TABLES))
+
+    def __post_init__(self):
+        self._by_name: Dict[str, TableDef] = {
+            t.qualified_name: t for t in self.tables
+        }
+        if len(self._by_name) != len(self.tables):
+            raise ValueError("duplicate table names in catalog")
+
+    def table(self, qualified_name: str) -> TableDef:
+        return self._by_name[qualified_name]
+
+    @property
+    def fact_tables(self) -> List[TableDef]:
+        return [t for t in self.tables if t.is_fact]
+
+    @property
+    def dimension_tables(self) -> List[TableDef]:
+        return [t for t in self.tables if not t.is_fact]
+
+    @property
+    def large_tables(self) -> List[TableDef]:
+        """Tables big enough for Pattern C (base cardinality > 1e6)."""
+        return [t for t in self.tables if t.cardinality > 1e6]
+
+    @property
+    def small_tables(self) -> List[TableDef]:
+        return [t for t in self.tables if t.cardinality <= 1e6]
+
+
+def default_catalog() -> Catalog:
+    """The standard synthetic star schema."""
+    return Catalog()

@@ -1,0 +1,638 @@
+"""Seeded synthetic plan generator.
+
+Builds random-but-realistic DB2-style plans bottom-up: a pool of scan
+subtrees over the catalog is combined with joins (optionally wrapped in
+SORT / GRPBY / TEMP / FILTER / UNIQUE operators) until a target operator
+count is reached, then capped with a RETURN.  Costs follow a simple
+bottom-up cost model that preserves the invariant real plans have:
+cumulative cost is monotone from leaves to root.
+
+The generator can *plant* occurrences of the paper's expert patterns
+(A-D, Section 2.2/2.3) so experiment workloads contain known positives;
+independent ground truth is established afterwards by
+:mod:`repro.workload.reference`, never by the planting bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.qep.model import BaseObject, PlanGraph, PlanOperator, Predicate
+from repro.qep.operators import JoinSemantics, StreamRole
+from repro.qep.validate import validate_plan
+from repro.workload.catalog import Catalog, TableDef, default_catalog
+
+_PAGE_ROWS = 100.0  # rows per page for the I/O model
+_CPU_PER_ROW = 4000.0
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs controlling plan shape and pattern incidence."""
+
+    unary_prob: float = 0.30       # wrap a subtree in SORT/GRPBY/...
+    ixscan_prob: float = 0.45      # scans use an index when available
+    lojoin_prob: float = 0.10      # a join is a left outer join
+    temp_share_prob: float = 0.08  # a TEMP subexpression gets two consumers
+    nljoin_prob: float = 0.25      # join method mix
+    hsjoin_prob: float = 0.50      # (remainder is MSJOIN)
+    spill_sort_prob: float = 0.25  # a generated SORT spills (Pattern D shape)
+    avoid_pattern_a: bool = False  # keep natural NLJOINs from forming Pattern A
+    stitch_prob: float = 0.20      # plan repeats a "view" subexpression
+    union_prob: float = 0.08       # a merge step builds a UNION instead
+
+
+@dataclass
+class _Sub:
+    """A generated subtree: its root operator plus bookkeeping."""
+
+    root: PlanOperator
+    table: Optional[TableDef] = None  # representative table for predicates
+    is_temp: bool = False
+
+
+class WorkloadGenerator:
+    """Deterministic (seeded) generator of synthetic query plans."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        catalog: Optional[Catalog] = None,
+        config: Optional[GeneratorConfig] = None,
+    ):
+        self.seed = seed
+        self.catalog = catalog or default_catalog()
+        self.config = config or GeneratorConfig()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate_plan(
+        self,
+        plan_id: str,
+        target_ops: int = 60,
+        plant: Sequence[str] = (),
+    ) -> PlanGraph:
+        """Generate one plan with roughly *target_ops* operators.
+
+        *plant* lists pattern letters ('A', 'B', 'C', 'D') whose shapes
+        are built into the plan.  The final operator count is within a
+        small margin of the target (joins needed to connect the pool can
+        add a handful of operators).
+        """
+        if target_ops < 3:
+            raise ValueError("target_ops must be at least 3")
+        self._ops: List[PlanOperator] = []
+        self._counter = itertools.count(1)
+        self._objects: Dict[str, BaseObject] = {}
+
+        pool: List[_Sub] = []
+        for letter in plant:
+            pool.append(self._plant(letter))
+
+        # Query-manager repetitiveness (Section 1.1 of the paper):
+        # "similar (or even identical) expressions appear in several
+        # different parts of the same query, for instance ... referring
+        # to the same view or nested query block multiple times."
+        if target_ops >= 20 and self._rng.random() < self.config.stitch_prob:
+            pool.extend(self._stitched_view_subs(self._rng.randint(2, 3)))
+
+        # Grow until the operator budget (minus RETURN and the joins that
+        # will merge the pool) is exhausted.
+        while True:
+            budget_left = target_ops - len(self._ops) - 1 - max(0, len(pool) - 1)
+            if budget_left <= 0 and len(pool) >= 1:
+                break
+            if len(pool) >= 2 and self._rng.random() < 0.55:
+                self._merge_step(pool)
+            else:
+                pool.append(self._scan_sub())
+            if len(self._ops) > target_ops * 3 + 50:  # safety valve
+                break
+
+        while len(pool) > 1:
+            self._merge_step(pool, force=True)
+
+        top = pool[0]
+        root = self._new_op(
+            "RETURN",
+            cardinality=top.root.cardinality,
+            children=[(top.root, StreamRole.INPUT)],
+        )
+        plan = self._materialize(plan_id, root)
+        validate_plan(plan)
+        return plan
+
+    def generate_plan_in_range(
+        self, plan_id: str, low: int, high: int, plant: Sequence[str] = ()
+    ) -> PlanGraph:
+        """Generate a plan whose operator count lies in ``[low, high)``."""
+        target = max(3, (low + high) // 2)
+        for attempt in range(24):
+            plan = self.generate_plan(f"{plan_id}", target_ops=target, plant=plant)
+            if low <= plan.op_count < high:
+                return plan
+            if plan.op_count >= high:
+                target = max(3, target - max(2, (plan.op_count - high) // 2 + 2))
+            else:
+                target = target + max(2, (low - plan.op_count) // 2 + 2)
+        raise RuntimeError(
+            f"could not hit operator-count range [{low}, {high}) for {plan_id}"
+        )
+
+    # ------------------------------------------------------------------
+    # Operator factory
+    # ------------------------------------------------------------------
+    def _new_op(
+        self,
+        op_type: str,
+        *,
+        cardinality: float,
+        children: Sequence[Tuple[object, StreamRole]] = (),
+        join_semantics: JoinSemantics = JoinSemantics.INNER,
+        arguments: Optional[Dict[str, str]] = None,
+        predicates: Optional[List[Predicate]] = None,
+        io_increment: float = 0.0,
+        cost_increment: float = 0.0,
+    ) -> PlanOperator:
+        number = next(self._counter)
+        child_total = sum(
+            c.total_cost for c, _ in children if isinstance(c, PlanOperator)
+        )
+        child_io = sum(
+            c.io_cost for c, _ in children if isinstance(c, PlanOperator)
+        )
+        total_cost = child_total + max(cost_increment, 0.01)
+        io_cost = child_io + max(io_increment, 0.0)
+        op = PlanOperator(
+            number,
+            op_type,
+            cardinality=max(cardinality, 0.0),
+            total_cost=total_cost,
+            io_cost=io_cost,
+            cpu_cost=max(cardinality, 1.0) * _CPU_PER_ROW + child_total,
+            first_row_cost=total_cost * self._rng.uniform(0.001, 0.05),
+            buffers=io_cost * self._rng.uniform(0.5, 1.0),
+            join_semantics=join_semantics,
+            arguments=arguments,
+            predicates=predicates,
+        )
+        for source, role in children:
+            op.add_input(source, role)
+        self._ops.append(op)
+        return op
+
+    def _base_object(self, table: TableDef) -> BaseObject:
+        obj = self._objects.get(table.qualified_name)
+        if obj is None:
+            obj = table.to_base_object()
+            self._objects[table.qualified_name] = obj
+        return obj
+
+    # ------------------------------------------------------------------
+    # Subtree builders
+    # ------------------------------------------------------------------
+    def _scan_sub(
+        self,
+        table: Optional[TableDef] = None,
+        selectivity: Optional[float] = None,
+        force_tbscan: bool = False,
+        force_ixscan: bool = False,
+    ) -> _Sub:
+        rng = self._rng
+        if table is None:
+            table = rng.choice(self.catalog.tables)
+        obj = self._base_object(table)
+        if selectivity is None:
+            selectivity = 10 ** rng.uniform(-4.0, 0.0)
+        cardinality = table.cardinality * selectivity
+        pages = table.cardinality / _PAGE_ROWS
+        use_index = (
+            not force_tbscan
+            and bool(table.indexes)
+            and (force_ixscan or rng.random() < self.config.ixscan_prob)
+        )
+        local_pred = self._local_predicate(table, selectivity)
+        if use_index:
+            ix_io = max(3.0, math.log2(max(table.cardinality, 2.0)))
+            ixscan = self._new_op(
+                "IXSCAN",
+                cardinality=cardinality,
+                children=[(obj, StreamRole.INPUT)],
+                arguments={"INDEXNAME": table.indexes[0]},
+                predicates=[local_pred],
+                io_increment=ix_io,
+                cost_increment=ix_io * 10 + cardinality * 0.01,
+            )
+            fetch_io = min(cardinality, pages)
+            fetch = self._new_op(
+                "FETCH",
+                cardinality=cardinality,
+                children=[(ixscan, StreamRole.INPUT), (obj, StreamRole.INPUT)],
+                io_increment=fetch_io,
+                cost_increment=fetch_io * 10 + cardinality * 0.005,
+            )
+            return _Sub(fetch, table)
+        tbscan = self._new_op(
+            "TBSCAN",
+            cardinality=cardinality,
+            children=[(obj, StreamRole.INPUT)],
+            arguments={"MAXPAGES": "ALL", "PREFETCH": "SEQUENTIAL"},
+            predicates=[local_pred] if selectivity < 1.0 else [],
+            io_increment=pages,
+            cost_increment=pages * 10 + table.cardinality * 0.001,
+        )
+        return _Sub(tbscan, table)
+
+    def _local_predicate(self, table: TableDef, selectivity: float) -> Predicate:
+        column = self._rng.choice(table.columns)
+        value = self._rng.randint(1, 100000)
+        return Predicate(
+            text=f"(Q1.{column} = {value})",
+            kind="local-equality",
+            columns=(column,),
+            selectivity=selectivity,
+        )
+
+    def _join_predicate(
+        self, left: Optional[TableDef], right: Optional[TableDef]
+    ) -> Predicate:
+        lcol = self._rng.choice(left.columns) if left else "COL0"
+        rcol = self._rng.choice(right.columns) if right else "COL1"
+        return Predicate(
+            text=f"(Q1.{lcol} = Q2.{rcol})",
+            kind="join-equality",
+            columns=(lcol, rcol),
+            selectivity=None,
+        )
+
+    def _join_sub(
+        self,
+        left: _Sub,
+        right: _Sub,
+        op_type: Optional[str] = None,
+        semantics: Optional[JoinSemantics] = None,
+        preserve_shape: bool = False,
+    ) -> _Sub:
+        rng = self._rng
+        if op_type is None:
+            roll = rng.random()
+            if roll < self.config.nljoin_prob:
+                op_type = "NLJOIN"
+            elif roll < self.config.nljoin_prob + self.config.hsjoin_prob:
+                op_type = "HSJOIN"
+            else:
+                op_type = "MSJOIN"
+        if semantics is None:
+            semantics = (
+                JoinSemantics.LEFT_OUTER
+                if rng.random() < self.config.lojoin_prob
+                else JoinSemantics.INNER
+            )
+        if (
+            self.config.avoid_pattern_a
+            and not preserve_shape
+            and op_type == "NLJOIN"
+            and right.root.op_type == "TBSCAN"
+            and right.root.cardinality > 100
+            and left.root.cardinality > 1
+        ):
+            # Break the Pattern A shape without changing the join method:
+            # interpose a SORT so the inner's immediate child is no longer
+            # a TBSCAN (experiment workloads plant Pattern A explicitly).
+            right = self._unary_sub(right, "SORT")
+        ocard = left.root.cardinality
+        icard = right.root.cardinality
+        cardinality = max(
+            min(ocard, icard) * rng.uniform(0.1, 1.0),
+            ocard if semantics is JoinSemantics.LEFT_OUTER else 0.0,
+        )
+        if op_type == "NLJOIN":
+            # The inner is rescanned per outer row — the cost shape behind
+            # Pattern A.  Capped so chained nested loops do not compound
+            # to absurd magnitudes (DB2 timeron costs top out ~1e9-1e10).
+            increment = min(
+                max(ocard, 1.0) * max(right.root.total_cost * 0.02, 0.05),
+                1e10,
+            )
+            io_increment = min(
+                max(ocard, 1.0) * max(right.root.io_cost * 0.01, 0.0), 1e9
+            )
+        elif op_type == "HSJOIN":
+            increment = (ocard + icard) * 0.002 + 20.0
+            io_increment = (ocard + icard) / (_PAGE_ROWS * 10)
+        else:
+            increment = (ocard + icard) * 0.004 + 10.0
+            io_increment = 0.0
+        join = self._new_op(
+            op_type,
+            cardinality=cardinality,
+            children=[(left.root, StreamRole.OUTER), (right.root, StreamRole.INNER)],
+            join_semantics=semantics,
+            predicates=[self._join_predicate(left.table, right.table)],
+            cost_increment=increment,
+            io_increment=io_increment,
+        )
+        return _Sub(join, left.table or right.table)
+
+    def _unary_sub(self, sub: _Sub, op_type: Optional[str] = None) -> _Sub:
+        rng = self._rng
+        if op_type is None:
+            op_type = rng.choice(["SORT", "GRPBY", "TEMP", "FILTER", "UNIQUE"])
+        card = sub.root.cardinality
+        child_io = sub.root.io_cost
+        if op_type == "SORT":
+            spilled = rng.random() < self.config.spill_sort_prob
+            sort_pages = card / _PAGE_ROWS
+            io_increment = sort_pages * 2 if spilled else 0.0
+            op = self._new_op(
+                "SORT",
+                cardinality=card,
+                children=[(sub.root, StreamRole.INPUT)],
+                arguments={
+                    "SPILLED": str(int(sort_pages)) if spilled else "0",
+                    "NUMROWS": str(int(card)),
+                },
+                cost_increment=max(card, 1.0) * math.log2(max(card, 2.0)) * 0.001,
+                io_increment=io_increment,
+            )
+        elif op_type == "GRPBY":
+            op = self._new_op(
+                "GRPBY",
+                cardinality=max(card * 10 ** rng.uniform(-3.0, -0.5), 1.0),
+                children=[(sub.root, StreamRole.INPUT)],
+                arguments={"AGGMODE": "COMPLETE"},
+                cost_increment=card * 0.001 + 1.0,
+            )
+        elif op_type == "TEMP":
+            op = self._new_op(
+                "TEMP",
+                cardinality=card,
+                children=[(sub.root, StreamRole.INPUT)],
+                arguments={"TEMPSIZE": str(int(card / _PAGE_ROWS) + 1)},
+                cost_increment=card * 0.002 + 1.0,
+                io_increment=card / _PAGE_ROWS,
+            )
+            return _Sub(op, sub.table, is_temp=True)
+        elif op_type == "UNIQUE":
+            op = self._new_op(
+                "UNIQUE",
+                cardinality=card * rng.uniform(0.3, 1.0),
+                children=[(sub.root, StreamRole.INPUT)],
+                cost_increment=card * 0.001 + 0.5,
+            )
+        else:  # FILTER
+            op = self._new_op(
+                "FILTER",
+                cardinality=card * rng.uniform(0.05, 0.9),
+                children=[(sub.root, StreamRole.INPUT)],
+                predicates=[
+                    self._local_predicate(sub.table, rng.uniform(0.05, 0.9))
+                ]
+                if sub.table
+                else [],
+                cost_increment=card * 0.0005 + 0.1,
+            )
+        return _Sub(op, sub.table)
+
+    def _union_sub(self, branches: List[_Sub]) -> _Sub:
+        """UNION of several branches, sometimes deduplicated on top."""
+        rng = self._rng
+        cardinality = sum(sub.root.cardinality for sub in branches)
+        union = self._new_op(
+            "UNION",
+            cardinality=cardinality,
+            children=[(sub.root, StreamRole.INPUT) for sub in branches],
+            cost_increment=cardinality * 0.0005 + 0.5,
+        )
+        result = _Sub(union, branches[0].table)
+        if rng.random() < 0.5:
+            result = self._unary_sub(result, "UNIQUE")
+        return result
+
+    def _merge_step(self, pool: List[_Sub], force: bool = False) -> None:
+        """Join two pool entries; sometimes share a TEMP across joins."""
+        rng = self._rng
+        if (
+            not force
+            and len(pool) >= 2
+            and rng.random() < self.config.union_prob
+        ):
+            count = min(len(pool), rng.randint(2, 3))
+            branches = [pool.pop(rng.randrange(len(pool))) for _ in range(count)]
+            pool.append(self._union_sub(branches))
+            return
+        left = pool.pop(rng.randrange(len(pool)))
+        right = pool.pop(rng.randrange(len(pool)))
+        # Common-subexpression sharing: wrap one side in a TEMP and keep
+        # it available for a second consumer (the DAG/ambiguity case).
+        if not force and rng.random() < self.config.temp_share_prob:
+            temp = self._unary_sub(right, "TEMP")
+            first = self._join_sub(left, temp)
+            other = self._scan_sub()
+            second = self._join_sub(other, temp)
+            joined = self._join_sub(first, second, op_type="HSJOIN")
+        else:
+            joined = self._join_sub(left, right)
+        if rng.random() < self.config.unary_prob:
+            joined = self._unary_sub(joined)
+        pool.append(joined)
+
+    # ------------------------------------------------------------------
+    # Stitched views (repetitiveness)
+    # ------------------------------------------------------------------
+    def _stitched_view_subs(self, count: int) -> List[_Sub]:
+        """*count* structurally identical instances of one "view".
+
+        The recipe is replayed by running the subplan builder against a
+        dedicated RNG seeded identically per instance: each instance
+        gets fresh operator objects (a view expansion, not a shared
+        TEMP) with the same shape, tables, cardinalities and costs —
+        exactly what query managers emit when a report references the
+        same view repeatedly.
+        """
+        recipe_seed = self._rng.randrange(1 << 30)
+        instances: List[_Sub] = []
+        for _ in range(count):
+            outer_rng = self._rng
+            self._rng = random.Random(recipe_seed)
+            try:
+                instances.append(self._view_subplan())
+            finally:
+                self._rng = outer_rng
+        return instances
+
+    def _view_subplan(self) -> _Sub:
+        """One view expansion: a small join block, sometimes aggregated."""
+        left = self._scan_sub()
+        right = self._scan_sub()
+        joined = self._join_sub(left, right)
+        if self._rng.random() < 0.5:
+            joined = self._unary_sub(joined, "GRPBY")
+        return joined
+
+    # ------------------------------------------------------------------
+    # Pattern planting
+    # ------------------------------------------------------------------
+    def _plant(self, letter: str) -> _Sub:
+        letter = letter.upper()
+        if letter == "A":
+            return self._plant_pattern_a()
+        if letter == "B":
+            return self._plant_pattern_b()
+        if letter == "C":
+            return self._plant_pattern_c()
+        if letter == "D":
+            return self._plant_pattern_d()
+        raise ValueError(f"unknown pattern letter {letter!r}")
+
+    def _plant_pattern_a(self) -> _Sub:
+        """NLJOIN: outer cardinality > 1, inner TBSCAN cardinality > 100."""
+        outer = self._scan_sub(selectivity=10 ** self._rng.uniform(-3.0, -1.0))
+        if outer.root.cardinality <= 1:
+            outer.root.cardinality = self._rng.uniform(10, 1000)
+        inner_table = self._rng.choice(
+            [t for t in self.catalog.tables if t.cardinality > 100]
+        )
+        inner = self._scan_sub(table=inner_table, selectivity=1.0, force_tbscan=True)
+        return self._join_sub(outer, inner, op_type="NLJOIN",
+                              semantics=JoinSemantics.INNER,
+                              preserve_shape=True)
+
+    def _plant_pattern_b(self) -> _Sub:
+        """JOIN with a left-outer join below both streams (descendants)."""
+        lo_left = self._join_sub(
+            self._scan_sub(), self._scan_sub(), semantics=JoinSemantics.LEFT_OUTER
+        )
+        lo_right = self._join_sub(
+            self._scan_sub(), self._scan_sub(), semantics=JoinSemantics.LEFT_OUTER
+        )
+        # Bury the LOJs below unary operators so the relationship is a
+        # true descendant (not an immediate child) about half the time.
+        left: _Sub = lo_left
+        right: _Sub = lo_right
+        if self._rng.random() < 0.5:
+            left = self._unary_sub(left, "SORT")
+        if self._rng.random() < 0.5:
+            right = self._unary_sub(right, "TEMP")
+        return self._join_sub(
+            left, right, op_type=self._rng.choice(["NLJOIN", "HSJOIN", "MSJOIN"]),
+            semantics=JoinSemantics.INNER,
+        )
+
+    def _plant_pattern_c(self) -> _Sub:
+        """Scan with cardinality < 0.001 over a base object with > 1e6 rows."""
+        table = self._rng.choice(self.catalog.large_tables)
+        # Cap selectivity so the scan cardinality is strictly below the
+        # pattern's 0.001 threshold regardless of table size.
+        ceiling = 5e-4 / table.cardinality
+        selectivity = min(10 ** self._rng.uniform(-15.0, -11.0), ceiling)
+        sub = self._scan_sub(
+            table=table,
+            selectivity=selectivity,
+            force_ixscan=self._rng.random() < 0.5,
+        )
+        # The interesting scan may sit under a FETCH; the pattern targets
+        # the scan itself, which reference checkers and SPARQL both see.
+        return sub
+
+    def _plant_pattern_d(self) -> _Sub:
+        """SORT whose I/O cost exceeds its input's I/O cost (spill)."""
+        sub = self._scan_sub(selectivity=10 ** self._rng.uniform(-2.0, 0.0))
+        card = sub.root.cardinality
+        op = self._new_op(
+            "SORT",
+            cardinality=card,
+            children=[(sub.root, StreamRole.INPUT)],
+            arguments={"SPILLED": str(int(card / _PAGE_ROWS) + 1),
+                       "NUMROWS": str(int(card))},
+            cost_increment=max(card, 1.0) * math.log2(max(card, 2.0)) * 0.002,
+            io_increment=max(sub.root.io_cost, 1.0) * self._rng.uniform(0.5, 2.0)
+            + card / _PAGE_ROWS,
+        )
+        return _Sub(op, sub.table)
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def _materialize(self, plan_id: str, root: PlanOperator) -> PlanGraph:
+        """Renumber operators in pre-order from the root and build the plan."""
+        numbering: Dict[int, int] = {}
+        order: List[PlanOperator] = []
+        stack = [root]
+        while stack:
+            op = stack.pop()
+            if id(op) in numbering:
+                continue
+            numbering[id(op)] = len(order) + 1
+            order.append(op)
+            # Push children in reverse so the leftmost child numbers first.
+            for stream in reversed(op.inputs):
+                if isinstance(stream.source, PlanOperator):
+                    stack.append(stream.source)
+        for op in order:
+            op.number = numbering[id(op)]
+        plan = PlanGraph(plan_id, statement=self._statement_for(order))
+        for op in order:
+            plan.add_operator(op)
+        plan.set_root(root)
+        return plan
+
+    def _statement_for(self, ops: List[PlanOperator]) -> str:
+        tables = sorted(
+            {obj.qualified_name for op in ops for obj in op.base_objects()}
+        )
+        joins = sum(1 for op in ops if op.info.is_join)
+        return (
+            f"-- synthetic query: {len(ops)} operators, {joins} joins\n"
+            f"SELECT ... FROM {', '.join(tables) if tables else '(none)'} ..."
+        )
+
+
+def paper_size_for(rng: random.Random) -> int:
+    """Sample a plan size matching the paper's workload distribution.
+
+    Section 3.2.2: plans average 100+ operators, sizes fall below 250 or
+    above 500 (buckets 250-500 were empty), maximum observed 550.
+    """
+    bucket = rng.choices(
+        population=[(20, 50), (50, 100), (100, 150), (150, 200), (200, 250),
+                    (500, 550)],
+        weights=[0.15, 0.22, 0.25, 0.18, 0.12, 0.08],
+    )[0]
+    return rng.randint(bucket[0], bucket[1] - 1)
+
+
+def generate_workload(
+    n_plans: int,
+    seed: int = 0,
+    plant_rates: Optional[Dict[str, float]] = None,
+    size_sampler=None,
+    catalog: Optional[Catalog] = None,
+    config: Optional[GeneratorConfig] = None,
+) -> List[PlanGraph]:
+    """Generate *n_plans* plans with paper-like sizes and plant rates.
+
+    *plant_rates* maps pattern letters to the probability that a plan
+    gets one planted occurrence (e.g. ``{"A": 0.15, "B": 0.12}``).
+    """
+    rng = random.Random(seed)
+    generator = WorkloadGenerator(seed=seed + 1, catalog=catalog, config=config)
+    plant_rates = plant_rates or {}
+    plans: List[PlanGraph] = []
+    for index in range(n_plans):
+        plant = [
+            letter
+            for letter, rate in sorted(plant_rates.items())
+            if rng.random() < rate
+        ]
+        size = size_sampler(rng) if size_sampler else paper_size_for(rng)
+        plans.append(
+            generator.generate_plan(f"qep-{index:04d}", target_ops=size, plant=plant)
+        )
+    return plans

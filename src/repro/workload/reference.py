@@ -1,0 +1,173 @@
+"""Independent, non-RDF reference checkers for the expert patterns.
+
+These walk the :class:`PlanGraph` directly with plain graph algorithms
+and serve two purposes:
+
+1. **Ground truth** for the experiments (which plans really contain each
+   pattern), established independently of the RDF/SPARQL pipeline under
+   test and of the generator's planting bookkeeping.
+2. **Differential testing**: property-based tests assert that OptImatch's
+   SPARQL matching returns exactly the same plan sets as these checkers
+   on arbitrary generated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set
+
+from repro.qep.model import BaseObject, PlanGraph, PlanOperator, format_number
+from repro.qep.operators import StreamRole
+
+Occurrence = Dict[str, object]
+
+
+def _q(value: float) -> float:
+    """Quantize to the precision the explain text prints.
+
+    A QEP is a *textual* artifact: what the tool (and a human reader)
+    can observe is the printed number, so pattern thresholds are judged
+    on the printed form.  Without this, full-precision floats would let
+    the reference checker distinguish values that are identical in the
+    explain file (e.g. two I/O costs that both print as 3.40526e+11).
+    """
+    return float(format_number(value))
+
+
+def _operator_children(op: PlanOperator, role: StreamRole = None):
+    for stream in op.inputs:
+        if isinstance(stream.source, PlanOperator):
+            if role is None or stream.role is role:
+                yield stream.source
+
+
+def _descendant_set(start: PlanOperator) -> Set[PlanOperator]:
+    """*start* plus every operator reachable below it."""
+    seen: Set[int] = set()
+    out: Set[PlanOperator] = set()
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node.number in seen:
+            continue
+        seen.add(node.number)
+        out.add(node)
+        frontier.extend(_operator_children(node))
+    return out
+
+
+def find_pattern_a(plan: PlanGraph) -> List[Occurrence]:
+    """Pattern A (Section 2.2, Figure 3): NLJOIN whose outer input has
+    cardinality > 1 and whose inner input is a TBSCAN with cardinality
+    > 100 reading a base object."""
+    occurrences: List[Occurrence] = []
+    for op in plan.operators_of_type("NLJOIN"):
+        outer = op.input_with_role(StreamRole.OUTER)
+        inner = op.input_with_role(StreamRole.INNER)
+        if outer is None or inner is None:
+            continue
+        outer_src = outer.source
+        inner_src = inner.source
+        if not isinstance(inner_src, PlanOperator):
+            continue
+        if inner_src.op_type != "TBSCAN" or _q(inner_src.cardinality) <= 100:
+            continue
+        outer_card = (
+            outer_src.cardinality
+            if isinstance(outer_src, (PlanOperator, BaseObject))
+            else 0.0
+        )
+        if _q(outer_card) <= 1:
+            continue
+        bases = inner_src.base_objects()
+        if not bases:
+            continue
+        occurrences.append(
+            {
+                "TOP": op,
+                "outer": outer_src,
+                "inner": inner_src,
+                "BASE": bases[0],
+            }
+        )
+    return occurrences
+
+
+def find_pattern_b(plan: PlanGraph) -> List[Occurrence]:
+    """Pattern B (Section 2.3, Figure 7): a JOIN with a left-outer join
+    somewhere below its outer stream AND one somewhere below its inner
+    stream (descendant relationships — the recursive pattern)."""
+    occurrences: List[Occurrence] = []
+    for op in plan.iter_operators():
+        if not op.info.is_join:
+            continue
+        outer = op.input_with_role(StreamRole.OUTER)
+        inner = op.input_with_role(StreamRole.INNER)
+        if outer is None or inner is None:
+            continue
+        if not isinstance(outer.source, PlanOperator):
+            continue
+        if not isinstance(inner.source, PlanOperator):
+            continue
+        outer_lojs = [
+            d for d in _descendant_set(outer.source) if d.is_left_outer_join
+        ]
+        inner_lojs = [
+            d for d in _descendant_set(inner.source) if d.is_left_outer_join
+        ]
+        for outer_loj in outer_lojs:
+            for inner_loj in inner_lojs:
+                occurrences.append(
+                    {"TOP": op, "outerLOJ": outer_loj, "innerLOJ": inner_loj}
+                )
+    return occurrences
+
+
+def find_pattern_c(plan: PlanGraph) -> List[Occurrence]:
+    """Pattern C (Section 2.3, Figure 8): an IXSCAN or TBSCAN with
+    cardinality < 0.001 reading a base object with cardinality > 1e6 —
+    the cardinality-underestimation signature."""
+    occurrences: List[Occurrence] = []
+    for op in plan.iter_operators():
+        if op.op_type not in ("IXSCAN", "TBSCAN"):
+            continue
+        if _q(op.cardinality) >= 0.001:
+            continue
+        for base in op.base_objects():
+            if _q(base.cardinality) > 1e6:
+                occurrences.append({"SCAN": op, "BASE": base})
+    return occurrences
+
+
+def find_pattern_d(plan: PlanGraph) -> List[Occurrence]:
+    """Pattern D (Section 2.3): a SORT whose immediate input has an I/O
+    cost lower than the SORT's own I/O cost (sort spill signature)."""
+    occurrences: List[Occurrence] = []
+    for op in plan.operators_of_type("SORT"):
+        for child in _operator_children(op):
+            if _q(child.io_cost) < _q(op.io_cost):
+                occurrences.append({"SORT": op, "input": child})
+    return occurrences
+
+
+REFERENCE_CHECKERS: Dict[str, Callable[[PlanGraph], List[Occurrence]]] = {
+    "A": find_pattern_a,
+    "B": find_pattern_b,
+    "C": find_pattern_c,
+    "D": find_pattern_d,
+}
+
+
+def ground_truth(
+    plans: Iterable[PlanGraph], letters: Iterable[str] = "ABCD"
+) -> Dict[str, Dict[str, List[Occurrence]]]:
+    """Per-pattern ground truth: ``{letter: {plan_id: occurrences}}``.
+
+    Only plans with at least one occurrence appear in the inner dict.
+    """
+    out: Dict[str, Dict[str, List[Occurrence]]] = {l: {} for l in letters}
+    for plan in plans:
+        for letter in letters:
+            occurrences = REFERENCE_CHECKERS[letter](plan)
+            if occurrences:
+                out[letter][plan.plan_id] = occurrences
+    return out

@@ -1,0 +1,121 @@
+"""Cost-based clustering and pattern correlation."""
+
+import pytest
+
+from repro.analysis import (
+    cluster_workload,
+    correlate_patterns,
+    plan_features,
+)
+from repro.workload import WorkloadGenerator, generate_workload
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture(scope="module")
+def mixed_workload():
+    """Plans with a clear cost dichotomy: tiny vs huge."""
+    generator = WorkloadGenerator(seed=5)
+    small = [
+        generator.generate_plan(f"small-{i}", target_ops=8) for i in range(6)
+    ]
+    large = [
+        generator.generate_plan(f"large-{i}", target_ops=150) for i in range(6)
+    ]
+    return small + large
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, figure1_plan):
+        features = plan_features(figure1_plan)
+        assert len(features) == 7
+        assert all(isinstance(f, float) for f in features)
+
+    def test_cost_share_bounded(self, figure1_plan):
+        assert 0.0 <= plan_features(figure1_plan)[6] <= 1.0
+
+    def test_bigger_plan_bigger_features(self):
+        generator = WorkloadGenerator(seed=9)
+        small = plan_features(generator.generate_plan("s", target_ops=8))
+        large = plan_features(generator.generate_plan("l", target_ops=120))
+        assert large[2] > small[2]  # log op count
+
+
+class TestClustering:
+    def test_deterministic(self, mixed_workload):
+        a = cluster_workload(mixed_workload, k=2, seed=3)
+        b = cluster_workload(mixed_workload, k=2, seed=3)
+        assert a.labels == b.labels
+
+    def test_every_plan_labeled(self, mixed_workload):
+        report = cluster_workload(mixed_workload, k=3, seed=3)
+        assert set(report.labels) == {p.plan_id for p in mixed_workload}
+        assert sum(report.sizes) == len(mixed_workload)
+
+    def test_clusters_ordered_by_cost(self, mixed_workload):
+        report = cluster_workload(mixed_workload, k=3, seed=3)
+        populated = [c for c, size in zip(report.mean_costs, report.sizes) if size]
+        assert populated == sorted(populated)
+
+    def test_separates_cheap_from_expensive(self, mixed_workload):
+        report = cluster_workload(mixed_workload, k=2, seed=3)
+        small_labels = {report.cluster_of(f"small-{i}") for i in range(6)}
+        large_labels = {report.cluster_of(f"large-{i}") for i in range(6)}
+        assert small_labels == {0}
+        assert large_labels == {1}
+
+    def test_k_capped_at_workload_size(self, figure1_plan):
+        report = cluster_workload([figure1_plan], k=5)
+        assert report.k == 1
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_workload([], k=2)
+
+
+class TestCorrelation:
+    def test_hit_rates_and_lift(self, mixed_workload):
+        report = cluster_workload(mixed_workload, k=2, seed=3)
+        hits = {"expensive-only": [f"large-{i}" for i in range(6)]}
+        correlate_patterns(report, hits)
+        rates = report.hit_rates["expensive-only"]
+        assert rates[0] == 0.0
+        assert rates[1] == 1.0
+        lifts = report.lifts["expensive-only"]
+        assert lifts[1] > lifts[0]
+
+    def test_uniform_pattern_has_unit_lift(self, mixed_workload):
+        report = cluster_workload(mixed_workload, k=2, seed=3)
+        hits = {"everywhere": [p.plan_id for p in mixed_workload]}
+        correlate_patterns(report, hits)
+        assert report.lifts["everywhere"] == [1.0, 1.0]
+
+    def test_report_text(self, mixed_workload):
+        report = cluster_workload(mixed_workload, k=2, seed=3)
+        correlate_patterns(report, {"x": ["small-0"]})
+        text = report.to_text()
+        assert "cluster 0" in text and "x:" in text
+
+
+class TestEndToEndWithKB:
+    def test_correlate_kb_hits(self):
+        from repro.core import OptImatch
+        from repro.kb import builtin_knowledge_base
+
+        plans = generate_workload(
+            12,
+            seed=44,
+            plant_rates={"A": 0.5},
+            size_sampler=lambda rng: rng.randint(10, 60),
+        )
+        tool = OptImatch()
+        tool.add_plans(plans)
+        report = tool.run_knowledge_base(builtin_knowledge_base("A"))
+        hits = {
+            "pattern-a": [
+                p.plan_id
+                for p in report.plans_with_recommendations()
+            ]
+        }
+        clusters = cluster_workload(plans, k=2, seed=1)
+        correlate_patterns(clusters, hits)
+        assert len(clusters.hit_rates["pattern-a"]) == 2

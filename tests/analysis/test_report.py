@@ -1,0 +1,70 @@
+"""Workload health report."""
+
+import pytest
+
+from repro.analysis import build_workload_report
+from repro.kb import builtin_knowledge_base, extended_knowledge_base
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return generate_workload(
+        12,
+        seed=77,
+        plant_rates={"A": 0.4, "C": 0.3},
+        size_sampler=lambda rng: rng.randint(15, 50),
+    )
+
+
+@pytest.fixture(scope="module")
+def report_text(plans):
+    return build_workload_report(plans, builtin_knowledge_base(), clusters=2)
+
+
+class TestReport:
+    def test_sections_present(self, report_text):
+        for heading in (
+            "# Workload health report",
+            "## Workload overview",
+            "## Findings",
+            "## Cost clusters",
+            "## Top recommendations",
+        ):
+            assert heading in report_text
+
+    def test_counts_mentioned(self, report_text):
+        assert "**12 plans**" in report_text
+
+    def test_findings_table(self, report_text):
+        assert "| pattern | plans affected | share |" in report_text
+        assert "pattern-a" in report_text
+
+    def test_recommendations_have_context(self, report_text):
+        # tags resolved: recommendation text names concrete tables
+        assert "TPCD." in report_text
+        assert "@" not in report_text.split("## Top recommendations")[1]
+
+    def test_cluster_incidence_table(self, report_text):
+        assert "Pattern incidence per cluster" in report_text
+
+    def test_custom_title(self, plans):
+        text = build_workload_report(
+            plans, builtin_knowledge_base(), title="Q3 audit"
+        )
+        assert text.startswith("# Q3 audit")
+
+    def test_extended_kb(self, plans):
+        text = build_workload_report(plans, extended_knowledge_base())
+        assert "stored expert patterns" in text
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload_report([], builtin_knowledge_base())
+
+    def test_max_recommendations_cap(self, plans):
+        text = build_workload_report(
+            plans, builtin_knowledge_base(), max_recommendations=1
+        )
+        section = text.split("## Top recommendations")[1]
+        assert section.count("1. **[") <= 1

@@ -1,0 +1,87 @@
+"""Workload statistics."""
+
+import pytest
+
+from repro.analysis import (
+    plans_scanning_table,
+    workload_statistics,
+)
+from repro.workload import WorkloadGenerator, generate_workload
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture(scope="module")
+def plans():
+    return generate_workload(
+        10, seed=55, size_sampler=lambda rng: rng.randint(15, 60)
+    )
+
+
+class TestWorkloadStats:
+    def test_counts(self, plans):
+        stats = workload_statistics(plans)
+        assert stats.plan_count == 10
+        assert stats.operator_count == sum(p.op_count for p in plans)
+        assert stats.size_min <= stats.size_mean <= stats.size_max
+
+    def test_operator_mix_sums(self, plans):
+        stats = workload_statistics(plans)
+        assert sum(stats.operator_mix.values()) == stats.operator_count
+
+    def test_join_methods_subset_of_mix(self, plans):
+        stats = workload_statistics(plans)
+        for method, count in stats.join_methods.items():
+            assert stats.operator_mix[method] == count
+
+    def test_figure1_stats(self, figure1_plan):
+        stats = workload_statistics([figure1_plan])
+        assert stats.plan_count == 1
+        assert stats.operator_mix["NLJOIN"] == 1
+        cust = stats.table("TPCD.CUST_DIM")
+        assert cust.scans_by_method == {"TBSCAN": 1}
+        sales = stats.table("TPCD.SALES_FACT")
+        # IXSCAN and FETCH both read SALES_FACT
+        assert sales.scans_by_method.get("IXSCAN") == 1
+        assert sales.scans_by_method.get("FETCH") == 1
+
+    def test_index_vs_table_ratio(self, figure1_plan):
+        stats = workload_statistics([figure1_plan])
+        sales = stats.table("TPCD.SALES_FACT")
+        assert sales.index_vs_table_scan_ratio() is None  # no TBSCAN on it
+        cust = stats.table("TPCD.CUST_DIM")
+        assert cust.index_vs_table_scan_ratio() is None  # no IXSCAN on it
+
+    def test_empty_workload(self):
+        stats = workload_statistics([])
+        assert stats.plan_count == 0
+        assert stats.operator_count == 0
+
+    def test_to_text(self, plans):
+        text = workload_statistics(plans).to_text()
+        assert "workload: 10 plans" in text
+        assert "join methods" in text
+
+    def test_plans_counted_once_per_table(self, figure1_plan):
+        stats = workload_statistics([figure1_plan])
+        # SALES_FACT read by two operators but by one plan
+        assert stats.table("TPCD.SALES_FACT").plans == 1
+
+
+class TestPlansScanningTable:
+    def test_any_method(self, figure1_plan):
+        assert plans_scanning_table([figure1_plan], "TPCD.CUST_DIM") == ["fig1"]
+
+    def test_specific_method(self, figure1_plan):
+        assert plans_scanning_table(
+            [figure1_plan], "TPCD.SALES_FACT", method="IXSCAN"
+        ) == ["fig1"]
+        assert plans_scanning_table(
+            [figure1_plan], "TPCD.SALES_FACT", method="TBSCAN"
+        ) == []
+
+    def test_missing_table(self, figure1_plan):
+        assert plans_scanning_table([figure1_plan], "TPCD.NOPE") == []
+
+    def test_across_workload(self, plans):
+        hits = plans_scanning_table(plans, "TPCD.SALES_FACT")
+        assert set(hits) <= {p.plan_id for p in plans}

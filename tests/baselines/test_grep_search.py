@@ -1,0 +1,170 @@
+"""Grep-style manual search: correct on decimals, blind to exponents."""
+
+import pytest
+
+from repro.baselines import GrepSearcher
+from repro.baselines.grep_search import _naive_number
+from repro.qep import write_plan
+from repro.workload import WorkloadGenerator, REFERENCE_CHECKERS
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture
+def searcher():
+    return GrepSearcher()
+
+
+class TestNaiveNumber:
+    def test_plain_decimals_parse(self):
+        assert _naive_number("4043") == 4043
+        assert _naive_number("15771.9") == 15771.9
+        assert _naive_number("-2.5") == -2.5
+
+    def test_exponent_forms_invisible(self):
+        # The deliberate blind spot the paper describes.
+        assert _naive_number("2.87997e+07") is None
+        assert _naive_number("1.311e-08") is None
+        assert _naive_number("1e6") is None
+
+
+class TestPatternA:
+    def test_finds_decimal_form_match(self, figure1_plan, searcher):
+        # Figure 1's TBSCAN cardinality (4043) prints as a plain decimal,
+        # so the grep approach finds this one.
+        assert searcher.search_pattern_a(write_plan(figure1_plan))
+
+    def test_huge_exponent_recognized_at_a_glance(self, figure1_plan, searcher):
+        # A human sees "4.043e+07" and knows it is way above 100 without
+        # arithmetic, so the manual check still fires on huge values.
+        figure1_plan.operator(5).cardinality = 4.043e7
+        text = write_plan(figure1_plan)
+        assert "e+07" in text
+        assert REFERENCE_CHECKERS["A"](figure1_plan)
+        assert searcher.search_pattern_a(text)
+
+    def test_borderline_exponent_goes_blind(self, searcher):
+        # An exponent near the threshold (hundreds) needs real parsing,
+        # which the quick check cannot do — the paper's format blindness.
+        text = (
+            "Plan Details:\n\n"
+            "\t2) NLJOIN: (Nested Loop Join)\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Operator #3 (outer)\n"
+            "\t\t\t\tEstimated number of rows: \t50\n"
+            "\t\t\t2) From Operator #4 (inner)\n"
+            "\t3) IXSCAN: (Index Scan)\n"
+            "\t\tEstimated Cardinality: \t\t50\n"
+            "\t4) TBSCAN: (Table Scan)\n"
+            "\t\tEstimated Cardinality: \t\t4.04e+02\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Object TPCD.T (input)\n"
+        )
+        assert not searcher.search_pattern_a(text)
+
+    def test_no_false_positive_without_nljoin(self, searcher):
+        generator = WorkloadGenerator(seed=70)
+        from repro.workload.generator import GeneratorConfig
+
+        clean = WorkloadGenerator(
+            seed=70,
+            config=GeneratorConfig(
+                nljoin_prob=0.0, lojoin_prob=0.0, spill_sort_prob=0.0
+            ),
+        )
+        plan = clean.generate_plan("no-nl", target_ops=20)
+        assert not searcher.search_pattern_a(write_plan(plan))
+
+
+class TestPatternB:
+    def test_finds_planted(self, searcher):
+        generator = WorkloadGenerator(seed=71)
+        plan = generator.generate_plan("b", target_ops=25, plant=["B"])
+        assert searcher.search_pattern_b(write_plan(plan))
+
+    def test_single_loj_not_flagged(self, searcher):
+        text = (
+            "Plan Details:\n\n"
+            "\t1) >HSJOIN: (Hash Join)\n"
+        )
+        assert not searcher.search_pattern_b(text)
+
+    def test_heuristic_false_positive(self, searcher):
+        # Two LOJ joins on the SAME side of one join: truly not Pattern B,
+        # but the marker-count heuristic flags it — the documented
+        # imprecision of the manual approach.
+        text = (
+            "Plan Details:\n\n"
+            "\t1) NLJOIN: (Nested Loop Join)\n"
+            "\t2) >HSJOIN: (Hash Join)\n"
+            "\t3) >HSJOIN: (Hash Join)\n"
+        )
+        assert searcher.search_pattern_b(text)
+
+
+class TestPatternC:
+    def test_finds_planted(self, searcher):
+        generator = WorkloadGenerator(seed=72)
+        plan = generator.generate_plan("c", target_ops=20, plant=["C"])
+        assert searcher.search_pattern_c(write_plan(plan))
+
+    def test_decimal_tiny_value(self, searcher):
+        text = (
+            "Plan Details:\n\n"
+            "\t2) IXSCAN: (Index Scan)\n"
+            "\t\tEstimated Cardinality: \t\t0.0005\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Object TPCD.BIG (input)\n"
+        )
+        assert searcher.search_pattern_c(text)
+
+    def test_does_not_verify_base_size(self, searcher):
+        # grep flags a tiny scan over a SMALL table too (false positive):
+        # verifying the base-object size needs structure grep lacks.
+        text = (
+            "Plan Details:\n\n"
+            "\t2) IXSCAN: (Index Scan)\n"
+            "\t\tEstimated Cardinality: \t\t1.2e-09\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Object TPCD.TINY (input)\n"
+        )
+        assert searcher.search_pattern_c(text)
+
+
+class TestPatternD:
+    def test_decimal_comparison_works(self, searcher):
+        text = (
+            "Plan Details:\n\n"
+            "\t2) SORT: (Sort)\n"
+            "\t\tCumulative I/O Cost: \t\t100\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Operator #3 (input)\n"
+            "\t3) TBSCAN: (Table Scan)\n"
+            "\t\tCumulative I/O Cost: \t\t40\n"
+        )
+        assert searcher.search_pattern_d(text)
+
+    def test_exponent_comparison_fails(self, searcher):
+        text = (
+            "Plan Details:\n\n"
+            "\t2) SORT: (Sort)\n"
+            "\t\tCumulative I/O Cost: \t\t1e+02\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Operator #3 (input)\n"
+            "\t3) TBSCAN: (Table Scan)\n"
+            "\t\tCumulative I/O Cost: \t\t40\n"
+        )
+        assert not searcher.search_pattern_d(text)
+
+
+def test_search_dispatch(searcher, figure1_plan):
+    text = write_plan(figure1_plan)
+    assert searcher.search("A", text) == searcher.search_pattern_a(text)
+    assert searcher.search("a", text) == searcher.search_pattern_a(text)
+    with pytest.raises(KeyError):
+        searcher.search("Z", text)

@@ -1,0 +1,100 @@
+"""Simulated expert: error model, time model, quality metrics."""
+
+import pytest
+
+from repro.baselines import ExpertTimeModel, SimulatedExpert
+from repro.baselines.manual_expert import search_quality
+from repro.qep import write_plan
+from repro.workload import generate_workload
+
+
+@pytest.fixture(scope="module")
+def explain_texts():
+    plans = generate_workload(
+        20,
+        seed=80,
+        plant_rates={"A": 0.4},
+        size_sampler=lambda rng: rng.randint(15, 40),
+    )
+    return {plan.plan_id: write_plan(plan) for plan in plans}
+
+
+class TestSimulatedExpert:
+    def test_deterministic_per_seed(self, explain_texts):
+        r1 = SimulatedExpert(seed=1).search_workload("A", explain_texts)
+        r2 = SimulatedExpert(seed=1).search_workload("A", explain_texts)
+        assert r1.flagged_plan_ids == r2.flagged_plan_ids
+        assert r1.elapsed_seconds == r2.elapsed_seconds
+
+    def test_different_experts_differ(self, explain_texts):
+        flags = {
+            tuple(
+                SimulatedExpert(seed=s).search_workload("A", explain_texts)
+                .flagged_plan_ids
+            )
+            for s in range(8)
+        }
+        assert len(flags) > 1  # the error model actually fires
+
+    def test_zero_error_rates_match_grep(self, explain_texts):
+        from repro.baselines import GrepSearcher
+
+        expert = SimulatedExpert(seed=5, error_rates={"A": (0.0, 0.0)})
+        result = expert.search_workload("A", explain_texts)
+        grep = GrepSearcher()
+        expected = {
+            pid for pid, text in explain_texts.items()
+            if grep.search_pattern_a(text)
+        }
+        assert result.flagged == expected
+
+    def test_total_miss_rate_flags_nothing_true(self, explain_texts):
+        expert = SimulatedExpert(seed=5, error_rates={"A": (1.0, 0.0)})
+        assert expert.search_workload("A", explain_texts).flagged == set()
+
+    def test_elapsed_time_positive_and_scales(self, explain_texts):
+        expert = SimulatedExpert(seed=2)
+        full = expert.search_workload("A", explain_texts).elapsed_seconds
+        half_texts = dict(list(explain_texts.items())[:10])
+        half = SimulatedExpert(seed=2).search_workload("A", half_texts)
+        assert full > half.elapsed_seconds > 0
+
+
+class TestTimeModel:
+    def test_longer_plans_take_longer(self):
+        model = ExpertTimeModel()
+        short = model.seconds_for_plan("A", "line\n" * 100)
+        long = model.seconds_for_plan("A", "line\n" * 5000)
+        assert long > short
+
+    def test_pattern_difficulty_multiplier(self):
+        model = ExpertTimeModel()
+        text = "line\n" * 1000
+        assert model.seconds_for_plan("B", text) > model.seconds_for_plan("A", text)
+
+    def test_calibration_matches_paper_scale(self):
+        # ~5 hours for 1000 plans => ~18 s per average (~3000-line) plan.
+        model = ExpertTimeModel()
+        per_plan = model.seconds_for_plan("A", "line\n" * 3000)
+        assert 8 <= per_plan <= 30
+
+
+class TestSearchQuality:
+    def test_perfect(self):
+        q = search_quality({"a", "b"}, {"a", "b"}, 10)
+        assert q["found_rate"] == 1.0
+        assert q["precision"] == 1.0
+
+    def test_misses_reduce_found_rate(self):
+        q = search_quality({"a"}, {"a", "b", "c", "d"}, 10)
+        assert q["found_rate"] == 0.25
+
+    def test_false_positives_reduce_precision(self):
+        q = search_quality({"a", "x", "y"}, {"a"}, 10)
+        assert q["precision"] == pytest.approx(1 / 3)
+        assert q["found_rate"] == 1.0
+
+    def test_empty_truth(self):
+        q = search_quality(set(), set(), 10)
+        assert q["found_rate"] == 1.0
+        assert q["precision"] == 1.0

@@ -1,0 +1,179 @@
+"""Matching and de-transformation (Algorithm 3)."""
+
+import pytest
+
+from repro.core import (
+    OptImatch,
+    PatternBuilder,
+    find_matches,
+    pattern_to_sparql,
+    transform_plan,
+)
+from repro.core.matcher import search_plan
+from repro.kb.builtin import make_pattern
+from repro.qep import BaseObject, PlanGraph, PlanOperator, StreamRole
+from repro.workload import WorkloadGenerator
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture
+def transformed(figure1_plan):
+    return transform_plan(figure1_plan)
+
+
+class TestSearchPlan:
+    def test_pattern_a_matches_figure1(self, transformed):
+        matches = search_plan(make_pattern("A"), transformed)
+        assert matches.count == 1
+        occurrence = matches.occurrences[0]
+        assert occurrence.node("TOP").number == 2
+        assert occurrence.node("SCAN").number == 5
+        assert occurrence.node("BASE").qualified_name == "TPCD.CUST_DIM"
+
+    def test_detransformed_nodes_are_plan_objects(self, transformed, figure1_plan):
+        matches = search_plan(make_pattern("A"), transformed)
+        occurrence = matches.occurrences[0]
+        assert occurrence.node("TOP") is figure1_plan.operator(2)
+
+    def test_accepts_raw_sparql(self, transformed):
+        sparql = pattern_to_sparql(make_pattern("A"))
+        assert search_plan(sparql, transformed).count == 1
+
+    def test_no_match(self, transformed):
+        assert search_plan(make_pattern("B"), transformed).count == 0
+        assert not search_plan(make_pattern("B"), transformed)
+
+    def test_question_mark_lookup(self, transformed):
+        matches = search_plan(make_pattern("A"), transformed)
+        occurrence = matches.occurrences[0]
+        assert occurrence.node("?TOP") is occurrence.node("TOP")
+
+    def test_describe_mentions_plan_and_ops(self, transformed):
+        occurrence = search_plan(make_pattern("A"), transformed).occurrences[0]
+        text = occurrence.describe()
+        assert "fig1" in text
+        assert "NLJOIN(2)" in text
+
+    def test_operators_helper(self, transformed):
+        occurrence = search_plan(make_pattern("A"), transformed).occurrences[0]
+        numbers = {op.number for op in occurrence.operators()}
+        assert numbers == {2, 3, 5}  # BASE is not an operator
+
+
+class TestMultipleOccurrences:
+    def _two_nljoin_plan(self) -> PlanGraph:
+        plan = PlanGraph("double")
+
+        def make_scan(number, table):
+            scan = PlanOperator(
+                number, "TBSCAN", cardinality=500, total_cost=100
+            )
+            scan.add_input(BaseObject("S", table, 1000))
+            return scan
+
+        s1, s2, s3 = make_scan(4, "A"), make_scan(5, "B"), make_scan(6, "C")
+        j2 = PlanOperator(3, "NLJOIN", cardinality=100, total_cost=5000)
+        j2.add_input(s2, StreamRole.OUTER)
+        j2.add_input(s3, StreamRole.INNER)
+        j1 = PlanOperator(2, "NLJOIN", cardinality=100, total_cost=20000)
+        j1.add_input(s1, StreamRole.OUTER)
+        j1.add_input(j2, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", cardinality=100, total_cost=20000)
+        ret.add_input(j1)
+        for op in (ret, j1, j2, s1, s2, s3):
+            plan.add_operator(op)
+        plan.set_root(ret)
+        return plan
+
+    def test_pattern_appearing_twice_in_one_plan(self):
+        # Both NLJOINs have a TBSCAN inner with card > 100 and outer > 1:
+        # j2 directly, and... j1's inner is j2 (not TBSCAN), so only one.
+        transformed = transform_plan(self._two_nljoin_plan())
+        matches = search_plan(make_pattern("A"), transformed)
+        assert matches.count == 1
+        assert matches.occurrences[0].node("TOP").number == 3
+
+    def test_occurrences_deduplicated(self, transformed):
+        # Running the same search twice yields identical results, and
+        # within one search no duplicate signatures appear.
+        matches = search_plan(make_pattern("A"), transformed)
+        signatures = [o.signature() for o in matches]
+        assert len(signatures) == len(set(signatures))
+
+
+class TestFindMatches:
+    def test_workload_order_preserved(self):
+        generator = WorkloadGenerator(seed=51)
+        plans = [
+            generator.generate_plan(f"m{i}", target_ops=20, plant=["A"])
+            for i in range(4)
+        ]
+        transformed = [transform_plan(p) for p in plans]
+        matches = find_matches(make_pattern("A"), transformed)
+        assert [m.plan_id for m in matches] == [p.plan_id for p in plans]
+
+    def test_only_matching_plans_returned(self, figure1_plan):
+        empty = PlanGraph("empty-ish")
+        scan = PlanOperator(2, "TBSCAN", cardinality=5, total_cost=5)
+        scan.add_input(BaseObject("S", "T", 10))
+        ret = PlanOperator(1, "RETURN", cardinality=5, total_cost=6)
+        ret.add_input(scan)
+        empty.add_operator(ret)
+        empty.add_operator(scan)
+        empty.set_root(ret)
+        transformed = [transform_plan(figure1_plan), transform_plan(empty)]
+        matches = find_matches(make_pattern("A"), transformed)
+        assert [m.plan_id for m in matches] == ["fig1"]
+
+
+class TestOptImatchFacade:
+    def test_add_and_search(self, figure1_plan):
+        tool = OptImatch()
+        tool.add_plan(figure1_plan)
+        assert tool.plan_count == 1
+        assert tool.matching_plan_ids(make_pattern("A")) == ["fig1"]
+
+    def test_duplicate_plan_id_rejected(self, figure1_plan):
+        tool = OptImatch()
+        tool.add_plan(figure1_plan)
+        with pytest.raises(ValueError):
+            tool.add_plan(build_figure1_plan())
+
+    def test_load_explain_text(self, figure1_plan):
+        from repro.qep import write_plan
+
+        tool = OptImatch()
+        tool.load_explain_text(write_plan(figure1_plan))
+        assert tool.plan_count == 1
+        assert tool.plan("fig1").plan_id == "fig1"
+
+    def test_load_tree_snippet(self, figure1_plan):
+        """A Figure 1-style tree snippet (no details section) loads too
+        and still matches Pattern A."""
+        from repro.qep.writer import render_tree
+
+        tool = OptImatch()
+        tool.load_explain_text(render_tree(figure1_plan), plan_id="snippet")
+        assert tool.matching_plan_ids(make_pattern("A")) == ["snippet"]
+
+    def test_load_workload_dir(self, tmp_path):
+        from repro.qep.writer import write_plan_file
+
+        generator = WorkloadGenerator(seed=52)
+        for index in range(3):
+            plan = generator.generate_plan(f"d{index}", target_ops=10)
+            write_plan_file(plan, str(tmp_path / f"{plan.plan_id}.exfmt"))
+        (tmp_path / "ignore.txt").write_text("not an explain file")
+        tool = OptImatch()
+        assert tool.load_workload_dir(str(tmp_path)) == 3
+        assert tool.plan_count == 3
+
+    def test_clear(self, figure1_plan):
+        tool = OptImatch()
+        tool.add_plan(figure1_plan)
+        tool.clear()
+        assert tool.plan_count == 0
+
+    def test_compile_returns_sparql(self, figure1_plan):
+        tool = OptImatch()
+        assert "SELECT" in tool.compile(make_pattern("A"))

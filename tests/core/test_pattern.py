@@ -1,0 +1,290 @@
+"""Pattern model: builder, validation, JSON round trip (Figure 5)."""
+
+import json
+
+import pytest
+
+from repro.core import PatternBuilder, PopSpec, ProblemPattern
+from repro.core.pattern import (
+    DESCENDANT,
+    IMMEDIATE_CHILD,
+    PatternError,
+    PropertyConstraint,
+    Relationship,
+)
+
+
+def pattern_a() -> ProblemPattern:
+    builder = PatternBuilder("pattern-a")
+    top = builder.pop("NLJOIN")
+    outer = builder.pop("ANY").where("hasEstimateCardinality", ">", 1)
+    inner = builder.pop("TBSCAN").where("hasEstimateCardinality", ">", 100)
+    base = builder.pop("BASE OB", alias="BASE")
+    builder.outer(top, outer)
+    builder.inner(top, inner)
+    builder.input(inner, base)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_ids_assigned_sequentially(self):
+        pattern = pattern_a()
+        assert sorted(pattern.pops) == [1, 2, 3, 4]
+
+    def test_explicit_pop_id(self):
+        builder = PatternBuilder("x")
+        builder.pop("SORT", pop_id=7)
+        handle = builder.pop("ANY")
+        assert handle.id == 8
+
+    def test_duplicate_pop_id_rejected(self):
+        builder = PatternBuilder("x")
+        builder.pop("SORT", pop_id=1)
+        with pytest.raises(PatternError):
+            builder.pop("ANY", pop_id=1)
+
+    def test_relationships_recorded(self):
+        pattern = pattern_a()
+        top = pattern.spec(1)
+        kinds = {(r.kind, r.target_id) for r in top.relationships}
+        assert kinds == {
+            ("hasOuterInputStream", 2),
+            ("hasInnerInputStream", 3),
+        }
+
+    def test_descendant_flag(self):
+        builder = PatternBuilder("x")
+        a = builder.pop("JOIN")
+        b = builder.pop("JOIN")
+        builder.outer(a, b, descendant=True)
+        pattern = builder.build()
+        assert pattern.spec(1).relationships[0].descendant
+
+    def test_where_chains(self):
+        builder = PatternBuilder("x")
+        handle = (
+            builder.pop("SORT")
+            .where("hasTotalCost", ">", 10)
+            .where("hasIOCost", "<", 5)
+        )
+        assert len(handle.spec.constraints) == 2
+
+    def test_plan_detail(self):
+        builder = PatternBuilder("x")
+        builder.pop("SORT")
+        builder.plan_detail("hasOperatorCount", [">", 100])
+        pattern = builder.build()
+        assert pattern.plan_details["hasOperatorCount"] == [">", 100]
+
+
+class TestCrossPopConstraints:
+    def _pattern_d_like(self):
+        builder = PatternBuilder("spill")
+        sort = builder.pop("SORT", alias="SORT")
+        below = builder.pop("ANY", alias="INPUT")
+        builder.input(sort, below)
+        builder.compare(below, "hasIOCost", "<", sort, "hasIOCost")
+        return builder.build()
+
+    def test_compare_records_constraint(self):
+        pattern = self._pattern_d_like()
+        assert len(pattern.cross_constraints) == 1
+        constraint = pattern.cross_constraints[0]
+        assert constraint.left_id == 2
+        assert constraint.right_id == 1
+        assert constraint.sign == "<"
+
+    def test_default_right_property_mirrors_left(self):
+        builder = PatternBuilder("x")
+        a = builder.pop("SORT")
+        b = builder.pop("ANY")
+        builder.input(a, b)
+        builder.compare(a, "hasTotalCost", ">", b)
+        constraint = builder.build().cross_constraints[0]
+        assert constraint.right_property == "hasTotalCost"
+
+    def test_factor(self):
+        builder = PatternBuilder("x")
+        a = builder.pop("FILTER")
+        b = builder.pop("ANY")
+        builder.input(a, b)
+        builder.compare(a, "hasTotalCostIncrease", ">", b, "hasTotalCost",
+                        factor=0.5)
+        assert builder.build().cross_constraints[0].factor == 0.5
+
+    def test_json_round_trip(self):
+        pattern = self._pattern_d_like()
+        clone = ProblemPattern.from_json(pattern.to_json())
+        assert clone.cross_constraints == pattern.cross_constraints
+
+    def test_rdf_round_trip(self):
+        from repro.core.pattern_rdf import pattern_from_rdf, pattern_to_rdf
+
+        pattern = self._pattern_d_like()
+        restored = pattern_from_rdf(pattern_to_rdf(pattern), pattern.name)
+        assert restored.cross_constraints == pattern.cross_constraints
+
+    def test_sparql_contains_comparison(self):
+        from repro.core import pattern_to_sparql
+
+        sparql = pattern_to_sparql(self._pattern_d_like())
+        assert "predURI:hasIOCost" in sparql
+        assert "FILTER (?internalHandler" in sparql
+
+    def test_unknown_property_rejected(self):
+        from repro.core.pattern import CrossPopConstraint
+
+        with pytest.raises(PatternError):
+            CrossPopConstraint(1, "hasNope", "<", 2, "hasIOCost")
+
+    def test_unsupported_sign_rejected(self):
+        from repro.core.pattern import CrossPopConstraint
+
+        with pytest.raises(PatternError):
+            CrossPopConstraint(1, "hasIOCost", "contains", 2, "hasIOCost")
+
+    def test_dangling_pop_rejected(self):
+        from repro.core.pattern import CrossPopConstraint
+
+        pattern = self._pattern_d_like()
+        pattern.cross_constraints.append(
+            CrossPopConstraint(1, "hasIOCost", "<", 99, "hasIOCost")
+        )
+        with pytest.raises(PatternError, match="unknown pop 99"):
+            pattern.validate()
+
+    def test_matching_with_factor(self, figure1_plan):
+        """Subquery-cost pattern from the intro: an operator contributing
+        more than 50% of the plan's total cost."""
+        from repro.core import OptImatch
+
+        builder = PatternBuilder("hot-operator")
+        hot = builder.pop("ANY", alias="HOT")
+        builder.compare(hot, "hasTotalCostIncrease", ">", hot,
+                        "hasPlanTotalCost", factor=0.5)
+        tool = OptImatch()
+        tool.add_plan(figure1_plan)
+        matches = tool.search(builder.build())
+        # The NLJOIN dominates Figure 1's cost.
+        assert matches
+        hot_ops = {o.node("HOT").op_type for o in matches[0]}
+        assert "NLJOIN" in hot_ops
+
+
+class TestValidation:
+    def test_unknown_type(self):
+        with pytest.raises(PatternError):
+            PopSpec(id=1, type="FLURB")
+
+    def test_family_types_accepted(self):
+        for family in ("ANY", "JOIN", "SCAN", "BASE OB"):
+            PopSpec(id=1, type=family)
+
+    def test_unknown_property(self):
+        with pytest.raises(PatternError):
+            PropertyConstraint("hasNoSuchProp", "=", 1)
+
+    def test_unknown_sign(self):
+        with pytest.raises(PatternError):
+            PropertyConstraint("hasTotalCost", "~~", 1)
+
+    def test_unknown_relationship_kind(self):
+        with pytest.raises(PatternError):
+            Relationship("hasSidewaysStream", 2)
+
+    def test_dangling_relationship_target(self):
+        pattern = ProblemPattern("x")
+        spec = PopSpec(id=1, type="SORT")
+        spec.relationships.append(Relationship("hasInputStream", 99))
+        pattern.pops[1] = spec
+        with pytest.raises(PatternError):
+            pattern.validate()
+
+    def test_empty_pattern(self):
+        with pytest.raises(PatternError):
+            ProblemPattern("empty").validate()
+
+    def test_root_ids(self):
+        pattern = pattern_a()
+        assert pattern.root_ids() == [1]
+
+
+class TestAliases:
+    def test_default_aliases_match_gui_convention(self):
+        # Figure 6: root is ?TOP, others are <TYPE><ID> (?ANY2, ?BASE4).
+        pattern = pattern_a()
+        aliases = pattern.aliases()
+        assert aliases[1] == "TOP"
+        assert aliases[2] == "ANY2"
+        assert aliases[3] == "TBSCAN3"
+
+    def test_explicit_alias_wins(self):
+        pattern = pattern_a()
+        assert pattern.aliases()[4] == "BASE"
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        pattern = pattern_a()
+        clone = ProblemPattern.from_json(pattern.to_json())
+        assert set(clone.pops) == set(pattern.pops)
+        for pop_id in pattern.pops:
+            original = pattern.spec(pop_id)
+            copied = clone.spec(pop_id)
+            assert copied.type == original.type
+            assert copied.alias == original.alias
+            assert copied.constraints == original.constraints
+            assert copied.relationships == original.relationships
+
+    def test_json_shape_matches_figure5(self):
+        data = pattern_a().to_json_object()
+        assert "pops" in data and "planDetails" in data
+        first = data["pops"][0]
+        assert set(first) >= {"ID", "type", "popProperties"}
+        rel_props = [
+            p
+            for p in first["popProperties"]
+            if p["id"] == "hasOuterInputStream"
+        ]
+        assert rel_props[0]["sign"] == IMMEDIATE_CHILD
+
+    def test_output_streams_emitted_like_figure5(self):
+        data = pattern_a().to_json_object()
+        child_entries = {entry["ID"]: entry for entry in data["pops"]}
+        outputs = [
+            p
+            for p in child_entries[2]["popProperties"]
+            if p["id"] == "hasOutputStream"
+        ]
+        assert outputs == [{"id": "hasOutputStream", "value": 1}]
+
+    def test_descendant_sign_round_trip(self):
+        builder = PatternBuilder("desc")
+        a = builder.pop("JOIN")
+        b = builder.pop("JOIN")
+        builder.inner(a, b, descendant=True)
+        pattern = builder.build()
+        data = pattern.to_json_object()
+        rel = [
+            p
+            for p in data["pops"][0]["popProperties"]
+            if p["id"] == "hasInnerInputStream"
+        ][0]
+        assert rel["sign"] == DESCENDANT
+        clone = ProblemPattern.from_json_object(data)
+        assert clone.spec(1).relationships[0].descendant
+
+    def test_duplicate_id_in_json_rejected(self):
+        data = pattern_a().to_json_object()
+        data["pops"].append(dict(data["pops"][0]))
+        with pytest.raises(PatternError):
+            ProblemPattern.from_json_object(data)
+
+    def test_bad_sign_in_json_rejected(self):
+        data = pattern_a().to_json_object()
+        data["pops"][0]["popProperties"][0]["sign"] = "Cousin"
+        with pytest.raises(PatternError):
+            ProblemPattern.from_json_object(data)
+
+    def test_json_is_valid_json(self):
+        json.loads(pattern_a().to_json())

@@ -1,0 +1,102 @@
+"""Patterns stored as RDF (the KB's second stored form)."""
+
+import pytest
+
+from repro.core.pattern_rdf import (
+    PATDEF,
+    pattern_from_rdf,
+    pattern_names,
+    pattern_to_rdf,
+    patterns_mentioning_type,
+)
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.kb.builtin import make_pattern
+from repro.rdf import Graph
+
+
+@pytest.mark.parametrize("letter", ["A", "B", "C", "D"])
+def test_round_trip(letter):
+    pattern = make_pattern(letter)
+    graph = pattern_to_rdf(pattern)
+    restored = pattern_from_rdf(graph, pattern.name)
+    assert restored.name == pattern.name
+    assert set(restored.pops) == set(pattern.pops)
+    for pop_id in pattern.pops:
+        original = pattern.spec(pop_id)
+        copied = restored.spec(pop_id)
+        assert copied.type == original.type
+        assert copied.alias == original.alias
+        assert copied.constraints == original.constraints
+        assert copied.relationships == original.relationships
+
+
+def test_round_trip_compiles_to_same_sparql():
+    pattern = make_pattern("A")
+    restored = pattern_from_rdf(pattern_to_rdf(pattern), pattern.name)
+    assert pattern_to_sparql(restored) == pattern_to_sparql(pattern)
+
+
+def test_plan_details_round_trip():
+    from repro.core import PatternBuilder
+
+    builder = PatternBuilder("with-details")
+    builder.pop("SORT")
+    builder.plan_detail("hasOperatorCount", [">", 100])
+    builder.plan_detail("hasPlanTotalCost", 5)
+    pattern = builder.build()
+    restored = pattern_from_rdf(pattern_to_rdf(pattern), "with-details")
+    assert restored.plan_details == {
+        "hasOperatorCount": [">", 100],
+        "hasPlanTotalCost": 5,
+    }
+
+
+def test_multiple_patterns_in_one_graph():
+    graph = Graph("library")
+    for letter in "ABC":
+        pattern_to_rdf(make_pattern(letter), graph)
+    assert pattern_names(graph) == ["pattern-a", "pattern-b", "pattern-c"]
+    restored = pattern_from_rdf(graph, "pattern-b")
+    assert restored.name == "pattern-b"
+
+
+def test_patterns_mentioning_type():
+    graph = Graph("library")
+    for letter in "ABCD":
+        pattern_to_rdf(make_pattern(letter), graph)
+    assert patterns_mentioning_type(graph, "NLJOIN") == ["pattern-a"]
+    assert patterns_mentioning_type(graph, "SORT") == ["pattern-d"]
+    assert patterns_mentioning_type(graph, "JOIN") == ["pattern-b"]
+    assert patterns_mentioning_type(graph, "ZZJOIN") == []
+
+
+def test_missing_pattern_raises():
+    graph = pattern_to_rdf(make_pattern("A"))
+    with pytest.raises(KeyError):
+        pattern_from_rdf(graph, "nope")
+
+
+def test_library_queryable_with_sparql():
+    """The RDF form lets SPARQL introspect the pattern library itself."""
+    from repro.sparql import query
+
+    graph = Graph("library")
+    for letter in "ABCD":
+        pattern_to_rdf(make_pattern(letter), graph)
+    result = query(
+        graph,
+        f"""
+        PREFIX patdef: <{PATDEF.base}>
+        SELECT ?name (COUNT(?pop) AS ?pops)
+        WHERE {{
+          ?pattern patdef:hasName ?name .
+          ?pattern patdef:hasPop ?pop .
+        }}
+        GROUP BY ?name
+        ORDER BY ?name
+        """,
+    )
+    by_name = {row.text("name"): row.number("pops") for row in result}
+    assert by_name["pattern-a"] == 4
+    assert by_name["pattern-b"] == 3
+    assert by_name["pattern-d"] == 2

@@ -1,0 +1,142 @@
+"""Pattern → SPARQL generation (Algorithm 2 / Figure 6) and handlers."""
+
+import pytest
+
+from repro.core import PatternBuilder, pattern_to_sparql
+from repro.core.handlers import HandlerRegistry
+from repro.kb.builtin import make_pattern
+from repro.sparql import parse_query
+
+
+def _pattern_a():
+    return make_pattern("A")
+
+
+class TestGeneratedStructure:
+    def test_parses_as_valid_sparql(self):
+        for letter in "ABC":
+            parse_query(pattern_to_sparql(make_pattern(letter)))
+
+    def test_prefixes_present(self):
+        sparql = pattern_to_sparql(_pattern_a())
+        assert "PREFIX predURI:" in sparql
+        assert "PREFIX popURI:" in sparql
+
+    def test_select_clause_aliases(self):
+        sparql = pattern_to_sparql(_pattern_a())
+        assert "SELECT ?pop1 AS ?TOP" in sparql
+        assert "?pop4 AS ?BASE" in sparql
+
+    def test_order_by_root_handler(self):
+        # Figure 6 ends with ORDER BY ?pop1.
+        assert pattern_to_sparql(_pattern_a()).strip().endswith("ORDER BY ?pop1")
+
+    def test_type_constraint_direct_literal(self):
+        sparql = pattern_to_sparql(_pattern_a())
+        assert '?pop1 predURI:hasPopType "NLJOIN" .' in sparql
+
+    def test_blank_node_handler_four_triples(self):
+        """The exact Figure 6 stream shape for an immediate child."""
+        sparql = pattern_to_sparql(_pattern_a())
+        assert "?pop1 predURI:hasOuterInputStream ?bnodeOfPop2_to_pop1 ." in sparql
+        assert "?bnodeOfPop2_to_pop1 predURI:hasOuterInputStream ?pop2 ." in sparql
+        assert "?pop2 predURI:hasOutputStream ?bnodeOfPop2_to_pop1 ." in sparql
+        assert "?bnodeOfPop2_to_pop1 predURI:hasOutputStream ?pop1 ." in sparql
+
+    def test_internal_handlers_numbered(self):
+        sparql = pattern_to_sparql(_pattern_a())
+        assert "?internalHandler1" in sparql
+        assert "?internalHandler2" in sparql
+
+    def test_filter_clauses(self):
+        sparql = pattern_to_sparql(_pattern_a())
+        assert "FILTER (?internalHandler1 > 1)" in sparql
+        assert "FILTER (?internalHandler2 > 100)" in sparql
+
+    def test_base_object_clause(self):
+        sparql = pattern_to_sparql(_pattern_a())
+        assert "predURI:isABaseObj" in sparql
+
+    def test_descendant_compiles_to_property_path(self):
+        sparql = pattern_to_sparql(make_pattern("B"))
+        assert "(predURI:hasOuterInputStream/predURI:hasOuterInputStream)/" in sparql
+        assert ")*" in sparql
+
+    def test_join_family_uses_marker(self):
+        sparql = pattern_to_sparql(make_pattern("B"))
+        assert "predURI:isAJoin" in sparql
+
+    def test_scan_family_uses_marker(self):
+        sparql = pattern_to_sparql(make_pattern("C"))
+        assert "predURI:isAScan" in sparql
+
+    def test_string_equality_inline(self):
+        sparql = pattern_to_sparql(make_pattern("B"))
+        assert '"LEFT_OUTER"' in sparql
+
+    def test_contains_and_regex_constraints(self):
+        builder = PatternBuilder("text")
+        builder.pop("TBSCAN").where(
+            "hasPredicateText", "contains", "CUSTKEY"
+        ).where("hasBaseObjectName", "regex", "^SALES")
+        sparql = pattern_to_sparql(builder.build())
+        assert "FILTER CONTAINS(STR(" in sparql
+        assert "FILTER regex(STR(" in sparql
+        parse_query(sparql)
+
+    def test_projection_subset(self):
+        sparql = pattern_to_sparql(_pattern_a(), project=[1, 4])
+        select_line = [l for l in sparql.splitlines() if l.startswith("SELECT")][0]
+        assert "?pop1" in select_line and "?pop4" in select_line
+        assert "?pop2" not in select_line
+
+    def test_plan_details_clause(self):
+        builder = PatternBuilder("pd")
+        builder.pop("SORT")
+        builder.plan_detail("hasOperatorCount", [">", 50])
+        sparql = pattern_to_sparql(builder.build())
+        assert "predURI:hasOperatorCount" in sparql
+        parse_query(sparql)
+
+    def test_unknown_plan_detail_rejected(self):
+        builder = PatternBuilder("pd2")
+        builder.pop("SORT")
+        builder.plan_detail("hasNoSuchDetail", 1)
+        with pytest.raises(ValueError):
+            pattern_to_sparql(builder.build())
+
+
+class TestHandlerRegistry:
+    def test_result_handlers_from_ids(self):
+        registry = HandlerRegistry()
+        assert registry.result_handler(1) == "pop1"
+        assert registry.result_handler(42) == "pop42"
+
+    def test_internal_handlers_increment(self):
+        registry = HandlerRegistry()
+        assert registry.new_internal_handler() == "internalHandler1"
+        assert registry.new_internal_handler() == "internalHandler2"
+
+    def test_blank_node_handler_naming(self):
+        registry = HandlerRegistry()
+        assert registry.blank_node_handler(2, 1) == "bnodeOfPop2_to_pop1"
+        assert registry.blank_node_handler(3, 1, 1) == "bnodeOfPop3_to_pop1_1"
+
+    def test_aliases(self):
+        registry = HandlerRegistry()
+        registry.set_alias(1, "TOP")
+        assert registry.alias_for(1) == "TOP"
+        assert registry.alias_for(2) is None
+
+    def test_select_clause(self):
+        registry = HandlerRegistry()
+        registry.set_alias(1, "TOP")
+        assert registry.select_clause([1, 2]) == "SELECT ?pop1 AS ?TOP ?pop2"
+
+    def test_relationships_recorded_during_generation(self):
+        registry = HandlerRegistry()
+        pattern_to_sparql(_pattern_a(), registry=registry)
+        kinds = {(p, k, c) for p, k, c, _ in registry.relationship_handlers}
+        assert (1, "hasOuterInputStream", 2) in kinds
+        assert (1, "hasInnerInputStream", 3) in kinds
+        assert (3, "hasInputStream", 4) in kinds

@@ -1,0 +1,111 @@
+"""RDF sidecar persistence of transformed workloads."""
+
+import os
+import time
+
+import pytest
+
+from repro.core import transform_plan
+from repro.core.matcher import search_plan
+from repro.core.store import (
+    load_transformed,
+    load_workload_cached,
+    rdf_cache_path,
+    rebuild_transformed,
+)
+from repro.kb.builtin import builtin_sparql
+from repro.qep.writer import write_plan_file
+from repro.rdf.parser import read_ntriples
+from repro.workload import generate_workload
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture()
+def workload_dir(tmp_path):
+    plans = generate_workload(
+        4,
+        seed=101,
+        plant_rates={"A": 1.0},
+        size_sampler=lambda rng: rng.randint(10, 25),
+    )
+    for plan in plans:
+        write_plan_file(plan, str(tmp_path / f"{plan.plan_id}.exfmt"))
+    return tmp_path
+
+
+def test_first_load_writes_sidecars(workload_dir):
+    load_workload_cached(str(workload_dir))
+    sidecars = [f for f in os.listdir(workload_dir) if f.endswith(".nt")]
+    assert len(sidecars) == 4
+
+
+def test_cached_load_matches_fresh_transform(workload_dir):
+    fresh = load_workload_cached(str(workload_dir))       # writes caches
+    cached = load_workload_cached(str(workload_dir))      # reads caches
+    sparql = builtin_sparql("A")
+    for a, b in zip(fresh, cached):
+        assert a.plan_id == b.plan_id
+        assert len(a.graph) == len(b.graph)
+        assert search_plan(sparql, a).count == search_plan(sparql, b).count
+
+
+def test_detransformation_rebuilt(workload_dir):
+    load_workload_cached(str(workload_dir))
+    cached = load_workload_cached(str(workload_dir))
+    sparql = builtin_sparql("A")
+    for transformed in cached:
+        for occurrence in search_plan(sparql, transformed):
+            top = occurrence.node("TOP")
+            assert top is transformed.plan.operator(top.number)
+
+
+def test_stale_cache_regenerated(workload_dir):
+    explain = sorted(workload_dir.glob("*.exfmt"))[0]
+    load_transformed(str(explain))
+    cache = rdf_cache_path(str(explain))
+    # Corrupt the sidecar: a mismatching graph must be regenerated.
+    with open(cache, "w", encoding="utf-8") as handle:
+        handle.write(
+            "<http://optimatch/pop/other/1> "
+            "<http://optimatch/predicate#hasPopType> \"SORT\" .\n"
+        )
+    os.utime(cache)  # keep it newer than the explain file
+    transformed = load_transformed(str(explain))
+    assert transformed.pop_resources  # rebuilt from scratch
+    # and the sidecar was rewritten with the real content
+    assert len(read_ntriples(cache)) == len(transformed.graph)
+
+
+def test_refresh_forces_rewrite(workload_dir):
+    explain = sorted(workload_dir.glob("*.exfmt"))[0]
+    load_transformed(str(explain))
+    cache = rdf_cache_path(str(explain))
+    before = os.path.getmtime(cache)
+    time.sleep(0.02)
+    load_transformed(str(explain), refresh=True)
+    assert os.path.getmtime(cache) >= before
+
+
+def test_rebuild_mismatch_raises(tmp_path):
+    plan = build_figure1_plan()
+    other = build_figure1_plan("other")
+    graph = transform_plan(other).graph
+    with pytest.raises(ValueError, match="mismatch"):
+        rebuild_transformed(plan, graph)
+
+
+def test_rdf_cache_path():
+    assert rdf_cache_path("/x/plan.exfmt") == "/x/plan.nt"
+
+
+def test_optimatch_facade_with_cache(workload_dir):
+    from repro.core import OptImatch
+    from repro.kb.builtin import make_pattern
+
+    tool = OptImatch()
+    assert tool.load_workload_dir(str(workload_dir), use_rdf_cache=True) == 4
+    first = tool.matching_plan_ids(make_pattern("A"))
+    tool2 = OptImatch()
+    tool2.load_workload_dir(str(workload_dir), use_rdf_cache=True)
+    assert tool2.matching_plan_ids(make_pattern("A")) == first
+    assert len(first) == 4  # A planted everywhere

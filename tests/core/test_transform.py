@@ -1,0 +1,198 @@
+"""QEP → RDF transform (Algorithm 1 / Figure 2)."""
+
+import pytest
+
+from repro.core import transform_plan, transform_workload
+from repro.core import vocabulary as voc
+from repro.qep import BaseObject, PlanGraph, PlanOperator, StreamRole
+from repro.rdf import Literal
+from repro.workload import WorkloadGenerator
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture
+def transformed(figure1_plan):
+    return transform_plan(figure1_plan)
+
+
+class TestOperatorResources:
+    def test_every_operator_has_resource(self, transformed, figure1_plan):
+        assert set(transformed.pop_resources) == set(figure1_plan.operators)
+
+    def test_pop_type_triples(self, transformed):
+        graph = transformed.graph
+        nljoin = transformed.pop_resources[2]
+        assert graph.value(nljoin, voc.HAS_POP_TYPE) == Literal("NLJOIN")
+
+    def test_costs_and_cardinality(self, transformed):
+        graph = transformed.graph
+        tbscan = transformed.pop_resources[5]
+        assert graph.value(tbscan, voc.HAS_ESTIMATE_CARDINALITY) == Literal("4043")
+        assert graph.value(tbscan, voc.HAS_TOTAL_COST) == Literal("15771.9")
+
+    def test_exponent_form_in_graph(self, transformed):
+        # Large numbers keep their db2exfmt lexical form.
+        nljoin = transformed.pop_resources[2]
+        cost = transformed.graph.value(nljoin, voc.HAS_TOTAL_COST)
+        assert "e+07" in cost.lexical
+        assert cost.as_number() == pytest.approx(2.87997e7)
+
+    def test_join_marker_predicates(self, transformed):
+        graph = transformed.graph
+        nljoin = transformed.pop_resources[2]
+        tbscan = transformed.pop_resources[5]
+        assert graph.value(nljoin, voc.IS_A_JOIN) == Literal("true")
+        assert graph.value(nljoin, voc.HAS_JOIN_SEMANTICS) == Literal("INNER")
+        assert graph.value(tbscan, voc.IS_A_SCAN) == Literal("true")
+        assert graph.value(tbscan, voc.IS_A_JOIN) is None
+
+    def test_arguments_transformed(self, transformed):
+        ixscan = transformed.pop_resources[4]
+        arg = transformed.graph.value(
+            ixscan, voc.PRED.term(voc.HAS_ARGUMENT_PREFIX + "INDEXNAME")
+        )
+        assert arg == Literal("IDX1")
+
+    def test_predicate_text_transformed(self, transformed):
+        tbscan = transformed.pop_resources[5]
+        graph = transformed.graph
+        assert graph.value(tbscan, voc.HAS_PREDICATE_TEXT) == Literal(
+            "(Q2.C_CUSTKEY = Q1.S_CUSTKEY)"
+        )
+        columns = set(graph.objects(tbscan, voc.HAS_PREDICATE_COLUMN))
+        assert columns == {Literal("C_CUSTKEY"), Literal("S_CUSTKEY")}
+
+
+class TestStreamStructure:
+    def test_four_triple_stream_shape(self, transformed):
+        """The blank-node stream design of Figure 6."""
+        graph = transformed.graph
+        nljoin = transformed.pop_resources[2]
+        tbscan = transformed.pop_resources[5]
+        streams = list(graph.objects(nljoin, voc.HAS_INNER_INPUT_STREAM))
+        assert len(streams) == 1
+        stream = streams[0]
+        assert graph.value(stream, voc.HAS_INNER_INPUT_STREAM) == tbscan
+        assert stream in set(graph.objects(tbscan, voc.HAS_OUTPUT_STREAM))
+        assert nljoin in set(graph.objects(stream, voc.HAS_OUTPUT_STREAM))
+
+    def test_outer_and_generic_roles(self, transformed):
+        graph = transformed.graph
+        nljoin = transformed.pop_resources[2]
+        ret = transformed.pop_resources[1]
+        assert len(list(graph.objects(nljoin, voc.HAS_OUTER_INPUT_STREAM))) == 1
+        assert len(list(graph.objects(ret, voc.HAS_INPUT_STREAM))) == 1
+
+    def test_child_pop_shortcut(self, transformed):
+        graph = transformed.graph
+        ret = transformed.pop_resources[1]
+        nljoin = transformed.pop_resources[2]
+        assert nljoin in set(graph.objects(ret, voc.HAS_CHILD_POP))
+
+    def test_shared_temp_gets_distinct_streams(self):
+        """The ambiguity case of Section 2.2: a TEMP with two consumers
+        must produce two distinct stream resources."""
+        plan = PlanGraph("shared")
+        scan = PlanOperator(5, "TBSCAN", cardinality=10, total_cost=5)
+        scan.add_input(BaseObject("S", "T", 100))
+        temp = PlanOperator(4, "TEMP", cardinality=10, total_cost=6)
+        temp.add_input(scan)
+        s1 = PlanOperator(6, "TBSCAN", cardinality=5, total_cost=5)
+        s1.add_input(BaseObject("S", "U", 50))
+        s2 = PlanOperator(7, "TBSCAN", cardinality=5, total_cost=5)
+        s2.add_input(BaseObject("S", "V", 50))
+        j1 = PlanOperator(2, "NLJOIN", cardinality=5, total_cost=20)
+        j1.add_input(s1, StreamRole.OUTER)
+        j1.add_input(temp, StreamRole.INNER)
+        j2 = PlanOperator(3, "HSJOIN", cardinality=5, total_cost=20)
+        j2.add_input(s2, StreamRole.OUTER)
+        j2.add_input(temp, StreamRole.INNER)
+        top = PlanOperator(1, "MSJOIN", cardinality=5, total_cost=50)
+        top.add_input(j1, StreamRole.OUTER)
+        top.add_input(j2, StreamRole.INNER)
+        for op in (top, j1, j2, temp, scan, s1, s2):
+            plan.add_operator(op)
+        plan.set_root(top)
+        transformed = transform_plan(plan)
+        graph = transformed.graph
+        temp_res = transformed.pop_resources[4]
+        output_streams = set(graph.objects(temp_res, voc.HAS_OUTPUT_STREAM))
+        assert len(output_streams) == 2  # one per consumer
+
+
+class TestDerivedPredicates:
+    def test_total_cost_increase(self, transformed):
+        """hasTotalCostIncrease = own cost minus input costs (Section 2.1)."""
+        graph = transformed.graph
+        nljoin = transformed.pop_resources[2]
+        increase = graph.value(nljoin, voc.HAS_TOTAL_COST_INCREASE)
+        expected = 2.87997e7 - 368.38 - 15771.9
+        assert increase.as_number() == pytest.approx(expected, rel=1e-4)
+
+    def test_leaf_increase_equals_cost(self, transformed):
+        graph = transformed.graph
+        tbscan = transformed.pop_resources[5]
+        increase = graph.value(tbscan, voc.HAS_TOTAL_COST_INCREASE)
+        assert increase.as_number() == pytest.approx(15771.9, rel=1e-4)
+
+    def test_plan_total_cost_on_every_pop(self, transformed, figure1_plan):
+        graph = transformed.graph
+        for res in transformed.pop_resources.values():
+            value = graph.value(res, voc.HAS_PLAN_TOTAL_COST)
+            assert value.as_number() == pytest.approx(
+                figure1_plan.total_cost, rel=1e-4
+            )
+
+
+class TestBaseObjects:
+    def test_base_object_resource(self, transformed):
+        graph = transformed.graph
+        cust = transformed.object_resources["TPCD.CUST_DIM"]
+        assert graph.value(cust, voc.IS_A_BASE_OBJ) == Literal("true")
+        assert graph.value(cust, voc.HAS_BASE_OBJECT_NAME) == Literal("CUST_DIM")
+        assert graph.value(cust, voc.HAS_SCHEMA_NAME) == Literal("TPCD")
+
+    def test_base_object_cardinality_both_predicates(self, transformed):
+        graph = transformed.graph
+        cust = transformed.object_resources["TPCD.CUST_DIM"]
+        assert graph.value(cust, voc.HAS_BASE_CARDINALITY).as_number() == 4043
+        assert graph.value(cust, voc.HAS_ESTIMATE_CARDINALITY).as_number() == 4043
+
+    def test_base_object_reused_across_consumers(self, transformed):
+        # SALES_FACT is read by both IXSCAN and FETCH -> one resource
+        assert len(transformed.object_resources) == 2
+
+    def test_columns_and_indexes(self, transformed):
+        graph = transformed.graph
+        sales = transformed.object_resources["TPCD.SALES_FACT"]
+        assert Literal("S_CUSTKEY") in set(graph.objects(sales, voc.HAS_COLUMN))
+        assert Literal("IDX1") in set(graph.objects(sales, voc.HAS_INDEX))
+
+
+class TestDetransformation:
+    def test_node_for_round_trip(self, transformed, figure1_plan):
+        for number, resource in transformed.pop_resources.items():
+            assert transformed.node_for(resource) is figure1_plan.operator(number)
+
+    def test_node_for_base_object(self, transformed):
+        res = transformed.object_resources["TPCD.CUST_DIM"]
+        assert transformed.node_for(res).name == "CUST_DIM"
+
+    def test_node_for_unknown(self, transformed):
+        assert transformed.node_for(voc.POP.term("nope/1")) is None
+        assert transformed.node_for(Literal("x")) is None
+
+
+class TestWorkloadTransform:
+    def test_transform_workload(self):
+        generator = WorkloadGenerator(seed=17)
+        plans = [generator.generate_plan(f"w{i}", target_ops=15) for i in range(3)]
+        transformed = transform_workload(plans)
+        assert [t.plan_id for t in transformed] == [p.plan_id for p in plans]
+        assert all(len(t.graph) > 0 for t in transformed)
+
+    def test_triple_count_scales_with_operators(self):
+        generator = WorkloadGenerator(seed=18)
+        small = transform_plan(generator.generate_plan("s", target_ops=10))
+        large = transform_plan(generator.generate_plan("l", target_ops=100))
+        assert len(large.graph) > len(small.graph) * 3

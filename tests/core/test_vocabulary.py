@@ -1,0 +1,78 @@
+"""Vocabulary consistency: the GUI property list, the transform and the
+SPARQL generator must agree on what exists."""
+
+import pytest
+
+from repro.core import transform_plan, vocabulary as voc
+from repro.core.pattern import PatternBuilder
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.sparql import parse_query
+from repro.workload import WorkloadGenerator
+
+
+def test_namespaces_disjoint():
+    bases = [voc.POP.base, voc.STREAM.base, voc.OBJ.base, voc.PLAN.base,
+             voc.PRED.base]
+    assert len(set(bases)) == len(bases)
+    for a in bases:
+        for b in bases:
+            if a != b:
+                assert not a.startswith(b) or b.endswith("#")
+
+
+def test_gui_properties_all_in_pred_namespace():
+    for name, predicate in voc.GUI_PROPERTY_PREDICATES.items():
+        assert predicate in voc.PRED
+        assert voc.PRED.local_name(predicate) == name
+
+
+def test_relationship_predicates_in_pred_namespace():
+    for name, predicate in voc.RELATIONSHIP_PREDICATES.items():
+        assert voc.PRED.local_name(predicate) == name
+
+
+@pytest.fixture(scope="module")
+def rich_graph():
+    """A transformed plan exercising every operator kind."""
+    generator = WorkloadGenerator(seed=2024)
+    plan = generator.generate_plan(
+        "vocab", target_ops=60, plant=["A", "B", "C", "D"]
+    )
+    return transform_plan(plan)
+
+
+def test_every_gui_property_is_producible(rich_graph):
+    """Every property the pattern builder offers appears in the RDF of a
+    sufficiently rich plan — no dead entries in the GUI list."""
+    produced = {p for p in rich_graph.graph.predicate_set()}
+    for name, predicate in voc.GUI_PROPERTY_PREDICATES.items():
+        assert predicate in produced, f"{name} never produced by the transform"
+
+
+def test_every_relationship_predicate_is_producible(rich_graph):
+    produced = {p for p in rich_graph.graph.predicate_set()}
+    for name, predicate in voc.RELATIONSHIP_PREDICATES.items():
+        assert predicate in produced, f"{name} never produced"
+
+
+def test_every_gui_property_compiles_and_runs(rich_graph):
+    """A single-pop pattern over each GUI property compiles to valid
+    SPARQL and evaluates without errors."""
+    from repro.sparql import query
+
+    for name in voc.GUI_PROPERTY_PREDICATES:
+        builder = PatternBuilder(f"probe-{name}")
+        pop = builder.pop("ANY")
+        if name in ("hasPopType", "hasJoinSemantics", "hasBaseObjectName",
+                    "hasSchemaName", "hasPredicateText", "hasIndex",
+                    "hasColumn"):
+            pop.where(name, "contains", "A")
+        else:
+            pop.where(name, ">", 0)
+        sparql = pattern_to_sparql(builder.build())
+        parse_query(sparql)
+        query(rich_graph.graph, sparql)  # must not raise
+
+
+def test_sparql_prefix_block_parses():
+    parse_query(voc.SPARQL_PREFIXES + "SELECT ?s WHERE { ?s ?p ?o }")

@@ -1,0 +1,104 @@
+"""End-to-end flows: files on disk → tool → matches → recommendations."""
+
+import os
+
+import pytest
+
+from repro.core import OptImatch
+from repro.kb import builtin_knowledge_base
+from repro.kb.builtin import ENTRY_LETTERS
+from repro.qep.writer import write_plan_file
+from repro.workload import REFERENCE_CHECKERS, generate_workload
+from repro.workload.generator import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def workload_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("workload")
+    config = GeneratorConfig(
+        nljoin_prob=0.1,
+        avoid_pattern_a=True,
+        lojoin_prob=0.0,
+        spill_sort_prob=0.0,
+    )
+    plans = generate_workload(
+        15,
+        seed=90,
+        plant_rates={"A": 0.4, "B": 0.3, "C": 0.3, "D": 0.3},
+        size_sampler=lambda rng: rng.randint(15, 60),
+        config=config,
+    )
+    for plan in plans:
+        write_plan_file(plan, str(directory / f"{plan.plan_id}.exfmt"))
+    return directory, plans
+
+
+def test_full_pipeline_from_files(workload_dir):
+    """Generate → write → parse → transform → KB → recommendations,
+    with the SPARQL pipeline agreeing exactly with the independent
+    reference checkers (the differential test at system level)."""
+    directory, plans = workload_dir
+    tool = OptImatch()
+    loaded = tool.load_workload_dir(str(directory))
+    assert loaded == len(plans)
+
+    kb = builtin_knowledge_base()
+    report = tool.run_knowledge_base(kb)
+
+    hits = {name: set() for name in ENTRY_LETTERS}
+    for plan_recs in report.plans:
+        for result in plan_recs.results:
+            hits[result.entry_name].add(plan_recs.plan_id)
+    for name, letter in ENTRY_LETTERS.items():
+        truth = {
+            plan.plan_id
+            for plan in plans
+            if REFERENCE_CHECKERS[letter](plan)
+        }
+        assert hits[name] == truth, (
+            f"{name}: SPARQL={sorted(hits[name])} truth={sorted(truth)}"
+        )
+
+
+def test_recommendations_have_plan_context(workload_dir):
+    directory, plans = workload_dir
+    tool = OptImatch()
+    tool.load_workload_dir(str(directory))
+    report = tool.run_knowledge_base(builtin_knowledge_base())
+    flagged = report.plans_with_recommendations()
+    assert flagged
+    # Every rendered recommendation resolved its tags (no raw '@ALIAS').
+    for plan_recs in flagged:
+        for result in plan_recs.results:
+            for text in result.texts():
+                assert "@" not in text, text
+
+
+def test_search_twice_is_stable(workload_dir):
+    directory, _ = workload_dir
+    from repro.kb.builtin import make_pattern
+
+    tool = OptImatch()
+    tool.load_workload_dir(str(directory))
+    first = tool.matching_plan_ids(make_pattern("A"))
+    second = tool.matching_plan_ids(make_pattern("A"))
+    assert first == second
+
+
+def test_rdf_export_reimport_same_matches(workload_dir, tmp_path):
+    """Transform → serialize to N-Triples → reload → same match results."""
+    from repro.core.matcher import search_plan
+    from repro.core.transform import TransformedPlan
+    from repro.kb.builtin import make_pattern
+    from repro.core import pattern_to_sparql
+    from repro.rdf import from_ntriples, to_ntriples
+    from repro.sparql import query
+
+    directory, plans = workload_dir
+    tool = OptImatch()
+    tool.load_workload_dir(str(directory))
+    sparql = pattern_to_sparql(make_pattern("A"))
+    for transformed in tool.workload[:5]:
+        direct = len(query(transformed.graph, sparql))
+        reloaded = from_ntriples(to_ntriples(transformed.graph))
+        assert len(query(reloaded, sparql)) == direct

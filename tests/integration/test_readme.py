@@ -1,0 +1,63 @@
+"""Doc-rot guards: code shown in README must actually run."""
+
+import re
+
+import pytest
+
+from repro.qep.writer import write_plan_file
+from repro.workload import generate_workload
+
+README = open("README.md", encoding="utf-8").read()
+
+
+def _python_blocks(text):
+    return re.findall(r"```python\n(.*?)```", text, re.S)
+
+
+@pytest.fixture()
+def explains_dir(tmp_path, monkeypatch):
+    directory = tmp_path / "explains"
+    directory.mkdir()
+    for plan in generate_workload(
+        4,
+        seed=9,
+        plant_rates={"A": 0.8},
+        size_sampler=lambda rng: rng.randint(10, 25),
+    ):
+        write_plan_file(plan, str(directory / f"{plan.plan_id}.exfmt"))
+    monkeypatch.chdir(tmp_path)
+    return directory
+
+
+def test_readme_has_python_blocks():
+    assert len(_python_blocks(README)) >= 1
+
+
+def test_quickstart_block_executes(explains_dir, capsys):
+    block = _python_blocks(README)[0]
+    assert "OptImatch()" in block
+    exec(compile(block, "README.md", "exec"), {})  # noqa: S102
+    out = capsys.readouterr().out
+    # the block prints match descriptions and the KB summary
+    assert "[qep-" in out or "pattern-a" in out
+
+
+def test_readme_shell_examples_reference_real_commands():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    known = set()
+    for action in parser._subparsers._group_actions:  # noqa: SLF001
+        known |= set(action.choices)
+    for line in README.splitlines():
+        match = re.match(r"^optimatch (\w[\w-]*)", line.strip())
+        if match:
+            assert match.group(1) in known, f"README references unknown " \
+                f"subcommand {match.group(1)!r}"
+
+
+def test_readme_links_resolve():
+    import os
+
+    for target in re.findall(r"\]\(([A-Za-z0-9_/.-]+\.md)\)", README):
+        assert os.path.exists(target), f"README links to missing {target}"

@@ -1,0 +1,218 @@
+"""Knowledge base: Algorithms 4/5, rendering, ranking, persistence."""
+
+import pytest
+
+from repro.core import OptImatch, transform_plan
+from repro.kb import (
+    KnowledgeBase,
+    NO_RECOMMENDATION,
+    Recommendation,
+    builtin_knowledge_base,
+)
+from repro.kb.builtin import ENTRY_LETTERS, make_pattern
+from repro.kb.knowledge_base import KBEntry
+from repro.workload import WorkloadGenerator, REFERENCE_CHECKERS
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture
+def kb():
+    return builtin_knowledge_base()
+
+
+@pytest.fixture
+def fig1_workload(figure1_plan):
+    return [transform_plan(figure1_plan)]
+
+
+class TestAddEntry:
+    def test_add_compiles_sparql(self):
+        kb = KnowledgeBase()
+        entry = kb.add_entry(
+            "test", make_pattern("A"), [Recommendation(template="fix @TOP")]
+        )
+        assert "SELECT" in entry.sparql
+        assert len(kb) == 1
+        assert "test" in kb
+
+    def test_duplicate_name_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_entry("pattern-a", make_pattern("A"), [])
+
+    def test_remove(self, kb):
+        kb.remove("pattern-a")
+        assert "pattern-a" not in kb
+
+    def test_entries_sorted(self, kb):
+        names = [e.name for e in kb.entries]
+        assert names == sorted(names)
+
+    def test_broken_template_rejected_at_add_time(self):
+        kb = KnowledgeBase()
+        with pytest.raises(ValueError, match="@NOPE"):
+            kb.add_entry(
+                "broken",
+                make_pattern("A"),
+                [Recommendation(template="fix @NOPE please")],
+            )
+
+
+class TestFindRecommendations:
+    def test_figure1_gets_index_recommendation(self, kb, fig1_workload):
+        report = kb.find_recommendations(fig1_workload)
+        plan_recs = report.for_plan("fig1")
+        assert plan_recs.has_recommendations
+        names = [r.entry_name for r in plan_recs.results]
+        assert "pattern-a" in names
+        result = [r for r in plan_recs.results if r.entry_name == "pattern-a"][0]
+        texts = result.texts()
+        # Context adapted through tags: the table name from the user's
+        # plan appears even though the KB entry predates the plan.
+        assert any("TPCD.CUST_DIM" in t for t in texts)
+
+    def test_confidences_in_range_and_sorted(self, kb, fig1_workload):
+        report = kb.find_recommendations(fig1_workload)
+        results = report.for_plan("fig1").results
+        confidences = [r.confidence for r in results]
+        assert all(0.0 <= c <= 1.0 for c in confidences)
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_no_recommendation_sentinel(self, kb):
+        generator = WorkloadGenerator(seed=60)
+        from repro.workload.generator import GeneratorConfig
+
+        clean_gen = WorkloadGenerator(
+            seed=60,
+            config=GeneratorConfig(
+                nljoin_prob=0.0, lojoin_prob=0.0, spill_sort_prob=0.0
+            ),
+        )
+        plan = clean_gen.generate_plan("clean", target_ops=10)
+        report = kb.find_recommendations([transform_plan(plan)])
+        plan_recs = report.for_plan("clean")
+        assert not plan_recs.has_recommendations
+        assert NO_RECOMMENDATION in plan_recs.summary()
+
+    def test_every_plan_reported(self, kb, fig1_workload):
+        report = kb.find_recommendations(fig1_workload)
+        assert len(report.plans) == 1
+
+    def test_entry_hit_counts(self, kb, fig1_workload):
+        report = kb.find_recommendations(fig1_workload)
+        counts = report.entry_hit_counts()
+        assert counts.get("pattern-a") == 1
+
+    def test_summary_text(self, kb, fig1_workload):
+        report = kb.find_recommendations(fig1_workload)
+        text = report.summary()
+        assert "fig1" in text
+        assert "pattern-a" in text
+
+
+class TestBuiltinAgainstGroundTruth:
+    def test_builtin_entries_match_reference_checkers(self, small_workload):
+        kb = builtin_knowledge_base()
+        tool = OptImatch()
+        tool.add_plans(small_workload)
+        report = tool.run_knowledge_base(kb)
+        hits = {name: set() for name in ENTRY_LETTERS}
+        for plan_recs in report.plans:
+            for result in plan_recs.results:
+                hits[result.entry_name].add(plan_recs.plan_id)
+        for name, letter in ENTRY_LETTERS.items():
+            expected = {
+                plan.plan_id
+                for plan in small_workload
+                if REFERENCE_CHECKERS[letter](plan)
+            }
+            assert hits[name] == expected, f"{name} disagreement"
+
+    def test_extra_copies_grow_kb(self):
+        kb = builtin_knowledge_base("ABC", extra_copies=7)
+        assert len(kb) == 10
+
+    def test_pattern_d_cross_pop_filter(self):
+        generator = WorkloadGenerator(seed=61)
+        plan = generator.generate_plan("d", target_ops=15, plant=["D"])
+        kb = builtin_knowledge_base("D")
+        report = kb.find_recommendations([transform_plan(plan)])
+        assert report.for_plan("d").has_recommendations
+
+
+class TestPatternLibrary:
+    def test_entry_pattern_rdf(self, kb):
+        graph = kb.entry("pattern-a").pattern_rdf()
+        assert len(graph) > 0
+
+    def test_library_graph_queryable(self, kb):
+        from repro.core.pattern_rdf import patterns_mentioning_type
+
+        graph = kb.pattern_library_graph()
+        assert patterns_mentioning_type(graph, "NLJOIN") == ["pattern-a"]
+        assert patterns_mentioning_type(graph, "SORT") == ["pattern-d"]
+
+    def test_library_round_trip(self, kb):
+        from repro.core.pattern_rdf import pattern_from_rdf
+
+        graph = kb.pattern_library_graph()
+        restored = pattern_from_rdf(graph, "pattern-c")
+        assert restored.name == "pattern-c"
+        assert set(restored.pops) == set(kb.entry("pattern-c").pattern.pops)
+
+
+class TestPersistence:
+    def test_json_round_trip(self, kb, fig1_workload):
+        clone = KnowledgeBase.from_json(kb.to_json())
+        assert len(clone) == len(kb)
+        original = kb.find_recommendations(fig1_workload).entry_hit_counts()
+        copied = clone.find_recommendations(fig1_workload).entry_hit_counts()
+        assert original == copied
+
+    def test_save_load_file(self, kb, tmp_path):
+        path = str(tmp_path / "kb.json")
+        kb.save(path)
+        loaded = KnowledgeBase.load(path)
+        assert [e.name for e in loaded.entries] == [e.name for e in kb.entries]
+
+    def test_entry_round_trip_preserves_custom_sparql(self):
+        entry = KBEntry(
+            name="custom",
+            pattern=make_pattern("D"),
+            sparql="",  # auto-compiled
+            recommendations=[Recommendation(template="x")],
+        )
+        data = entry.to_json_object()
+        clone = KBEntry.from_json_object(data)
+        assert clone.sparql == entry.sparql
+
+
+class TestRecommendationRendering:
+    def test_max_occurrences_limits(self, figure1_plan):
+        from repro.core.matcher import search_plan
+
+        transformed = transform_plan(figure1_plan)
+        matches = search_plan(make_pattern("A"), transformed)
+        rec_all = Recommendation(template="@TOP")
+        rec_one = Recommendation(template="@TOP", max_occurrences=1)
+        assert len(rec_all.render(matches.occurrences)) == len(matches.occurrences)
+        assert len(rec_one.render(matches.occurrences)) == 1
+
+    def test_rendered_str_includes_title(self, figure1_plan):
+        from repro.core.matcher import search_plan
+
+        transformed = transform_plan(figure1_plan)
+        matches = search_plan(make_pattern("A"), transformed)
+        rec = Recommendation(template="fix @TOP", title="Advice")
+        rendered = rec.render(matches.occurrences)[0]
+        assert str(rendered).startswith("Advice: fix NLJOIN")
+
+    def test_recommendation_json_round_trip(self):
+        rec = Recommendation(template="@TOP", title="T", max_occurrences=2)
+        clone = Recommendation.from_json_object(rec.to_json_object())
+        assert clone.template == rec.template
+        assert clone.title == rec.title
+        assert clone.max_occurrences == 2
+
+    def test_aliases_used(self):
+        rec = Recommendation(template="@TOP and @table(BASE)")
+        assert set(rec.aliases_used()) == {"TOP", "BASE"}

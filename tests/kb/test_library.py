@@ -1,0 +1,242 @@
+"""Extended expert pattern library."""
+
+import pytest
+
+from repro.core import OptImatch, transform_plan
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.kb import KnowledgeBase
+from repro.kb.library import (
+    extended_knowledge_base,
+    library_entries,
+)
+from repro.qep import (
+    BaseObject,
+    PlanGraph,
+    PlanOperator,
+    StreamRole,
+)
+from repro.sparql import parse_query
+from repro.workload import generate_workload
+
+
+class TestLibraryConstruction:
+    def test_all_entries_compile(self):
+        for entry in library_entries():
+            parse_query(entry.sparql)
+
+    def test_entry_names_unique(self):
+        names = [entry.name for entry in library_entries()]
+        assert len(names) == len(set(names))
+        assert len(names) >= 10
+
+    def test_extended_kb_includes_builtin(self):
+        kb = extended_knowledge_base()
+        assert "pattern-a" in kb
+        assert "msjoin-double-sort" in kb
+        assert len(kb) >= 14
+
+    def test_extended_kb_without_builtin(self):
+        kb = extended_knowledge_base(include_builtin=False)
+        assert "pattern-a" not in kb
+        assert len(kb) == len(library_entries())
+
+    def test_json_round_trip(self):
+        kb = extended_knowledge_base()
+        clone = KnowledgeBase.from_json(kb.to_json())
+        assert [e.name for e in clone.entries] == [e.name for e in kb.entries]
+
+    def test_every_recommendation_has_resolvable_aliases(self):
+        """Every @alias in a recommendation is actually produced by its
+        pattern's SELECT clause — broken KB entries caught here."""
+        for entry in library_entries():
+            produced = set(entry.pattern.aliases().values())
+            for recommendation in entry.recommendations:
+                for alias in recommendation.aliases_used():
+                    assert alias in produced, (
+                        f"{entry.name}: @{alias} not among {produced}"
+                    )
+
+
+def _plan(ops, root):
+    plan = PlanGraph("lib-test")
+    for op in ops:
+        plan.add_operator(op)
+    plan.set_root(root)
+    return plan
+
+
+def _scan(number, card, table="T", table_card=1000.0, op_type="TBSCAN"):
+    scan = PlanOperator(number, op_type, cardinality=card, total_cost=card + 1)
+    scan.add_input(BaseObject("S", table, table_card, columns=("C1", "C2"),
+                              indexes=("IDX_T",)))
+    return scan
+
+
+class TestLibraryMatching:
+    """Each library entry matches a hand-built positive plan."""
+
+    def _run(self, entry_name, plan):
+        kb = extended_knowledge_base()
+        tool = OptImatch()
+        tool.add_plan(plan)
+        report = tool.run_knowledge_base(kb)
+        plan_recs = report.plans[0]
+        return {r.entry_name for r in plan_recs.results}
+
+    def test_exploding_join(self):
+        s1 = _scan(3, 1e5, "A")
+        s2 = _scan(4, 1e5, "B")
+        join = PlanOperator(2, "HSJOIN", cardinality=5e9, total_cost=3e5)
+        join.add_input(s1, StreamRole.OUTER)
+        join.add_input(s2, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", cardinality=5e9, total_cost=3e5)
+        ret.add_input(join)
+        assert "exploding-join" in self._run(
+            "exploding-join", _plan([ret, join, s1, s2], ret)
+        )
+
+    def test_fat_fetch(self):
+        ixscan = _scan(3, 2e5, "F", 1e7, op_type="IXSCAN")
+        fetch = PlanOperator(2, "FETCH", cardinality=2e5, total_cost=3e5)
+        fetch.add_input(ixscan)
+        ret = PlanOperator(1, "RETURN", cardinality=2e5, total_cost=3e5)
+        ret.add_input(fetch)
+        assert "fat-fetch" in self._run(
+            "fat-fetch", _plan([ret, fetch, ixscan], ret)
+        )
+
+    def test_large_temp(self):
+        scan = _scan(3, 2e7, "BIG", 1e8)
+        temp = PlanOperator(2, "TEMP", cardinality=2e7, total_cost=3e7)
+        temp.add_input(scan)
+        ret = PlanOperator(1, "RETURN", cardinality=2e7, total_cost=3e7)
+        ret.add_input(temp)
+        assert "large-temp" in self._run(
+            "large-temp", _plan([ret, temp, scan], ret)
+        )
+
+    def test_grpby_over_sort(self):
+        scan = _scan(4, 1000, "G")
+        sort = PlanOperator(3, "SORT", cardinality=1000, total_cost=1200)
+        sort.add_input(scan)
+        grpby = PlanOperator(2, "GRPBY", cardinality=10, total_cost=1300)
+        grpby.add_input(sort)
+        ret = PlanOperator(1, "RETURN", cardinality=10, total_cost=1300)
+        ret.add_input(grpby)
+        assert "grpby-over-sort" in self._run(
+            "grpby-over-sort", _plan([ret, grpby, sort, scan], ret)
+        )
+
+    def test_hsjoin_big_build(self):
+        probe = _scan(3, 100, "SMALL")
+        build = _scan(4, 5e6, "BIG", 1e7)
+        join = PlanOperator(2, "HSJOIN", cardinality=100, total_cost=6e6)
+        join.add_input(probe, StreamRole.OUTER)
+        join.add_input(build, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", cardinality=100, total_cost=6e6)
+        ret.add_input(join)
+        assert "hsjoin-big-build" in self._run(
+            "hsjoin-big-build", _plan([ret, join, probe, build], ret)
+        )
+
+    def test_stacked_nljoins_descendant(self):
+        inner_scan = _scan(5, 10, "I1")
+        inner_scan2 = _scan(6, 10, "I2")
+        below = PlanOperator(4, "NLJOIN", cardinality=10, total_cost=500)
+        below.add_input(inner_scan, StreamRole.OUTER)
+        below.add_input(inner_scan2, StreamRole.INNER)
+        sort = PlanOperator(3, "SORT", cardinality=10, total_cost=600)
+        sort.add_input(below)
+        outer_scan = _scan(7, 10, "O")
+        top = PlanOperator(2, "NLJOIN", cardinality=10, total_cost=7000)
+        top.add_input(outer_scan, StreamRole.OUTER)
+        top.add_input(sort, StreamRole.INNER)  # NLJOIN below via SORT
+        ret = PlanOperator(1, "RETURN", cardinality=10, total_cost=7000)
+        ret.add_input(top)
+        assert "stacked-nljoins" in self._run(
+            "stacked-nljoins",
+            _plan([ret, top, sort, below, inner_scan, inner_scan2, outer_scan],
+                  ret),
+        )
+
+    def test_union_dedup(self):
+        s1 = _scan(4, 100, "U1")
+        s2 = _scan(5, 100, "U2")
+        union = PlanOperator(3, "UNION", cardinality=200, total_cost=300)
+        union.add_input(s1)
+        union.add_input(s2)
+        unique = PlanOperator(2, "UNIQUE", cardinality=150, total_cost=350)
+        unique.add_input(union)
+        ret = PlanOperator(1, "RETURN", cardinality=150, total_cost=350)
+        ret.add_input(unique)
+        assert "union-dedup" in self._run(
+            "union-dedup", _plan([ret, unique, union, s1, s2], ret)
+        )
+
+    def test_zero_estimate_join_input(self):
+        tiny = _scan(3, 1e-4, "Z", 1e7, op_type="IXSCAN")
+        other = _scan(4, 100, "O")
+        join = PlanOperator(2, "MSJOIN", cardinality=1, total_cost=1e4)
+        join.add_input(tiny, StreamRole.OUTER)
+        join.add_input(other, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", cardinality=1, total_cost=1e4)
+        ret.add_input(join)
+        names = self._run("zero-estimate-join-input",
+                          _plan([ret, join, tiny, other], ret))
+        assert "zero-estimate-join-input" in names
+
+    def test_msjoin_double_sort(self):
+        s1 = _scan(5, 100, "M1")
+        s2 = _scan(6, 100, "M2")
+        sort1 = PlanOperator(3, "SORT", cardinality=100, total_cost=150)
+        sort1.add_input(s1)
+        sort2 = PlanOperator(4, "SORT", cardinality=100, total_cost=150)
+        sort2.add_input(s2)
+        join = PlanOperator(2, "MSJOIN", cardinality=80, total_cost=400)
+        join.add_input(sort1, StreamRole.OUTER)
+        join.add_input(sort2, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", cardinality=80, total_cost=400)
+        ret.add_input(join)
+        assert "msjoin-double-sort" in self._run(
+            "msjoin-double-sort",
+            _plan([ret, join, sort1, sort2, s1, s2], ret),
+        )
+
+    def test_late_filter(self):
+        from repro.qep import Predicate
+
+        scan = _scan(3, 1e6, "L", 1e7)
+        flt = PlanOperator(
+            2,
+            "FILTER",
+            cardinality=100,
+            total_cost=scan.total_cost + 2e5,
+            predicates=[Predicate("(Q1.C1 = 5)", "local-equality", ("C1",))],
+        )
+        flt.add_input(scan)
+        ret = PlanOperator(1, "RETURN", cardinality=100,
+                           total_cost=flt.total_cost)
+        ret.add_input(flt)
+        assert "late-filter" in self._run(
+            "late-filter", _plan([ret, flt, scan], ret)
+        )
+
+    def test_rendered_templates_resolve(self):
+        """Run the whole extended KB over a generated workload; every
+        rendered recommendation must resolve its tags."""
+        plans = generate_workload(
+            8,
+            seed=321,
+            plant_rates={"A": 0.5, "B": 0.5, "C": 0.5, "D": 0.5},
+            size_sampler=lambda rng: rng.randint(20, 60),
+        )
+        tool = OptImatch()
+        tool.add_plans(plans)
+        report = tool.run_knowledge_base(extended_knowledge_base())
+        rendered = 0
+        for plan_recs in report.plans:
+            for result in plan_recs.results:
+                for text in result.texts():
+                    assert "@" not in text
+                    rendered += 1
+        assert rendered > 0

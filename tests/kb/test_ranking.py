@@ -1,0 +1,128 @@
+"""Confidence scoring and ranking."""
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.core.matcher import Match
+from repro.kb.ranking import (
+    _spearman,
+    confidence_score,
+    cost_impact_in_plan,
+    occurrence_profile,
+    rank_matches,
+)
+from repro.qep import BaseObject, PlanOperator
+
+
+def _match(costs):
+    match = Match(plan_id="p")
+    for index, cost in enumerate(costs):
+        match.bindings[f"op{index}"] = PlanOperator(
+            index + 1, "SORT", cardinality=cost / 10, total_cost=cost, io_cost=1
+        )
+    return match
+
+
+class TestSpearman:
+    @pytest.mark.parametrize(
+        "a, b",
+        [
+            ([1, 2, 3, 4], [2, 4, 6, 8]),
+            ([1, 2, 3, 4], [8, 6, 4, 2]),
+            ([1.5, 2.5, 0.5, 3.5], [10, 20, 5, 30]),
+            ([1, 1, 2, 3], [4, 4, 5, 6]),  # ties
+        ],
+    )
+    def test_matches_scipy(self, a, b):
+        ours = _spearman(a, b)
+        reference = scipy_stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(reference, abs=1e-9)
+
+    def test_constant_input_undefined(self):
+        assert _spearman([1, 1, 1], [1, 2, 3]) is None
+
+    def test_too_short(self):
+        assert _spearman([1], [2]) is None
+
+
+class TestProfiles:
+    def test_profile_deterministic_order(self):
+        match = Match(plan_id="p")
+        match.bindings["B"] = PlanOperator(2, "SORT", cardinality=10, total_cost=100)
+        match.bindings["A"] = BaseObject("S", "T", 1000)
+        profile = occurrence_profile(match)
+        # alias order: A (base object), then B (operator); 3 features each
+        assert len(profile) == 6
+        assert profile[0] == pytest.approx(3.0, abs=0.01)  # log10(1+1000)
+        assert profile[1] == 0.0  # base objects carry no cost features
+
+    def test_profile_nonnegative(self):
+        profile = occurrence_profile(_match([0.0, 5.0]))
+        assert all(f >= 0 for f in profile)
+
+
+class TestCostImpact:
+    def test_full_impact(self):
+        match = _match([100.0])
+        assert cost_impact_in_plan(match, 100.0) == 1.0
+
+    def test_partial_impact(self):
+        match = _match([25.0])
+        assert cost_impact_in_plan(match, 100.0) == 0.25
+
+    def test_clipped_to_one(self):
+        match = _match([500.0])
+        assert cost_impact_in_plan(match, 100.0) == 1.0
+
+    def test_zero_plan_cost(self):
+        assert cost_impact_in_plan(_match([10.0]), 0.0) == 0.0
+
+    def test_base_object_only_match(self):
+        match = Match(plan_id="p")
+        match.bindings["B"] = BaseObject("S", "T", 10)
+        assert cost_impact_in_plan(match, 100.0) == 0.0
+
+
+class TestConfidence:
+    def test_range(self):
+        match = _match([50.0, 20.0])
+        for exemplar in (None, occurrence_profile(match), [1.0] * 6):
+            score = confidence_score(match, 100.0, exemplar)
+            assert 0.0 <= score <= 1.0
+
+    def test_without_exemplar_equals_impact(self):
+        match = _match([30.0])
+        assert confidence_score(match, 100.0) == pytest.approx(0.3)
+
+    def test_matching_exemplar_boosts(self):
+        match = _match([30.0, 60.0, 90.0])
+        own_profile = occurrence_profile(match)
+        with_match = confidence_score(match, 1000.0, own_profile)
+        anti_profile = list(reversed(own_profile))
+        with_anti = confidence_score(match, 1000.0, anti_profile)
+        assert with_match > with_anti
+
+    def test_constant_profile_neutral(self):
+        match = _match([10.0, 10.0])
+        score = confidence_score(match, 100.0, [5.0] * 6)
+        # correlation undefined -> similarity 0.5
+        impact = cost_impact_in_plan(match, 100.0)
+        assert score == pytest.approx(0.6 * impact + 0.4 * 0.5)
+
+
+class TestRanking:
+    def test_rank_matches_descending(self):
+        cheap = _match([10.0])
+        costly = _match([90.0])
+        ranked = rank_matches([cheap, costly], 100.0)
+        assert ranked[0][1] is costly
+        assert ranked[0][0] > ranked[1][0]
+
+    def test_stable_tiebreak_by_signature(self):
+        a, b = _match([50.0]), _match([50.0])
+        b.bindings["op0"].number = 99
+        first = rank_matches([a, b], 100.0)
+        second = rank_matches([b, a], 100.0)
+        assert [m.signature() for _, m in first] == [
+            m.signature() for _, m in second
+        ]

@@ -1,0 +1,150 @@
+"""The handler tagging language."""
+
+import pytest
+
+from repro.kb.tagging import (
+    TaggingError,
+    parse_template,
+    render_template,
+    template_aliases,
+)
+from repro.qep import BaseObject, PlanOperator, Predicate
+
+
+@pytest.fixture
+def bindings():
+    base = BaseObject(
+        "TPCD", "CUST_DIM", 4043.0,
+        columns=("C_CUSTKEY", "C_NAME"), indexes=("IDX_CD",),
+    )
+    scan = PlanOperator(
+        5,
+        "TBSCAN",
+        cardinality=4043.0,
+        total_cost=15771.9,
+        io_cost=1212.0,
+        predicates=[
+            Predicate(
+                "(Q2.C_CUSTKEY = Q1.S_CUSTKEY)",
+                "join-equality",
+                ("C_CUSTKEY", "S_CUSTKEY"),
+            )
+        ],
+    )
+    scan.add_input(base)
+    join = PlanOperator(2, "NLJOIN", cardinality=4043.0, total_cost=2.88e7)
+    return {"TOP": join, "SCAN": scan, "BASE": base}
+
+
+class TestAliasSubstitution:
+    def test_operator_display(self, bindings):
+        assert render_template("fix @TOP now", bindings) == "fix NLJOIN(2) now"
+
+    def test_base_object_display(self, bindings):
+        assert render_template("@BASE", bindings) == "TPCD.CUST_DIM"
+
+    def test_properties(self, bindings):
+        assert render_template("@TOP.type", bindings) == "NLJOIN"
+        assert render_template("@TOP.number", bindings) == "2"
+        assert render_template("@SCAN.cardinality", bindings) == "4043"
+        assert render_template("@BASE.schema", bindings) == "TPCD"
+        assert render_template("@BASE.name", bindings) == "CUST_DIM"
+
+    def test_unknown_alias_raises(self, bindings):
+        with pytest.raises(TaggingError, match="not bound"):
+            render_template("@NOPE", bindings)
+
+    def test_unknown_property_raises(self, bindings):
+        with pytest.raises(TaggingError, match="unknown property"):
+            render_template("@TOP.nope", bindings)
+
+    def test_list_tag(self, bindings):
+        assert (
+            render_template("@[TOP,SCAN]", bindings) == "NLJOIN(2), TBSCAN(5)"
+        )
+
+    def test_list_tag_with_question_marks(self, bindings):
+        assert render_template("@[?TOP,?SCAN]", bindings) == "NLJOIN(2), TBSCAN(5)"
+
+
+class TestFunctions:
+    def test_table_of_base(self, bindings):
+        assert render_template("@table(BASE)", bindings) == "TPCD.CUST_DIM"
+
+    def test_table_of_scan_resolves_base(self, bindings):
+        assert render_template("@table(SCAN)", bindings) == "TPCD.CUST_DIM"
+
+    def test_table_without_base_raises(self, bindings):
+        with pytest.raises(TaggingError):
+            render_template("@table(TOP)", bindings)
+
+    def test_columns_predicate(self, bindings):
+        assert (
+            render_template("@columns(SCAN, PREDICATE)", bindings)
+            == "C_CUSTKEY, S_CUSTKEY"
+        )
+
+    def test_columns_predicate_empty(self, bindings):
+        assert "no predicate columns" in render_template(
+            "@columns(TOP, PREDICATE)", bindings
+        )
+
+    def test_columns_input_from_base(self, bindings):
+        # "all input columns coming from ?BASE ... into the scan"
+        result = render_template("@columns(SCAN, INPUT, BASE)", bindings)
+        assert result == "C_CUSTKEY"  # predicate column that is a BASE column
+
+    def test_columns_input_defaults_to_table_columns(self, bindings):
+        result = render_template("@columns(BASE, INPUT)", bindings)
+        assert result == "C_CUSTKEY, C_NAME"
+
+    def test_index_from_argument(self, bindings):
+        op = PlanOperator(7, "IXSCAN", arguments={"INDEXNAME": "IDX9"})
+        op.add_input(BaseObject("S", "T", 10))
+        assert render_template("@index(IX)", {"IX": op}) == "IDX9"
+
+    def test_index_from_base_object(self, bindings):
+        assert render_template("@index(BASE)", bindings) == "IDX_CD"
+
+    def test_index_missing_raises(self, bindings):
+        with pytest.raises(TaggingError):
+            render_template("@index(TOP)", bindings)
+
+    def test_count(self, bindings):
+        assert (
+            render_template("seen @count() time(s)", bindings, occurrence_count=3)
+            == "seen 3 time(s)"
+        )
+
+    def test_unknown_function_raises_at_parse(self):
+        with pytest.raises(TaggingError, match="unknown tagging function"):
+            parse_template("@frobnicate(TOP)")
+
+
+class TestTemplateParsing:
+    def test_plain_text_passthrough(self, bindings):
+        assert render_template("no tags here", bindings) == "no tags here"
+
+    def test_adjacent_tags(self, bindings):
+        assert render_template("@TOP@BASE", bindings) == "NLJOIN(2)TPCD.CUST_DIM"
+
+    def test_email_like_text_not_a_tag(self, bindings):
+        # lower-case word after @ without parens is not an alias or function
+        assert "user@example.com" == render_template("user@example.com", bindings)
+
+    def test_template_aliases_collected(self):
+        segments = parse_template(
+            "@TOP and @[A,B] and @columns(SCAN, PREDICATE) and @table(BASE)"
+        )
+        assert set(template_aliases(segments)) == {
+            "TOP", "A", "B", "SCAN", "BASE",
+        }
+
+    def test_paper_example_shape(self, bindings):
+        # "Create index on <table> (<columns>)" — the paper's index
+        # recommendation adapted through tags.
+        text = render_template(
+            "Create index on @table(BASE) (@columns(SCAN, PREDICATE))",
+            bindings,
+        )
+        assert text == "Create index on TPCD.CUST_DIM (C_CUSTKEY, S_CUSTKEY)"

@@ -1,0 +1,187 @@
+"""Log diagnosis — the generalization demonstration."""
+
+import pytest
+
+from repro.logdiag import (
+    DIAGNOSTIC_PATTERNS,
+    LogEvent,
+    LogTrace,
+    TraceGenerator,
+    scan_trace,
+    transform_trace,
+)
+from repro.logdiag.transform import CAUSED, HAS_LEVEL, IS_ERROR
+from repro.rdf import Literal
+from repro.sparql import query
+
+
+class TestModel:
+    def test_add_and_iterate_ordered(self):
+        trace = LogTrace("t")
+        trace.add(LogEvent(2, 0.2, "INFO", "a", "later"))
+        trace.add(LogEvent(1, 0.1, "INFO", "a", "earlier"))
+        assert [e.event_id for e in trace] == [1, 2]
+
+    def test_duplicate_id_rejected(self):
+        trace = LogTrace("t")
+        trace.add(LogEvent(1, 0.0, "INFO", "a", "x"))
+        with pytest.raises(ValueError):
+            trace.add(LogEvent(1, 0.1, "INFO", "a", "y"))
+
+    def test_unknown_cause_rejected(self):
+        trace = LogTrace("t")
+        with pytest.raises(ValueError):
+            trace.add(LogEvent(1, 0.0, "INFO", "a", "x", cause_id=99))
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            LogEvent(1, 0.0, "LOUD", "a", "x")
+
+    def test_causal_chain(self):
+        trace = LogTrace("t")
+        a = trace.add(LogEvent(1, 0.0, "INFO", "a", "root"))
+        b = trace.add(LogEvent(2, 0.1, "INFO", "b", "mid", cause_id=1))
+        c = trace.add(LogEvent(3, 0.2, "ERROR", "c", "leaf", cause_id=2))
+        assert [e.event_id for e in trace.causal_chain(c)] == [1, 2, 3]
+        assert trace.children_of(a) == [b]
+
+    def test_is_error(self):
+        assert LogEvent(1, 0, "FATAL", "a", "x").is_error
+        assert not LogEvent(2, 0, "WARN", "a", "x").is_error
+
+
+class TestTransform:
+    def test_events_become_resources(self):
+        trace = TraceGenerator(seed=1).generate("t1", n_events=15)
+        transformed = transform_trace(trace)
+        assert len(transformed.event_resources) == len(trace)
+        assert len(transformed.graph) > len(trace) * 4
+
+    def test_causal_edges_both_directions(self):
+        trace = LogTrace("t")
+        trace.add(LogEvent(1, 0.0, "INFO", "a", "root"))
+        trace.add(LogEvent(2, 0.1, "ERROR", "b", "effect", cause_id=1))
+        transformed = transform_trace(trace)
+        cause = transformed.event_resources[1]
+        effect = transformed.event_resources[2]
+        assert (cause, CAUSED, effect) in transformed.graph
+        assert transformed.graph.value(effect, IS_ERROR) == Literal("true")
+
+    def test_detransformation(self):
+        trace = TraceGenerator(seed=2).generate("t2", n_events=10)
+        transformed = transform_trace(trace)
+        for event_id, resource in transformed.event_resources.items():
+            assert transformed.event_for(resource).event_id == event_id
+
+    def test_same_sparql_engine_queries_traces(self):
+        """The point of the exercise: the QEP engine runs unchanged."""
+        trace = TraceGenerator(seed=3).generate("t3", n_events=20)
+        transformed = transform_trace(trace)
+        rows = query(
+            transformed.graph,
+            f"PREFIX lp: <http://optimatch/logpred#>\n"
+            "SELECT ?level (COUNT(?e) AS ?n) WHERE { ?e lp:hasLevel ?level } "
+            "GROUP BY ?level",
+        )
+        total = sum(int(row.number("n")) for row in rows)
+        assert total == len(trace)
+
+
+class TestDiagnosticPatterns:
+    def test_cascade_detected(self):
+        trace = TraceGenerator(seed=4).generate("c", n_events=25,
+                                                plant=["cascade"])
+        findings = scan_trace(transform_trace(trace))
+        assert "error-cascade" in findings
+        occurrence = findings["error-cascade"][0]
+        assert occurrence["ROOT"].is_error
+        assert occurrence["DOWNSTREAM"].is_error
+        assert occurrence["ROOT"].component != occurrence["DOWNSTREAM"].component
+
+    def test_cliff_detected(self):
+        trace = TraceGenerator(seed=5).generate("l", n_events=25,
+                                                plant=["cliff"])
+        findings = scan_trace(transform_trace(trace))
+        assert "latency-cliff" in findings
+        slow = findings["latency-cliff"][0]["SLOW"]
+        assert slow.duration_ms > 1000
+
+    def test_storm_detected(self):
+        trace = TraceGenerator(seed=6).generate("s", n_events=25,
+                                                plant=["storm"])
+        findings = scan_trace(transform_trace(trace))
+        assert "retry-storm" in findings
+        occurrence = findings["retry-storm"][0]
+        assert int(occurrence["RETRIES"]) >= 3
+
+    def test_clean_trace_no_findings(self):
+        trace = TraceGenerator(seed=7).generate("clean", n_events=25)
+        findings = scan_trace(transform_trace(trace))
+        assert findings == {}
+
+    def test_all_patterns_at_once(self):
+        trace = TraceGenerator(seed=8).generate(
+            "all", n_events=40, plant=["cascade", "cliff", "storm"]
+        )
+        findings = scan_trace(transform_trace(trace))
+        assert set(findings) == set(DIAGNOSTIC_PATTERNS)
+
+    def test_generator_deterministic(self):
+        t1 = TraceGenerator(seed=9).generate("d", n_events=20)
+        t2 = TraceGenerator(seed=9).generate("d", n_events=20)
+        assert [(e.event_id, e.level, e.message) for e in t1] == [
+            (e.event_id, e.level, e.message) for e in t2
+        ]
+
+
+class TestDifferential:
+    """SPARQL diagnosis agrees with independent trace-graph checkers —
+    the same differential methodology used for the QEP pipeline."""
+
+    def test_sparql_agrees_with_reference(self):
+        from hypothesis import given, settings, strategies as st
+
+        # implemented as an inner hypothesis test to keep strategies local
+        @settings(max_examples=25, deadline=None)
+        @given(
+            seed=st.integers(0, 10000),
+            n_events=st.integers(8, 50),
+            plants=st.lists(
+                st.sampled_from(["cascade", "cliff", "storm"]),
+                max_size=3,
+                unique=True,
+            ),
+        )
+        def inner(seed, n_events, plants):
+            from repro.logdiag.reference import LOG_REFERENCE_CHECKERS
+
+            trace = TraceGenerator(seed=seed).generate(
+                "diff", n_events=n_events, plant=plants
+            )
+            findings = scan_trace(transform_trace(trace))
+            for name, checker in LOG_REFERENCE_CHECKERS.items():
+                reference_hit = bool(checker(trace))
+                sparql_hit = name in findings
+                assert sparql_hit == reference_hit, (
+                    f"{name}: sparql={sparql_hit} reference={reference_hit} "
+                    f"seed={seed} n={n_events} plants={plants}"
+                )
+
+        inner()
+
+    def test_cascade_occurrence_sets_agree(self):
+        from repro.logdiag.reference import find_error_cascades
+
+        trace = TraceGenerator(seed=14).generate(
+            "pairs", n_events=30, plant=["cascade"]
+        )
+        findings = scan_trace(transform_trace(trace))
+        sparql_pairs = {
+            (o["ROOT"].event_id, o["DOWNSTREAM"].event_id)
+            for o in findings.get("error-cascade", [])
+        }
+        reference_pairs = {
+            (o["ROOT"].event_id, o["DOWNSTREAM"].event_id)
+            for o in find_error_cascades(trace)
+        }
+        assert sparql_pairs == reference_pairs

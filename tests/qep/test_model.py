@@ -1,0 +1,151 @@
+"""Plan graph model: structure, traversal, DAG sharing."""
+
+import pytest
+
+from repro.qep import (
+    BaseObject,
+    JoinSemantics,
+    PlanGraph,
+    PlanOperator,
+    StreamRole,
+)
+from repro.qep.model import format_number
+from tests.conftest import build_figure1_plan
+
+
+class TestPlanOperator:
+    def test_display_name_with_prefix(self):
+        op = PlanOperator(1, "HSJOIN", join_semantics=JoinSemantics.LEFT_OUTER)
+        assert op.display_name == ">HSJOIN"
+
+    def test_is_left_outer_join(self):
+        op = PlanOperator(1, "HSJOIN", join_semantics=JoinSemantics.LEFT_OUTER)
+        assert op.is_left_outer_join
+        assert not PlanOperator(2, "HSJOIN").is_left_outer_join
+        # LOJ semantics on a non-join never counts
+        sort = PlanOperator(3, "SORT", join_semantics=JoinSemantics.LEFT_OUTER)
+        assert not sort.is_left_outer_join
+
+    def test_add_input_default_roles_join(self):
+        join = PlanOperator(1, "NLJOIN")
+        a, b = PlanOperator(2, "TBSCAN"), PlanOperator(3, "TBSCAN")
+        join.add_input(a)
+        join.add_input(b)
+        assert join.inputs[0].role is StreamRole.OUTER
+        assert join.inputs[1].role is StreamRole.INNER
+
+    def test_add_input_default_role_unary(self):
+        sort = PlanOperator(1, "SORT")
+        sort.add_input(PlanOperator(2, "TBSCAN"))
+        assert sort.inputs[0].role is StreamRole.INPUT
+
+    def test_child_operators_excludes_base_objects(self):
+        fetch = PlanOperator(1, "FETCH")
+        scan = PlanOperator(2, "IXSCAN")
+        table = BaseObject("S", "T", 100)
+        fetch.add_input(scan)
+        fetch.add_input(table)
+        assert fetch.child_operators() == [scan]
+        assert fetch.base_objects() == [table]
+
+    def test_input_with_role(self):
+        join = PlanOperator(1, "NLJOIN")
+        outer, inner = PlanOperator(2, "TBSCAN"), PlanOperator(3, "TBSCAN")
+        join.add_input(outer, StreamRole.OUTER)
+        join.add_input(inner, StreamRole.INNER)
+        assert join.input_with_role(StreamRole.INNER).source is inner
+        assert join.input_with_role(StreamRole.INPUT) is None
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(KeyError):
+            PlanOperator(1, "NOT_AN_OP")
+
+
+class TestPlanGraph:
+    def test_duplicate_number_rejected(self):
+        plan = PlanGraph("p")
+        plan.add_operator(PlanOperator(1, "RETURN"))
+        with pytest.raises(ValueError):
+            plan.add_operator(PlanOperator(1, "SORT"))
+
+    def test_root_must_be_member(self):
+        plan = PlanGraph("p")
+        with pytest.raises(ValueError):
+            plan.set_root(PlanOperator(9, "RETURN"))
+
+    def test_iter_operators_sorted(self):
+        plan = build_figure1_plan()
+        numbers = [op.number for op in plan.iter_operators()]
+        assert numbers == sorted(numbers)
+
+    def test_operators_of_type(self):
+        plan = build_figure1_plan()
+        assert [op.number for op in plan.operators_of_type("NLJOIN")] == [2]
+        assert len(plan.operators_of_type("TBSCAN", "IXSCAN")) == 2
+
+    def test_total_cost_is_root_cost(self):
+        plan = build_figure1_plan()
+        assert plan.total_cost == plan.root.total_cost
+
+    def test_base_objects(self):
+        plan = build_figure1_plan()
+        assert set(plan.base_objects()) == {"TPCD.SALES_FACT", "TPCD.CUST_DIM"}
+
+    def test_parents_of(self):
+        plan = build_figure1_plan()
+        nljoin = plan.operator(2)
+        assert [p.number for p in plan.parents_of(nljoin)] == [1]
+
+    def test_descendants_of(self):
+        plan = build_figure1_plan()
+        nljoin = plan.operator(2)
+        assert {d.number for d in plan.descendants_of(nljoin)} == {3, 4, 5}
+
+    def test_depth(self):
+        plan = build_figure1_plan()
+        assert plan.depth() == 4  # RETURN -> NLJOIN -> FETCH -> IXSCAN
+
+    def test_shared_temp_has_two_parents(self):
+        plan = PlanGraph("shared")
+        temp = PlanOperator(4, "TEMP", cardinality=10)
+        scan = PlanOperator(5, "TBSCAN", cardinality=10)
+        scan.add_input(BaseObject("S", "T", 100))
+        temp.add_input(scan)
+        join1 = PlanOperator(2, "HSJOIN", total_cost=10)
+        join2 = PlanOperator(3, "HSJOIN", total_cost=10)
+        other1 = PlanOperator(6, "TBSCAN")
+        other1.add_input(BaseObject("S", "U", 50))
+        other2 = PlanOperator(7, "TBSCAN")
+        other2.add_input(BaseObject("S", "V", 50))
+        join1.add_input(other1, StreamRole.OUTER)
+        join1.add_input(temp, StreamRole.INNER)
+        join2.add_input(other2, StreamRole.OUTER)
+        join2.add_input(temp, StreamRole.INNER)
+        top = PlanOperator(1, "MSJOIN", total_cost=30)
+        top.add_input(join1, StreamRole.OUTER)
+        top.add_input(join2, StreamRole.INNER)
+        for op in (top, join1, join2, temp, scan, other1, other2):
+            plan.add_operator(op)
+        plan.set_root(top)
+        assert len(plan.parents_of(temp)) == 2
+
+
+class TestFormatNumber:
+    def test_integers_plain(self):
+        assert format_number(4043.0) == "4043"
+
+    def test_decimals(self):
+        assert format_number(15771.9) == "15771.9"
+
+    def test_large_switches_to_exponent(self):
+        assert "e+07" in format_number(2.87997e7)
+
+    def test_tiny_switches_to_exponent(self):
+        assert "e-08" in format_number(1.311e-8)
+
+    def test_zero(self):
+        assert format_number(0) == "0"
+
+    def test_round_trips_via_float(self):
+        for value in (0.0, 1.0, 4043.0, 15771.9, 2.87997e7, 1.311e-8, 754.34):
+            assert float(format_number(value)) == pytest.approx(value, rel=1e-5)

@@ -1,0 +1,77 @@
+"""Operator catalog."""
+
+import pytest
+
+from repro.qep.operators import (
+    JOIN_TYPES,
+    JoinSemantics,
+    OPERATOR_CATALOG,
+    SCAN_TYPES,
+    StreamRole,
+    operator_info,
+)
+
+
+def test_join_family():
+    assert JOIN_TYPES == {"NLJOIN", "HSJOIN", "MSJOIN"}
+
+
+def test_scan_family():
+    assert SCAN_TYPES == {"TBSCAN", "IXSCAN"}
+
+
+def test_all_joins_use_outer_inner():
+    for name in JOIN_TYPES:
+        assert OPERATOR_CATALOG[name].uses_outer_inner
+
+
+def test_scans_read_base_objects():
+    for name in SCAN_TYPES:
+        assert OPERATOR_CATALOG[name].reads_base_object
+
+
+def test_operator_info_unknown():
+    with pytest.raises(KeyError):
+        operator_info("WIBBLE")
+
+
+def test_roles_for_join():
+    info = operator_info("HSJOIN")
+    assert info.roles_for(2) == (StreamRole.OUTER, StreamRole.INNER)
+
+
+def test_roles_for_unary():
+    info = operator_info("SORT")
+    assert info.roles_for(1) == (StreamRole.INPUT,)
+
+
+def test_roles_for_nary():
+    info = operator_info("UNION")
+    assert info.roles_for(3) == (StreamRole.INPUT,) * 3
+
+
+def test_join_semantics_prefixes():
+    assert JoinSemantics.LEFT_OUTER.value == ">"
+    assert JoinSemantics.from_prefix(">") is JoinSemantics.LEFT_OUTER
+    assert JoinSemantics.from_prefix("") is JoinSemantics.INNER
+    assert JoinSemantics.from_prefix("^") is JoinSemantics.EARLY_OUT
+
+
+def test_join_semantics_unknown_prefix():
+    with pytest.raises(ValueError):
+        JoinSemantics.from_prefix("%")
+
+
+def test_paper_arguments_present():
+    # Section 2.1: "NLJOIN has a property fetch max, and TBSCAN has a
+    # property max pages, but not vice versa."
+    assert "FETCHMAX" in OPERATOR_CATALOG["NLJOIN"].argument_names
+    assert "MAXPAGES" in OPERATOR_CATALOG["TBSCAN"].argument_names
+    assert "FETCHMAX" not in OPERATOR_CATALOG["TBSCAN"].argument_names
+    assert "MAXPAGES" not in OPERATOR_CATALOG["NLJOIN"].argument_names
+
+
+def test_return_is_unary_root():
+    info = operator_info("RETURN")
+    assert info.arity == (1, 1)
+    assert not info.is_join and not info.is_scan

@@ -1,0 +1,112 @@
+"""Robustness: corrupted explain text must fail cleanly, never crash.
+
+A problem-determination tool ingests files from support tickets; they
+arrive truncated, concatenated and mangled.  The contract: the parser
+either returns a valid plan or raises :class:`QepParseError` — no other
+exception types, no silent nonsense.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qep import QepParseError, parse_plan, validate_plan, write_plan
+from repro.qep.parser import parse_plan as qep_parse
+from repro.qep.tree_parser import parse_tree
+from repro.qep.validate import PlanValidationError
+from repro.workload import WorkloadGenerator
+from tests.conftest import build_figure1_plan
+
+
+@pytest.fixture(scope="module")
+def clean_text():
+    return write_plan(build_figure1_plan())
+
+
+def _expect_clean_failure_or_plan(parser, text):
+    try:
+        plan = parser(text)
+    except QepParseError:
+        return None
+    # If it parsed, the result must be a structurally usable plan object.
+    assert plan.op_count >= 1
+    assert plan.root is not None
+    return plan
+
+
+class TestTruncation:
+    def test_every_prefix_parses_or_fails_cleanly(self, clean_text):
+        lines = clean_text.splitlines()
+        for cut in range(0, len(lines), 7):
+            _expect_clean_failure_or_plan(
+                qep_parse, "\n".join(lines[:cut])
+            )
+
+    def test_every_suffix_parses_or_fails_cleanly(self, clean_text):
+        lines = clean_text.splitlines()
+        for cut in range(0, len(lines), 7):
+            _expect_clean_failure_or_plan(
+                qep_parse, "\n".join(lines[cut:])
+            )
+
+
+class TestMutation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 10000),
+        n_mutations=st.integers(1, 12),
+    )
+    def test_random_line_mutations(self, clean_text, seed, n_mutations):
+        rng = random.Random(seed)
+        lines = clean_text.splitlines()
+        for _ in range(n_mutations):
+            action = rng.randrange(3)
+            index = rng.randrange(len(lines))
+            if action == 0:
+                lines[index] = ""  # blank a line
+            elif action == 1:
+                del lines[index]  # drop a line
+                if not lines:
+                    lines = [""]
+            else:
+                # swap two characters within a line
+                line = lines[index]
+                if len(line) >= 2:
+                    i, j = rng.randrange(len(line)), rng.randrange(len(line))
+                    chars = list(line)
+                    chars[i], chars[j] = chars[j], chars[i]
+                    lines[index] = "".join(chars)
+        _expect_clean_failure_or_plan(qep_parse, "\n".join(lines))
+
+    @settings(max_examples=30, deadline=None)
+    @given(garbage=st.text(max_size=400))
+    def test_arbitrary_text(self, garbage):
+        _expect_clean_failure_or_plan(qep_parse, garbage)
+
+    @settings(max_examples=30, deadline=None)
+    @given(garbage=st.text(max_size=400))
+    def test_tree_parser_arbitrary_text(self, garbage):
+        try:
+            plan = parse_tree(garbage)
+        except QepParseError:
+            return
+        assert plan.op_count >= 1
+
+
+class TestConcatenation:
+    def test_two_files_concatenated(self, clean_text):
+        # Concatenated explains are a real support-ticket hazard; the
+        # parser must reject the duplicate operator numbers loudly.
+        with pytest.raises(QepParseError, match="duplicate"):
+            qep_parse(clean_text + "\n" + clean_text)
+
+
+class TestGeneratedCorpus:
+    def test_generated_plans_never_crash_the_validators(self):
+        generator = WorkloadGenerator(seed=1001)
+        for target in (3, 7, 15, 33, 70):
+            plan = generator.generate_plan(f"fz{target}", target_ops=target)
+            validate_plan(plan)
+            reparsed = parse_plan(write_plan(plan))
+            validate_plan(reparsed)

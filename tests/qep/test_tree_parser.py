@@ -1,0 +1,148 @@
+"""ASCII access-plan tree parser (Figure 1 / Figure 7 snippets)."""
+
+import pytest
+
+from repro.qep import QepParseError, StreamRole, validate_plan, write_plan
+from repro.qep.tree_parser import parse_tree
+from repro.qep.writer import render_tree
+from repro.workload import WorkloadGenerator
+from tests.conftest import build_figure1_plan
+
+#: The paper's Figure 1 snippet, re-typed.
+FIGURE1_TREE = """
+                           4043
+                          NLJOIN
+                          (   2)
+                        2.87997e+07
+                          21113
+                 /                       \\
+             754.34                     4043
+             FETCH                     TBSCAN
+             (   3)                    (   5)
+             368.38                    15771.9
+               50                       1212
+        /               \\                 |
+    754.34          2.87997e+07         4043
+    IXSCAN        TPCD.SALES_FACT   TPCD.CUST_DIM
+    (   4)
+    25.66
+      3
+       |
+  2.87997e+07
+TPCD.SALES_FACT
+"""
+
+
+class TestFigure1Snippet:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return parse_tree(FIGURE1_TREE, plan_id="fig1-snippet")
+
+    def test_operator_count(self, plan):
+        assert sorted(plan.operators) == [2, 3, 4, 5]
+
+    def test_root_is_top_node(self, plan):
+        assert plan.root.number == 2
+        assert plan.root.op_type == "NLJOIN"
+
+    def test_join_roles_left_to_right(self, plan):
+        nljoin = plan.operator(2)
+        assert nljoin.input_with_role(StreamRole.OUTER).source.op_type == "FETCH"
+        assert nljoin.input_with_role(StreamRole.INNER).source.op_type == "TBSCAN"
+
+    def test_costs_and_cardinalities(self, plan):
+        assert plan.operator(2).total_cost == pytest.approx(2.87997e7)
+        assert plan.operator(5).cardinality == pytest.approx(4043)
+        assert plan.operator(4).io_cost == pytest.approx(3)
+
+    def test_base_objects(self, plan):
+        objects = plan.base_objects()
+        assert set(objects) == {"TPCD.SALES_FACT", "TPCD.CUST_DIM"}
+        assert objects["TPCD.SALES_FACT"].cardinality == pytest.approx(2.87997e7)
+
+    def test_shared_base_object_single_instance(self, plan):
+        # SALES_FACT appears under both FETCH and IXSCAN -> one object.
+        fetch_base = plan.operator(3).base_objects()[0]
+        ixscan_base = plan.operator(4).base_objects()[0]
+        assert fetch_base is ixscan_base
+
+
+class TestWriterRoundTrip:
+    @pytest.mark.parametrize("seed", [3, 14, 27])
+    def test_render_then_parse(self, seed):
+        generator = WorkloadGenerator(seed=seed)
+        original = generator.generate_plan(f"rt{seed}", target_ops=25)
+        tree_text = render_tree(original)
+        parsed = parse_tree(tree_text, plan_id=original.plan_id)
+        assert parsed.op_count == original.op_count
+        assert parsed.root.number == original.root.number
+        for number, op in original.operators.items():
+            copied = parsed.operator(number)
+            assert copied.op_type == op.op_type
+            assert copied.cardinality == pytest.approx(
+                float(f"{op.cardinality:.6g}"), rel=1e-4
+            )
+            assert [c.number for c in copied.child_operators()] == [
+                c.number for c in op.child_operators()
+            ]
+
+    def test_figure1_fixture_round_trip(self, figure1_plan):
+        parsed = parse_tree(render_tree(figure1_plan))
+        assert parsed.op_count == figure1_plan.op_count
+        nljoin = parsed.operator(2)
+        assert nljoin.input_with_role(StreamRole.INNER).source.number == 5
+
+    def test_loj_prefix_parsed(self):
+        generator = WorkloadGenerator(seed=31)
+        plan = generator.generate_plan("loj", target_ops=25, plant=["B"])
+        parsed = parse_tree(render_tree(plan))
+        original_lojs = {
+            op.number for op in plan.iter_operators() if op.is_left_outer_join
+        }
+        parsed_lojs = {
+            op.number for op in parsed.iter_operators() if op.is_left_outer_join
+        }
+        assert parsed_lojs == original_lojs
+
+    def test_shared_temp_round_trip(self):
+        generator = WorkloadGenerator(seed=13)
+        for index in range(30):
+            plan = generator.generate_plan(f"s{index}", target_ops=40)
+            if any(
+                len(plan.parents_of(op)) > 1 for op in plan.iter_operators()
+            ):
+                break
+        else:
+            pytest.skip("no shared subexpression generated")
+        parsed = parse_tree(render_tree(plan))
+        assert parsed.op_count == plan.op_count
+        shared = [
+            op.number
+            for op in parsed.iter_operators()
+            if len(parsed.parents_of(op)) > 1
+        ]
+        assert shared
+
+
+class TestErrors:
+    def test_empty_input(self):
+        with pytest.raises(QepParseError):
+            parse_tree("   \n  ")
+
+    def test_unknown_operator(self):
+        text = "5\nFLURB\n(   1)\n10\n2"
+        with pytest.raises(QepParseError, match="unknown operator"):
+            parse_tree(text)
+
+    def test_root_base_object_rejected(self):
+        with pytest.raises(QepParseError):
+            parse_tree("100\nTPCD.T")
+
+    def test_bad_number(self):
+        text = "abc\nSORT\n(   1)\n10\n2"
+        with pytest.raises(QepParseError):
+            parse_tree(text)
+
+    def test_connector_before_nodes(self):
+        with pytest.raises(QepParseError):
+            parse_tree("   |\n5\nSORT\n(   1)\n1\n0")

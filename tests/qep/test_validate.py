@@ -1,0 +1,137 @@
+"""Plan validation invariants."""
+
+import pytest
+
+from repro.qep import (
+    BaseObject,
+    PlanGraph,
+    PlanOperator,
+    PlanValidationError,
+    StreamRole,
+    validate_plan,
+)
+from repro.qep.validate import plan_statistics
+from tests.conftest import build_figure1_plan
+
+
+def _minimal_plan() -> PlanGraph:
+    plan = PlanGraph("m")
+    scan = PlanOperator(2, "TBSCAN", cardinality=10, total_cost=5, io_cost=1)
+    scan.add_input(BaseObject("S", "T", 100))
+    ret = PlanOperator(1, "RETURN", cardinality=10, total_cost=6, io_cost=1)
+    ret.add_input(scan)
+    plan.add_operator(ret)
+    plan.add_operator(scan)
+    plan.set_root(ret)
+    return plan
+
+
+def test_figure1_valid(figure1_plan):
+    validate_plan(figure1_plan)
+
+
+def test_minimal_valid():
+    validate_plan(_minimal_plan())
+
+
+def test_no_root():
+    plan = PlanGraph("r")
+    plan.add_operator(PlanOperator(1, "RETURN"))
+    with pytest.raises(PlanValidationError, match="no root"):
+        validate_plan(plan)
+
+
+def test_unreachable_operator():
+    plan = _minimal_plan()
+    plan.add_operator(PlanOperator(9, "SORT"))
+    with pytest.raises(PlanValidationError, match="unreachable"):
+        validate_plan(plan)
+
+
+def test_cycle_detected():
+    plan = PlanGraph("c")
+    a = PlanOperator(1, "FILTER")
+    b = PlanOperator(2, "FILTER")
+    a.add_input(b)
+    b.add_input(a)
+    plan.add_operator(a)
+    plan.add_operator(b)
+    plan.set_root(a)
+    with pytest.raises(PlanValidationError, match="cycle"):
+        validate_plan(plan)
+
+
+def test_join_missing_inner():
+    plan = PlanGraph("j")
+    scan = PlanOperator(2, "TBSCAN", cardinality=1, total_cost=1)
+    scan.add_input(BaseObject("S", "T", 10))
+    join = PlanOperator(1, "NLJOIN", total_cost=2)
+    join.add_input(scan, StreamRole.OUTER)
+    plan.add_operator(join)
+    plan.add_operator(scan)
+    plan.set_root(join)
+    with pytest.raises(PlanValidationError):
+        validate_plan(plan)
+
+
+def test_join_with_two_outers():
+    plan = PlanGraph("j2")
+    s1 = PlanOperator(2, "TBSCAN", total_cost=1)
+    s1.add_input(BaseObject("S", "A", 10))
+    s2 = PlanOperator(3, "TBSCAN", total_cost=1)
+    s2.add_input(BaseObject("S", "B", 10))
+    join = PlanOperator(1, "HSJOIN", total_cost=5)
+    join.add_input(s1, StreamRole.OUTER)
+    join.add_input(s2, StreamRole.OUTER)
+    plan.add_operator(join)
+    plan.add_operator(s1)
+    plan.add_operator(s2)
+    plan.set_root(join)
+    with pytest.raises(PlanValidationError, match="outer"):
+        validate_plan(plan)
+
+
+def test_non_join_with_inner_role():
+    plan = PlanGraph("nr")
+    scan = PlanOperator(2, "TBSCAN", total_cost=1)
+    scan.add_input(BaseObject("S", "T", 10))
+    sort = PlanOperator(1, "SORT", total_cost=2)
+    sort.add_input(scan, StreamRole.INNER)
+    plan.add_operator(sort)
+    plan.add_operator(scan)
+    plan.set_root(sort)
+    with pytest.raises(PlanValidationError, match="outer/inner"):
+        validate_plan(plan)
+
+
+def test_scan_without_base_object():
+    plan = PlanGraph("s")
+    scan = PlanOperator(1, "TBSCAN", total_cost=1)
+    plan.add_operator(scan)
+    plan.set_root(scan)
+    with pytest.raises(PlanValidationError, match="base object"):
+        validate_plan(plan)
+
+
+def test_negative_cost():
+    plan = _minimal_plan()
+    plan.operator(2).cardinality = -1
+    with pytest.raises(PlanValidationError, match="negative"):
+        validate_plan(plan)
+
+
+def test_cost_monotonicity_strict():
+    plan = _minimal_plan()
+    plan.operator(1).total_cost = 1.0  # below child's 5.0
+    with pytest.raises(PlanValidationError, match="below"):
+        validate_plan(plan)
+    validate_plan(plan, strict_costs=False)  # relaxed mode accepts it
+
+
+def test_plan_statistics(figure1_plan):
+    stats = plan_statistics(figure1_plan)
+    assert stats["op_count"] == 5
+    assert stats["depth"] == 4
+    assert stats["operator_types"]["NLJOIN"] == 1
+    assert stats["base_objects"] == ["TPCD.CUST_DIM", "TPCD.SALES_FACT"]
+    assert stats["shared_operators"] == []

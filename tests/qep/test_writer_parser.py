@@ -1,0 +1,207 @@
+"""Explain-text writer and parser, including full round trips."""
+
+import pytest
+
+from repro.qep import (
+    BaseObject,
+    JoinSemantics,
+    PlanGraph,
+    PlanOperator,
+    QepParseError,
+    StreamRole,
+    parse_plan,
+    validate_plan,
+    write_plan,
+)
+from repro.qep.parser import parse_plan_file
+from repro.qep.writer import render_tree, write_plan_file
+from repro.workload import WorkloadGenerator
+from tests.conftest import build_figure1_plan
+
+
+class TestWriter:
+    def test_header_sections_present(self, figure1_plan):
+        text = write_plan(figure1_plan)
+        assert "Plan ID: fig1" in text
+        assert "Access Plan:" in text
+        assert "Plan Details:" in text
+        assert "Objects Used in Access Plan:" in text
+
+    def test_tree_contains_operators(self, figure1_plan):
+        tree = render_tree(figure1_plan)
+        for token in ("RETURN", "NLJOIN", "FETCH", "IXSCAN", "TBSCAN"):
+            assert token in tree
+        assert "TPCD.CUST_DIM" in tree
+
+    def test_tree_has_connectors(self, figure1_plan):
+        tree = render_tree(figure1_plan)
+        assert "/" in tree and "\\" in tree and "|" in tree
+
+    def test_loj_prefix_rendered(self):
+        plan = PlanGraph("loj")
+        scan1 = PlanOperator(3, "TBSCAN", cardinality=5, total_cost=5)
+        scan1.add_input(BaseObject("S", "A", 10))
+        scan2 = PlanOperator(4, "TBSCAN", cardinality=5, total_cost=5)
+        scan2.add_input(BaseObject("S", "B", 10))
+        join = PlanOperator(
+            2,
+            "HSJOIN",
+            cardinality=5,
+            total_cost=20,
+            join_semantics=JoinSemantics.LEFT_OUTER,
+        )
+        join.add_input(scan1, StreamRole.OUTER)
+        join.add_input(scan2, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", cardinality=5, total_cost=20)
+        ret.add_input(join)
+        for op in (ret, join, scan1, scan2):
+            plan.add_operator(op)
+        plan.set_root(ret)
+        text = write_plan(plan)
+        assert ">HSJOIN" in text
+
+    def test_statement_written(self, figure1_plan):
+        assert "SELECT ..." in write_plan(figure1_plan)
+
+    def test_empty_plan_tree(self):
+        assert render_tree(PlanGraph("empty")) == "(empty plan)"
+
+
+class TestRoundTrip:
+    def test_figure1_round_trip(self, figure1_plan):
+        text = write_plan(figure1_plan)
+        parsed = parse_plan(text)
+        validate_plan(parsed)
+        assert parsed.plan_id == figure1_plan.plan_id
+        assert parsed.op_count == figure1_plan.op_count
+        for number in figure1_plan.operators:
+            original = figure1_plan.operator(number)
+            round_tripped = parsed.operator(number)
+            assert round_tripped.op_type == original.op_type
+            assert round_tripped.cardinality == pytest.approx(
+                original.cardinality, rel=1e-5
+            )
+            assert round_tripped.total_cost == pytest.approx(
+                original.total_cost, rel=1e-5
+            )
+            assert round_tripped.io_cost == pytest.approx(
+                original.io_cost, rel=1e-5
+            )
+
+    def test_streams_and_roles_preserved(self, figure1_plan):
+        parsed = parse_plan(write_plan(figure1_plan))
+        nljoin = parsed.operator(2)
+        assert nljoin.input_with_role(StreamRole.OUTER).source.op_type == "FETCH"
+        assert nljoin.input_with_role(StreamRole.INNER).source.op_type == "TBSCAN"
+
+    def test_predicates_preserved(self, figure1_plan):
+        parsed = parse_plan(write_plan(figure1_plan))
+        predicate = parsed.operator(5).predicates[0]
+        assert predicate.kind == "join-equality"
+        assert predicate.text == "(Q2.C_CUSTKEY = Q1.S_CUSTKEY)"
+        assert predicate.columns == ("C_CUSTKEY", "S_CUSTKEY")
+        assert predicate.selectivity == pytest.approx(0.001)
+
+    def test_arguments_preserved(self, figure1_plan):
+        parsed = parse_plan(write_plan(figure1_plan))
+        assert parsed.operator(4).arguments["INDEXNAME"] == "IDX1"
+
+    def test_base_object_metadata_preserved(self, figure1_plan):
+        parsed = parse_plan(write_plan(figure1_plan))
+        objects = parsed.base_objects()
+        sales = objects["TPCD.SALES_FACT"]
+        assert sales.cardinality == pytest.approx(2.87997e7, rel=1e-5)
+        assert "S_CUSTKEY" in sales.columns
+        assert "IDX1" in sales.indexes
+
+    def test_join_semantics_round_trip(self):
+        generator = WorkloadGenerator(seed=5)
+        plan = generator.generate_plan("g", target_ops=40, plant=["B"])
+        parsed = parse_plan(write_plan(plan))
+        original_lojs = sorted(
+            op.number for op in plan.iter_operators() if op.is_left_outer_join
+        )
+        parsed_lojs = sorted(
+            op.number for op in parsed.iter_operators() if op.is_left_outer_join
+        )
+        assert original_lojs == parsed_lojs
+
+    def test_generated_plans_round_trip(self):
+        generator = WorkloadGenerator(seed=11)
+        for target in (5, 30, 120):
+            plan = generator.generate_plan(f"rt-{target}", target_ops=target)
+            parsed = parse_plan(write_plan(plan))
+            validate_plan(parsed)
+            assert parsed.op_count == plan.op_count
+            assert parsed.root.number == plan.root.number
+
+    def test_shared_temp_round_trip(self):
+        generator = WorkloadGenerator(seed=13)
+        # temp_share_prob is high by default; find a plan with sharing
+        for index in range(30):
+            plan = generator.generate_plan(f"s{index}", target_ops=40)
+            shared = [
+                op
+                for op in plan.iter_operators()
+                if len(plan.parents_of(op)) > 1
+            ]
+            if shared:
+                break
+        else:
+            pytest.skip("no shared subexpression generated")
+        parsed = parse_plan(write_plan(plan))
+        parsed_shared = [
+            op for op in parsed.iter_operators() if len(parsed.parents_of(op)) > 1
+        ]
+        assert {op.number for op in parsed_shared} == {
+            op.number for op in shared
+        }
+
+    def test_file_round_trip(self, tmp_path, figure1_plan):
+        path = str(tmp_path / "plan.exfmt")
+        write_plan_file(figure1_plan, path)
+        assert parse_plan_file(path).op_count == figure1_plan.op_count
+
+
+class TestParserErrors:
+    def test_empty_input(self):
+        with pytest.raises(QepParseError):
+            parse_plan("nothing to see here")
+
+    def test_unknown_operator(self):
+        text = "Plan Details:\n\n\t1) WIBBLE: (Mystery)\n"
+        with pytest.raises(QepParseError):
+            parse_plan(text)
+
+    def test_duplicate_operator_number(self):
+        text = (
+            "Plan Details:\n\n"
+            "\t1) RETURN: (Return Result)\n"
+            "\t1) SORT: (Sort)\n"
+        )
+        with pytest.raises(QepParseError):
+            parse_plan(text)
+
+    def test_stream_to_unknown_operator(self):
+        text = (
+            "Plan Details:\n\n"
+            "\t1) RETURN: (Return Result)\n"
+            "\t\tInput Streams:\n"
+            "\t\t-------------\n"
+            "\t\t\t1) From Operator #9 (input)\n"
+        )
+        with pytest.raises(QepParseError):
+            parse_plan(text)
+
+    def test_plan_id_override(self, figure1_plan):
+        parsed = parse_plan(write_plan(figure1_plan), plan_id="override")
+        assert parsed.plan_id == "override"
+
+    def test_bad_number_raises(self):
+        text = (
+            "Plan Details:\n\n"
+            "\t1) RETURN: (Return Result)\n"
+            "\t\tCumulative Total Cost: \t\tnot-a-number\n"
+        )
+        with pytest.raises(QepParseError):
+            parse_plan(text)

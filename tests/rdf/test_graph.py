@@ -1,0 +1,208 @@
+"""Triple store: mutation, pattern lookup, indexes, estimates."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, URIRef, BNode
+from repro.rdf.term import Variable
+
+EX = Namespace("http://example/")
+
+
+@pytest.fixture
+def graph():
+    g = Graph("test")
+    g.add((EX.a, EX.knows, EX.b))
+    g.add((EX.a, EX.knows, EX.c))
+    g.add((EX.b, EX.knows, EX.c))
+    g.add((EX.a, EX.name, Literal("alice")))
+    g.add((EX.b, EX.name, Literal("bob")))
+    return g
+
+
+class TestMutation:
+    def test_len(self, graph):
+        assert len(graph) == 5
+
+    def test_duplicate_add_ignored(self, graph):
+        graph.add((EX.a, EX.knows, EX.b))
+        assert len(graph) == 5
+
+    def test_remove(self, graph):
+        graph.remove((EX.a, EX.knows, EX.b))
+        assert len(graph) == 4
+        assert (EX.a, EX.knows, EX.b) not in graph
+
+    def test_remove_missing_is_noop(self, graph):
+        graph.remove((EX.c, EX.knows, EX.a))
+        assert len(graph) == 5
+
+    def test_version_changes_on_mutation(self, graph):
+        before = graph.version
+        graph.add((EX.c, EX.name, Literal("carol")))
+        assert graph.version != before
+        mid = graph.version
+        graph.remove((EX.c, EX.name, Literal("carol")))
+        assert graph.version != mid
+
+    def test_version_unchanged_on_duplicate(self, graph):
+        before = graph.version
+        graph.add((EX.a, EX.knows, EX.b))
+        assert graph.version == before
+
+    def test_add_all(self):
+        g = Graph()
+        g.add_all([(EX.a, EX.p, EX.b), (EX.b, EX.p, EX.c)])
+        assert len(g) == 2
+
+
+class TestValidation:
+    def test_variable_rejected(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((Variable("x"), EX.p, EX.a))
+
+    def test_literal_subject_rejected(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((Literal("x"), EX.p, EX.a))
+
+    def test_non_uri_predicate_rejected(self):
+        g = Graph()
+        with pytest.raises(TypeError):
+            g.add((EX.a, BNode("b"), EX.c))
+        with pytest.raises(TypeError):
+            g.add((EX.a, Literal("p"), EX.c))
+
+    def test_bnode_subject_allowed(self):
+        g = Graph()
+        g.add((BNode("b"), EX.p, EX.a))
+        assert len(g) == 1
+
+
+class TestLookup:
+    def test_fully_bound(self, graph):
+        assert list(graph.triples(EX.a, EX.knows, EX.b)) == [
+            (EX.a, EX.knows, EX.b)
+        ]
+        assert list(graph.triples(EX.a, EX.knows, EX.a)) == []
+
+    def test_subject_only(self, graph):
+        assert len(list(graph.triples(EX.a))) == 3
+
+    def test_subject_predicate(self, graph):
+        assert len(list(graph.triples(EX.a, EX.knows))) == 2
+
+    def test_predicate_only(self, graph):
+        assert len(list(graph.triples(predicate=EX.knows))) == 3
+
+    def test_predicate_object(self, graph):
+        assert {s for s, _, _ in graph.triples(predicate=EX.knows, obj=EX.c)} == {
+            EX.a,
+            EX.b,
+        }
+
+    def test_object_only(self, graph):
+        assert len(list(graph.triples(obj=EX.c))) == 2
+
+    def test_subject_object(self, graph):
+        assert [p for _, p, _ in graph.triples(EX.a, None, EX.b)] == [EX.knows]
+
+    def test_all_wildcards(self, graph):
+        assert len(list(graph.triples())) == 5
+
+    def test_missing_everything(self, graph):
+        assert list(graph.triples(EX.zzz)) == []
+        assert list(graph.triples(predicate=EX.zzz)) == []
+        assert list(graph.triples(obj=EX.zzz)) == []
+
+
+class TestAccessors:
+    def test_value_unique(self, graph):
+        assert graph.value(EX.a, EX.name) == Literal("alice")
+
+    def test_value_missing(self, graph):
+        assert graph.value(EX.c, EX.name) is None
+
+    def test_value_ambiguous_raises(self, graph):
+        with pytest.raises(ValueError):
+            graph.value(EX.a, EX.knows)
+
+    def test_objects(self, graph):
+        assert set(graph.objects(EX.a, EX.knows)) == {EX.b, EX.c}
+
+    def test_subjects(self, graph):
+        assert set(graph.subjects(EX.knows, EX.c)) == {EX.a, EX.b}
+
+    def test_predicates(self, graph):
+        assert set(graph.predicates(EX.a, EX.b)) == {EX.knows}
+
+    def test_count(self, graph):
+        assert graph.count() == 5
+        assert graph.count(subject=EX.a) == 3
+        assert graph.count(predicate=EX.name) == 2
+
+
+class TestEstimate:
+    def test_estimate_exact_for_bound_prefixes(self, graph):
+        assert graph.estimate(EX.a, EX.knows) == 2
+        assert graph.estimate(None, EX.knows, EX.c) == 2
+        assert graph.estimate(EX.a, EX.knows, EX.b) == 1
+        assert graph.estimate(EX.a, EX.knows, EX.a) == 0
+
+    def test_estimate_predicate_total(self, graph):
+        assert graph.estimate(None, EX.knows, None) == 3
+        graph.remove((EX.a, EX.knows, EX.b))
+        assert graph.estimate(None, EX.knows, None) == 2
+
+    def test_estimate_subject_total(self, graph):
+        assert graph.estimate(EX.a) == 3
+
+    def test_estimate_object_total(self, graph):
+        assert graph.estimate(None, None, EX.c) == 2
+
+    def test_estimate_unbound(self, graph):
+        assert graph.estimate() == 5
+
+    def test_estimate_never_underestimates(self, graph):
+        # estimate must be >= the true count for every pattern shape
+        patterns = [
+            (EX.a, None, None),
+            (None, EX.knows, None),
+            (None, None, EX.c),
+            (EX.a, EX.knows, None),
+            (None, EX.knows, EX.c),
+            (EX.a, None, EX.b),
+            (EX.a, EX.knows, EX.b),
+            (None, None, None),
+        ]
+        for s, p, o in patterns:
+            assert graph.estimate(s, p, o) >= graph.count(s, p, o)
+
+
+class TestCopyAndEquality:
+    def test_copy_independent(self, graph):
+        clone = graph.copy()
+        assert clone == graph
+        clone.add((EX.z, EX.p, EX.z2))
+        assert clone != graph
+        assert len(graph) == 5
+
+    def test_equality_same_triples(self):
+        g1, g2 = Graph(), Graph()
+        for g in (g1, g2):
+            g.add((EX.a, EX.p, Literal("1")))
+        assert g1 == g2
+
+    def test_numeric_literal_equality_in_graphs(self):
+        g1, g2 = Graph(), Graph()
+        g1.add((EX.a, EX.p, Literal("100")))
+        g2.add((EX.a, EX.p, Literal("1e2")))
+        assert g1 == g2
+
+    def test_bool_and_iter(self, graph):
+        assert graph
+        assert not Graph()
+        assert len(list(iter(graph))) == 5
+
+    def test_repr(self, graph):
+        assert "size=5" in repr(graph)

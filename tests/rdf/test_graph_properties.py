@@ -1,0 +1,91 @@
+"""Property-based tests over the triple store and serializer."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import BNode, Graph, Literal, URIRef, from_ntriples, to_ntriples
+
+_uri = st.sampled_from([URIRef(f"http://n/{i}") for i in range(8)])
+_pred = st.sampled_from([URIRef(f"http://p/{i}") for i in range(4)])
+_literal = st.one_of(
+    st.integers(-1000, 1000).map(Literal),
+    st.floats(allow_nan=False, allow_infinity=False, width=32).map(Literal),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",), min_codepoint=32),
+        max_size=12,
+    ).map(Literal),
+)
+_subject = st.one_of(_uri, st.sampled_from([BNode(f"b{i}") for i in range(4)]))
+_object = st.one_of(_uri, _literal)
+_triple = st.tuples(_subject, _pred, _object)
+_triples = st.lists(_triple, max_size=40)
+
+
+@given(_triples)
+def test_len_equals_distinct_triples(triples):
+    g = Graph()
+    g.add_all(triples)
+    assert len(g) == len(set(g))
+    assert len(g) <= len(triples)
+
+
+@given(_triples)
+def test_serializer_round_trip(triples):
+    g = Graph()
+    g.add_all(triples)
+    assert from_ntriples(to_ntriples(g)) == g
+
+
+@given(_triples, _triple)
+def test_add_then_remove_restores(triples, extra):
+    g = Graph()
+    g.add_all(triples)
+    had = extra in g
+    size = len(g)
+    g.add(extra)
+    g.remove(extra)
+    if had:
+        # removing an existing triple shrinks the graph by one
+        assert len(g) == size - 1
+    else:
+        assert len(g) == size
+        assert extra not in g
+
+
+@given(_triples)
+def test_pattern_queries_consistent_with_scan(triples):
+    g = Graph()
+    g.add_all(triples)
+    everything = set(g)
+    for s, p, o in list(everything)[:10]:
+        assert set(g.triples(s)) == {t for t in everything if t[0] == s}
+        assert set(g.triples(predicate=p)) == {
+            t for t in everything if t[1] == p
+        }
+        assert set(g.triples(obj=o)) == {t for t in everything if t[2] == o}
+
+
+@given(_triples)
+def test_estimate_upper_bounds_count(triples):
+    g = Graph()
+    g.add_all(triples)
+    for s, p, o in list(g)[:10]:
+        for pattern in [
+            (s, None, None),
+            (None, p, None),
+            (None, None, o),
+            (s, p, None),
+            (None, p, o),
+            (s, None, o),
+            (s, p, o),
+        ]:
+            assert g.estimate(*pattern) >= g.count(*pattern)
+
+
+@given(_triples)
+def test_copy_equality_and_independence(triples):
+    g = Graph()
+    g.add_all(triples)
+    clone = g.copy()
+    assert clone == g
+    clone.add((URIRef("http://new/x"), URIRef("http://p/x"), Literal("v")))
+    assert (URIRef("http://new/x"), URIRef("http://p/x"), Literal("v")) not in g

@@ -1,0 +1,48 @@
+"""Namespace helper."""
+
+import pytest
+
+from repro.rdf import Namespace, URIRef
+
+
+def test_attribute_access():
+    ns = Namespace("http://x/")
+    assert ns.hasPopType == URIRef("http://x/hasPopType")
+
+
+def test_item_access():
+    ns = Namespace("http://x/")
+    assert ns["a-b.c"] == URIRef("http://x/a-b.c")
+
+
+def test_contains():
+    ns = Namespace("http://x/")
+    assert URIRef("http://x/abc") in ns
+    assert URIRef("http://y/abc") not in ns
+    assert "http://x/abc" in ns
+
+
+def test_local_name():
+    ns = Namespace("http://x/")
+    assert ns.local_name(URIRef("http://x/abc")) == "abc"
+
+
+def test_local_name_outside_raises():
+    ns = Namespace("http://x/")
+    with pytest.raises(ValueError):
+        ns.local_name(URIRef("http://y/abc"))
+
+
+def test_empty_base_rejected():
+    with pytest.raises(ValueError):
+        Namespace("")
+
+
+def test_private_attribute_raises():
+    ns = Namespace("http://x/")
+    with pytest.raises(AttributeError):
+        ns._private
+
+
+def test_base_property():
+    assert Namespace("http://x/").base == "http://x/"

@@ -1,0 +1,97 @@
+"""N-Triples serializer and parser, including error handling."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    Literal,
+    Namespace,
+    URIRef,
+    from_ntriples,
+    to_ntriples,
+)
+from repro.rdf.parser import NTriplesSyntaxError, iter_ntriples, read_ntriples
+from repro.rdf.serializer import write_ntriples
+
+EX = Namespace("http://example/")
+
+
+def _sample_graph() -> Graph:
+    g = Graph()
+    g.add((EX.a, EX.p, EX.b))
+    g.add((EX.a, EX.name, Literal("alice")))
+    g.add((BNode("n1"), EX.p, Literal("42", datatype="http://www.w3.org/2001/XMLSchema#integer")))
+    g.add((EX.b, EX.note, Literal('quote " and \n newline')))
+    return g
+
+
+class TestSerializer:
+    def test_deterministic_order(self):
+        g = _sample_graph()
+        assert to_ntriples(g) == to_ntriples(g.copy())
+
+    def test_one_statement_per_line(self):
+        lines = to_ntriples(_sample_graph()).strip().splitlines()
+        assert len(lines) == 4
+        assert all(line.endswith(" .") for line in lines)
+
+    def test_empty_graph(self):
+        assert to_ntriples(Graph()) == ""
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        g = _sample_graph()
+        assert from_ntriples(to_ntriples(g)) == g
+
+    def test_file_round_trip(self, tmp_path):
+        g = _sample_graph()
+        path = str(tmp_path / "g.nt")
+        write_ntriples(g, path)
+        assert read_ntriples(path) == g
+
+    def test_datatype_preserved(self):
+        g = Graph()
+        g.add((EX.a, EX.p, Literal("x", datatype="http://dt/")))
+        round_tripped = from_ntriples(to_ntriples(g))
+        obj = next(iter(round_tripped))[2]
+        assert obj.datatype == "http://dt/"
+
+
+class TestParser:
+    def test_comments_and_blank_lines(self):
+        text = "# comment\n\n<http://a> <http://p> <http://b> .\n"
+        assert len(from_ntriples(text)) == 1
+
+    def test_escapes(self):
+        text = '<http://a> <http://p> "tab\\there" .'
+        obj = next(iter_ntriples(text))[2]
+        assert obj.lexical == "tab\there"
+
+    def test_unicode_escape(self):
+        text = '<http://a> <http://p> "\\u0041" .'
+        obj = next(iter_ntriples(text))[2]
+        assert obj.lexical == "A"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://a> <http://p> .",                    # missing object
+            "<http://a> <http://p> <http://b>",            # missing dot
+            '<http://a> <http://p> "unterminated .',       # bad literal
+            "<http://a <http://p> <http://b> .",           # unterminated IRI
+            '"lit" <http://p> <http://b> .',               # literal subject
+            "<http://a> _:b <http://c> .",                 # bnode predicate
+            "<http://a> <http://p> <http://b> . extra",    # trailing garbage
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(NTriplesSyntaxError):
+            list(iter_ntriples(bad))
+
+    def test_error_reports_line_number(self):
+        text = "<http://a> <http://p> <http://b> .\nbroken line\n"
+        with pytest.raises(NTriplesSyntaxError) as exc:
+            list(iter_ntriples(text))
+        assert exc.value.line_no == 2

@@ -1,0 +1,129 @@
+"""Term model: equality, hashing, N3 syntax, numeric literal semantics."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, URIRef, Variable
+from repro.rdf.term import is_ground
+
+_XSD_INT = "http://www.w3.org/2001/XMLSchema#integer"
+
+
+class TestURIRef:
+    def test_equality(self):
+        assert URIRef("http://x/a") == URIRef("http://x/a")
+        assert URIRef("http://x/a") != URIRef("http://x/b")
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(URIRef("http://x/a")) == hash(URIRef("http://x/a"))
+
+    def test_n3(self):
+        assert URIRef("http://x/a").n3() == "<http://x/a>"
+
+    def test_str(self):
+        assert str(URIRef("http://x/a")) == "http://x/a"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            URIRef("")
+
+    def test_immutable(self):
+        ref = URIRef("http://x/a")
+        with pytest.raises(AttributeError):
+            ref.value = "other"
+
+    def test_not_equal_to_literal_with_same_text(self):
+        assert URIRef("http://x/a") != Literal("http://x/a")
+
+
+class TestBNode:
+    def test_explicit_label(self):
+        assert BNode("abc").label == "abc"
+        assert BNode("abc") == BNode("abc")
+
+    def test_auto_labels_unique(self):
+        assert BNode() != BNode()
+
+    def test_n3(self):
+        assert BNode("b7").n3() == "_:b7"
+
+    def test_immutable(self):
+        node = BNode("x")
+        with pytest.raises(AttributeError):
+            node.label = "y"
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        lit = Literal("NLJOIN")
+        assert lit.lexical == "NLJOIN"
+        assert lit.datatype is None
+        assert lit.n3() == '"NLJOIN"'
+
+    def test_from_int(self):
+        lit = Literal(42)
+        assert lit.lexical == "42"
+        assert lit.datatype == _XSD_INT
+
+    def test_from_float(self):
+        lit = Literal(1.5)
+        assert lit.as_number() == 1.5
+
+    def test_from_bool(self):
+        assert Literal(True).lexical == "true"
+        assert Literal(False).lexical == "false"
+
+    def test_numeric_equality_across_lexical_forms(self):
+        # The formatting hazard from the paper: decimal vs exponent.
+        assert Literal("100") == Literal("100.0")
+        assert Literal("1e2") == Literal("100")
+        assert Literal("2.87997e+07") == Literal("28799700")
+
+    def test_numeric_hash_consistency(self):
+        assert hash(Literal("1e2")) == hash(Literal("100"))
+
+    def test_non_numeric_inequality(self):
+        assert Literal("abc") != Literal("abd")
+
+    def test_as_number_none_for_text(self):
+        assert Literal("TBSCAN").as_number() is None
+
+    def test_as_number_exponent(self):
+        assert Literal("1.311e-08").as_number() == pytest.approx(1.311e-08)
+
+    def test_is_numeric(self):
+        assert Literal("4043").is_numeric()
+        assert not Literal("NLJOIN").is_numeric()
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\n')
+        assert lit.n3() == '"say \\"hi\\"\\n"'
+
+    def test_n3_with_datatype(self):
+        lit = Literal("5", datatype=_XSD_INT)
+        assert lit.n3() == f'"5"^^<{_XSD_INT}>'
+
+    def test_datatype_distinguishes_text_literals(self):
+        assert Literal("x", datatype="http://t/a") != Literal("x")
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?pop1").name == "pop1"
+        assert Variable("$pop1").name == "pop1"
+
+    def test_equality(self):
+        assert Variable("a") == Variable("?a")
+
+    def test_n3(self):
+        assert Variable("pop1").n3() == "?pop1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+
+def test_is_ground():
+    assert is_ground(URIRef("http://x"))
+    assert is_ground(BNode("b"))
+    assert is_ground(Literal("x"))
+    assert not is_ground(Variable("v"))

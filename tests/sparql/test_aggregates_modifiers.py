@@ -1,0 +1,175 @@
+"""Aggregates, GROUP BY/HAVING, ORDER BY, DISTINCT, LIMIT/OFFSET."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import query
+
+EX = Namespace("http://ex/")
+PREFIX = "PREFIX ex: <http://ex/>\n"
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    data = [
+        ("op1", "NLJOIN", 100),
+        ("op2", "NLJOIN", 300),
+        ("op3", "TBSCAN", 50),
+        ("op4", "TBSCAN", 70),
+        ("op5", "SORT", 20),
+    ]
+    for name, kind, cost in data:
+        node = EX[name]
+        g.add((node, EX.kind, Literal(kind)))
+        g.add((node, EX.cost, Literal(str(cost))))
+    return g
+
+
+def q(graph, body):
+    return query(graph, PREFIX + body)
+
+
+class TestAggregates:
+    def test_count_star(self, graph):
+        rs = q(graph, "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:kind ?k }")
+        assert rs[0].number("n") == 5
+
+    def test_group_by_count(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?k (COUNT(?s) AS ?n) WHERE { ?s ex:kind ?k } GROUP BY ?k",
+        )
+        counts = {r.text("k"): r.number("n") for r in rs}
+        assert counts == {"NLJOIN": 2, "TBSCAN": 2, "SORT": 1}
+
+    def test_sum_avg(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?k (SUM(?c) AS ?total) (AVG(?c) AS ?mean) WHERE "
+            "{ ?s ex:kind ?k . ?s ex:cost ?c } GROUP BY ?k",
+        )
+        by_kind = {r.text("k"): (r.number("total"), r.number("mean")) for r in rs}
+        assert by_kind["NLJOIN"] == (400, 200)
+        assert by_kind["TBSCAN"] == (120, 60)
+
+    def test_min_max(self, graph):
+        rs = q(
+            graph,
+            "SELECT (MIN(?c) AS ?lo) (MAX(?c) AS ?hi) WHERE { ?s ex:cost ?c }",
+        )
+        assert rs[0].number("lo") == 20
+        assert rs[0].number("hi") == 300
+
+    def test_count_distinct(self, graph):
+        rs = q(
+            graph,
+            "SELECT (COUNT(DISTINCT ?k) AS ?kinds) WHERE { ?s ex:kind ?k }",
+        )
+        assert rs[0].number("kinds") == 3
+
+    def test_group_concat(self, graph):
+        rs = q(
+            graph,
+            'SELECT (GROUP_CONCAT(?k; SEPARATOR="|") AS ?all) WHERE '
+            "{ ex:op1 ex:kind ?k }",
+        )
+        assert rs[0].text("all") == "NLJOIN"
+
+    def test_sample(self, graph):
+        rs = q(graph, "SELECT (SAMPLE(?k) AS ?one) WHERE { ?s ex:kind ?k }")
+        assert rs[0].text("one") in {"NLJOIN", "TBSCAN", "SORT"}
+
+    def test_having(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?k (COUNT(?s) AS ?n) WHERE { ?s ex:kind ?k } "
+            "GROUP BY ?k HAVING (COUNT(?s) > 1)",
+        )
+        assert {r.text("k") for r in rs} == {"NLJOIN", "TBSCAN"}
+
+    def test_aggregate_arithmetic(self, graph):
+        rs = q(
+            graph,
+            "SELECT (MAX(?c) - MIN(?c) AS ?range) WHERE { ?s ex:cost ?c }",
+        )
+        assert rs[0].number("range") == 280
+
+    def test_group_key_in_projection(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?k WHERE { ?s ex:kind ?k } GROUP BY ?k",
+        )
+        assert len(rs) == 3
+
+
+class TestOrderBy:
+    def test_ascending(self, graph):
+        rs = q(graph, "SELECT ?s ?c WHERE { ?s ex:cost ?c } ORDER BY ?c")
+        costs = [r.number("c") for r in rs]
+        assert costs == sorted(costs)
+
+    def test_descending(self, graph):
+        rs = q(graph, "SELECT ?c WHERE { ?s ex:cost ?c } ORDER BY DESC(?c)")
+        costs = [r.number("c") for r in rs]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_multiple_keys(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?k ?c WHERE { ?s ex:kind ?k . ?s ex:cost ?c } "
+            "ORDER BY ?k DESC(?c)",
+        )
+        rows = [(r.text("k"), r.number("c")) for r in rs]
+        assert rows == sorted(rows, key=lambda t: (t[0], -t[1]))
+
+    def test_order_by_prerenamed_variable(self, graph):
+        # ORDER BY may reference the WHERE variable that SELECT renames
+        # (Figure 6: SELECT ?pop1 AS ?TOP ... ORDER BY ?pop1).
+        rs = q(
+            graph,
+            "SELECT ?c AS ?renamed WHERE { ?s ex:cost ?c } ORDER BY ?c",
+        )
+        values = [r.number("renamed") for r in rs]
+        assert values == sorted(values)
+
+    def test_order_on_aggregate_output(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?k (COUNT(?s) AS ?n) WHERE { ?s ex:kind ?k } "
+            "GROUP BY ?k ORDER BY DESC(?n) ?k",
+        )
+        assert [r.text("k") for r in rs] == ["NLJOIN", "TBSCAN", "SORT"]
+
+
+class TestDistinctLimitOffset:
+    def test_distinct(self, graph):
+        rs = q(graph, "SELECT DISTINCT ?k WHERE { ?s ex:kind ?k }")
+        assert len(rs) == 3
+
+    def test_limit(self, graph):
+        rs = q(graph, "SELECT ?s WHERE { ?s ex:kind ?k } LIMIT 2")
+        assert len(rs) == 2
+
+    def test_offset(self, graph):
+        all_rows = q(graph, "SELECT ?c WHERE { ?s ex:cost ?c } ORDER BY ?c")
+        offset_rows = q(
+            graph, "SELECT ?c WHERE { ?s ex:cost ?c } ORDER BY ?c OFFSET 2"
+        )
+        assert [r.number("c") for r in offset_rows] == [
+            r.number("c") for r in all_rows
+        ][2:]
+
+    def test_limit_zero(self, graph):
+        assert len(q(graph, "SELECT ?s WHERE { ?s ex:kind ?k } LIMIT 0")) == 0
+
+    def test_select_star_variables_sorted(self, graph):
+        rs = q(graph, "SELECT * WHERE { ?s ex:kind ?k }")
+        assert rs.variables == ["k", "s"]
+
+    def test_result_set_helpers(self, graph):
+        rs = q(graph, "SELECT ?s ?k WHERE { ?s ex:kind ?k } ORDER BY ?s")
+        assert len(rs.column("k")) == 5
+        table = rs.to_table()
+        assert "?s" in table and "?k" in table
+        assert rs[0]["?k"] is not None  # question-mark lookup works

@@ -1,0 +1,60 @@
+"""ASK queries."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import parse_query, query
+from repro.sparql.ast import AskQuery
+
+EX = Namespace("http://ex/")
+PREFIX = "PREFIX ex: <http://ex/>\n"
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add((EX.a, EX.knows, EX.b))
+    g.add((EX.a, EX.age, Literal("30")))
+    return g
+
+
+def test_parses_to_ask_ast():
+    assert isinstance(parse_query(PREFIX + "ASK { ?s ex:knows ?o }"), AskQuery)
+
+
+def test_ask_true(graph):
+    assert query(graph, PREFIX + "ASK { ex:a ex:knows ex:b }") is True
+
+
+def test_ask_false(graph):
+    assert query(graph, PREFIX + "ASK { ex:b ex:knows ex:a }") is False
+
+
+def test_ask_where_keyword_optional(graph):
+    assert query(graph, PREFIX + "ASK WHERE { ?s ex:age ?a }") is True
+
+
+def test_ask_with_filter(graph):
+    assert query(graph, PREFIX + "ASK { ?s ex:age ?a . FILTER (?a > 25) }")
+    assert not query(graph, PREFIX + "ASK { ?s ex:age ?a . FILTER (?a > 40) }")
+
+
+def test_ask_case_insensitive(graph):
+    assert query(graph, PREFIX + "ask { ?s ex:knows ?o }") is True
+
+
+def test_ask_with_property_path(graph):
+    graph.add((EX.b, EX.knows, EX.c))
+    assert query(graph, PREFIX + "ASK { ex:a ex:knows+ ex:c }") is True
+    assert query(graph, PREFIX + "ASK { ex:c ex:knows+ ex:a }") is False
+
+
+def test_ask_empty_graph():
+    assert query(Graph(), PREFIX + "ASK { ?s ?p ?o }") is False
+
+
+def test_ask_trailing_garbage_rejected():
+    from repro.sparql import SparqlSyntaxError
+
+    with pytest.raises(SparqlSyntaxError):
+        parse_query(PREFIX + "ASK { ?s ex:p ?o } LIMIT 5")

@@ -1,0 +1,194 @@
+"""SPARQL evaluation: BGPs, filters, optional/union/minus, bind, values."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import query
+
+EX = Namespace("http://ex/")
+PREFIX = "PREFIX ex: <http://ex/>\n"
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    # small social graph with ages
+    g.add((EX.alice, EX.knows, EX.bob))
+    g.add((EX.alice, EX.knows, EX.carol))
+    g.add((EX.bob, EX.knows, EX.carol))
+    g.add((EX.alice, EX.age, Literal("30")))
+    g.add((EX.bob, EX.age, Literal("25")))
+    g.add((EX.carol, EX.age, Literal("3.5e1")))  # 35, exponent form
+    g.add((EX.alice, EX.name, Literal("Alice")))
+    g.add((EX.bob, EX.name, Literal("Bob")))
+    return g
+
+
+def q(graph, body):
+    return query(graph, PREFIX + body)
+
+
+class TestBGP:
+    def test_single_pattern(self, graph):
+        rs = q(graph, "SELECT ?x WHERE { ?x ex:knows ex:carol }")
+        assert {r.text("x") for r in rs} == {str(EX.alice), str(EX.bob)}
+
+    def test_join_two_patterns(self, graph):
+        rs = q(graph, "SELECT ?n WHERE { ?x ex:knows ex:carol . ?x ex:name ?n }")
+        assert {r.text("n") for r in rs} == {"Alice", "Bob"}
+
+    def test_no_match(self, graph):
+        assert len(q(graph, "SELECT ?x WHERE { ?x ex:knows ex:alice }")) == 0
+
+    def test_shared_variable_join_consistency(self, graph):
+        rs = q(graph, "SELECT ?x WHERE { ?x ex:knows ?y . ?y ex:knows ?x }")
+        assert len(rs) == 0  # no mutual edges
+
+    def test_triangle(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?a ?b ?c WHERE "
+            "{ ?a ex:knows ?b . ?b ex:knows ?c . ?a ex:knows ?c }",
+        )
+        assert len(rs) == 1
+        row = rs[0]
+        assert row.text("a").endswith("alice")
+        assert row.text("c").endswith("carol")
+
+    def test_predicate_variable(self, graph):
+        rs = q(graph, "SELECT DISTINCT ?p WHERE { ex:alice ?p ?o }")
+        assert len(rs) == 3
+
+    def test_ground_triple_acts_as_ask(self, graph):
+        assert len(q(graph, "SELECT ?x WHERE { ex:alice ex:knows ex:bob . ?x ex:age ?a }")) == 3
+        assert len(q(graph, "SELECT ?x WHERE { ex:alice ex:knows ex:alice . ?x ex:age ?a }")) == 0
+
+
+class TestFilter:
+    def test_numeric_comparison_across_forms(self, graph):
+        # carol's age is stored as "3.5e1"; a numeric filter must see 35
+        rs = q(graph, "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 28) }")
+        assert {r.text("x") for r in rs} == {str(EX.alice), str(EX.carol)}
+
+    def test_filter_equality_string(self, graph):
+        rs = q(graph, 'SELECT ?x WHERE { ?x ex:name ?n . FILTER (?n = "Bob") }')
+        assert len(rs) == 1
+
+    def test_filter_and_or(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a . FILTER (?a > 24 && ?a < 31) }",
+        )
+        assert {r.text("x") for r in rs} == {str(EX.alice), str(EX.bob)}
+
+    def test_filter_type_error_rejects_row(self, graph):
+        # name is not a number: comparison errors reject those solutions
+        rs = q(graph, "SELECT ?x WHERE { ?x ex:name ?n . FILTER (?n > 5) }")
+        assert len(rs) == 0
+
+    def test_filter_unbound_var_rejects(self, graph):
+        rs = q(graph, "SELECT ?x WHERE { ?x ex:name ?n . FILTER (?zz > 5) }")
+        assert len(rs) == 0
+
+    def test_filter_applies_to_whole_group(self, graph):
+        # filter written before the pattern that binds ?a still applies
+        rs = q(graph, "SELECT ?x WHERE { FILTER (?a > 28) . ?x ex:age ?a }")
+        assert len(rs) == 2
+
+    def test_exists(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a . "
+            "FILTER EXISTS { ?x ex:knows ex:carol } }",
+        )
+        assert {r.text("x") for r in rs} == {str(EX.alice), str(EX.bob)}
+
+    def test_not_exists(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a . "
+            "FILTER NOT EXISTS { ?x ex:knows ?y } }",
+        )
+        assert {r.text("x") for r in rs} == {str(EX.carol)}
+
+
+class TestOptional:
+    def test_optional_extends_when_present(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x ?n WHERE { ?x ex:age ?a . OPTIONAL { ?x ex:name ?n } }",
+        )
+        by_x = {r.text("x"): r.text("n") for r in rs}
+        assert by_x[str(EX.alice)] == "Alice"
+        assert by_x[str(EX.carol)] is None  # kept without the optional part
+
+    def test_optional_filter_inside(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x ?n WHERE { ?x ex:age ?a . "
+            'OPTIONAL { ?x ex:name ?n . FILTER (?n = "Alice") } }',
+        )
+        by_x = {r.text("x"): r.text("n") for r in rs}
+        assert by_x[str(EX.alice)] == "Alice"
+        assert by_x[str(EX.bob)] is None
+
+
+class TestUnionMinus:
+    def test_union(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { { ?x ex:knows ex:bob } UNION "
+            "{ ?x ex:knows ex:carol } }",
+        )
+        assert len(rs) == 3  # alice (x2 branches) + bob
+
+    def test_minus(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a . MINUS { ?x ex:name ?n } }",
+        )
+        assert {r.text("x") for r in rs} == {str(EX.carol)}
+
+    def test_minus_disjoint_domains_keeps_all(self, graph):
+        # MINUS with no shared variables removes nothing (SPARQL spec)
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { ?x ex:age ?a . MINUS { ?z ex:nothere ?w } }",
+        )
+        assert len(rs) == 3
+
+
+class TestBindValues:
+    def test_bind_computes(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x ?double WHERE { ?x ex:age ?a . BIND (?a * 2 AS ?double) }",
+        )
+        doubles = {r.text("x"): r.number("double") for r in rs}
+        assert doubles[str(EX.bob)] == 50
+
+    def test_bind_error_leaves_unbound(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x ?bad WHERE { ?x ex:name ?n . BIND (?n * 2 AS ?bad) }",
+        )
+        assert all(r["bad"] is None for r in rs)
+        assert len(rs) == 2
+
+    def test_bind_rebind_raises(self, graph):
+        with pytest.raises(ValueError):
+            q(graph, "SELECT ?x WHERE { ?x ex:age ?a . BIND (1 AS ?a) }")
+
+    def test_values_restricts(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { VALUES ?x { ex:alice ex:carol } ?x ex:age ?a }",
+        )
+        assert {r.text("x") for r in rs} == {str(EX.alice), str(EX.carol)}
+
+    def test_values_undef_is_wildcard(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?x WHERE { VALUES (?x) { (UNDEF) } ?x ex:age ?a }",
+        )
+        assert len(rs) == 3

@@ -1,0 +1,154 @@
+"""Evaluator behaviour on combined pattern forms (nesting, scoping)."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import query
+
+EX = Namespace("http://ex/")
+PREFIX = "PREFIX ex: <http://ex/>\n"
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    # people with optional emails and departments
+    data = [
+        ("ann", "eng", "ann@x.com", 31),
+        ("bob", "eng", None, 45),
+        ("cat", "ops", "cat@x.com", 29),
+        ("dan", None, None, 52),
+    ]
+    for name, dept, email, age in data:
+        node = EX[name]
+        g.add((node, EX.name, Literal(name)))
+        g.add((node, EX.age, Literal(str(age))))
+        if dept:
+            g.add((node, EX.dept, Literal(dept)))
+        if email:
+            g.add((node, EX.email, Literal(email)))
+    return g
+
+
+def q(graph, body):
+    return query(graph, PREFIX + body)
+
+
+class TestOptionalCombinations:
+    def test_two_optionals(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n ?d ?e WHERE { ?p ex:name ?n . "
+            "OPTIONAL { ?p ex:dept ?d } OPTIONAL { ?p ex:email ?e } }",
+        )
+        rows = {r.text("n"): (r.text("d"), r.text("e")) for r in rs}
+        assert rows["ann"] == ("eng", "ann@x.com")
+        assert rows["bob"] == ("eng", None)
+        assert rows["dan"] == (None, None)
+
+    def test_optional_with_union_inside(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n ?x WHERE { ?p ex:name ?n . "
+            "OPTIONAL { { ?p ex:dept ?x } UNION { ?p ex:email ?x } } }",
+        )
+        by_name = {}
+        for row in rs:
+            by_name.setdefault(row.text("n"), set()).add(row.text("x"))
+        assert by_name["ann"] == {"eng", "ann@x.com"}
+        assert by_name["dan"] == {None}
+
+    def test_filter_after_optional_on_optional_var(self, graph):
+        # rows where the optional var stayed unbound are rejected by the
+        # filter (expression error semantics)
+        rs = q(
+            graph,
+            "SELECT ?n WHERE { ?p ex:name ?n . "
+            'OPTIONAL { ?p ex:dept ?d } FILTER (?d = "eng") }',
+        )
+        assert {r.text("n") for r in rs} == {"ann", "bob"}
+
+    def test_bound_filter_keeps_unmatched(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n WHERE { ?p ex:name ?n . "
+            "OPTIONAL { ?p ex:email ?e } FILTER (!BOUND(?e)) }",
+        )
+        assert {r.text("n") for r in rs} == {"bob", "dan"}
+
+
+class TestUnionCombinations:
+    def test_three_way_union(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?p WHERE { { ?p ex:dept \"eng\" } UNION "
+            "{ ?p ex:dept \"ops\" } UNION { ?p ex:age ?a . FILTER (?a > 50) } }",
+        )
+        assert len(rs) == 4  # ann, bob, cat, dan
+
+    def test_union_branches_bind_different_vars(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?d ?e WHERE { ?p ex:name ?n . "
+            "{ ?p ex:dept ?d } UNION { ?p ex:email ?e } }",
+        )
+        for row in rs:
+            # exactly one of the two variables bound per row
+            assert (row["d"] is None) != (row["e"] is None)
+
+    def test_nested_union_in_group(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n WHERE { { { ?p ex:dept \"eng\" } UNION "
+            "{ ?p ex:dept \"ops\" } } ?p ex:name ?n }",
+        )
+        assert {r.text("n") for r in rs} == {"ann", "bob", "cat"}
+
+
+class TestMinusAndExists:
+    def test_minus_after_optional(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n WHERE { ?p ex:name ?n . "
+            "MINUS { ?p ex:email ?e } }",
+        )
+        assert {r.text("n") for r in rs} == {"bob", "dan"}
+
+    def test_exists_inside_union_branch(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n WHERE { ?p ex:name ?n . "
+            "{ ?p ex:dept \"ops\" } UNION "
+            "{ ?p ex:age ?a . FILTER (EXISTS { ?p ex:email ?m } && ?a > 30) } }",
+        )
+        assert {r.text("n") for r in rs} == {"cat", "ann"}
+
+    def test_double_negation(self, graph):
+        # people without a department who also lack an email
+        rs = q(
+            graph,
+            "SELECT ?n WHERE { ?p ex:name ?n . "
+            "FILTER NOT EXISTS { ?p ex:dept ?d } "
+            "FILTER NOT EXISTS { ?p ex:email ?e } }",
+        )
+        assert {r.text("n") for r in rs} == {"dan"}
+
+
+class TestBindInteractions:
+    def test_bind_then_filter(self, graph):
+        rs = q(
+            graph,
+            "SELECT ?n ?decade WHERE { ?p ex:name ?n . ?p ex:age ?a . "
+            "BIND (FLOOR(?a / 10) * 10 AS ?decade) FILTER (?decade = 40) }",
+        )
+        assert {r.text("n") for r in rs} == {"bob"}
+
+    def test_bind_used_in_projection_expression(self, graph):
+        rs = q(
+            graph,
+            "SELECT (?half * 2 AS ?orig) WHERE "
+            "{ ?p ex:age ?a . BIND (?a / 2 AS ?half) } ORDER BY ?orig",
+        )
+        values = [r.number("orig") for r in rs]
+        assert values == sorted(values)
+        assert values[0] == 29

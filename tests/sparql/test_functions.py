@@ -1,0 +1,243 @@
+"""SPARQL expression/function semantics."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, URIRef
+from repro.rdf.term import Variable
+from repro.sparql import ast
+from repro.sparql.functions import (
+    ExprError,
+    compare_terms,
+    effective_boolean_value,
+    evaluate_expression,
+    order_key,
+)
+
+_XSD_BOOL = "http://www.w3.org/2001/XMLSchema#boolean"
+
+
+def lit(value, datatype=None):
+    return Literal(value, datatype=datatype)
+
+
+def ev(expr, bindings=None):
+    return evaluate_expression(expr, bindings or {})
+
+
+def fn(name, *args):
+    return ast.FunctionCall(name, tuple(ast.TermExpr(a) for a in args))
+
+
+class TestEffectiveBooleanValue:
+    def test_boolean_literals(self):
+        assert effective_boolean_value(lit("true", _XSD_BOOL)) is True
+        assert effective_boolean_value(lit("false", _XSD_BOOL)) is False
+
+    def test_numbers(self):
+        assert effective_boolean_value(lit("1"))
+        assert not effective_boolean_value(lit("0"))
+        assert not effective_boolean_value(lit("0.0"))
+
+    def test_strings(self):
+        assert effective_boolean_value(lit("x"))
+        assert not effective_boolean_value(lit(""))
+
+    def test_uri_has_no_ebv(self):
+        with pytest.raises(ExprError):
+            effective_boolean_value(URIRef("http://x"))
+
+
+class TestComparisons:
+    def test_numeric_across_forms(self):
+        assert compare_terms("=", lit("100"), lit("1e2"))
+        assert compare_terms("<", lit("1.311e-08"), lit("0.001"))
+        assert compare_terms(">", lit("2.87997e+07"), lit("1000000"))
+
+    def test_string_ordering(self):
+        assert compare_terms("<", lit("abc"), lit("abd"))
+
+    def test_mixed_ordering_is_error(self):
+        with pytest.raises(ExprError):
+            compare_terms("<", lit("abc"), lit("5"))
+
+    def test_uri_equality_only(self):
+        assert compare_terms("=", URIRef("http://a"), URIRef("http://a"))
+        assert compare_terms("!=", URIRef("http://a"), URIRef("http://b"))
+        with pytest.raises(ExprError):
+            compare_terms("<", URIRef("http://a"), URIRef("http://b"))
+
+
+class TestArithmetic:
+    def test_operations(self):
+        expr = ast.BinaryExpr(
+            "+", ast.TermExpr(lit("2")), ast.TermExpr(lit("3"))
+        )
+        assert ev(expr).as_number() == 5
+
+    def test_division_by_zero(self):
+        expr = ast.BinaryExpr(
+            "/", ast.TermExpr(lit("2")), ast.TermExpr(lit("0"))
+        )
+        with pytest.raises(ExprError):
+            ev(expr)
+
+    def test_unary_minus(self):
+        expr = ast.UnaryExpr("-", ast.TermExpr(lit("5")))
+        assert ev(expr).as_number() == -5
+
+
+class TestLogicErrorTolerance:
+    """SPARQL's three-valued logic: && and || tolerate one-sided errors."""
+
+    def _err(self):
+        return ast.TermExpr(Variable("unbound"))
+
+    def _true(self):
+        return ast.TermExpr(lit("true", _XSD_BOOL))
+
+    def _false(self):
+        return ast.TermExpr(lit("false", _XSD_BOOL))
+
+    def test_and_error_false_is_false(self):
+        expr = ast.BinaryExpr("&&", self._err(), self._false())
+        assert ev(expr).lexical == "false"
+
+    def test_and_error_true_propagates(self):
+        expr = ast.BinaryExpr("&&", self._err(), self._true())
+        with pytest.raises(ExprError):
+            ev(expr)
+
+    def test_or_error_true_is_true(self):
+        expr = ast.BinaryExpr("||", self._err(), self._true())
+        assert ev(expr).lexical == "true"
+
+    def test_or_error_false_propagates(self):
+        expr = ast.BinaryExpr("||", self._err(), self._false())
+        with pytest.raises(ExprError):
+            ev(expr)
+
+
+class TestStringFunctions:
+    def test_regex(self):
+        assert ev(fn("REGEX", lit("NLJOIN"), lit("JOIN$"))).lexical == "true"
+
+    def test_regex_flags(self):
+        assert ev(fn("REGEX", lit("nljoin"), lit("JOIN"), lit("i"))).lexical == "true"
+
+    def test_regex_bad_pattern(self):
+        with pytest.raises(ExprError):
+            ev(fn("REGEX", lit("x"), lit("(")))
+
+    def test_contains_strstarts_strends(self):
+        assert ev(fn("CONTAINS", lit("TBSCAN"), lit("BSC"))).lexical == "true"
+        assert ev(fn("STRSTARTS", lit("TBSCAN"), lit("TB"))).lexical == "true"
+        assert ev(fn("STRENDS", lit("TBSCAN"), lit("AN"))).lexical == "true"
+
+    def test_strlen_substr(self):
+        assert ev(fn("STRLEN", lit("abcd"))).as_number() == 4
+        assert ev(fn("SUBSTR", lit("abcd"), lit("2"))).lexical == "bcd"
+        assert ev(fn("SUBSTR", lit("abcd"), lit("2"), lit("2"))).lexical == "bc"
+
+    def test_case_functions(self):
+        assert ev(fn("UCASE", lit("ab"))).lexical == "AB"
+        assert ev(fn("LCASE", lit("AB"))).lexical == "ab"
+
+    def test_concat(self):
+        assert ev(fn("CONCAT", lit("a"), lit("b"), lit("c"))).lexical == "abc"
+
+    def test_strbefore_strafter(self):
+        assert ev(fn("STRBEFORE", lit("a.b"), lit("."))).lexical == "a"
+        assert ev(fn("STRAFTER", lit("a.b"), lit("."))).lexical == "b"
+        assert ev(fn("STRBEFORE", lit("ab"), lit("x"))).lexical == ""
+
+    def test_replace(self):
+        assert ev(fn("REPLACE", lit("aaa"), lit("a"), lit("b"))).lexical == "bbb"
+
+    def test_str_of_uri(self):
+        assert ev(fn("STR", URIRef("http://x"))).lexical == "http://x"
+
+
+class TestNumericFunctions:
+    def test_abs_ceil_floor_round(self):
+        assert ev(fn("ABS", lit("-2"))).as_number() == 2
+        assert ev(fn("CEIL", lit("1.2"))).as_number() == 2
+        assert ev(fn("FLOOR", lit("1.8"))).as_number() == 1
+        assert ev(fn("ROUND", lit("1.5"))).as_number() == 2
+
+    def test_casts(self):
+        xsd = "http://www.w3.org/2001/XMLSchema#"
+        assert ev(fn(xsd + "integer", lit("4.7"))).lexical == "4"
+        assert ev(fn(xsd + "double", lit("4"))).as_number() == 4.0
+
+
+class TestTypeCheckers:
+    def test_isuri(self):
+        assert ev(fn("ISURI", URIRef("http://x"))).lexical == "true"
+        assert ev(fn("ISURI", lit("x"))).lexical == "false"
+
+    def test_isblank(self):
+        assert ev(fn("ISBLANK", BNode("b"))).lexical == "true"
+
+    def test_isliteral_isnumeric(self):
+        assert ev(fn("ISLITERAL", lit("x"))).lexical == "true"
+        assert ev(fn("ISNUMERIC", lit("2e3"))).lexical == "true"
+        assert ev(fn("ISNUMERIC", lit("abc"))).lexical == "false"
+
+
+class TestControlFunctions:
+    def test_bound(self):
+        expr = ast.FunctionCall("BOUND", (ast.TermExpr(Variable("v")),))
+        assert evaluate_expression(expr, {Variable("v"): lit("1")}).lexical == "true"
+        assert evaluate_expression(expr, {}).lexical == "false"
+
+    def test_if(self):
+        expr = ast.FunctionCall(
+            "IF",
+            (
+                ast.TermExpr(lit("true", _XSD_BOOL)),
+                ast.TermExpr(lit("yes")),
+                ast.TermExpr(lit("no")),
+            ),
+        )
+        assert ev(expr).lexical == "yes"
+
+    def test_coalesce(self):
+        expr = ast.FunctionCall(
+            "COALESCE",
+            (ast.TermExpr(Variable("missing")), ast.TermExpr(lit("fallback"))),
+        )
+        assert ev(expr).lexical == "fallback"
+
+    def test_coalesce_all_error(self):
+        expr = ast.FunctionCall(
+            "COALESCE", (ast.TermExpr(Variable("missing")),)
+        )
+        with pytest.raises(ExprError):
+            ev(expr)
+
+    def test_sameterm(self):
+        assert ev(fn("SAMETERM", lit("1"), lit("1"))).lexical == "true"
+
+    def test_datatype(self):
+        result = ev(fn("DATATYPE", lit("5", "http://dt")))
+        assert result == URIRef("http://dt")
+
+    def test_unknown_function(self):
+        with pytest.raises(ExprError):
+            ev(ast.FunctionCall("NOPE", ()))
+
+
+class TestOrderKey:
+    def test_total_order_categories(self):
+        keys = [
+            order_key(None),
+            order_key(BNode("b")),
+            order_key(URIRef("http://x")),
+            order_key(lit("5")),
+            order_key(lit("abc")),
+        ]
+        assert keys == sorted(keys)
+
+    def test_numeric_ordering_across_forms(self):
+        assert order_key(lit("1e2")) == order_key(lit("100"))
+        assert order_key(lit("99")) < order_key(lit("1e2"))

@@ -1,0 +1,304 @@
+"""SPARQL parser: query structure, paths, expressions, errors."""
+
+import pytest
+
+from repro.rdf.term import Literal, URIRef, Variable
+from repro.sparql import ast
+from repro.sparql.parser import SparqlSyntaxError, parse_query
+
+PREFIX = "PREFIX p: <http://p/>\n"
+
+
+def parse(body):
+    return parse_query(PREFIX + body)
+
+
+class TestSelectClause:
+    def test_simple_select(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b }")
+        assert [item.output_name() for item in q.select] == ["a"]
+
+    def test_select_star(self):
+        q = parse("SELECT * WHERE { ?a p:x ?b }")
+        assert q.is_select_star
+
+    def test_alias_without_parens(self):
+        # The paper's generated queries use "?pop1 AS ?TOP" directly.
+        q = parse("SELECT ?pop1 AS ?TOP ?pop2 WHERE { ?pop1 p:x ?pop2 }")
+        assert [item.output_name() for item in q.select] == ["TOP", "pop2"]
+
+    def test_expression_alias(self):
+        q = parse("SELECT (?a + 1 AS ?b) WHERE { ?a p:x ?c }")
+        assert q.select[0].output_name() == "b"
+        assert isinstance(q.select[0].expr, ast.BinaryExpr)
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT ?a WHERE { ?a p:x ?b }").distinct
+
+    def test_missing_items_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse("SELECT WHERE { ?a p:x ?b }")
+
+
+class TestPrefixes:
+    def test_prefix_resolution(self):
+        q = parse("SELECT ?a WHERE { ?a p:knows ?b }")
+        tp = q.where.elements[0]
+        assert tp.predicate == URIRef("http://p/knows")
+
+    def test_undeclared_prefix_raises(self):
+        with pytest.raises(SparqlSyntaxError):
+            parse("SELECT ?a WHERE { ?a zz:x ?b }")
+
+    def test_multiple_prefixes(self):
+        q = parse_query(
+            "PREFIX a: <http://a/> PREFIX b: <http://b/>\n"
+            "SELECT ?x WHERE { ?x a:p ?y . ?y b:q ?z }"
+        )
+        preds = [e.predicate for e in q.where.elements]
+        assert preds == [URIRef("http://a/p"), URIRef("http://b/q")]
+
+
+class TestTriples:
+    def test_semicolon_shares_subject(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b ; p:y ?c }")
+        subjects = {e.subject for e in q.where.elements}
+        assert subjects == {Variable("a")}
+        assert len(q.where.elements) == 2
+
+    def test_comma_shares_predicate(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b , ?c }")
+        assert len(q.where.elements) == 2
+        assert {e.obj for e in q.where.elements} == {Variable("b"), Variable("c")}
+
+    def test_literal_objects(self):
+        q = parse('SELECT ?a WHERE { ?a p:x "NLJOIN" . ?a p:y 42 . ?a p:z true }')
+        objs = [e.obj for e in q.where.elements]
+        assert objs[0] == Literal("NLJOIN")
+        assert objs[1].as_number() == 42
+        assert objs[2].lexical == "true"
+
+    def test_negative_number_literal(self):
+        q = parse("SELECT ?a WHERE { ?a p:x -5 }")
+        assert q.where.elements[0].obj.as_number() == -5
+
+    def test_typed_literal(self):
+        q = parse('SELECT ?a WHERE { ?a p:x "5"^^<http://dt> }')
+        assert q.where.elements[0].obj.datatype == "http://dt"
+
+    def test_a_keyword_is_rdf_type(self):
+        q = parse("SELECT ?x WHERE { ?x a p:Class }")
+        assert q.where.elements[0].predicate == URIRef(
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        )
+
+    def test_predicate_variable(self):
+        q = parse("SELECT ?p WHERE { ?s ?p ?o }")
+        assert q.where.elements[0].predicate == Variable("p")
+
+
+class TestPaths:
+    def path_of(self, body):
+        q = parse(body)
+        return q.where.elements[0].predicate
+
+    def test_sequence(self):
+        path = self.path_of("SELECT ?a WHERE { ?a p:x/p:y ?b }")
+        assert isinstance(path, ast.PathSequence)
+        assert len(path.parts) == 2
+
+    def test_alternative(self):
+        path = self.path_of("SELECT ?a WHERE { ?a p:x|p:y ?b }")
+        assert isinstance(path, ast.PathAlternative)
+
+    def test_plus_modifier(self):
+        path = self.path_of("SELECT ?a WHERE { ?a p:x+ ?b }")
+        assert isinstance(path, ast.PathMod)
+        assert path.modifier == "+"
+
+    def test_star_and_question(self):
+        assert self.path_of("SELECT ?a WHERE { ?a p:x* ?b }").modifier == "*"
+        assert self.path_of("SELECT ?a WHERE { ?a p:x? ?b }").modifier == "?"
+
+    def test_inverse(self):
+        path = self.path_of("SELECT ?a WHERE { ?a ^p:x ?b }")
+        assert isinstance(path, ast.PathInverse)
+
+    def test_grouping_precedence(self):
+        # (x|y)/z+ : alternation grouped, then sequence with modified z
+        path = self.path_of("SELECT ?a WHERE { ?a (p:x|p:y)/p:z+ ?b }")
+        assert isinstance(path, ast.PathSequence)
+        assert isinstance(path.parts[0], ast.PathAlternative)
+        assert isinstance(path.parts[1], ast.PathMod)
+
+    def test_nested_star_group(self):
+        # The descendant shape OptImatch generates.
+        path = self.path_of(
+            "SELECT ?a WHERE { ?a (p:o/p:o)/((p:i|p:o)/(p:i|p:o))* ?b }"
+        )
+        assert isinstance(path, ast.PathSequence)
+        assert isinstance(path.parts[1], ast.PathMod)
+
+    def test_single_iri_stays_plain_term(self):
+        # No path machinery for a plain predicate.
+        pred = self.path_of("SELECT ?a WHERE { ?a p:x ?b }")
+        assert isinstance(pred, URIRef)
+
+
+class TestPatternsAndClauses:
+    def test_filter(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b . FILTER (?b > 100) }")
+        filters = [e for e in q.where.elements if isinstance(e, ast.Filter)]
+        assert len(filters) == 1
+
+    def test_filter_builtin_call_form(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b . FILTER regex(?b, \"x\") }")
+        assert any(isinstance(e, ast.Filter) for e in q.where.elements)
+
+    def test_optional(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b . OPTIONAL { ?a p:y ?c } }")
+        assert any(isinstance(e, ast.Optional_) for e in q.where.elements)
+
+    def test_union(self):
+        q = parse("SELECT ?a WHERE { { ?a p:x ?b } UNION { ?a p:y ?b } }")
+        unions = [e for e in q.where.elements if isinstance(e, ast.Union_)]
+        assert len(unions) == 1
+        assert len(unions[0].groups) == 2
+
+    def test_minus(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b . MINUS { ?a p:y ?b } }")
+        assert any(isinstance(e, ast.Minus) for e in q.where.elements)
+
+    def test_bind(self):
+        q = parse("SELECT ?c WHERE { ?a p:x ?b . BIND (?b * 2 AS ?c) }")
+        binds = [e for e in q.where.elements if isinstance(e, ast.Bind)]
+        assert binds[0].var == Variable("c")
+
+    def test_values(self):
+        q = parse('SELECT ?a WHERE { VALUES ?a { p:x p:y } ?a p:t ?b }')
+        values = [e for e in q.where.elements if isinstance(e, ast.InlineValues)]
+        assert len(values[0].rows) == 2
+
+    def test_values_multi_var(self):
+        q = parse(
+            'SELECT ?a WHERE { VALUES (?a ?b) { (p:x "1") (p:y UNDEF) } }'
+        )
+        values = [e for e in q.where.elements if isinstance(e, ast.InlineValues)]
+        assert values[0].rows[1][1] is None
+
+    def test_exists_filter(self):
+        q = parse(
+            "SELECT ?a WHERE { ?a p:x ?b . FILTER EXISTS { ?a p:y ?c } }"
+        )
+        flt = [e for e in q.where.elements if isinstance(e, ast.Filter)][0]
+        assert isinstance(flt.expr, ast.ExistsExpr)
+
+    def test_not_exists_filter(self):
+        q = parse(
+            "SELECT ?a WHERE { ?a p:x ?b . FILTER NOT EXISTS { ?a p:y ?c } }"
+        )
+        flt = [e for e in q.where.elements if isinstance(e, ast.Filter)][0]
+        assert flt.expr.negated
+
+    def test_nested_group(self):
+        q = parse("SELECT ?a WHERE { { ?a p:x ?b . FILTER (?b > 1) } }")
+        assert isinstance(q.where.elements[0], ast.GroupGraphPattern)
+
+
+class TestSolutionModifiers:
+    def test_order_by(self):
+        q = parse("SELECT ?a WHERE { ?a p:x ?b } ORDER BY ?a DESC(?b)")
+        assert len(q.order_by) == 2
+        assert not q.order_by[0].descending
+        assert q.order_by[1].descending
+
+    def test_limit_offset_either_order(self):
+        q1 = parse("SELECT ?a WHERE { ?a p:x ?b } LIMIT 5 OFFSET 2")
+        q2 = parse("SELECT ?a WHERE { ?a p:x ?b } OFFSET 2 LIMIT 5")
+        assert (q1.limit, q1.offset) == (5, 2) == (q2.limit, q2.offset)
+
+    def test_group_by_having(self):
+        q = parse(
+            "SELECT ?t (COUNT(?s) AS ?n) WHERE { ?s p:x ?t } "
+            "GROUP BY ?t HAVING (COUNT(?s) > 1)"
+        )
+        assert len(q.group_by) == 1
+        assert len(q.having) == 1
+        assert q.has_aggregates()
+
+
+class TestExpressions:
+    def expr_of(self, filter_body):
+        q = parse(f"SELECT ?a WHERE {{ ?a p:x ?b . FILTER ({filter_body}) }}")
+        return [e for e in q.where.elements if isinstance(e, ast.Filter)][0].expr
+
+    def test_precedence_and_or(self):
+        expr = self.expr_of("?a > 1 && ?b < 2 || ?c = 3")
+        assert expr.op == "||"
+        assert expr.left.op == "&&"
+
+    def test_arithmetic_precedence(self):
+        expr = self.expr_of("?a + ?b * 2 > 10")
+        assert expr.op == ">"
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_unary_not(self):
+        expr = self.expr_of("!BOUND(?b)")
+        assert isinstance(expr, ast.UnaryExpr)
+        assert expr.op == "!"
+
+    def test_in_expression(self):
+        expr = self.expr_of('?a IN ("x", "y")')
+        assert isinstance(expr, ast.InExpr)
+        assert len(expr.options) == 2
+
+    def test_not_in(self):
+        expr = self.expr_of('?a NOT IN ("x")')
+        assert expr.negated
+
+    def test_function_call(self):
+        expr = self.expr_of("CONTAINS(STR(?b), \"x\")")
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "CONTAINS"
+
+
+class TestAggregates:
+    def test_count_star(self):
+        q = parse("SELECT (COUNT(*) AS ?n) WHERE { ?s p:x ?o }")
+        agg = q.select[0].expr
+        assert isinstance(agg, ast.Aggregate)
+        assert agg.expr is None
+
+    def test_count_distinct(self):
+        q = parse("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s p:x ?o }")
+        assert q.select[0].expr.distinct
+
+    def test_group_concat_separator(self):
+        q = parse(
+            'SELECT (GROUP_CONCAT(?s; SEPARATOR=", ") AS ?all) '
+            "WHERE { ?s p:x ?o }"
+        )
+        assert q.select[0].expr.separator == ", "
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT ?a { ?a p:x ?b ",               # unterminated group
+            "SELECT ?a WHERE { ?a p:x }",            # missing object
+            "SELECT ?a WHERE { ?a p:x ?b } LIMIT x", # bad limit
+            "SELECT ?a WHERE { ?a p:x ?b } trailing",
+            "SELECT (?a + 1) WHERE { ?a p:x ?b }",   # expr without AS
+            "SELECT ?a WHERE { FILTER }",            # empty filter
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SparqlSyntaxError):
+            parse(bad)
+
+    def test_error_mentions_line(self):
+        with pytest.raises(SparqlSyntaxError) as exc:
+            parse("SELECT ?a\nWHERE { ?a p:x }")
+        assert "line" in str(exc.value)

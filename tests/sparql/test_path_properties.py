@@ -1,0 +1,122 @@
+"""Property-based algebraic checks on the path/query engine.
+
+SPARQL 1.1 defines algebraic equivalences between path forms; checking
+them on random graphs pins the evaluator down far better than canned
+examples: ``p+ == p/p*``, ``p? == (zero | p)``, inverse round trips,
+and DISTINCT idempotence.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import Graph, Namespace
+from repro.sparql import query
+
+EX = Namespace("http://n/")
+P = Namespace("http://p/")
+PREFIX = "PREFIX n: <http://n/> PREFIX p: <http://p/>\n"
+
+_node_ids = st.integers(0, 6)
+_edges = st.lists(
+    st.tuples(_node_ids, st.integers(0, 1), _node_ids), max_size=18
+)
+
+
+def _graph(edges) -> Graph:
+    g = Graph()
+    for s, p, o in edges:
+        g.add((EX[f"n{s}"], P[f"e{p}"], EX[f"n{o}"]))
+    return g
+
+
+def _pairs(graph, path_expr):
+    rs = query(
+        graph, PREFIX + f"SELECT ?x ?y WHERE {{ ?x {path_expr} ?y }}"
+    )
+    return {(row.text("x"), row.text("y")) for row in rs}
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_plus_equals_step_then_star(edges):
+    g = _graph(edges)
+    assert _pairs(g, "p:e0+") == _pairs(g, "p:e0/p:e0*")
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_star_equals_question_of_plus(edges):
+    g = _graph(edges)
+    assert _pairs(g, "p:e0*") == _pairs(g, "(p:e0+)?")
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_inverse_swaps_pairs(edges):
+    g = _graph(edges)
+    forward = _pairs(g, "p:e0")
+    backward = _pairs(g, "^p:e0")
+    assert backward == {(y, x) for x, y in forward}
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_double_inverse_is_identity(edges):
+    g = _graph(edges)
+    assert _pairs(g, "^(^p:e0)") == _pairs(g, "p:e0")
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_alternative_is_union(edges):
+    g = _graph(edges)
+    assert _pairs(g, "(p:e0|p:e1)") == _pairs(g, "p:e0") | _pairs(g, "p:e1")
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_sequence_is_composition(edges):
+    g = _graph(edges)
+    composed = {
+        (x, z)
+        for x, y1 in _pairs(g, "p:e0")
+        for y2, z in _pairs(g, "p:e1")
+        if y1 == y2
+    }
+    assert _pairs(g, "p:e0/p:e1") == composed
+
+
+@settings(max_examples=40, deadline=None)
+@given(_edges)
+def test_plus_is_transitive_closure(edges):
+    g = _graph(edges)
+    step = _pairs(g, "p:e0")
+    closure = set(step)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in list(closure):
+            for c, d in step:
+                if b == c and (a, d) not in closure:
+                    closure.add((a, d))
+                    changed = True
+    assert _pairs(g, "p:e0+") == closure
+
+
+@settings(max_examples=30, deadline=None)
+@given(_edges)
+def test_distinct_idempotent(edges):
+    g = _graph(edges)
+    q1 = PREFIX + "SELECT DISTINCT ?x WHERE { ?x p:e0+ ?y }"
+    rows1 = sorted(r.text("x") for r in query(g, q1))
+    rows2 = sorted(r.text("x") for r in query(g, q1))
+    assert rows1 == rows2
+    assert len(rows1) == len(set(rows1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(_edges)
+def test_ask_consistent_with_select(edges):
+    g = _graph(edges)
+    has_rows = bool(query(g, PREFIX + "SELECT ?x WHERE { ?x p:e0/p:e1 ?y }"))
+    ask = query(g, PREFIX + "ASK { ?x p:e0/p:e1 ?y }")
+    assert ask == has_rows

@@ -1,0 +1,148 @@
+"""Property-path evaluation semantics."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import query
+
+EX = Namespace("http://ex/")
+PREFIX = "PREFIX ex: <http://ex/>\n"
+
+
+@pytest.fixture
+def chain():
+    # a -> b -> c -> d, plus a side edge a -alt-> c
+    g = Graph()
+    g.add((EX.a, EX.next, EX.b))
+    g.add((EX.b, EX.next, EX.c))
+    g.add((EX.c, EX.next, EX.d))
+    g.add((EX.a, EX.alt, EX.c))
+    return g
+
+
+def q(graph, body):
+    return query(graph, PREFIX + body)
+
+
+def names(rs, var="x"):
+    return {r.text(var).rsplit("/", 1)[-1] for r in rs}
+
+
+class TestSequence:
+    def test_two_step(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a ex:next/ex:next ?x }")
+        assert names(rs) == {"c"}
+
+    def test_three_step(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a ex:next/ex:next/ex:next ?x }")
+        assert names(rs) == {"d"}
+
+    def test_backward_evaluation_object_bound(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ?x ex:next/ex:next ex:d }")
+        assert names(rs) == {"b"}
+
+    def test_both_free(self, chain):
+        rs = q(chain, "SELECT ?x ?y WHERE { ?x ex:next/ex:next ?y }")
+        assert len(rs) == 2  # a->c, b->d
+
+
+class TestAlternative:
+    def test_union_of_edges(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a (ex:next|ex:alt) ?x }")
+        assert names(rs) == {"b", "c"}
+
+    def test_deduplicates(self, chain):
+        chain.add((EX.a, EX.alt, EX.b))  # both paths now reach b
+        rs = q(chain, "SELECT ?x WHERE { ex:a (ex:next|ex:alt) ?x }")
+        assert len(rs) == len(names(rs))
+
+
+class TestInverse:
+    def test_inverse_edge(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:b ^ex:next ?x }")
+        assert names(rs) == {"a"}
+
+    def test_inverse_in_sequence(self, chain):
+        # c's predecessor's predecessor
+        rs = q(chain, "SELECT ?x WHERE { ex:c ^ex:next/^ex:next ?x }")
+        assert names(rs) == {"a"}
+
+
+class TestModifiers:
+    def test_plus_forward(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a ex:next+ ?x }")
+        assert names(rs) == {"b", "c", "d"}
+
+    def test_plus_excludes_zero_length(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a ex:next+ ?x }")
+        assert "a" not in names(rs)
+
+    def test_star_includes_self(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a ex:next* ?x }")
+        assert names(rs) == {"a", "b", "c", "d"}
+
+    def test_question_zero_or_one(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a ex:next? ?x }")
+        assert names(rs) == {"a", "b"}
+
+    def test_plus_backward(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ?x ex:next+ ex:c }")
+        assert names(rs) == {"a", "b"}
+
+    def test_plus_both_bound(self, chain):
+        assert len(q(chain, "SELECT ?z WHERE { ex:a ex:next+ ex:d . ex:a ex:next ?z }")) == 1
+        assert len(q(chain, "SELECT ?z WHERE { ex:d ex:next+ ex:a . ex:a ex:next ?z }")) == 0
+
+    def test_plus_handles_cycles(self):
+        g = Graph()
+        g.add((EX.a, EX.next, EX.b))
+        g.add((EX.b, EX.next, EX.a))
+        rs = q(g, "SELECT ?x WHERE { ex:a ex:next+ ?x }")
+        assert names(rs) == {"a", "b"}  # a reaches itself through the cycle
+
+    def test_star_both_free(self, chain):
+        rs = q(chain, "SELECT ?x ?y WHERE { ?x ex:next* ?y }")
+        pairs = {(r.text("x").rsplit("/", 1)[-1], r.text("y").rsplit("/", 1)[-1]) for r in rs}
+        assert ("a", "a") in pairs  # zero-length
+        assert ("a", "d") in pairs  # full chain
+
+    def test_nested_modifier(self, chain):
+        rs = q(chain, "SELECT ?x WHERE { ex:a (ex:next/ex:next)+ ?x }")
+        assert names(rs) == {"c"}  # a->c (2 steps); c->? (needs 2 more, only 1)
+
+
+class TestDescendantShape:
+    """The exact path shape OptImatch generates for descendants."""
+
+    def test_stream_hop_descendant(self):
+        g = Graph()
+        # parent -outer-> s1 -outer-> child -input-> s2 -input-> grandchild
+        g.add((EX.p, EX.hasOuterInputStream, EX.s1))
+        g.add((EX.s1, EX.hasOuterInputStream, EX.c))
+        g.add((EX.c, EX.hasInputStream, EX.s2))
+        g.add((EX.s2, EX.hasInputStream, EX.g))
+        body = (
+            "SELECT ?d WHERE { ex:p "
+            "(ex:hasOuterInputStream/ex:hasOuterInputStream)/"
+            "((ex:hasInputStream|ex:hasOuterInputStream)/"
+            "(ex:hasInputStream|ex:hasOuterInputStream))* ?d }"
+        )
+        rs = q(g, body)
+        assert names(rs, "d") == {"c", "g"}
+
+
+class TestClosureCacheInvalidation:
+    def test_mutation_invalidates_cache(self, chain):
+        body = "SELECT ?x WHERE { ex:a ex:next+ ?x }"
+        assert names(q(chain, body)) == {"b", "c", "d"}
+        chain.add((EX.d, EX.next, EX.e))
+        assert names(q(chain, body)) == {"b", "c", "d", "e"}
+        chain.remove((EX.b, EX.next, EX.c))
+        assert names(q(chain, body)) == {"b"}
+
+    def test_literal_path_targets(self):
+        g = Graph()
+        g.add((EX.a, EX.next, EX.b))
+        g.add((EX.b, EX.val, Literal("7")))
+        rs = q(g, "SELECT ?v WHERE { ex:a (ex:next/ex:val) ?v }")
+        assert rs[0].number("v") == 7

@@ -1,0 +1,92 @@
+"""ResultRow / ResultSet container behaviour."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, URIRef
+from repro.sparql.results import ResultRow, ResultSet
+
+
+@pytest.fixture
+def row():
+    return ResultRow(
+        {
+            "name": Literal("alice"),
+            "age": Literal("3e1"),
+            "home": URIRef("http://x/alice"),
+            "anon": BNode("b1"),
+            "missing": None,
+        }
+    )
+
+
+class TestResultRow:
+    def test_getitem_with_and_without_question_mark(self, row):
+        assert row["name"] == row["?name"] == Literal("alice")
+
+    def test_get_default(self, row):
+        assert row.get("nope", "fallback") == "fallback"
+        assert row.get("missing", "fallback") == "fallback"
+
+    def test_number_coerces_exponent(self, row):
+        assert row.number("age") == 30.0
+
+    def test_number_none_for_non_numeric(self, row):
+        assert row.number("name") is None
+        assert row.number("home") is None
+
+    def test_text_forms(self, row):
+        assert row.text("name") == "alice"
+        assert row.text("home") == "http://x/alice"
+        assert row.text("anon") == "_:b1"
+        assert row.text("missing") is None
+
+    def test_as_dict_copy(self, row):
+        data = row.as_dict()
+        data["name"] = None
+        assert row["name"] == Literal("alice")
+
+    def test_equality_and_hash(self):
+        a = ResultRow({"x": Literal("1")})
+        b = ResultRow({"x": Literal("1")})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr(self, row):
+        assert "?name=" in repr(row)
+
+
+class TestResultSet:
+    def _make(self):
+        rows = [
+            ResultRow({"a": Literal(str(i)), "b": Literal(f"v{i}")})
+            for i in range(3)
+        ]
+        return ResultSet(["a", "b"], rows)
+
+    def test_len_bool_iter(self):
+        rs = self._make()
+        assert len(rs) == 3
+        assert rs
+        assert not ResultSet(["a"], [])
+        assert [r.text("a") for r in rs] == ["0", "1", "2"]
+
+    def test_indexing(self):
+        rs = self._make()
+        assert rs[1].text("b") == "v1"
+
+    def test_column(self):
+        rs = self._make()
+        assert [t.lexical for t in rs.column("a")] == ["0", "1", "2"]
+
+    def test_to_table_alignment(self):
+        table = self._make().to_table()
+        lines = table.splitlines()
+        assert lines[0].startswith("?a")
+        assert len({len(line) for line in lines if line}) <= 2
+
+    def test_to_table_empty(self):
+        table = ResultSet(["only"], []).to_table()
+        assert "?only" in table
+
+    def test_repr(self):
+        assert "rows=3" in repr(self._make())

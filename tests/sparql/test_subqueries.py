@@ -1,0 +1,111 @@
+"""Nested SELECT subqueries."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace
+from repro.sparql import parse_query, query
+from repro.sparql.ast import SubSelect
+
+EX = Namespace("http://ex/")
+PREFIX = "PREFIX ex: <http://ex/>\n"
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    # employees with salaries per department
+    data = [
+        ("ann", "eng", 120),
+        ("bob", "eng", 90),
+        ("cat", "ops", 80),
+        ("dan", "ops", 95),
+        ("eve", "eng", 150),
+    ]
+    for name, dept, salary in data:
+        node = EX[name]
+        g.add((node, EX.name, Literal(name)))
+        g.add((node, EX.dept, Literal(dept)))
+        g.add((node, EX.salary, Literal(str(salary))))
+    return g
+
+
+def q(graph, body):
+    return query(graph, PREFIX + body)
+
+
+def test_parses_to_subselect_node():
+    ast_query = parse_query(
+        PREFIX + "SELECT ?x WHERE { { SELECT ?x WHERE { ?x ex:p ?y } } }"
+    )
+    assert isinstance(ast_query.where.elements[0], SubSelect)
+
+
+def test_plain_nested_group_still_a_group():
+    ast_query = parse_query(
+        PREFIX + "SELECT ?x WHERE { { ?x ex:p ?y } }"
+    )
+    assert not isinstance(ast_query.where.elements[0], SubSelect)
+
+
+def test_subquery_joins_with_outer_pattern(graph):
+    rs = q(
+        graph,
+        "SELECT ?n WHERE { "
+        "{ SELECT ?p WHERE { ?p ex:dept \"eng\" } } "
+        "?p ex:name ?n }",
+    )
+    assert {r.text("n") for r in rs} == {"ann", "bob", "eve"}
+
+
+def test_aggregate_subquery_per_group_join(graph):
+    """The classic use: join each employee against their department's
+    maximum salary, computed in a subquery."""
+    rs = q(
+        graph,
+        "SELECT ?n ?top WHERE { "
+        "?p ex:dept ?d . ?p ex:salary ?s . ?p ex:name ?n . "
+        "{ SELECT ?d (MAX(?sal) AS ?top) WHERE "
+        "{ ?q ex:dept ?d . ?q ex:salary ?sal } GROUP BY ?d } "
+        "FILTER (?s = ?top) }",
+    )
+    assert {r.text("n") for r in rs} == {"eve", "dan"}
+
+
+def test_subquery_limit_restricts(graph):
+    rs = q(
+        graph,
+        "SELECT ?s WHERE { "
+        "{ SELECT ?s WHERE { ?p ex:salary ?s } ORDER BY DESC(?s) LIMIT 2 } }",
+    )
+    values = sorted(r.number("s") for r in rs)
+    assert values == [120, 150]
+
+
+def test_subquery_projection_hides_inner_vars(graph):
+    # ?q is internal to the subquery; the outer query must not see it.
+    rs = q(
+        graph,
+        "SELECT * WHERE { "
+        "{ SELECT ?d WHERE { ?q ex:dept ?d } } }",
+    )
+    assert rs.variables == ["d"]
+
+
+def test_subquery_inside_optional(graph):
+    rs = q(
+        graph,
+        "SELECT ?n ?top WHERE { ?p ex:name ?n . ?p ex:dept ?d . "
+        "OPTIONAL { { SELECT ?d (MAX(?sal) AS ?top) WHERE "
+        "{ ?q ex:dept ?d . ?q ex:salary ?sal } GROUP BY ?d } } }",
+    )
+    by_name = {r.text("n"): r.number("top") for r in rs}
+    assert by_name["ann"] == 150
+    assert by_name["cat"] == 95
+
+
+def test_subquery_distinct(graph):
+    rs = q(
+        graph,
+        "SELECT ?d WHERE { { SELECT DISTINCT ?d WHERE { ?p ex:dept ?d } } }",
+    )
+    assert len(rs) == 2

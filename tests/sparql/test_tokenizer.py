@@ -1,0 +1,121 @@
+"""SPARQL tokenizer."""
+
+import pytest
+
+from repro.sparql.tokenizer import SparqlLexError, Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select Select SELECT") == [
+        (TokenType.KEYWORD, "SELECT")
+    ] * 3
+
+
+def test_variables():
+    assert kinds("?x $y ?pop1") == [
+        (TokenType.VAR, "x"),
+        (TokenType.VAR, "y"),
+        (TokenType.VAR, "pop1"),
+    ]
+
+
+def test_iri_vs_less_than():
+    tokens = kinds("<http://x> < 5")
+    assert tokens[0] == (TokenType.IRI, "http://x")
+    assert tokens[1] == (TokenType.PUNCT, "<")
+    assert tokens[2] == (TokenType.NUMBER, "5")
+
+
+def test_prefixed_name():
+    assert kinds("predURI:hasPopType") == [
+        (TokenType.PNAME, "predURI:hasPopType")
+    ]
+
+
+def test_pname_trailing_dot_excluded():
+    # "?a pred:p ." — the dot terminates the triple, not the name
+    tokens = kinds("pred:p .")
+    assert tokens == [
+        (TokenType.PNAME, "pred:p"),
+        (TokenType.PUNCT, "."),
+    ]
+
+
+def test_string_escapes():
+    tokens = kinds('"a\\"b\\nc"')
+    assert tokens == [(TokenType.STRING, 'a"b\nc')]
+
+
+def test_single_quoted_string():
+    assert kinds("'abc'") == [(TokenType.STRING, "abc")]
+
+
+def test_numbers():
+    values = [v for _, v in kinds("42 4.5 1e6 2.87997e+07 1.311e-08 .5")]
+    assert values == ["42", "4.5", "1e6", "2.87997e+07", "1.311e-08", ".5"]
+
+
+def test_comments_skipped():
+    assert kinds("?x # comment ?y\n?z") == [
+        (TokenType.VAR, "x"),
+        (TokenType.VAR, "z"),
+    ]
+
+
+def test_multichar_punct():
+    assert [v for _, v in kinds("<= >= != && ||")] == [
+        "<=", ">=", "!=", "&&", "||",
+    ]
+
+
+def test_path_punctuation():
+    assert [v for _, v in kinds("(a:b/a:c)+|^?*")] == [
+        "(", "a:b", "/", "a:c", ")", "+", "|", "^", "?", "*",
+    ]
+
+
+def test_lone_question_mark_is_punct():
+    # a path modifier '?' not followed by a name char
+    tokens = kinds("a:b? .")
+    assert (TokenType.PUNCT, "?") in tokens
+
+
+def test_bnode():
+    assert kinds("_:b1") == [(TokenType.BNODE, "b1")]
+
+
+def test_line_tracking():
+    tokens = tokenize("?a\n?b")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+
+
+def test_eof_token():
+    assert tokenize("")[-1].type == TokenType.EOF
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(SparqlLexError):
+        tokenize('"abc')
+
+
+def test_newline_in_string_raises():
+    with pytest.raises(SparqlLexError):
+        tokenize('"a\nb"')
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(SparqlLexError):
+        tokenize("`")
+
+
+def test_token_helpers():
+    token = tokenize("SELECT")[0]
+    assert token.is_keyword("SELECT", "WHERE")
+    assert not token.is_keyword("WHERE")
+    punct = tokenize("{")[0]
+    assert punct.is_punct("{", "}")

@@ -1,0 +1,72 @@
+"""Public-API quality gates.
+
+Every name exported from the top-level package (and each subpackage's
+``__all__``) must exist, be importable, and carry a docstring — keeping
+the "documented public API" deliverable honest over time.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+_SUBPACKAGES = [
+    "repro.rdf",
+    "repro.sparql",
+    "repro.qep",
+    "repro.core",
+    "repro.kb",
+    "repro.workload",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.logdiag",
+]
+
+
+def _exported(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        return []
+    return [(module.__name__, name) for name in names]
+
+
+def _all_exports():
+    out = _exported(repro)
+    for name in _SUBPACKAGES:
+        out.extend(_exported(importlib.import_module(name)))
+    return out
+
+
+@pytest.mark.parametrize("module_name, name", _all_exports())
+def test_export_exists(module_name, name):
+    module = importlib.import_module(module_name)
+    assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("module_name, name", _all_exports())
+def test_export_documented(module_name, name):
+    module = importlib.import_module(module_name)
+    obj = getattr(module, name)
+    if inspect.isclass(obj) or inspect.isfunction(obj) or inspect.ismodule(obj):
+        assert inspect.getdoc(obj), f"{module_name}.{name} lacks a docstring"
+
+
+def test_package_version():
+    assert repro.__version__
+
+
+def test_every_subpackage_has_docstring():
+    for name in _SUBPACKAGES:
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a package docstring"
+
+
+def test_public_modules_have_docstrings():
+    import pkgutil
+
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        assert module.__doc__, f"{info.name} lacks a module docstring"

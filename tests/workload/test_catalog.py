@@ -1,0 +1,51 @@
+"""Synthetic catalog."""
+
+import pytest
+
+from repro.workload import Catalog, TableDef, default_catalog
+
+
+def test_default_catalog_tables():
+    catalog = default_catalog()
+    names = {t.name for t in catalog.tables}
+    # Tables visible in the paper's figures are present.
+    assert {"SALES_FACT", "CUST_DIM", "TELEPHONE_DETAIL", "TRAN_BASE"} <= names
+
+
+def test_fact_and_dimension_partition():
+    catalog = default_catalog()
+    facts = {t.name for t in catalog.fact_tables}
+    dims = {t.name for t in catalog.dimension_tables}
+    assert facts & dims == set()
+    assert facts | dims == {t.name for t in catalog.tables}
+
+
+def test_large_tables_threshold():
+    catalog = default_catalog()
+    assert all(t.cardinality > 1e6 for t in catalog.large_tables)
+    assert all(t.cardinality <= 1e6 for t in catalog.small_tables)
+
+
+def test_table_lookup():
+    catalog = default_catalog()
+    table = catalog.table("TPCD.SALES_FACT")
+    assert table.cardinality == pytest.approx(2.88e8)
+    assert table.indexes
+
+
+def test_to_base_object():
+    table = default_catalog().table("TPCD.CUST_DIM")
+    obj = table.to_base_object()
+    assert obj.qualified_name == "TPCD.CUST_DIM"
+    assert obj.columns == table.columns
+
+
+def test_duplicate_names_rejected():
+    t = TableDef("S", "T", 10, ("A",))
+    with pytest.raises(ValueError):
+        Catalog(tables=[t, t])
+
+
+def test_every_table_has_columns():
+    for table in default_catalog().tables:
+        assert table.columns

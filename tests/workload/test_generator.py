@@ -1,0 +1,230 @@
+"""Workload generator: determinism, validity, size targeting, planting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qep import validate_plan, write_plan
+from repro.workload import (
+    WorkloadGenerator,
+    find_pattern_a,
+    find_pattern_b,
+    find_pattern_c,
+    find_pattern_d,
+    generate_workload,
+    paper_size_for,
+)
+from repro.workload.generator import GeneratorConfig
+
+
+class TestDeterminism:
+    def test_same_seed_same_plans(self):
+        a = WorkloadGenerator(seed=99).generate_plan("p", target_ops=40)
+        b = WorkloadGenerator(seed=99).generate_plan("p", target_ops=40)
+        assert write_plan(a) == write_plan(b)
+
+    def test_different_seed_different_plans(self):
+        a = WorkloadGenerator(seed=1).generate_plan("p", target_ops=40)
+        b = WorkloadGenerator(seed=2).generate_plan("p", target_ops=40)
+        assert write_plan(a) != write_plan(b)
+
+    def test_workload_deterministic(self):
+        w1 = generate_workload(5, seed=7, plant_rates={"A": 0.5})
+        w2 = generate_workload(5, seed=7, plant_rates={"A": 0.5})
+        assert [write_plan(p) for p in w1] == [write_plan(p) for p in w2]
+
+
+class TestValidity:
+    def test_generated_plans_validate(self):
+        generator = WorkloadGenerator(seed=3)
+        for target in (3, 10, 60, 200):
+            plan = generator.generate_plan(f"v{target}", target_ops=target)
+            validate_plan(plan)
+
+    def test_root_is_return(self):
+        plan = WorkloadGenerator(seed=4).generate_plan("r", target_ops=30)
+        assert plan.root.op_type == "RETURN"
+        assert plan.root.number == 1
+
+    def test_operator_numbers_contiguous(self):
+        plan = WorkloadGenerator(seed=4).generate_plan("n", target_ops=30)
+        assert sorted(plan.operators) == list(range(1, plan.op_count + 1))
+
+    def test_minimum_target_enforced(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(seed=1).generate_plan("x", target_ops=2)
+
+
+class TestSizeTargeting:
+    @pytest.mark.parametrize("target", [10, 50, 150])
+    def test_size_near_target(self, target):
+        plan = WorkloadGenerator(seed=8).generate_plan("t", target_ops=target)
+        assert abs(plan.op_count - target) <= max(6, target * 0.3)
+
+    def test_generate_plan_in_range(self):
+        generator = WorkloadGenerator(seed=9)
+        for low, high in [(1, 50), (50, 100), (200, 250)]:
+            plan = generator.generate_plan_in_range("b", low, high)
+            assert low <= plan.op_count < high
+
+    def test_paper_size_distribution(self):
+        rng = random.Random(0)
+        sizes = [paper_size_for(rng) for _ in range(500)]
+        assert all(20 <= s < 550 for s in sizes)
+        assert not any(250 <= s < 500 for s in sizes)  # the empty buckets
+        assert any(s >= 500 for s in sizes)
+        assert sum(sizes) / len(sizes) > 100  # "average 100+ operators"
+
+
+class TestPlanting:
+    @pytest.mark.parametrize(
+        "letter, checker",
+        [
+            ("A", find_pattern_a),
+            ("B", find_pattern_b),
+            ("C", find_pattern_c),
+            ("D", find_pattern_d),
+        ],
+    )
+    def test_planted_pattern_found_by_reference(self, letter, checker):
+        generator = WorkloadGenerator(seed=21)
+        for index in range(5):
+            plan = generator.generate_plan(
+                f"plant-{letter}-{index}", target_ops=30, plant=[letter]
+            )
+            assert checker(plan), f"planted {letter} not found in {plan.plan_id}"
+
+    def test_plant_a_survives_avoidance_config(self):
+        """avoid_pattern_a must only break *natural* NLJOINs, never the
+        explicitly planted occurrence (regression test)."""
+        from repro.experiments.workloads import controlled_config
+
+        generator = WorkloadGenerator(seed=66, config=controlled_config())
+        for index in range(5):
+            plan = generator.generate_plan(
+                f"keep-{index}", target_ops=40, plant=["A"]
+            )
+            assert find_pattern_a(plan), f"plant destroyed in keep-{index}"
+
+    def test_unknown_plant_letter(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(seed=1).generate_plan("x", target_ops=10, plant=["Z"])
+
+    def test_controlled_config_suppresses_natural_occurrences(self):
+        config = GeneratorConfig(
+            nljoin_prob=0.2,
+            avoid_pattern_a=True,
+            lojoin_prob=0.0,
+            spill_sort_prob=0.0,
+        )
+        plans = generate_workload(
+            10,
+            seed=33,
+            plant_rates={},
+            size_sampler=lambda rng: rng.randint(30, 80),
+            config=config,
+        )
+        for plan in plans:
+            assert not find_pattern_a(plan)
+            assert not find_pattern_b(plan)
+            assert not find_pattern_c(plan)
+            assert not find_pattern_d(plan)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(0, 10000),
+        letters=st.lists(st.sampled_from("ABCD"), min_size=1, max_size=4, unique=True),
+    )
+    def test_planting_property(self, seed, letters):
+        """Any plant combination yields reference-checker hits (property)."""
+        generator = WorkloadGenerator(seed=seed)
+        plan = generator.generate_plan("prop", target_ops=35, plant=letters)
+        validate_plan(plan)
+        checkers = {
+            "A": find_pattern_a,
+            "B": find_pattern_b,
+            "C": find_pattern_c,
+            "D": find_pattern_d,
+        }
+        for letter in letters:
+            assert checkers[letter](plan)
+
+
+class TestUnions:
+    def test_unions_generated_and_valid(self):
+        config = GeneratorConfig(union_prob=0.6)
+        generator = WorkloadGenerator(seed=12, config=config)
+        union_seen = False
+        for index in range(6):
+            plan = generator.generate_plan(f"u{index}", target_ops=40)
+            validate_plan(plan)
+            if plan.operators_of_type("UNION"):
+                union_seen = True
+        assert union_seen
+
+    def test_union_arity_at_least_two(self):
+        config = GeneratorConfig(union_prob=0.6)
+        generator = WorkloadGenerator(seed=13, config=config)
+        for index in range(4):
+            plan = generator.generate_plan(f"ua{index}", target_ops=40)
+            for union in plan.operators_of_type("UNION"):
+                assert len(union.child_operators()) >= 2
+
+
+class TestStitchedViews:
+    def test_repeated_view_structures(self):
+        """With stitching forced on, a plan contains several subtrees
+        with identical structural signatures (view expansions)."""
+        from collections import Counter
+
+        from repro.qep.diff import _signature
+
+        config = GeneratorConfig(stitch_prob=1.0)
+        generator = WorkloadGenerator(seed=7, config=config)
+        plan = generator.generate_plan("stitched", target_ops=50)
+        memo = {}
+        signatures = Counter(
+            _signature(op, memo)
+            for op in plan.iter_operators()
+            if op.info.is_join
+        )
+        assert any(count >= 2 for count in signatures.values()), (
+            "no repeated join subtree found"
+        )
+
+    def test_instances_are_copies_not_shared(self):
+        config = GeneratorConfig(stitch_prob=1.0, temp_share_prob=0.0)
+        generator = WorkloadGenerator(seed=8, config=config)
+        plan = generator.generate_plan("copies", target_ops=40)
+        validate_plan(plan)
+
+    def test_stitching_off(self):
+        config = GeneratorConfig(stitch_prob=0.0)
+        generator = WorkloadGenerator(seed=9, config=config)
+        plan = generator.generate_plan("plain", target_ops=40)
+        validate_plan(plan)
+
+
+class TestWorkloadGeneration:
+    def test_plant_rates_drive_incidence(self):
+        config = GeneratorConfig(
+            nljoin_prob=0.0, lojoin_prob=0.0, spill_sort_prob=0.0
+        )
+        plans = generate_workload(
+            30,
+            seed=44,
+            plant_rates={"A": 1.0},
+            size_sampler=lambda rng: rng.randint(10, 30),
+            config=config,
+        )
+        hits = sum(1 for p in plans if find_pattern_a(p))
+        assert hits == 30
+
+    def test_unique_plan_ids(self):
+        plans = generate_workload(10, seed=5)
+        assert len({p.plan_id for p in plans}) == 10
+
+    def test_statement_generated(self):
+        plan = WorkloadGenerator(seed=6).generate_plan("s", target_ops=20)
+        assert "SELECT" in plan.statement

@@ -1,0 +1,187 @@
+"""Reference checkers: hand-built positives and near-miss negatives."""
+
+import pytest
+
+from repro.qep import (
+    BaseObject,
+    JoinSemantics,
+    PlanGraph,
+    PlanOperator,
+    StreamRole,
+)
+from repro.workload import (
+    find_pattern_a,
+    find_pattern_b,
+    find_pattern_c,
+    find_pattern_d,
+    ground_truth,
+)
+from tests.conftest import build_figure1_plan
+
+
+def _scan(number, card, table="T", table_card=1000.0, op_type="TBSCAN"):
+    scan = PlanOperator(number, op_type, cardinality=card, total_cost=card + 1)
+    scan.add_input(BaseObject("S", table, table_card))
+    return scan
+
+
+def _wrap(plan_id, *ops, root=None):
+    plan = PlanGraph(plan_id)
+    for op in ops:
+        plan.add_operator(op)
+    plan.set_root(root or ops[0])
+    return plan
+
+
+class TestPatternA:
+    def make(self, outer_card=10.0, inner_card=500.0, inner_type="TBSCAN"):
+        outer = _scan(3, outer_card, "OUT")
+        inner = _scan(4, inner_card, "BIG", op_type=inner_type)
+        join = PlanOperator(2, "NLJOIN", cardinality=5, total_cost=1e5)
+        join.add_input(outer, StreamRole.OUTER)
+        join.add_input(inner, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", total_cost=1e5)
+        ret.add_input(join)
+        return _wrap("a", ret, join, outer, inner)
+
+    def test_positive(self):
+        occurrences = find_pattern_a(self.make())
+        assert len(occurrences) == 1
+        assert occurrences[0]["TOP"].op_type == "NLJOIN"
+        assert occurrences[0]["BASE"].name == "BIG"
+
+    def test_figure1_matches(self, figure1_plan):
+        assert find_pattern_a(figure1_plan)
+
+    def test_small_inner_no_match(self):
+        assert not find_pattern_a(self.make(inner_card=50.0))
+
+    def test_boundary_inner_100_no_match(self):
+        assert not find_pattern_a(self.make(inner_card=100.0))
+
+    def test_single_row_outer_no_match(self):
+        assert not find_pattern_a(self.make(outer_card=1.0))
+
+    def test_ixscan_inner_no_match(self):
+        assert not find_pattern_a(self.make(inner_type="IXSCAN"))
+
+    def test_hsjoin_no_match(self):
+        plan = self.make()
+        plan.operator(2).op_type = "HSJOIN"
+        assert not find_pattern_a(plan)
+
+
+class TestPatternB:
+    def make(self, outer_loj=True, inner_loj=True, bury=False):
+        def loj_join(number, base_offset, loj):
+            left = _scan(base_offset, 10, f"L{number}")
+            right = _scan(base_offset + 1, 10, f"R{number}")
+            join = PlanOperator(
+                number,
+                "HSJOIN",
+                cardinality=10,
+                total_cost=100,
+                join_semantics=(
+                    JoinSemantics.LEFT_OUTER if loj else JoinSemantics.INNER
+                ),
+            )
+            join.add_input(left, StreamRole.OUTER)
+            join.add_input(right, StreamRole.INNER)
+            return join, left, right
+
+        join_a, l1, r1 = loj_join(3, 10, outer_loj)
+        join_b, l2, r2 = loj_join(4, 20, inner_loj)
+        ops = [join_a, join_b, l1, r1, l2, r2]
+        outer_src, inner_src = join_a, join_b
+        if bury:
+            sort = PlanOperator(5, "SORT", cardinality=10, total_cost=150)
+            sort.add_input(join_a)
+            outer_src = sort
+            ops.append(sort)
+        top = PlanOperator(2, "MSJOIN", cardinality=10, total_cost=500)
+        top.add_input(outer_src, StreamRole.OUTER)
+        top.add_input(inner_src, StreamRole.INNER)
+        ret = PlanOperator(1, "RETURN", total_cost=500)
+        ret.add_input(top)
+        return _wrap("b", ret, top, *ops)
+
+    def test_positive_immediate(self):
+        occurrences = find_pattern_b(self.make())
+        assert occurrences
+        assert occurrences[0]["TOP"].number == 2
+
+    def test_positive_buried_descendant(self):
+        assert find_pattern_b(self.make(bury=True))
+
+    def test_needs_loj_on_both_sides(self):
+        assert not find_pattern_b(self.make(outer_loj=False))
+        assert not find_pattern_b(self.make(inner_loj=False))
+
+    def test_figure1_no_match(self, figure1_plan):
+        assert not find_pattern_b(figure1_plan)
+
+
+class TestPatternC:
+    def make(self, scan_card=1e-5, base_card=5e6, op_type="IXSCAN"):
+        scan = _scan(2, scan_card, "HUGE", table_card=base_card, op_type=op_type)
+        ret = PlanOperator(1, "RETURN", total_cost=100)
+        ret.add_input(scan)
+        return _wrap("c", ret, scan)
+
+    def test_positive_ixscan(self):
+        occurrences = find_pattern_c(self.make())
+        assert occurrences[0]["SCAN"].op_type == "IXSCAN"
+
+    def test_positive_tbscan(self):
+        assert find_pattern_c(self.make(op_type="TBSCAN"))
+
+    def test_cardinality_boundary(self):
+        assert not find_pattern_c(self.make(scan_card=0.001))
+        assert find_pattern_c(self.make(scan_card=0.0009))
+
+    def test_small_base_no_match(self):
+        assert not find_pattern_c(self.make(base_card=1e6))
+
+    def test_other_operator_no_match(self):
+        plan = self.make()
+        plan.operator(2).op_type = "FETCH"
+        assert not find_pattern_c(plan)
+
+
+class TestPatternD:
+    def make(self, sort_io=100.0, child_io=50.0):
+        scan = PlanOperator(3, "TBSCAN", cardinality=10, total_cost=60,
+                            io_cost=child_io)
+        scan.add_input(BaseObject("S", "T", 100))
+        sort = PlanOperator(2, "SORT", cardinality=10, total_cost=80,
+                            io_cost=sort_io)
+        sort.add_input(scan)
+        ret = PlanOperator(1, "RETURN", total_cost=80, io_cost=sort_io)
+        ret.add_input(sort)
+        return _wrap("d", ret, sort, scan)
+
+    def test_positive(self):
+        occurrences = find_pattern_d(self.make())
+        assert occurrences[0]["SORT"].number == 2
+        assert occurrences[0]["input"].number == 3
+
+    def test_equal_io_no_match(self):
+        assert not find_pattern_d(self.make(sort_io=50.0, child_io=50.0))
+
+    def test_higher_child_io_no_match(self):
+        assert not find_pattern_d(self.make(sort_io=40.0, child_io=50.0))
+
+
+class TestGroundTruth:
+    def test_ground_truth_structure(self, small_workload):
+        truth = ground_truth(small_workload)
+        assert set(truth) == set("ABCD")
+        ids = {p.plan_id for p in small_workload}
+        for letter in "ABCD":
+            assert set(truth[letter]) <= ids
+            for occurrences in truth[letter].values():
+                assert occurrences  # only matching plans included
+
+    def test_ground_truth_subset_letters(self, small_workload):
+        truth = ground_truth(small_workload, letters="AC")
+        assert set(truth) == {"A", "C"}
