@@ -20,6 +20,7 @@ paper-to-module mapping.
 
 from repro.core import (
     Match,
+    MatchingEngine,
     OptImatch,
     PatternBuilder,
     PlanMatches,
@@ -56,6 +57,7 @@ __all__ = [
     "BaseObject",
     "KnowledgeBase",
     "Match",
+    "MatchingEngine",
     "OptImatch",
     "PatternBuilder",
     "PlanGraph",

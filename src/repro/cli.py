@@ -65,8 +65,22 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _engine_stats_line(tool: OptImatch) -> str:
+    """One-line engine instrumentation summary for CLI output."""
+    stats = tool.stats()
+    match_cache = stats["matchCache"]
+    timings = stats["timings"]
+    return (
+        f"engine: {stats['workers']} worker(s), cache "
+        f"{'on' if stats['cacheEnabled'] else 'off'} "
+        f"(hits {match_cache['hits']}/{match_cache['hits'] + match_cache['misses']}), "
+        f"prepare {timings['prepareSeconds']:.3f}s, "
+        f"evaluate {timings['evaluateSeconds']:.3f}s"
+    )
+
+
 def _cmd_search(args) -> int:
-    tool = OptImatch()
+    tool = OptImatch(workers=args.workers, cache=not args.no_cache)
     count = tool.load_workload_dir(args.workload)
     pattern = _load_pattern(args.pattern)
     matches = tool.search(pattern)
@@ -76,11 +90,12 @@ def _cmd_search(args) -> int:
         if args.verbose:
             for occurrence in plan_matches:
                 print(f"    {occurrence.describe()}")
+    print(_engine_stats_line(tool))
     return 0
 
 
 def _cmd_kb(args) -> int:
-    tool = OptImatch()
+    tool = OptImatch(workers=args.workers, cache=not args.no_cache)
     count = tool.load_workload_dir(args.workload)
     if args.kb_file:
         kb = KnowledgeBase.load(args.kb_file)
@@ -101,6 +116,7 @@ def _cmd_kb(args) -> int:
     else:
         flagged = len(report.plans_with_recommendations())
         print(f"{flagged} plan(s) received recommendations; use -v for details")
+    print(_engine_stats_line(tool))
     return 0
 
 
@@ -263,7 +279,13 @@ def _cmd_serve(args) -> int:
         from repro.kb import extended_knowledge_base
 
         kb = extended_knowledge_base()
-    server = OptImatchServer(host=args.host, port=args.port, knowledge_base=kb)
+    server = OptImatchServer(
+        host=args.host,
+        port=args.port,
+        knowledge_base=kb,
+        workers=args.workers,
+        cache=not args.no_cache,
+    )
     if args.workload:
         for name in sorted(os.listdir(args.workload)):
             if name.endswith(".exfmt"):
@@ -330,10 +352,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("pattern", help="pattern JSON path or builtin letter A-D")
     p.set_defaults(func=_cmd_compile)
 
+    def add_engine_flags(sub_parser):
+        sub_parser.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="matching-engine threads (default: one per CPU)",
+        )
+        sub_parser.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="disable the prepared-query and per-plan match caches",
+        )
+
     p = sub.add_parser("search", help="search a workload for a pattern")
     p.add_argument("workload", help="directory of *.exfmt files")
     p.add_argument("pattern", help="pattern JSON path or builtin letter A-D")
     p.add_argument("-v", "--verbose", action="store_true")
+    add_engine_flags(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("kb", help="run the knowledge base over a workload")
@@ -345,6 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the extended expert library (14 entries) instead of A-D",
     )
     p.add_argument("-v", "--verbose", action="store_true")
+    add_engine_flags(p)
     p.set_defaults(func=_cmd_kb)
 
     p = sub.add_parser("stats", help="workload summary statistics")
@@ -402,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", help="preload *.exfmt files from a directory")
     p.add_argument("--extended", action="store_true",
                    help="serve the extended expert library")
+    add_engine_flags(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("experiment", help="reproduce a paper figure/table")

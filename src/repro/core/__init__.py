@@ -13,10 +13,13 @@ from repro.core.pattern import (
 from repro.core.sparqlgen import pattern_to_sparql
 from repro.core.pattern_rdf import pattern_from_rdf, pattern_to_rdf
 from repro.core.matcher import Match, PlanMatches, find_matches, search_plan
+from repro.core.engine import EngineStats, MatchingEngine
 from repro.core.optimatch import OptImatch
 
 __all__ = [
+    "EngineStats",
     "Match",
+    "MatchingEngine",
     "OBJ",
     "OptImatch",
     "PLAN",

@@ -1,0 +1,340 @@
+"""Parallel, cached workload matching engine.
+
+The paper's headline evaluation (Figures 9-11) matches expert patterns
+against a 1000-QEP customer workload.  :func:`repro.core.matcher.
+find_matches` evaluates the compiled SPARQL serially over every plan
+graph and recompiles / re-evaluates from scratch on every call; this
+module wraps that per-plan primitive in an engine that makes the
+workload-scale path fast:
+
+* a **prepared-query cache** (LRU): pattern / SPARQL text -> parsed AST,
+  so repeated searches and knowledge-base runs parse each query once;
+* a **per-plan match cache** (LRU) keyed on
+  ``(plan_id, graph.version, query_key)``: re-running a search over an
+  unchanged workload is near-free, and mutating a plan's graph bumps
+  :attr:`repro.rdf.Graph.version` which transparently invalidates only
+  that plan's entries;
+* **fan-out** of the per-plan evaluations over a
+  :class:`concurrent.futures.ThreadPoolExecutor` with a configurable
+  worker count and chunked scheduling.  Results always come back in
+  workload order and are identical to the serial path (each plan is
+  still evaluated by :func:`repro.core.matcher.search_plan`).
+
+Instrumentation (per-stage timings, cache hit/miss counters,
+matches-per-plan) is collected in :class:`EngineStats` and exposed via
+:meth:`MatchingEngine.stats`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.matcher import PlanMatches, search_plan
+from repro.core.pattern import ProblemPattern
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.core.transform import TransformedPlan
+from repro.sparql import prepare_query
+
+#: Default bound on distinct prepared queries kept in memory.
+DEFAULT_PREPARED_CACHE_SIZE = 128
+#: Default bound on (plan, version, query) match entries kept in memory.
+DEFAULT_MATCH_CACHE_SIZE = 16384
+
+
+class LRUCache:
+    """A small thread-compatible LRU map (callers hold the engine lock)."""
+
+    def __init__(self, maxsize: int):
+        if maxsize < 1:
+            raise ValueError("LRU cache size must be >= 1")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key, default=None):
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return default
+        return self._data[key]
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+@dataclass
+class EngineStats:
+    """Cumulative counters and timings for one :class:`MatchingEngine`."""
+
+    searches: int = 0
+    plans_seen: int = 0
+    plans_evaluated: int = 0
+    plans_from_cache: int = 0
+    prepared_hits: int = 0
+    prepared_misses: int = 0
+    match_hits: int = 0
+    match_misses: int = 0
+    prepare_seconds: float = 0.0
+    evaluate_seconds: float = 0.0
+    total_seconds: float = 0.0
+    matches_per_plan: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def match_hit_rate(self) -> float:
+        lookups = self.match_hits + self.match_misses
+        return self.match_hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict view (JSON-serializable, for the CLI and server)."""
+        return {
+            "searches": self.searches,
+            "plansSeen": self.plans_seen,
+            "plansEvaluated": self.plans_evaluated,
+            "plansFromCache": self.plans_from_cache,
+            "preparedCache": {
+                "hits": self.prepared_hits,
+                "misses": self.prepared_misses,
+            },
+            "matchCache": {
+                "hits": self.match_hits,
+                "misses": self.match_misses,
+                "hitRate": round(self.match_hit_rate, 4),
+            },
+            "timings": {
+                "prepareSeconds": round(self.prepare_seconds, 6),
+                "evaluateSeconds": round(self.evaluate_seconds, 6),
+                "totalSeconds": round(self.total_seconds, 6),
+            },
+            "matchesPerPlan": dict(self.matches_per_plan),
+        }
+
+
+def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+class MatchingEngine:
+    """Workload-scale pattern matching with caching and a thread pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of evaluation threads.  ``None`` uses ``os.cpu_count()``;
+        ``1`` evaluates serially on the calling thread (still cached).
+    cache:
+        Enable the two cache levels.  With ``False`` every search
+        re-parses and re-evaluates, exactly like the bare
+        :func:`repro.core.matcher.find_matches`.
+    chunk_size:
+        Plans per scheduled task.  ``None`` picks a size that gives each
+        worker a few chunks (amortizes task overhead while keeping the
+        pool load-balanced).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: bool = True,
+        prepared_cache_size: int = DEFAULT_PREPARED_CACHE_SIZE,
+        match_cache_size: int = DEFAULT_MATCH_CACHE_SIZE,
+        chunk_size: Optional[int] = None,
+    ):
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.cache_enabled = bool(cache)
+        self.chunk_size = chunk_size
+        self._prepared = LRUCache(prepared_cache_size)
+        self._matches = LRUCache(match_cache_size)
+        self._lock = threading.Lock()
+        self._stats = EngineStats()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Query preparation (cache level 1)
+    # ------------------------------------------------------------------
+    def prepare(
+        self, sparql_or_pattern: Union[str, ProblemPattern, object]
+    ) -> Tuple[Optional[str], object]:
+        """Resolve the input to ``(query_key, prepared AST)``.
+
+        The key is the SPARQL text (patterns compile deterministically,
+        so equal patterns share a key).  An already-prepared AST has no
+        stable key and bypasses both caches.
+        """
+        started = time.perf_counter()
+        try:
+            if isinstance(sparql_or_pattern, ProblemPattern):
+                text = pattern_to_sparql(sparql_or_pattern)
+            elif isinstance(sparql_or_pattern, str):
+                text = sparql_or_pattern
+            else:
+                return None, sparql_or_pattern
+            if not self.cache_enabled:
+                with self._lock:
+                    self._stats.prepared_misses += 1
+                return text, prepare_query(text)
+            with self._lock:
+                ast = self._prepared.get(text)
+                if ast is not None:
+                    self._stats.prepared_hits += 1
+                    return text, ast
+                self._stats.prepared_misses += 1
+            ast = prepare_query(text)  # parse outside the lock
+            with self._lock:
+                self._prepared.put(text, ast)
+            return text, ast
+        finally:
+            with self._lock:
+                self._stats.prepare_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Search (cache level 2 + fan-out)
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        sparql_or_pattern: Union[str, ProblemPattern, object],
+        workload: Iterable[TransformedPlan],
+        keep_empty: bool = False,
+    ) -> List[PlanMatches]:
+        """Match a pattern against every plan, in workload order.
+
+        Mirrors :func:`repro.core.matcher.find_matches`: plans without
+        occurrences are dropped unless *keep_empty* is set (one
+        :class:`PlanMatches` per plan then).
+        """
+        started = time.perf_counter()
+        key, ast = self.prepare(sparql_or_pattern)
+        plans = list(workload)
+        results: List[Optional[PlanMatches]] = [None] * len(plans)
+        pending: List[Tuple[int, TransformedPlan]] = []
+
+        use_cache = self.cache_enabled and key is not None
+        if use_cache:
+            with self._lock:
+                for index, transformed in enumerate(plans):
+                    cache_key = (transformed.plan_id, transformed.graph.version, key)
+                    cached = self._matches.get(cache_key)
+                    if cached is not None:
+                        self._stats.match_hits += 1
+                        results[index] = cached
+                    else:
+                        self._stats.match_misses += 1
+                        pending.append((index, transformed))
+        else:
+            pending = list(enumerate(plans))
+
+        evaluated = self._evaluate(ast, pending)
+        with self._lock:
+            for index, transformed, result in evaluated:
+                results[index] = result
+                if use_cache:
+                    cache_key = (transformed.plan_id, transformed.graph.version, key)
+                    self._matches.put(cache_key, result)
+            self._stats.searches += 1
+            self._stats.plans_seen += len(plans)
+            self._stats.plans_evaluated += len(evaluated)
+            self._stats.plans_from_cache += len(plans) - len(evaluated)
+            for result in results:
+                if result and result.count:
+                    per_plan = self._stats.matches_per_plan
+                    per_plan[result.plan_id] = (
+                        per_plan.get(result.plan_id, 0) + result.count
+                    )
+            self._stats.total_seconds += time.perf_counter() - started
+        return [r for r in results if r is not None and (keep_empty or r)]
+
+    def matching_plan_ids(
+        self,
+        sparql_or_pattern: Union[str, ProblemPattern, object],
+        workload: Iterable[TransformedPlan],
+    ) -> List[str]:
+        return [m.plan_id for m in self.search(sparql_or_pattern, workload)]
+
+    def _evaluate(
+        self, ast: object, pending: Sequence[Tuple[int, TransformedPlan]]
+    ) -> List[Tuple[int, TransformedPlan, PlanMatches]]:
+        """Evaluate the uncached plans, fanning out when it pays off."""
+        if not pending:
+            return []
+        started = time.perf_counter()
+
+        def eval_chunk(chunk):
+            return [
+                (index, transformed, search_plan(ast, transformed))
+                for index, transformed in chunk
+            ]
+
+        if self.workers <= 1 or len(pending) <= 1:
+            out = eval_chunk(pending)
+        else:
+            size = self.chunk_size or max(
+                1, len(pending) // (self.workers * 4) or 1
+            )
+            chunks = list(_chunked(list(pending), size))
+            out = []
+            for part in self._executor().map(eval_chunk, chunks):
+                out.extend(part)
+        with self._lock:
+            self._stats.evaluate_seconds += time.perf_counter() - started
+        return out
+
+    def _executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="optimatch-match",
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------
+    # Instrumentation / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot of counters, timings and cache occupancy."""
+        with self._lock:
+            data = self._stats.snapshot()
+            data["workers"] = self.workers
+            data["cacheEnabled"] = self.cache_enabled
+            data["preparedCache"]["size"] = len(self._prepared)
+            data["matchCache"]["size"] = len(self._matches)
+            return data
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._stats = EngineStats()
+
+    def clear_caches(self) -> None:
+        with self._lock:
+            self._prepared.clear()
+            self._matches.clear()
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "MatchingEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

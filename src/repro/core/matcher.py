@@ -136,22 +136,16 @@ def find_matches(
     """Algorithm 3: match the pattern against every plan in the workload.
 
     Returns one :class:`PlanMatches` per plan that has at least one
-    occurrence, in workload order.
+    occurrence, in workload order.  Each plan goes through
+    :func:`search_plan`, so the dedup-by-signature semantics are defined
+    in exactly one place.  For repeated or parallel workload-scale runs
+    use :class:`repro.core.engine.MatchingEngine`, which wraps the same
+    per-plan primitive with caching and a thread pool.
     """
     ast = _prepare(sparql_or_pattern)
     matches: List[PlanMatches] = []
     for transformed in workload:
-        result = PlanMatches(transformed=transformed)
-        seen = set()
-        for row in run_query(transformed.graph, ast):
-            match = _detransform_row(row, transformed)
-            if match is None:
-                continue
-            signature = match.signature()
-            if signature in seen:
-                continue
-            seen.add(signature)
-            result.occurrences.append(match)
+        result = search_plan(ast, transformed)
         if result:
             matches.append(result)
     return matches

@@ -3,14 +3,23 @@
 This is the top-level entry point a downstream user interacts with::
 
     from repro import OptImatch
-    tool = OptImatch()
+    tool = OptImatch(workers=4)               # parallel matching engine
     tool.load_workload_dir("explains/")       # or add_plan / load files
     matches = tool.search(pattern)            # ad-hoc pattern search
     report = tool.run_knowledge_base(kb)      # routinized plan checks
+    print(tool.stats())                       # cache hits, timings
 
 Plans are transformed to RDF once and cached; every subsequent search or
 knowledge-base run reuses the cached graphs, mirroring the architecture
-of Figure 4 (transformation engine feeding the matching engine).
+of Figure 4 (transformation engine feeding the matching engine).  All
+searches go through a :class:`repro.core.engine.MatchingEngine`, which
+adds a prepared-query cache, a per-plan match cache keyed on the graph
+version, and a configurable thread pool.
+
+Workload loads are atomic: ``add_plans`` and ``load_workload_dir`` stage
+the whole batch (parsing, transforming and checking for duplicate ids)
+before committing anything, so a failure mid-directory leaves the
+workload exactly as it was.
 """
 
 from __future__ import annotations
@@ -18,7 +27,8 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.core.matcher import PlanMatches, find_matches
+from repro.core.engine import MatchingEngine
+from repro.core.matcher import PlanMatches
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
 from repro.core.transform import TransformedPlan, transform_plan
@@ -27,11 +37,22 @@ from repro.qep.parser import parse_plan, parse_plan_file
 
 
 class OptImatch:
-    """Query performance problem determination over a QEP workload."""
+    """Query performance problem determination over a QEP workload.
 
-    def __init__(self):
+    *workers* and *cache* configure the matching engine (defaults: one
+    worker per CPU, caching on); pass an *engine* to share one across
+    facades.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: bool = True,
+        engine: Optional[MatchingEngine] = None,
+    ):
         self._workload: List[TransformedPlan] = []
         self._by_id: Dict[str, TransformedPlan] = {}
+        self._engine = engine or MatchingEngine(workers=workers, cache=cache)
 
     # ------------------------------------------------------------------
     # Workload management
@@ -46,8 +67,30 @@ class OptImatch:
         return transformed
 
     def add_plans(self, plans: Iterable[PlanGraph]) -> None:
-        for plan in plans:
-            self.add_plan(plan)
+        """Transform and add a batch of plans, atomically.
+
+        The whole batch is staged first (duplicate ids — against the
+        current workload *and* within the batch — and transform errors
+        surface before anything is added), then committed; on error the
+        workload is unchanged.
+        """
+        self._commit(transform_plan(plan) for plan in plans)
+
+    def _commit(self, staged: Iterable[TransformedPlan]) -> int:
+        """Validate a staged batch of transformed plans, then add it."""
+        batch: List[TransformedPlan] = []
+        seen = set(self._by_id)
+        for transformed in staged:
+            if transformed.plan_id in seen:
+                raise ValueError(
+                    f"duplicate plan id {transformed.plan_id!r} in workload"
+                )
+            seen.add(transformed.plan_id)
+            batch.append(transformed)
+        for transformed in batch:
+            self._workload.append(transformed)
+            self._by_id[transformed.plan_id] = transformed
+        return len(batch)
 
     def load_explain_text(self, text: str, plan_id: Optional[str] = None) -> TransformedPlan:
         """Parse explain *text* and add the plan to the workload.
@@ -77,26 +120,22 @@ class OptImatch:
         With *use_rdf_cache* the transformed RDF is persisted as ``.nt``
         sidecar files and reused on subsequent loads (the DB2 RDF Store
         role; see :mod:`repro.core.store`).  Returns the number of plans
-        loaded.
+        loaded.  The load is atomic: a parse failure or duplicate plan
+        id anywhere in the directory raises without mutating the
+        workload.
         """
+        paths = [
+            os.path.join(directory, name)
+            for name in sorted(os.listdir(directory))
+            if name.endswith(suffix)
+        ]
         if use_rdf_cache:
-            from repro.core.store import load_workload_cached
+            from repro.core.store import load_transformed
 
-            loaded = load_workload_cached(directory, suffix)
-            for transformed in loaded:
-                if transformed.plan_id in self._by_id:
-                    raise ValueError(
-                        f"duplicate plan id {transformed.plan_id!r} in workload"
-                    )
-                self._workload.append(transformed)
-                self._by_id[transformed.plan_id] = transformed
-            return len(loaded)
-        count = 0
-        for name in sorted(os.listdir(directory)):
-            if name.endswith(suffix):
-                self.load_explain_file(os.path.join(directory, name))
-                count += 1
-        return count
+            return self._commit([load_transformed(path) for path in paths])
+        return self._commit(
+            [transform_plan(parse_plan_file(path)) for path in paths]
+        )
 
     @property
     def workload(self) -> List[TransformedPlan]:
@@ -116,6 +155,15 @@ class OptImatch:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> MatchingEngine:
+        """The matching engine behind :meth:`search` (stats, caches)."""
+        return self._engine
+
+    def stats(self) -> dict:
+        """Engine instrumentation: cache hit/miss counters and timings."""
+        return self._engine.stats()
+
     def compile(self, pattern: ProblemPattern) -> str:
         """Compile a pattern to its SPARQL text (for inspection/storage)."""
         return pattern_to_sparql(pattern)
@@ -124,7 +172,7 @@ class OptImatch:
         self, pattern: Union[ProblemPattern, str]
     ) -> List[PlanMatches]:
         """Search the whole workload for *pattern* (Algorithm 3)."""
-        return find_matches(pattern, self._workload)
+        return self._engine.search(pattern, self._workload)
 
     def matching_plan_ids(self, pattern: Union[ProblemPattern, str]) -> List[str]:
         """Plan IDs that contain at least one occurrence of *pattern*."""
@@ -136,8 +184,12 @@ class OptImatch:
     def run_knowledge_base(self, knowledge_base) -> "object":
         """Run every KB entry against the workload (Algorithm 5).
 
-        Delegates to :meth:`repro.kb.KnowledgeBase.find_recommendations`;
-        accepting the KB as a parameter keeps the core free of a kb
-        dependency.
+        Delegates to :meth:`repro.kb.KnowledgeBase.find_recommendations`
+        with this facade's matching engine, so entry queries are parsed
+        once, fanned out over the worker pool and match-cached across
+        runs; accepting the KB as a parameter keeps the core free of a
+        kb dependency.
         """
-        return knowledge_base.find_recommendations(self._workload)
+        return knowledge_base.find_recommendations(
+            self._workload, engine=self._engine
+        )

@@ -19,6 +19,7 @@ skip-the-transform architecture pays off.
 
 from __future__ import annotations
 
+import logging
 import os
 from typing import List
 
@@ -29,6 +30,8 @@ from repro.qep.parser import parse_plan_file
 from repro.rdf import Graph
 from repro.rdf.parser import read_ntriples
 from repro.rdf.serializer import write_ntriples
+
+logger = logging.getLogger(__name__)
 
 
 def rdf_cache_path(explain_path: str) -> str:
@@ -80,11 +83,19 @@ def load_transformed(explain_path: str, refresh: bool = False) -> TransformedPla
     if not refresh and os.path.exists(cache) and (
         os.path.getmtime(cache) >= os.path.getmtime(explain_path)
     ):
-        graph = read_ntriples(cache, identifier=plan.plan_id)
+        # A corrupt/truncated sidecar must never abort the workload
+        # load: parse errors (NTriplesSyntaxError is a ValueError),
+        # invalid triples (TypeError), undecodable bytes and read races
+        # all fall through to regeneration, like a stale cache does.
         try:
+            graph = read_ntriples(cache, identifier=plan.plan_id)
             return rebuild_transformed(plan, graph)
-        except ValueError:
-            pass  # stale/corrupt sidecar: fall through and regenerate
+        except (ValueError, TypeError, OSError, UnicodeDecodeError) as exc:
+            logger.warning(
+                "RDF sidecar %s is stale or corrupt (%s); regenerating",
+                cache,
+                exc,
+            )
     transformed = transform_plan(plan)
     write_ntriples(transformed.graph, cache)
     return transformed

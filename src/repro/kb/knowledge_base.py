@@ -221,16 +221,40 @@ class KnowledgeBase:
     # Algorithm 5: FindingRecommendationsKB
     # ------------------------------------------------------------------
     def find_recommendations(
-        self, workload: Iterable[TransformedPlan]
+        self, workload: Iterable[TransformedPlan], engine=None
     ) -> KBReport:
-        """Match every entry against every plan; rank by confidence."""
+        """Match every entry against every plan; rank by confidence.
+
+        With an *engine* (a :class:`repro.core.engine.MatchingEngine`,
+        duck-typed to keep the kb package decoupled from it) each
+        entry's SPARQL text is searched over the whole workload in one
+        call, so the evaluation fans out over the engine's worker pool
+        and repeated KB runs over an unchanged workload hit its match
+        cache.  Results are identical to the serial path: both evaluate
+        each (entry, plan) pair through ``search_plan``.
+        """
+        workload = list(workload)
+        matches_by_entry = None
+        if engine is not None:
+            matches_by_entry = {
+                entry.name: {
+                    m.plan_id: m for m in engine.search(entry.sparql, workload)
+                }
+                for entry in self.entries
+            }
         report = KBReport()
         for transformed in workload:
             plan_result = PlanRecommendations(plan_id=transformed.plan_id)
             for entry in self.entries:
-                # Reuse the entry's precompiled query AST: re-parsing the
-                # SPARQL per plan x entry dominates small-pattern runs.
-                matches = search_plan(entry.compiled, transformed)
+                if matches_by_entry is not None:
+                    matches = matches_by_entry[entry.name].get(
+                        transformed.plan_id
+                    )
+                else:
+                    # Reuse the entry's precompiled query AST: re-parsing
+                    # the SPARQL per plan x entry dominates small-pattern
+                    # runs.
+                    matches = search_plan(entry.compiled, transformed)
                 if not matches:
                     continue
                 occurrences: List[Match] = matches.occurrences

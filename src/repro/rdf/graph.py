@@ -180,10 +180,14 @@ class Graph:
         predicate: Optional[Term] = None,
         obj: Optional[Term] = None,
     ) -> int:
-        """Number of triples matching the pattern (cheap for bound prefixes)."""
-        if subject is None and predicate is None and obj is None:
-            return self._size
-        return sum(1 for _ in self.triples(subject, predicate, obj))
+        """Number of triples matching the pattern.
+
+        Delegates to :meth:`estimate`, which is *exact* for this store
+        for every pattern shape (the permutation indexes and the
+        per-predicate totals are maintained precisely), so no binding
+        pattern ever needs to iterate the matching triples.
+        """
+        return self.estimate(subject, predicate, obj)
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -229,10 +233,12 @@ class Graph:
         predicate: Optional[Term] = None,
         obj: Optional[Term] = None,
     ) -> int:
-        """Cheap upper-bound estimate of matching triples.
+        """Cheap count of matching triples (exact for this store).
 
-        Used by the SPARQL evaluator's greedy join ordering.  Every case
-        is O(1) or O(distinct predicates of one node) — never a scan.
+        Used by the SPARQL evaluator's greedy join ordering and by
+        :meth:`count`.  Every case is O(1) or O(distinct predicates of
+        one node) — never a scan — and, because the permutation indexes
+        and per-predicate totals are exact, so is the result.
         """
         s, p, o = subject, predicate, obj
         if s is not None and p is not None:

@@ -11,6 +11,7 @@ front end:
 method  path                   body / effect
 ======  =====================  ==========================================
 GET     /health                liveness + workload size
+GET     /stats                 matching-engine cache/timing counters
 GET     /plans                 list loaded plan ids
 POST    /plans                 explain text (or tree snippet) → loads it
 DELETE  /plans                 clear the workload
@@ -46,8 +47,13 @@ from repro.qep.parser import QepParseError
 class ServerState:
     """Shared state behind the HTTP handlers (thread-safe)."""
 
-    def __init__(self, knowledge_base: Optional[KnowledgeBase] = None):
-        self.tool = OptImatch()
+    def __init__(
+        self,
+        knowledge_base: Optional[KnowledgeBase] = None,
+        workers: Optional[int] = None,
+        cache: bool = True,
+    ):
+        self.tool = OptImatch(workers=workers, cache=cache)
         self.kb = knowledge_base or builtin_knowledge_base()
         self.lock = threading.Lock()
 
@@ -148,6 +154,9 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(
                     200, {"entries": [e.name for e in state.kb.entries]}
                 )
+        elif self.path == "/stats":
+            with state.lock:
+                self._send(200, state.tool.stats())
         else:
             self._error(404, f"unknown path {self.path}")
 
@@ -208,8 +217,10 @@ class OptImatchServer:
         host: str = "127.0.0.1",
         port: int = 8080,
         knowledge_base: Optional[KnowledgeBase] = None,
+        workers: Optional[int] = None,
+        cache: bool = True,
     ):
-        self.state = ServerState(knowledge_base)
+        self.state = ServerState(knowledge_base, workers=workers, cache=cache)
         handler = type("BoundHandler", (_Handler,), {"state": self.state})
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._thread: Optional[threading.Thread] = None

@@ -76,6 +76,39 @@ def test_stale_cache_regenerated(workload_dir):
     assert len(read_ntriples(cache)) == len(transformed.graph)
 
 
+def test_corrupt_sidecar_regenerated(workload_dir, caplog):
+    """A syntactically broken .nt sidecar (parse error, not just a
+    mismatching graph) must be regenerated, not crash the load."""
+    import logging
+
+    explain = sorted(workload_dir.glob("*.exfmt"))[0]
+    load_transformed(str(explain))
+    cache = rdf_cache_path(str(explain))
+    with open(cache, "w", encoding="utf-8") as handle:
+        handle.write("this is definitely not n-triples <<<\n")
+    os.utime(cache)  # keep it newer than the explain file
+    with caplog.at_level(logging.WARNING, logger="repro.core.store"):
+        transformed = load_transformed(str(explain))
+    assert transformed.pop_resources
+    assert any("regenerating" in rec.message for rec in caplog.records)
+    # the sidecar was rewritten with valid content
+    assert len(read_ntriples(cache)) == len(transformed.graph)
+
+
+def test_truncated_sidecar_does_not_abort_workload_load(workload_dir):
+    """Regression: one corrupt sidecar used to abort the whole
+    load_workload_cached call."""
+    load_workload_cached(str(workload_dir))  # writes all sidecars
+    victim = sorted(workload_dir.glob("*.nt"))[1]
+    text = victim.read_text(encoding="utf-8")
+    victim.write_text(text[: len(text) // 2], encoding="utf-8")  # mid-line cut
+    os.utime(victim)
+    reloaded = load_workload_cached(str(workload_dir))
+    assert len(reloaded) == 4
+    for transformed in reloaded:
+        assert transformed.pop_resources
+
+
 def test_refresh_forces_rewrite(workload_dir):
     explain = sorted(workload_dir.glob("*.exfmt"))[0]
     load_transformed(str(explain))

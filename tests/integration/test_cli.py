@@ -53,6 +53,24 @@ def test_search_pattern_json_file(workload_dir, tmp_path, capsys):
     assert "searched 6 plans" in capsys.readouterr().out
 
 
+def test_search_engine_flags_and_stats_line(workload_dir, capsys):
+    assert main(["search", workload_dir, "A", "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "engine: 2 worker(s), cache on" in out
+
+
+def test_search_no_cache(workload_dir, capsys):
+    assert main(["search", workload_dir, "A", "--no-cache"]) == 0
+    assert "cache off" in capsys.readouterr().out
+
+
+def test_kb_engine_stats_line(workload_dir, capsys):
+    assert main(["kb", workload_dir, "--workers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "engine: 2 worker(s)" in out
+    assert "evaluate" in out
+
+
 def test_compile_outputs_sparql(capsys):
     assert main(["compile", "B"]) == 0
     out = capsys.readouterr().out

@@ -46,6 +46,17 @@ class TestHealthAndPlans:
         assert payload["status"] == "ok"
         assert payload["kbEntries"] >= 4
 
+    def test_stats_endpoint(self, client):
+        _request(client, "POST", "/plans", write_plan(build_figure1_plan()))
+        _request(
+            client, "POST", "/search", make_pattern("A").to_json()
+        )
+        status, payload = _request(client, "GET", "/stats")
+        assert status == 200
+        assert payload["workers"] >= 1
+        assert payload["searches"] >= 1
+        assert "matchCache" in payload and "timings" in payload
+
     def test_upload_plan(self, client):
         text = write_plan(build_figure1_plan())
         status, payload = _request(client, "POST", "/plans", text)

@@ -141,6 +141,28 @@ class TestAccessors:
         assert graph.count(subject=EX.a) == 3
         assert graph.count(predicate=EX.name) == 2
 
+    def test_count_matches_naive_scan_for_every_shape(self, graph):
+        # count delegates to the O(1) index lookups (estimate); it must
+        # agree with actually iterating the matching triples for every
+        # binding pattern, including after a removal.
+        graph = graph.copy()
+        graph.remove((EX.a, EX.knows, EX.b))
+        shapes = [
+            (None, None, None),
+            (EX.a, None, None),
+            (None, EX.knows, None),
+            (None, None, EX.c),
+            (EX.a, EX.knows, None),
+            (None, EX.knows, EX.c),
+            (EX.a, None, EX.c),
+            (EX.a, EX.knows, EX.c),
+            (EX.a, EX.knows, EX.b),  # removed -> 0
+        ]
+        for s, p, o in shapes:
+            assert graph.count(s, p, o) == sum(
+                1 for _ in graph.triples(s, p, o)
+            ), (s, p, o)
+
 
 class TestEstimate:
     def test_estimate_exact_for_bound_prefixes(self, graph):
