@@ -19,7 +19,7 @@ import time
 
 import pytest
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_json_report, write_report
 from repro.core.engine import MatchingEngine
 from repro.core.matcher import find_matches
 from repro.kb.builtin import builtin_sparql
@@ -116,6 +116,30 @@ def test_parallel_matching_report(workload, sparql):
             "speedup here"
         )
     write_report("parallel_matching", "\n".join(lines))
+    write_json_report(
+        "parallel_matching",
+        {
+            "workloadPlans": len(workload),
+            "serial": {
+                "totalSeconds": round(serial_s, 6),
+                "plansPerSecond": round(len(workload) / serial_s, 2),
+            },
+            "engineColdByWorkers": {
+                str(workers): {
+                    "totalSeconds": round(cold, 6),
+                    "plansPerSecond": round(len(workload) / cold, 2),
+                    "speedupVsSerial": round(serial_s / cold, 3),
+                }
+                for workers, cold in cold_by_workers.items()
+            },
+            "engineWarmCache": {
+                "totalSeconds": round(warm, 6),
+                "plansPerSecond": round(len(workload) / max(warm, 1e-9), 2),
+                "speedupVsSerial": round(serial_s / max(warm, 1e-9), 3),
+                "matchCacheHitRate": round(hit_rate, 4),
+            },
+        },
+    )
 
     # The cache claims hold everywhere.
     assert hit_rate >= 0.9

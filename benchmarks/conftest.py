@@ -7,7 +7,9 @@ paper's sizes correspond to 1.0).  Fixtures are session-scoped so the
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 
 import pytest
 
@@ -58,3 +60,35 @@ def write_report(name: str, text: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print(f"\n{text}\n[report written to {path}]")
+
+
+#: Machine-readable benchmark results, merged across benchmark modules so
+#: the perf trajectory is trackable across PRs (and uploadable from CI).
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "reports", "BENCH_matching.json")
+
+
+def write_json_report(section: str, payload: dict) -> None:
+    """Merge *payload* under ``sections[section]`` in BENCH_matching.json.
+
+    Each benchmark module owns one section; running a single module
+    updates its section and leaves the others in place, so the committed
+    file stays complete regardless of which benchmarks a run selects.
+    """
+    os.makedirs(os.path.dirname(BENCH_JSON), exist_ok=True)
+    data: dict = {}
+    if os.path.exists(BENCH_JSON):
+        try:
+            with open(BENCH_JSON, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            data = {}
+    data["host"] = {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    data.setdefault("sections", {})[section] = payload
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[JSON section {section!r} written to {BENCH_JSON}]")

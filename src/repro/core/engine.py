@@ -23,11 +23,26 @@ workload-scale path fast:
 Instrumentation (per-stage timings, cache hit/miss counters,
 matches-per-plan) is collected in :class:`EngineStats` and exposed via
 :meth:`MatchingEngine.stats`.
+
+Threads vs. the GIL
+-------------------
+Per-plan evaluation is pure Python, so on a standard (GIL) CPython build
+threads cannot run it in parallel — they only interleave, and extra
+workers add scheduling overhead and lock contention on the caches
+without any speedup.  The engine therefore defaults to **one** worker on
+GIL builds (measured: ``workers=os.cpu_count()`` was consistently *no
+faster or slower* than serial on the Fig-9 workload) and to
+``os.cpu_count()`` only on free-threaded builds (``python -VV`` shows
+``free-threading``), where the evaluators genuinely run concurrently.
+Pass ``workers=N`` explicitly to override either way — e.g. when the
+per-plan work is dominated by I/O-bound custom handlers rather than
+evaluation.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -131,14 +146,31 @@ def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
         yield items[start:start + size]
 
 
+def default_worker_count() -> int:
+    """Sane evaluation-thread default for this interpreter.
+
+    Pure-Python evaluation is GIL-bound: on a standard CPython build the
+    pool can only interleave, so more than one worker is pure overhead
+    (see the module docstring).  Only a free-threaded build can use the
+    cores.
+    """
+    gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    if gil_enabled:
+        return 1
+    return os.cpu_count() or 1
+
+
 class MatchingEngine:
     """Workload-scale pattern matching with caching and a thread pool.
 
     Parameters
     ----------
     workers:
-        Number of evaluation threads.  ``None`` uses ``os.cpu_count()``;
-        ``1`` evaluates serially on the calling thread (still cached).
+        Number of evaluation threads.  ``None`` uses
+        :func:`default_worker_count` — ``1`` on GIL builds (pure-Python
+        evaluation cannot parallelize across threads there),
+        ``os.cpu_count()`` on free-threaded builds.  ``1`` evaluates
+        serially on the calling thread (still cached).
     cache:
         Enable the two cache levels.  With ``False`` every search
         re-parses and re-evaluates, exactly like the bare
@@ -157,7 +189,7 @@ class MatchingEngine:
         match_cache_size: int = DEFAULT_MATCH_CACHE_SIZE,
         chunk_size: Optional[int] = None,
     ):
-        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self.workers = max(1, workers if workers is not None else default_worker_count())
         self.cache_enabled = bool(cache)
         self.chunk_size = chunk_size
         self._prepared = LRUCache(prepared_cache_size)

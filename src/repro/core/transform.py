@@ -24,6 +24,7 @@ to de-transform SPARQL matches back into plan context (Algorithm 3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.qep.model import BaseObject, PlanGraph, PlanOperator, format_number
@@ -73,8 +74,20 @@ def _obj_uri(plan_id: str, qualified_name: str) -> URIRef:
     return voc.OBJ.term(f"{plan_id}/{qualified_name}")
 
 
+#: Interned marker literal shared by every ``isAJoin``/``isAScan``/... triple.
+_TRUE = Literal("true")
+
+
+@lru_cache(maxsize=4096)
 def _num(value: float) -> Literal:
-    """Literal with the db2exfmt lexical form (decimal or exponent)."""
+    """Literal with the db2exfmt lexical form (decimal or exponent).
+
+    Cached: workloads repeat cost values heavily (defaults, small
+    cardinalities), and ``format_number`` plus literal construction are
+    measurable on the transform path.  Terms are immutable, so sharing
+    the instances is safe — and interning in :mod:`repro.rdf.term`
+    already dedups them; the cache additionally skips the formatting.
+    """
     return Literal(format_number(value))
 
 
@@ -101,12 +114,12 @@ def transform_plan(plan: PlanGraph) -> TransformedPlan:
         graph.add((res, voc.HAS_BUFFERPOOL_BUFFERS, _num(op.buffers)))
         graph.add((res, voc.HAS_PLAN_TOTAL_COST, _num(plan.total_cost)))
         if op.info.is_join:
-            graph.add((res, voc.IS_A_JOIN, Literal("true")))
+            graph.add((res, voc.IS_A_JOIN, _TRUE))
             graph.add(
                 (res, voc.HAS_JOIN_SEMANTICS, Literal(op.join_semantics.name))
             )
         if op.info.is_scan:
-            graph.add((res, voc.IS_A_SCAN, Literal("true")))
+            graph.add((res, voc.IS_A_SCAN, _TRUE))
         for name, value in op.arguments.items():
             graph.add(
                 (res, voc.PRED.term(voc.HAS_ARGUMENT_PREFIX + name), Literal(value))
@@ -179,7 +192,7 @@ def _object_resource(
     res = _obj_uri(transformed.plan_id, obj.qualified_name)
     transformed.object_resources[obj.qualified_name] = res
     transformed.resource_to_node[res] = obj
-    graph.add((res, voc.IS_A_BASE_OBJ, Literal("true")))
+    graph.add((res, voc.IS_A_BASE_OBJ, _TRUE))
     graph.add((res, voc.HAS_BASE_OBJECT_NAME, Literal(obj.name)))
     graph.add((res, voc.HAS_SCHEMA_NAME, Literal(obj.schema)))
     graph.add((res, voc.HAS_BASE_CARDINALITY, _num(obj.cardinality)))

@@ -1,0 +1,83 @@
+"""Bidirectional term <-> integer dictionary (RDF-3X / HDT style).
+
+Every :class:`repro.rdf.graph.Graph` owns one :class:`TermDictionary`
+mapping each distinct term in the graph to a dense non-negative integer
+ID.  The permutation indexes and the SPARQL evaluator's BGP join core
+then operate purely on those ints: hashing an int is free, comparing two
+ints is a pointer-sized compare, and small-int sets/dicts are far more
+compact than their term-object equivalents.
+
+Canonicalization falls out of term semantics: the forward map is a dict
+keyed by the terms themselves, and :class:`repro.rdf.term.Literal`
+equality/hash are numeric-canonicalizing, so ``Literal("100")`` and
+``Literal("1e2")`` collapse to the *same* ID.  ``decode`` returns the
+first-encoded spelling — exactly what the seed's term-keyed set indexes
+stored, so observable results are unchanged.
+
+IDs are graph-local.  Two graphs built from the same triples in a
+different order assign different IDs; cross-graph comparisons must go
+through terms (see :meth:`repro.rdf.graph.Graph.__eq__`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.rdf.term import Term
+
+
+class TermDictionary:
+    """Append-only bidirectional mapping ``Term <-> int``.
+
+    IDs are assigned densely from 0 in first-encode order.  Terms are
+    never evicted: graphs in this system only ever shrink via
+    :meth:`repro.rdf.graph.Graph.remove`, which is rare and does not
+    need ID reuse (a stale ID simply maps to a term with no triples).
+    """
+
+    __slots__ = ("_ids", "_terms")
+
+    def __init__(self):
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+
+    def encode(self, term: Term) -> int:
+        """ID for *term*, assigning the next dense ID if it is new."""
+        tid = self._ids.get(term)
+        if tid is None:
+            tid = len(self._terms)
+            self._ids[term] = tid
+            self._terms.append(term)
+        return tid
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """ID for *term*, or ``None`` when it was never encoded.
+
+        Used at query boundaries: a ground query term absent from the
+        dictionary proves the graph holds no triple mentioning it.
+        """
+        return self._ids.get(term)
+
+    def decode(self, tid: int) -> Term:
+        """The term for *tid* (first-encoded spelling)."""
+        return self._terms[tid]
+
+    def decode_all(self) -> List[Term]:
+        """The ID -> term table itself (treat as read-only)."""
+        return self._terms
+
+    def copy(self) -> "TermDictionary":
+        """Independent copy; shares the (immutable) term objects only."""
+        clone = TermDictionary.__new__(TermDictionary)
+        clone._ids = dict(self._ids)
+        clone._terms = list(self._terms)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._ids
+
+    def __repr__(self) -> str:
+        return f"<TermDictionary terms={len(self._terms)}>"

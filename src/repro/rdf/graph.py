@@ -1,32 +1,47 @@
-"""Indexed in-memory triple store.
+"""Indexed, dictionary-encoded in-memory triple store.
 
-The store maintains three permutation indexes (SPO, POS, OSP) so that any
-triple pattern with at least one ground position resolves to a hash lookup
-rather than a scan.  This is the property the paper relies on when it says
-SPARQL "performs graph traversal and pattern matching efficiently" over
-QEP graphs: basic-graph-pattern evaluation issues point lookups per bound
-position.
+The store interns every term into a per-graph :class:`~repro.rdf.
+dictionary.TermDictionary` and maintains three permutation indexes
+(SPO, POS, OSP) *keyed on the integer IDs*, so that any triple pattern
+with at least one ground position resolves to an int-keyed hash lookup
+rather than a scan.  This is the property the paper relies on when it
+says SPARQL "performs graph traversal and pattern matching efficiently"
+over QEP graphs: basic-graph-pattern evaluation issues point lookups per
+bound position — and with dictionary encoding those lookups hash and
+compare machine ints instead of heavyweight term objects.
+
+Two API levels:
+
+* the **term-level API** (``add``, ``triples``, ``value``, ``objects``,
+  ``estimate``, iteration, …) is unchanged from the seed — terms are
+  encoded/decoded at the call boundary;
+* the **ID-level API** (``term_id``, ``id_term``, ``triples_ids``,
+  ``estimate_ids``, ``node_ids``) exposes the raw int space to the
+  SPARQL evaluator's join core, which carries bindings as ints and
+  decodes only at projection/FILTER boundaries.
 
 A :class:`Graph` stores only ground terms; variables belong to queries.
+See ``docs/store-internals.md`` for the full layout and invariants.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.rdf.dictionary import TermDictionary
 from repro.rdf.term import Literal, Term, URIRef, is_ground
 
 #: A ground RDF triple (subject, predicate, object).
 Triple = Tuple[Term, Term, Term]
 
-_Index = Dict[Term, Dict[Term, Set[Term]]]
+_Index = Dict[int, Dict[int, Set[int]]]
 
 
-def _index_add(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_add(index: _Index, a: int, b: int, c: int) -> None:
     index.setdefault(a, {}).setdefault(b, set()).add(c)
 
 
-def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
+def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
     try:
         second = index[a]
         third = second[b]
@@ -40,16 +55,26 @@ def _index_remove(index: _Index, a: Term, b: Term, c: Term) -> None:
 
 
 class Graph:
-    """A set of RDF triples with SPO / POS / OSP permutation indexes."""
+    """A set of RDF triples with int-keyed SPO / POS / OSP indexes."""
 
     def __init__(self, identifier: Optional[str] = None):
         self.identifier = identifier
+        self._dict = TermDictionary()
         self._spo: _Index = {}
         self._pos: _Index = {}
         self._osp: _Index = {}
         self._size = 0
         self._version = 0  # bumped on mutation; lets caches detect staleness
-        self._pred_total: Dict[Term, int] = {}  # triples per predicate
+        self._pred_total: Dict[int, int] = {}  # triples per predicate ID
+        # Sparse spelling side-table: numeric literals that are *equal*
+        # ("100" == "1e2") share one dictionary ID, but the seed store
+        # kept each triple's own lexical form.  When an added object's
+        # spelling differs from its dictionary representative, the exact
+        # term is recorded here under the triple's ID key so term-level
+        # reads surface the spelling that was actually stored.  Empty
+        # for graphs without mixed-spelling numeric literals (the
+        # common case), so the lookup is skipped entirely.
+        self._spell: Dict[Tuple[int, int, int], Term] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -58,15 +83,23 @@ class Graph:
         """Insert *triple*; duplicates are ignored (set semantics)."""
         s, p, o = triple
         self._validate(s, p, o)
-        before = len(self._spo.get(s, {}).get(p, ()))
-        _index_add(self._spo, s, p, o)
-        if len(self._spo[s][p]) == before:
+        encode = self._dict.encode
+        si, pi, oi = encode(s), encode(p), encode(o)
+        objs = self._spo.setdefault(si, {}).setdefault(pi, set())
+        if oi in objs:
             return  # duplicate
-        _index_add(self._pos, p, o, s)
-        _index_add(self._osp, o, s, p)
+        objs.add(oi)
+        _index_add(self._pos, pi, oi, si)
+        _index_add(self._osp, oi, si, pi)
         self._size += 1
         self._version += 1
-        self._pred_total[p] = self._pred_total.get(p, 0) + 1
+        self._pred_total[pi] = self._pred_total.get(pi, 0) + 1
+        rep = self._dict.decode(oi)
+        if rep is not o and isinstance(o, Literal):
+            # Same value, different spelling (e.g. "1e2" after "100"):
+            # remember this triple's own lexical form.
+            if rep.lexical != o.lexical or rep.datatype != o.datatype:
+                self._spell[(si, pi, oi)] = o
 
     def add_all(self, triples: Iterable[Triple]) -> None:
         for triple in triples:
@@ -74,19 +107,23 @@ class Graph:
 
     def remove(self, triple: Triple) -> None:
         """Remove *triple* if present; removing a missing triple is a no-op."""
-        s, p, o = triple
-        if not self.contains(triple):
+        ids = self._triple_ids(triple)
+        if ids is None:
             return
-        _index_remove(self._spo, s, p, o)
-        _index_remove(self._pos, p, o, s)
-        _index_remove(self._osp, o, s, p)
+        si, pi, oi = ids
+        if oi not in self._spo.get(si, {}).get(pi, ()):
+            return
+        _index_remove(self._spo, si, pi, oi)
+        _index_remove(self._pos, pi, oi, si)
+        _index_remove(self._osp, oi, si, pi)
+        self._spell.pop((si, pi, oi), None)
         self._size -= 1
         self._version += 1
-        remaining = self._pred_total.get(p, 0) - 1
+        remaining = self._pred_total.get(pi, 0) - 1
         if remaining > 0:
-            self._pred_total[p] = remaining
+            self._pred_total[pi] = remaining
         else:
-            self._pred_total.pop(p, None)
+            self._pred_total.pop(pi, None)
 
     @staticmethod
     def _validate(s: Term, p: Term, o: Term) -> None:
@@ -98,26 +135,36 @@ class Graph:
             raise TypeError("triple predicate must be a URIRef")
 
     # ------------------------------------------------------------------
-    # Lookup
+    # Dictionary (ID-level API)
     # ------------------------------------------------------------------
-    def contains(self, triple: Triple) -> bool:
-        s, p, o = triple
-        return o in self._spo.get(s, {}).get(p, ())
+    def term_id(self, term: Term) -> Optional[int]:
+        """Dictionary ID of *term*, or ``None`` when not in this graph.
 
-    def __contains__(self, triple: Triple) -> bool:
-        return self.contains(triple)
+        A ``None`` is a proof of absence: no triple of this graph
+        mentions the term, so any pattern binding it matches nothing.
+        """
+        return self._dict.lookup(term)
 
-    def triples(
+    def id_term(self, tid: int) -> Term:
+        """Decode a dictionary ID back to its term."""
+        return self._dict.decode(tid)
+
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The graph's term dictionary (treat as read-only)."""
+        return self._dict
+
+    def triples_ids(
         self,
-        subject: Optional[Term] = None,
-        predicate: Optional[Term] = None,
-        obj: Optional[Term] = None,
-    ) -> Iterator[Triple]:
-        """Iterate triples matching the pattern; ``None`` is a wildcard.
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """ID-space twin of :meth:`triples`; ``None`` is a wildcard.
 
-        Index selection: the most selective permutation whose prefix is
-        bound is used, so every call with at least one bound position is
-        a dictionary lookup followed by iteration over the hits only.
+        Yields ``(s_id, p_id, o_id)`` in the same index order the
+        term-level API observes (both iterate the same int-keyed
+        indexes), so the two APIs enumerate matches identically.
         """
         s, p, o = subject, predicate, obj
         if s is not None:
@@ -174,6 +221,128 @@ class Graph:
                 for obj_ in list(objs):
                     yield (s_, p_, obj_)
 
+    def estimate_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        obj: Optional[int] = None,
+    ) -> int:
+        """ID-space twin of :meth:`estimate` (exact, never a scan)."""
+        s, p, o = subject, predicate, obj
+        if s is not None and p is not None:
+            objs = self._spo.get(s, {}).get(p)
+            if objs is None:
+                return 0
+            if o is not None:
+                return 1 if o in objs else 0
+            return len(objs)
+        if p is not None and o is not None:
+            subs = self._pos.get(p, {}).get(o)
+            return len(subs) if subs else 0
+        if s is not None and o is not None:
+            preds = self._osp.get(o, {}).get(s)
+            return len(preds) if preds else 0
+        if s is not None:
+            return sum(len(v) for v in self._spo.get(s, {}).values())
+        if o is not None:
+            return sum(len(v) for v in self._osp.get(o, {}).values())
+        if p is not None:
+            return self._pred_total.get(p, 0)
+        return self._size
+
+    def node_ids(self) -> List[int]:
+        """IDs of every subject and object, in ascending (encode) order.
+
+        The deterministic order matters: path fixpoints over both-free
+        endpoints enumerate these nodes, and result order must not
+        depend on set-iteration artifacts.
+        """
+        nodes: Set[int] = set(self._spo)
+        nodes.update(self._osp)
+        return sorted(nodes)
+
+    def is_literal_id(self, tid: int) -> bool:
+        """True when *tid* decodes to a :class:`Literal`."""
+        return isinstance(self._dict.decode(tid), Literal)
+
+    @property
+    def has_spellings(self) -> bool:
+        """True when any triple stores a non-canonical literal spelling.
+
+        Cheap guard for the evaluator: when False (the overwhelmingly
+        common case), ID-space solutions decode straight through the
+        dictionary with no per-triple spelling lookups.
+        """
+        return bool(self._spell)
+
+    def spelling(self, si: int, pi: int, oi: int) -> Optional[Term]:
+        """The triple's own object spelling when it differs from the
+        dictionary representative; ``None`` otherwise."""
+        return self._spell.get((si, pi, oi))
+
+    def _triple_ids(self, triple: Triple) -> Optional[Tuple[int, int, int]]:
+        """IDs for a ground triple, or ``None`` if any term is unknown."""
+        lookup = self._dict.lookup
+        si = lookup(triple[0])
+        if si is None:
+            return None
+        pi = lookup(triple[1])
+        if pi is None:
+            return None
+        oi = lookup(triple[2])
+        if oi is None:
+            return None
+        return si, pi, oi
+
+    # ------------------------------------------------------------------
+    # Lookup (term-level API)
+    # ------------------------------------------------------------------
+    def contains(self, triple: Triple) -> bool:
+        ids = self._triple_ids(triple)
+        if ids is None:
+            return False
+        si, pi, oi = ids
+        return oi in self._spo.get(si, {}).get(pi, ())
+
+    def __contains__(self, triple: Triple) -> bool:
+        return self.contains(triple)
+
+    def triples(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[Term] = None,
+        obj: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Iterate triples matching the pattern; ``None`` is a wildcard.
+
+        Bound terms are encoded once at the boundary (an unknown term
+        short-circuits to empty), the matching happens in ID space, and
+        every hit is decoded back to terms on the way out.
+        """
+        si = pi = oi = None
+        lookup = self._dict.lookup
+        if subject is not None:
+            si = lookup(subject)
+            if si is None:
+                return
+        if predicate is not None:
+            pi = lookup(predicate)
+            if pi is None:
+                return
+        if obj is not None:
+            oi = lookup(obj)
+            if oi is None:
+                return
+        decode = self._dict.decode
+        spell = self._spell
+        if spell:
+            for s_, p_, o_ in self.triples_ids(si, pi, oi):
+                own = spell.get((s_, p_, o_))
+                yield (decode(s_), decode(p_), own if own is not None else decode(o_))
+        else:
+            for s_, p_, o_ in self.triples_ids(si, pi, oi):
+                yield (decode(s_), decode(p_), decode(o_))
+
     def count(
         self,
         subject: Optional[Term] = None,
@@ -198,29 +367,57 @@ class Graph:
         Raises :class:`ValueError` when more than one object exists, to
         surface modelling bugs instead of returning an arbitrary one.
         """
-        objs = self._spo.get(subject, {}).get(predicate)
+        si = self._dict.lookup(subject)
+        pi = self._dict.lookup(predicate) if si is not None else None
+        if si is None or pi is None:
+            return None
+        objs = self._spo.get(si, {}).get(pi)
         if not objs:
             return None
         if len(objs) > 1:
             raise ValueError(
                 f"multiple objects for ({subject!r}, {predicate!r}); use objects()"
             )
-        return next(iter(objs))
+        oi = next(iter(objs))
+        own = self._spell.get((si, pi, oi)) if self._spell else None
+        return own if own is not None else self._dict.decode(oi)
 
     def objects(self, subject: Term, predicate: Term) -> Iterator[Term]:
-        yield from self._spo.get(subject, {}).get(predicate, ())
+        si = self._dict.lookup(subject)
+        pi = self._dict.lookup(predicate) if si is not None else None
+        if si is None or pi is None:
+            return
+        decode = self._dict.decode
+        spell = self._spell
+        for oi in self._spo.get(si, {}).get(pi, ()):
+            own = spell.get((si, pi, oi)) if spell else None
+            yield own if own is not None else decode(oi)
 
     def subjects(self, predicate: Term, obj: Term) -> Iterator[Term]:
-        yield from self._pos.get(predicate, {}).get(obj, ())
+        pi = self._dict.lookup(predicate)
+        oi = self._dict.lookup(obj) if pi is not None else None
+        if pi is None or oi is None:
+            return
+        decode = self._dict.decode
+        for si in self._pos.get(pi, {}).get(oi, ()):
+            yield decode(si)
 
     def predicates(self, subject: Term, obj: Term) -> Iterator[Term]:
-        yield from self._osp.get(obj, {}).get(subject, ())
+        si = self._dict.lookup(subject)
+        oi = self._dict.lookup(obj) if si is not None else None
+        if si is None or oi is None:
+            return
+        decode = self._dict.decode
+        for pi in self._osp.get(oi, {}).get(si, ()):
+            yield decode(pi)
 
     def subject_set(self) -> Set[Term]:
-        return set(self._spo)
+        decode = self._dict.decode
+        return {decode(si) for si in self._spo}
 
     def predicate_set(self) -> Set[Term]:
-        return set(self._pos)
+        decode = self._dict.decode
+        return {decode(pi) for pi in self._pos}
 
     @property
     def version(self) -> int:
@@ -240,27 +437,21 @@ class Graph:
         one node) — never a scan — and, because the permutation indexes
         and per-predicate totals are exact, so is the result.
         """
-        s, p, o = subject, predicate, obj
-        if s is not None and p is not None:
-            objs = self._spo.get(s, {}).get(p)
-            if objs is None:
+        si = pi = oi = None
+        lookup = self._dict.lookup
+        if subject is not None:
+            si = lookup(subject)
+            if si is None:
                 return 0
-            if o is not None:
-                return 1 if o in objs else 0
-            return len(objs)
-        if p is not None and o is not None:
-            subs = self._pos.get(p, {}).get(o)
-            return len(subs) if subs else 0
-        if s is not None and o is not None:
-            preds = self._osp.get(o, {}).get(s)
-            return len(preds) if preds else 0
-        if s is not None:
-            return sum(len(v) for v in self._spo.get(s, {}).values())
-        if o is not None:
-            return sum(len(v) for v in self._osp.get(o, {}).values())
-        if p is not None:
-            return self._pred_total.get(p, 0)
-        return self._size
+        if predicate is not None:
+            pi = lookup(predicate)
+            if pi is None:
+                return 0
+        if obj is not None:
+            oi = lookup(obj)
+            if oi is None:
+                return 0
+        return self.estimate_ids(si, pi, oi)
 
     # ------------------------------------------------------------------
     # Protocol
@@ -275,22 +466,39 @@ class Graph:
         return self._size > 0
 
     def copy(self) -> "Graph":
+        """Independent clone: no index, dictionary or counter state is
+        shared (term objects themselves are immutable and shared)."""
         clone = Graph(self.identifier)
-        clone.add_all(self)
+        clone._dict = self._dict.copy()
+        clone._spo = {a: {b: set(c) for b, c in m.items()} for a, m in self._spo.items()}
+        clone._pos = {a: {b: set(c) for b, c in m.items()} for a, m in self._pos.items()}
+        clone._osp = {a: {b: set(c) for b, c in m.items()} for a, m in self._osp.items()}
+        clone._pred_total = dict(self._pred_total)
+        clone._spell = dict(self._spell)
+        clone._size = self._size
         return clone
 
     def __eq__(self, other) -> bool:
-        """Triple-set equality.
+        """Triple-set equality, label-stable across ID assignments.
 
-        Blank nodes compare by label; graphs produced by the same
-        deterministic transform are therefore comparable.  Full bnode
-        isomorphism is intentionally out of scope.
+        Comparison decodes through each graph's own dictionary, so two
+        graphs holding the same triples are equal even when their
+        (graph-local, insertion-ordered) IDs differ.  Blank nodes
+        compare by label; graphs produced by the same deterministic
+        transform are therefore comparable.  Full bnode isomorphism is
+        intentionally out of scope.
         """
         if not isinstance(other, Graph):
             return NotImplemented
         if len(self) != len(other):
             return False
         return all(t in other for t in self)
+
+    # Identity hash (mutable container): lets per-graph caches key on the
+    # graph object (e.g. the evaluator's closure memo) while __eq__ stays
+    # value-based.  The seed store defined __eq__ only, which implicitly
+    # made graphs unhashable and silently disabled those caches.
+    __hash__ = object.__hash__
 
     def __repr__(self) -> str:
         ident = f" id={self.identifier!r}" if self.identifier else ""

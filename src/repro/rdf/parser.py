@@ -7,7 +7,7 @@ standard string escapes.
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.rdf.graph import Graph
 from repro.rdf.term import BNode, Literal, Term, URIRef
@@ -55,12 +55,21 @@ def _unescape(text: str, line_no: int, line: str) -> str:
 
 
 class _LineScanner:
-    """Cursor over a single N-Triples line."""
+    """Cursor over a single N-Triples line.
 
-    def __init__(self, line: str, line_no: int):
+    *term_cache* is a per-document memo shared by every line: repeated
+    tokens (predicates, marker literals, re-used blank-node labels) skip
+    unescaping and term construction after their first appearance.  The
+    document scope matters for blank nodes — labels are scoped to one
+    document, so the cache may alias equal labels within it but never
+    across documents.
+    """
+
+    def __init__(self, line: str, line_no: int, term_cache: Optional[dict] = None):
         self.line = line
         self.line_no = line_no
         self.pos = 0
+        self.term_cache = term_cache if term_cache is not None else {}
 
     def error(self, message: str) -> NTriplesSyntaxError:
         return NTriplesSyntaxError(message, self.line_no, self.line)
@@ -111,7 +120,11 @@ class _LineScanner:
             raise self.error("empty blank node label")
         label = self.line[start:end]
         self.pos = end
-        return BNode(label)
+        key = ("bnode", label)
+        node = self.term_cache.get(key)
+        if node is None:
+            node = self.term_cache[key] = BNode(label)
+        return node
 
     def _read_literal(self) -> Literal:
         # Find the closing quote, honouring backslash escapes.
@@ -126,7 +139,6 @@ class _LineScanner:
         else:
             raise self.error("unterminated literal")
         raw = self.line[self.pos + 1:i]
-        lexical = _unescape(raw, self.line_no, self.line)
         self.pos = i + 1
         datatype = None
         if self.line.startswith("^^", self.pos):
@@ -134,18 +146,24 @@ class _LineScanner:
             self.expect("<")
             self.pos -= 1  # _read_iri expects to start at '<'
             datatype = self._read_iri().value
-        return Literal(lexical, datatype=datatype)
+        key = (raw, datatype)
+        literal = self.term_cache.get(key)
+        if literal is None:
+            lexical = _unescape(raw, self.line_no, self.line)
+            literal = self.term_cache[key] = Literal(lexical, datatype=datatype)
+        return literal
 
 
 def iter_ntriples(text: str) -> Iterator[Tuple[Term, Term, Term]]:
     """Yield triples parsed from *text*; skips comments and blank lines."""
     # Split on '\n' only: str.splitlines() also breaks on NEL/LS/PS and
     # vertical tabs, which may legitimately appear inside literals.
+    term_cache: dict = {}
     for line_no, line in enumerate(text.split("\n"), start=1):
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        scanner = _LineScanner(line, line_no)
+        scanner = _LineScanner(line, line_no, term_cache)
         subject = scanner.read_term()
         predicate = scanner.read_term()
         obj = scanner.read_term()

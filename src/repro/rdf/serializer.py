@@ -6,7 +6,7 @@ per line, deterministic ordering so diffs and tests are stable.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 from repro.rdf.graph import Graph, Triple
 from repro.rdf.term import BNode, Literal, Term, URIRef
@@ -28,9 +28,27 @@ def triple_sort_key(triple: Triple):
 
 
 def to_ntriples(graph_or_triples: Iterable[Triple]) -> str:
-    """Serialize a graph (or any iterable of triples) to N-Triples text."""
+    """Serialize a graph (or any iterable of triples) to N-Triples text.
+
+    Each distinct term is rendered once: a :class:`Graph`'s triples come
+    back as shared dictionary instances (and interning dedups terms from
+    arbitrary iterables), so the memo collapses the per-triple ``n3()``
+    work — literal escaping in particular — to one call per unique term.
+    """
     triples = sorted(graph_or_triples, key=triple_sort_key)
-    lines = [f"{s.n3()} {p.n3()} {o.n3()} ." for s, p, o in triples]
+    # Keyed by identity, NOT equality: numerically-equal literals with
+    # different spellings ("100" vs "1e2") compare equal but must render
+    # their own lexical forms.  The triples list keeps every term alive
+    # for the duration, so ids are stable.
+    memo: Dict[int, str] = {}
+
+    def n3(term: Term) -> str:
+        text = memo.get(id(term))
+        if text is None:
+            text = memo[id(term)] = term.n3()
+        return text
+
+    lines = [f"{n3(s)} {n3(p)} {n3(o)} ." for s, p, o in triples]
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,16 +1,33 @@
 """RDF term model: URI references, blank nodes, literals and variables.
 
 Terms are immutable, hashable value objects so they can be used directly
-as keys in the triple-store indexes.  Literal values keep their lexical
-form but expose a :meth:`Literal.as_number` coercion used by SPARQL
-filters — query plans print costs either in decimal or exponent notation
+as keys in the triple-store indexes and in the term dictionary
+(:mod:`repro.rdf.dictionary`).  Literal values keep their lexical form
+but expose a :meth:`Literal.as_number` coercion used by SPARQL filters —
+query plans print costs either in decimal or exponent notation
 (``15771.9`` vs ``2.87997e+07``) and comparisons must treat both alike.
+
+Two properties make terms cheap on the matching hot path:
+
+* **Cached hashes.** Every term precomputes its hash at construction
+  and stores it in a slot, so dictionary-encoding lookups, index probes
+  and binding-conflict checks never re-hash tuples or re-parse floats.
+* **Interning.**  ``URIRef``, ``Variable`` and ``Literal`` keep
+  per-process intern tables (weak, so unused terms stay collectable):
+  constructing an already-known term returns the existing instance.
+  Interning means *equal lexical construction implies identity*, which
+  turns the common-case ``__eq__`` into a pointer comparison.  The
+  converse does NOT hold for literals: ``Literal("100")`` and
+  ``Literal("1e2")`` are equal but distinct objects (different lexical
+  forms), so code must never substitute ``is`` for ``==`` — see
+  ``docs/store-internals.md`` for the precise interning contract.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
+import weakref
 from typing import Optional, Union
 
 
@@ -25,14 +42,30 @@ class Term:
 
 
 class URIRef(Term):
-    """An IRI term, e.g. ``<http://.../predicate#hasPopType>``."""
+    """An IRI term, e.g. ``<http://.../predicate#hasPopType>``.
 
-    __slots__ = ("value",)
+    Interned: ``URIRef(x) is URIRef(x)`` for equal ``x`` (while any
+    reference to the first instance is alive).
+    """
 
-    def __init__(self, value: str):
+    __slots__ = ("value", "_hash", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary[str, URIRef]" = weakref.WeakValueDictionary()
+
+    def __new__(cls, value: str):
         if not value:
             raise ValueError("URIRef requires a non-empty IRI string")
+        existing = cls._intern.get(value)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
         object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(("uri", value)))
+        cls._intern[value] = self
+        return self
+
+    def __init__(self, value: str):  # noqa: D401 - state set in __new__
+        pass
 
     def __setattr__(self, name, val):  # pragma: no cover - immutability guard
         raise AttributeError("URIRef is immutable")
@@ -41,10 +74,12 @@ class URIRef(Term):
         return f"<{self.value}>"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, URIRef) and self.value == other.value
 
     def __hash__(self) -> int:
-        return hash(("uri", self.value))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"URIRef({self.value!r})"
@@ -59,15 +94,20 @@ class BNode(Term):
     Blank nodes carry a label unique within the graph that minted them.
     OptImatch uses them (via *blank node handlers*) to represent the
     stream resources that disambiguate shared subexpressions.
+
+    Not interned: minting (``BNode()``) must always produce a fresh
+    label, and labelled blank nodes are scoped to one document, so a
+    process-wide table would conflate scopes.  Hashes are still cached.
     """
 
-    __slots__ = ("label",)
+    __slots__ = ("label", "_hash")
     _counter = itertools.count()
 
     def __init__(self, label: Optional[str] = None):
         if label is None:
             label = f"b{next(BNode._counter)}"
         object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash(("bnode", label)))
 
     def __setattr__(self, name, val):  # pragma: no cover - immutability guard
         raise AttributeError("BNode is immutable")
@@ -76,19 +116,29 @@ class BNode(Term):
         return f"_:{self.label}"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, BNode) and self.label == other.label
 
     def __hash__(self) -> int:
-        return hash(("bnode", self.label))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"BNode({self.label!r})"
 
 
 class Literal(Term):
-    """A literal value with its lexical form and optional datatype IRI."""
+    """A literal value with its lexical form and optional datatype IRI.
 
-    __slots__ = ("lexical", "datatype")
+    Interned by exact ``(lexical, datatype)`` pair; the numeric value
+    (:meth:`as_number`) and the hash are computed once at construction,
+    so numeric equality never re-parses the lexical form with
+    ``float()`` on comparison.
+    """
+
+    __slots__ = ("lexical", "datatype", "_num", "_hash", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary[tuple, Literal]" = weakref.WeakValueDictionary()
 
     #: XSD datatypes treated as numeric by :meth:`as_number`.
     _NUMERIC_DATATYPES = frozenset(
@@ -100,7 +150,7 @@ class Literal(Term):
         }
     )
 
-    def __init__(self, value: Union[str, int, float], datatype: Optional[str] = None):
+    def __new__(cls, value: Union[str, int, float], datatype: Optional[str] = None):
         if isinstance(value, bool):
             lexical = "true" if value else "false"
             datatype = datatype or "http://www.w3.org/2001/XMLSchema#boolean"
@@ -112,21 +162,34 @@ class Literal(Term):
             datatype = datatype or "http://www.w3.org/2001/XMLSchema#double"
         else:
             lexical = str(value)
+        key = (lexical, datatype)
+        existing = cls._intern.get(key)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
         object.__setattr__(self, "lexical", lexical)
         object.__setattr__(self, "datatype", datatype)
+        num = cls._parse_number(lexical)
+        object.__setattr__(self, "_num", num)
+        if num is not None:
+            # Numeric literals hash by value so "100", "100.0" and "1e2"
+            # land in the same bucket (hash must follow __eq__).
+            object.__setattr__(self, "_hash", hash(("literal-num", num)))
+        else:
+            object.__setattr__(self, "_hash", hash(("literal", lexical, datatype)))
+        cls._intern[key] = self
+        return self
+
+    def __init__(self, value, datatype=None):  # noqa: D401 - state set in __new__
+        pass
 
     def __setattr__(self, name, val):  # pragma: no cover - immutability guard
         raise AttributeError("Literal is immutable")
 
-    def as_number(self) -> Optional[float]:
-        """Best-effort numeric interpretation of the lexical form.
-
-        Returns ``None`` when the literal is not a number.  This accepts
-        both plain decimals and exponent notation, which is exactly the
-        formatting hazard the paper identifies in manual QEP search.
-        """
+    @staticmethod
+    def _parse_number(lexical: str) -> Optional[float]:
         try:
-            value = float(self.lexical)
+            value = float(lexical)
         except (TypeError, ValueError):
             return None
         # NaN breaks equality/hash consistency (nan != nan) and neither
@@ -137,8 +200,18 @@ class Literal(Term):
             return None
         return value
 
+    def as_number(self) -> Optional[float]:
+        """Best-effort numeric interpretation of the lexical form.
+
+        Returns ``None`` when the literal is not a number.  This accepts
+        both plain decimals and exponent notation, which is exactly the
+        formatting hazard the paper identifies in manual QEP search.
+        Memoized: the ``float()`` parse happens once at construction.
+        """
+        return self._num
+
     def is_numeric(self) -> bool:
-        return self.as_number() is not None
+        return self._num is not None
 
     def n3(self) -> str:
         escaped = (
@@ -155,19 +228,18 @@ class Literal(Term):
         return f'"{escaped}"'
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Literal):
             return False
         # Numeric literals compare by value so "100" == "100.0" == "1e2".
-        a, b = self.as_number(), other.as_number()
+        a, b = self._num, other._num
         if a is not None and b is not None:
             return a == b
         return self.lexical == other.lexical and self.datatype == other.datatype
 
     def __hash__(self) -> int:
-        num = self.as_number()
-        if num is not None:
-            return hash(("literal-num", num))
-        return hash(("literal", self.lexical, self.datatype))
+        return self._hash
 
     def __repr__(self) -> str:
         if self.datatype:
@@ -179,16 +251,32 @@ class Literal(Term):
 
 
 class Variable(Term):
-    """A SPARQL variable, e.g. ``?pop1``.  Only valid inside queries."""
+    """A SPARQL variable, e.g. ``?pop1``.  Only valid inside queries.
 
-    __slots__ = ("name",)
+    Interned: the evaluator carries bindings keyed by Variable, so
+    identity-equal variables make those dict operations pointer checks.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "_hash", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary[str, Variable]" = weakref.WeakValueDictionary()
+
+    def __new__(cls, name: str):
         if not name:
             raise ValueError("Variable requires a non-empty name")
         if name.startswith("?") or name.startswith("$"):
             name = name[1:]
+        existing = cls._intern.get(name)
+        if existing is not None:
+            return existing
+        self = super().__new__(cls)
         object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("var", name)))
+        cls._intern[name] = self
+        return self
+
+    def __init__(self, name: str):  # noqa: D401 - state set in __new__
+        pass
 
     def __setattr__(self, name, val):  # pragma: no cover - immutability guard
         raise AttributeError("Variable is immutable")
@@ -197,10 +285,12 @@ class Variable(Term):
         return f"?{self.name}"
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash(("var", self.name))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"

@@ -6,11 +6,21 @@ patterns use greedy join reordering — at each step the remaining triple
 pattern with the most bound positions is evaluated next — so index
 lookups dominate and scans are rare.  Property paths are evaluated with
 breadth-first fixpoints, matching SPARQL 1.1 semantics for ``/ | ^ + * ?``.
+
+Against a dictionary-encoded :class:`~repro.rdf.graph.Graph`, the BGP
+join core and the property-path fixpoints run entirely in **ID space**:
+query terms are encoded once per BGP, bindings are carried as
+``Variable -> int`` dictionaries, conflict checks compare machine ints,
+and terms are decoded only when solutions cross back into the term world
+(FILTER evaluation, OPTIONAL/UNION sub-groups, projection).  A graph
+object without the ID-level API (or the ``ID_SPACE_JOIN`` ablation
+switch turned off) falls back to the original term-space path; both
+paths enumerate the same matches in the same order because they iterate
+the same underlying indexes.
 """
 
 from __future__ import annotations
 
-import weakref
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.rdf.graph import Graph
@@ -30,9 +40,11 @@ _XSD = "http://www.w3.org/2001/XMLSchema#"
 
 #: Ablation switches (used by benchmarks; leave True in production).
 #: JOIN_REORDERING toggles greedy estimate-based BGP ordering;
-#: CLOSURE_CACHING toggles the per-graph property-path closure memo.
+#: CLOSURE_CACHING toggles the per-graph property-path closure memo;
+#: ID_SPACE_JOIN toggles the dictionary-encoded (int-space) BGP core.
 JOIN_REORDERING = True
 CLOSURE_CACHING = True
+ID_SPACE_JOIN = True
 
 
 # ----------------------------------------------------------------------
@@ -225,6 +237,11 @@ def _passes_filters(
 def _join_bgp(
     stream: Iterable[Bindings], patterns: List[ast.TriplePattern], graph: Graph
 ) -> Iterator[Bindings]:
+    if ID_SPACE_JOIN and isinstance(graph, Graph):
+        compiled = _compile_bgp(patterns, graph)
+        for solution in stream:
+            yield from _eval_bgp_encoded(compiled, graph, solution)
+        return
     for solution in stream:
         yield from _eval_bgp(patterns, graph, solution)
 
@@ -342,6 +359,330 @@ def _extend(bindings: Bindings, term: Term, value: Term) -> Optional[Bindings]:
 
 
 # ----------------------------------------------------------------------
+# ID-space BGP join core (dictionary-encoded graphs)
+# ----------------------------------------------------------------------
+#: Sentinel for a pattern position whose ground value is provably absent
+#: from the graph dictionary (real IDs are always >= 0).  A pattern with
+#: an unmatchable position matches nothing.
+_UNMATCHABLE = -1
+
+#: Position-spec kinds for compiled triple patterns.
+_GROUND = 0  # pre-encoded dictionary ID
+_VAR = 1     # a Variable, resolved against the ID bindings at runtime
+_ABSENT = 2  # ground term not in the graph dictionary: matches nothing
+_PATH = 3    # predicate position only: a property-path expression
+
+IdBindings = Dict[Variable, int]
+
+#: A compiled pattern: (subject_spec, predicate_spec, object_spec) where
+#: each spec is a (kind, payload) pair.  Ground terms are encoded ONCE
+#: per _join_bgp call instead of per recursion step per solution.
+#: (s_spec, p_spec, o_spec, variables, static_bound) — the last two are
+#: precomputed for the join-order heuristic: *variables* lists the
+#: Variable payloads of the _VAR positions (one entry per occurrence),
+#: *static_bound* counts the positions that are bound regardless of the
+#: current solution (_GROUND / _ABSENT; _PATH predicates count zero,
+#: matching the term-space heuristic).
+_CompiledPattern = Tuple[
+    Tuple[int, object],
+    Tuple[int, object],
+    Tuple[int, object],
+    Tuple[Variable, ...],
+    int,
+]
+
+
+def _compile_bgp(
+    patterns: List[ast.TriplePattern], graph: Graph
+) -> List[_CompiledPattern]:
+    """Pre-encode every ground pattern term against the graph dictionary."""
+
+    def position(term) -> Tuple[int, object]:
+        if isinstance(term, Variable):
+            return (_VAR, term)
+        tid = graph.term_id(term)
+        return (_ABSENT, None) if tid is None else (_GROUND, tid)
+
+    compiled: List[_CompiledPattern] = []
+    for tp in patterns:
+        pred = tp.predicate
+        if isinstance(pred, ast.Path):
+            p_spec: Tuple[int, object] = (_PATH, pred)
+        else:
+            p_spec = position(pred)
+        s_spec = position(tp.subject)
+        o_spec = position(tp.obj)
+        pat_vars: List[Variable] = []
+        static_bound = 0
+        for spec in (s_spec, p_spec, o_spec):
+            if spec[0] == _VAR:
+                pat_vars.append(spec[1])
+            elif spec[0] != _PATH:
+                static_bound += 1
+        compiled.append((s_spec, p_spec, o_spec, tuple(pat_vars), static_bound))
+    return compiled
+
+
+def _eval_bgp_encoded(
+    compiled: List[_CompiledPattern], graph: Graph, bindings: Bindings
+) -> Iterator[Bindings]:
+    """Evaluate a compiled BGP in ID space, decoding only at the boundary.
+
+    Incoming term bindings are encoded once; variables bound to terms
+    the graph has never seen go into *dead* — any pattern referencing
+    one matches nothing, while solutions not touching it pass through
+    with the original term binding intact.
+    """
+    ids: IdBindings = {}
+    dead: Set[Variable] = set()
+    term_id = graph.term_id
+    for var, term in bindings.items():
+        tid = term_id(term)
+        if tid is None:
+            dead.add(var)
+        else:
+            ids[var] = tid
+    id_term = graph.id_term
+    for solution_ids, spell in _eval_bgp_ids(compiled, graph, ids, dead, _NO_SPELL):
+        out = dict(bindings)
+        for var, tid in solution_ids.items():
+            if var not in out:
+                own = spell.get(var) if spell else None
+                out[var] = own if own is not None else id_term(tid)
+        yield out
+
+
+#: Shared empty spelling-override map — almost every solution carries no
+#: overrides, so they all alias this one dict (copy-on-write on bind).
+_NO_SPELL: Dict[Variable, Term] = {}
+
+
+def _eval_bgp_ids(
+    compiled: List[_CompiledPattern],
+    graph: Graph,
+    ids: IdBindings,
+    dead: Set[Variable],
+    spell: Dict[Variable, Term],
+) -> Iterator[Tuple[IdBindings, Dict[Variable, Term]]]:
+    if not compiled:
+        yield ids, spell
+        return
+    remaining = list(compiled)
+    order = _choose_next_ids(remaining, ids, dead, graph)
+    pattern = remaining.pop(order)
+    for ext_ids, ext_spell in _match_triple_ids(pattern, graph, ids, dead, spell):
+        yield from _eval_bgp_ids(remaining, graph, ext_ids, dead, ext_spell)
+
+
+def _resolve_spec(
+    spec: Tuple[int, object], ids: IdBindings, dead: Set[Variable]
+) -> Optional[int]:
+    """ID of a compiled position under the bindings: an int when ground
+    and present, ``None`` when still free, ``_UNMATCHABLE`` when the
+    pattern provably matches nothing through this position."""
+    kind, payload = spec
+    if kind == _GROUND:
+        return payload
+    if kind == _VAR:
+        if dead and payload in dead:
+            return _UNMATCHABLE
+        return ids.get(payload)
+    return _UNMATCHABLE  # _ABSENT
+
+
+def _choose_next_ids(
+    compiled: List[_CompiledPattern],
+    ids: IdBindings,
+    dead: Set[Variable],
+    graph: Graph,
+) -> int:
+    """ID-space twin of :func:`_choose_next` (same two-phase greedy).
+
+    The ranking decisions are bit-identical to the term-space version:
+    a compiled _ABSENT position corresponds to a ground term for which
+    ``graph.estimate`` would return 0, and bound/free classification of
+    variables is unchanged.
+    """
+    if len(compiled) == 1 or not JOIN_REORDERING:
+        return 0
+
+    # Phase 1: most-bound-positions-first.  A compiled pattern carries
+    # its static bound count and variable occurrences, so this is a
+    # membership check per variable — no spec unpacking in the loop.
+    best_count = -1
+    candidates: List[int] = []
+    for i, cp in enumerate(compiled):
+        count = cp[4]
+        for var in cp[3]:
+            if var in ids or (dead and var in dead):
+                count += 1
+        if count > best_count:
+            best_count = count
+            candidates = [i]
+        elif count == best_count:
+            candidates.append(i)
+    if len(candidates) == 1:
+        return candidates[0]
+
+    # Phase 2: cheapest estimate among the tied candidates.  Inlined
+    # _resolve_spec — this runs once per tied pattern per solution.
+    ids_get = ids.get
+    best_i = -1
+    best_key: Tuple[int, int] = (0, 0)
+    for i in candidates:
+        cp = compiled[i]
+        s_spec, p_spec, o_spec = cp[0], cp[1], cp[2]
+        kind, payload = s_spec
+        if kind == _GROUND:
+            subject = payload
+        elif kind == _VAR:
+            subject = _UNMATCHABLE if dead and payload in dead else ids_get(payload)
+        else:
+            subject = _UNMATCHABLE
+        kind, payload = o_spec
+        if kind == _GROUND:
+            obj = payload
+        elif kind == _VAR:
+            obj = _UNMATCHABLE if dead and payload in dead else ids_get(payload)
+        else:
+            obj = _UNMATCHABLE
+        if p_spec[0] == _PATH:
+            bound_ends = (subject is not None) + (obj is not None)
+            key = (_PATH_ESTIMATES[bound_ends], 1)
+        else:
+            kind, payload = p_spec
+            if kind == _GROUND:
+                predicate = payload
+            elif kind == _VAR:
+                predicate = (
+                    _UNMATCHABLE if dead and payload in dead else ids_get(payload)
+                )
+            else:
+                predicate = _UNMATCHABLE
+            if _UNMATCHABLE in (subject, predicate, obj):
+                # mirrors graph.estimate() == 0 for absent terms
+                key = (0, 0)
+            else:
+                key = (graph.estimate_ids(subject, predicate, obj), 0)
+        if best_i < 0 or key < best_key:
+            best_i = i
+            best_key = key
+    return best_i
+
+
+def _match_triple_ids(
+    cp: _CompiledPattern,
+    graph: Graph,
+    ids: IdBindings,
+    dead: Set[Variable],
+    spell: Dict[Variable, Term],
+) -> Iterator[Tuple[IdBindings, Dict[Variable, Term]]]:
+    s_spec, p_spec, o_spec = cp[0], cp[1], cp[2]
+    # Inlined _resolve_spec for all three positions — this is the hot
+    # loop of every BGP join; an unmatchable position returns early.
+    kind, payload = s_spec
+    if kind == _GROUND:
+        subject = payload
+    elif kind == _VAR:
+        if dead and payload in dead:
+            return
+        subject = ids.get(payload)
+    else:
+        return  # _ABSENT
+    kind, payload = o_spec
+    if kind == _GROUND:
+        obj = payload
+    elif kind == _VAR:
+        if dead and payload in dead:
+            return
+        obj = ids.get(payload)
+    else:
+        return  # _ABSENT
+    if p_spec[0] == _PATH:
+        for s_id, o_id in _eval_path_ids(p_spec[1], graph, subject, obj):
+            extended = _extend_id(ids, s_spec, s_id)
+            if extended is None:
+                continue
+            extended = _extend_id(extended, o_spec, o_id)
+            if extended is not None:
+                yield extended, spell
+        return
+    kind, payload = p_spec
+    if kind == _GROUND:
+        pred = payload
+    elif kind == _VAR:
+        if dead and payload in dead:
+            return
+        pred = ids.get(payload)
+    else:
+        return  # _ABSENT
+    # The store filters on every resolved position, so a returned triple
+    # already agrees with the bound ones; only the genuinely free
+    # variable positions extend the solution.  Resolving them up front
+    # means one dict copy per match instead of one per position, and a
+    # duplicated free variable (``?x :p ?x``) shows up twice here so the
+    # consistency check below still applies.
+    free: List[Tuple[Variable, int]] = []
+    if s_spec[0] == _VAR and subject is None:
+        free.append((s_spec[1], 0))
+    if p_spec[0] == _VAR and pred is None:
+        free.append((p_spec[1], 1))
+    if o_spec[0] == _VAR and obj is None:
+        free.append((o_spec[1], 2))
+    # Spelling fidelity: a variable first bound from a cell whose literal
+    # spelling differs from the dictionary representative must decode to
+    # the cell's own spelling (the term-keyed store's behavior).  The
+    # override is recorded only on first bind — re-matching the same
+    # value later keeps the original binding, exactly like _extend.
+    track_spelling = obj is None and o_spec[0] == _VAR and graph.has_spellings
+    for triple in graph.triples_ids(subject, pred, obj):
+        if free:
+            extended = dict(ids)
+            ok = True
+            for var, pos in free:
+                value = triple[pos]
+                bound = extended.get(var)
+                if bound is None:
+                    extended[var] = value
+                elif bound != value:
+                    ok = False
+                    break
+            if not ok:
+                continue
+        else:
+            extended = ids
+        out_spell = spell
+        if track_spelling:
+            own = graph.spelling(triple[0], triple[1], triple[2])
+            if own is not None:
+                out_spell = dict(spell)
+                out_spell[o_spec[1]] = own
+        yield extended, out_spell
+
+
+def _extend_id(
+    ids: IdBindings, spec: Tuple[int, object], value: int
+) -> Optional[IdBindings]:
+    """Bind the spec's variable (if any) to the ID *value*; None on conflict.
+
+    Conflict detection is an int compare: equal terms share one
+    dictionary ID (numeric-literal canonicalization included), so ID
+    equality coincides exactly with term equality within one graph.
+    """
+    if spec[0] != _VAR:
+        return ids
+    var = spec[1]
+    bound = ids.get(var)
+    if bound is None:
+        new = dict(ids)
+        new[var] = value
+        return new
+    if bound == value:
+        return ids
+    return None
+
+
+# ----------------------------------------------------------------------
 # Property paths
 # ----------------------------------------------------------------------
 def eval_path(
@@ -424,11 +765,22 @@ def _path_successors(
 # Per-graph memo for transitive-closure path evaluation.  Recursive
 # (descendant) patterns re-query the same closure for every candidate
 # binding; caching turns the repeated BFS into a dictionary lookup.  The
-# cache is keyed by graph identity (weakly, so graphs stay collectable)
-# and invalidated via the graph's mutation counter.
-_CLOSURE_CACHE: "weakref.WeakKeyDictionary[Graph, dict]" = (
-    weakref.WeakKeyDictionary()
-)
+# state lives in an attribute ON the graph object, so it shares the
+# graph's lifetime with no weak-reference machinery, and — critically —
+# no hashing of the graph: a WeakKeyDictionary here would fall back to
+# the value-based ``Graph.__eq__`` (an O(size) triple comparison) on any
+# bucket collision, which profiling showed dominating recursive-pattern
+# evaluation.  Invalidation goes through the graph's mutation counter.
+_CLOSURE_ATTR = "_sparql_closure_cache"
+
+
+def _closure_entries(graph: Graph) -> dict:
+    """The (version-checked) closure memo for *graph*."""
+    state = getattr(graph, _CLOSURE_ATTR, None)
+    if state is None or state["version"] != graph.version:
+        state = {"version": graph.version, "entries": {}}
+        setattr(graph, _CLOSURE_ATTR, state)
+    return state["entries"]
 
 
 def _closure(
@@ -439,25 +791,24 @@ def _closure(
     key = None
     if CLOSURE_CACHING:
         try:
-            state = _CLOSURE_CACHE.get(graph)
-            if state is None or state["version"] != graph.version:
-                state = {"version": graph.version, "entries": {}}
-                _CLOSURE_CACHE[graph] = state
-            cache = state["entries"]
+            cache = _closure_entries(graph)
             # Key the path by identity, not value: hashing a nested path
             # expression recursively on every lookup costs more than the
             # BFS it saves.  The cached entry pins the path object so its
             # id cannot be recycled while the entry lives.
             key = (id(path), start, forward)
-        except TypeError:  # unhashable term; fall through uncached
+            hit = cache.get(key)
+            if hit is not None:
+                yield from hit[1]
+                return
+        except (TypeError, AttributeError):  # unhashable term / frozen graph
             cache = None
             key = None
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            yield from hit[1]
-            return
+    # BFS discovery order, not set order: deterministic given the store,
+    # and identical to the ID-space closure over the same encoded graph
+    # (both walk the same int-keyed indexes).
     seen: Set[Term] = set()
+    order: List[Term] = []
     frontier = [start]
     while frontier:
         next_frontier: List[Term] = []
@@ -465,14 +816,24 @@ def _closure(
             for successor in _path_successors(path, graph, node, forward):
                 if successor not in seen:
                     seen.add(successor)
+                    order.append(successor)
                     next_frontier.append(successor)
         frontier = next_frontier
     if cache is not None:
-        cache[key] = (path, frozenset(seen))
-    yield from seen
+        cache[key] = (path, tuple(order))
+    yield from order
 
 
-def _graph_nodes(graph: Graph) -> Set[Term]:
+def _graph_nodes(graph: Graph) -> Iterable[Term]:
+    """Every subject/object node, deterministically ordered when possible.
+
+    Encoded graphs enumerate in ascending dictionary-ID order — the same
+    order the ID-space path uses, so both join cores emit both-free path
+    solutions identically.  Plain stores fall back to an unordered set.
+    """
+    if isinstance(graph, Graph):
+        id_term = graph.id_term
+        return [id_term(tid) for tid in graph.node_ids()]
     nodes: Set[Term] = set(graph.subject_set())
     for s, p, o in graph.triples():
         nodes.add(o)
@@ -530,6 +891,182 @@ def _eval_mod(
         if isinstance(node, Literal):
             continue  # literals cannot start a forward path
         for target in _closure(inner, graph, node, forward=True):
+            yield from emit((node, target))
+
+
+# ----------------------------------------------------------------------
+# Property paths in ID space
+# ----------------------------------------------------------------------
+# Twins of the term-space path evaluation above, operating on dictionary
+# IDs throughout: the BFS frontiers, the dedup sets and the closure-cache
+# entries all hold ints.  Semantics (including the left-to-right /
+# right-to-left sequence orientation and zero-length cases) mirror the
+# term versions line for line.
+
+
+def _eval_path_ids(
+    path: ast.Path, graph: Graph, subject: Optional[int], obj: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    """Yield (subject_id, object_id) pairs connected by *path*."""
+    if isinstance(path, ast.PathLink):
+        pred = graph.term_id(path.iri)
+        if pred is None:
+            return
+        for s, _, o in graph.triples_ids(subject, pred, obj):
+            yield (s, o)
+        return
+    if isinstance(path, ast.PathInverse):
+        for o, s in _eval_path_ids(path.path, graph, obj, subject):
+            yield (s, o)
+        return
+    if isinstance(path, ast.PathAlternative):
+        seen: Set[Tuple[int, int]] = set()
+        for part in path.parts:
+            for pair in _eval_path_ids(part, graph, subject, obj):
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+    if isinstance(path, ast.PathSequence):
+        yield from _eval_sequence_ids(path.parts, graph, subject, obj)
+        return
+    if isinstance(path, ast.PathMod):
+        yield from _eval_mod_ids(path, graph, subject, obj)
+        return
+    raise TypeError(f"unsupported path {path!r}")
+
+
+def _eval_sequence_ids(
+    parts: Tuple[ast.Path, ...],
+    graph: Graph,
+    subject: Optional[int],
+    obj: Optional[int],
+) -> Iterator[Tuple[int, int]]:
+    if len(parts) == 1:
+        yield from _eval_path_ids(parts[0], graph, subject, obj)
+        return
+    # Evaluate left-to-right when the subject is bound (or both free),
+    # right-to-left when only the object is bound.
+    if subject is None and obj is not None:
+        last = parts[-1]
+        rest = parts[:-1]
+        seen: Set[Tuple[int, int]] = set()
+        for mid, o_val in _eval_path_ids(last, graph, None, obj):
+            for s_val, _ in _eval_sequence_ids(rest, graph, None, mid):
+                pair = (s_val, o_val)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair
+        return
+    first = parts[0]
+    rest = parts[1:]
+    seen = set()
+    for s_val, mid in _eval_path_ids(first, graph, subject, None):
+        for _, o_val in _eval_sequence_ids(rest, graph, mid, obj):
+            pair = (s_val, o_val)
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+
+
+def _path_successors_ids(
+    path: ast.Path, graph: Graph, node: int, forward: bool
+) -> Iterator[int]:
+    """One application of *path* starting at the ID *node*."""
+    if forward:
+        for _, target in _eval_path_ids(path, graph, node, None):
+            yield target
+    else:
+        for source, _ in _eval_path_ids(path, graph, None, node):
+            yield source
+
+
+def _closure_ids(
+    path: ast.Path, graph: Graph, start: int, forward: bool
+) -> Iterator[int]:
+    """IDs reachable from *start* by one or more applications of *path*.
+
+    Shares the per-graph memo with the term-space closure — the key
+    carries an int start in ID mode and a Term in term mode, which can
+    never collide (an int never equals a Term).
+    """
+    cache = None
+    key = None
+    if CLOSURE_CACHING:
+        cache = _closure_entries(graph)
+        key = (id(path), start, forward)
+        hit = cache.get(key)
+        if hit is not None:
+            yield from hit[1]
+            return
+    seen: Set[int] = set()
+    order: List[int] = []
+    frontier = [start]
+    while frontier:
+        next_frontier: List[int] = []
+        for node in frontier:
+            for successor in _path_successors_ids(path, graph, node, forward):
+                if successor not in seen:
+                    seen.add(successor)
+                    order.append(successor)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    if cache is not None:
+        cache[key] = (path, tuple(order))
+    yield from order
+
+
+def _eval_mod_ids(
+    path: ast.PathMod, graph: Graph, subject: Optional[int], obj: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    inner = path.path
+    mod = path.modifier
+    emitted: Set[Tuple[int, int]] = set()
+
+    def emit(pair: Tuple[int, int]) -> Iterator[Tuple[int, int]]:
+        if pair not in emitted:
+            emitted.add(pair)
+            yield pair
+
+    if mod == "?":
+        # zero-length
+        if subject is not None and obj is not None:
+            if subject == obj:
+                yield from emit((subject, obj))
+        elif subject is not None:
+            yield from emit((subject, subject))
+        elif obj is not None:
+            yield from emit((obj, obj))
+        else:
+            for node in graph.node_ids():
+                yield from emit((node, node))
+        for pair in _eval_path_ids(inner, graph, subject, obj):
+            yield from emit(pair)
+        return
+
+    include_zero = mod == "*"
+    if subject is not None:
+        if include_zero and (obj is None or obj == subject):
+            yield from emit((subject, subject))
+        for target in _closure_ids(inner, graph, subject, forward=True):
+            if obj is None or target == obj:
+                yield from emit((subject, target))
+        return
+    if obj is not None:
+        if include_zero:
+            yield from emit((obj, obj))
+        for source in _closure_ids(inner, graph, obj, forward=False):
+            yield from emit((source, obj))
+        return
+    # Both ends free: closure from every node with outgoing inner-path edges.
+    nodes = graph.node_ids()
+    if include_zero:
+        for node in nodes:
+            yield from emit((node, node))
+    for node in nodes:
+        if graph.is_literal_id(node):
+            continue  # literals cannot start a forward path
+        for target in _closure_ids(inner, graph, node, forward=True):
             yield from emit((node, target))
 
 

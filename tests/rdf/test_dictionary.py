@@ -1,0 +1,88 @@
+"""Term dictionary: dense IDs, canonicalization, lookup vs encode, copy."""
+
+import pytest
+
+from repro.rdf import BNode, Literal, Namespace, URIRef
+from repro.rdf.dictionary import TermDictionary
+
+EX = Namespace("http://example/")
+
+
+@pytest.fixture
+def dictionary():
+    return TermDictionary()
+
+
+class TestEncode:
+    def test_ids_dense_from_zero(self, dictionary):
+        assert dictionary.encode(EX.a) == 0
+        assert dictionary.encode(EX.b) == 1
+        assert dictionary.encode(Literal("x")) == 2
+
+    def test_encode_idempotent(self, dictionary):
+        first = dictionary.encode(EX.a)
+        assert dictionary.encode(EX.a) == first
+        assert len(dictionary) == 1
+
+    def test_numeric_spellings_share_one_id(self, dictionary):
+        # Equal terms must collapse: "100" == "1e2" == "100.0".
+        a = dictionary.encode(Literal("100"))
+        assert dictionary.encode(Literal("1e2")) == a
+        assert dictionary.encode(Literal("100.0")) == a
+        assert len(dictionary) == 1
+
+    def test_distinct_kinds_distinct_ids(self, dictionary):
+        ids = {
+            dictionary.encode(URIRef("http://example/t")),
+            dictionary.encode(Literal("http://example/t")),
+            dictionary.encode(BNode("t")),
+        }
+        assert len(ids) == 3
+
+
+class TestLookupDecode:
+    def test_lookup_absent_is_none(self, dictionary):
+        dictionary.encode(EX.a)
+        assert dictionary.lookup(EX.missing) is None
+
+    def test_lookup_present(self, dictionary):
+        tid = dictionary.encode(EX.a)
+        assert dictionary.lookup(EX.a) == tid
+
+    def test_decode_round_trip(self, dictionary):
+        terms = [EX.a, Literal("5"), BNode("b1")]
+        for term in terms:
+            assert dictionary.decode(dictionary.encode(term)) is term
+
+    def test_decode_returns_first_encoded_spelling(self, dictionary):
+        dictionary.encode(Literal("100"))
+        tid = dictionary.encode(Literal("1e2"))
+        assert dictionary.decode(tid).lexical == "100"
+
+    def test_contains(self, dictionary):
+        dictionary.encode(EX.a)
+        assert EX.a in dictionary
+        assert EX.b not in dictionary
+
+    def test_decode_all_aligned_with_ids(self, dictionary):
+        for term in (EX.a, EX.b, Literal("7")):
+            dictionary.encode(term)
+        table = dictionary.decode_all()
+        assert all(dictionary.lookup(t) == i for i, t in enumerate(table))
+
+
+class TestCopy:
+    def test_copy_is_independent(self, dictionary):
+        dictionary.encode(EX.a)
+        clone = dictionary.copy()
+        clone.encode(EX.b)
+        assert len(dictionary) == 1
+        assert len(clone) == 2
+        assert dictionary.lookup(EX.b) is None
+
+    def test_copy_preserves_assignments(self, dictionary):
+        ids = {t: dictionary.encode(t) for t in (EX.a, EX.b, Literal("1"))}
+        clone = dictionary.copy()
+        for term, tid in ids.items():
+            assert clone.lookup(term) == tid
+            assert clone.decode(tid) is term

@@ -228,3 +228,102 @@ class TestCopyAndEquality:
 
     def test_repr(self, graph):
         assert "size=5" in repr(graph)
+
+
+class TestDictionaryEncoding:
+    """The ID layer under the Term API: stable round trips, no shared
+    mutable state across copies, label-stable equality."""
+
+    def test_term_id_round_trip(self, graph):
+        for s, p, o in graph.triples():
+            for term in (s, p, o):
+                tid = graph.term_id(term)
+                assert tid is not None
+                assert graph.id_term(tid) == term
+
+    def test_term_id_absent_is_none(self, graph):
+        assert graph.term_id(EX.never_seen) is None
+
+    def test_triples_ids_match_term_triples(self, graph):
+        decoded = {
+            (graph.id_term(s), graph.id_term(p), graph.id_term(o))
+            for s, p, o in graph.triples_ids()
+        }
+        assert decoded == set(graph.triples())
+
+    def test_estimate_ids_agrees_with_estimate(self, graph):
+        s_id = graph.term_id(EX.a)
+        p_id = graph.term_id(EX.knows)
+        assert graph.estimate_ids(s_id, p_id, None) == graph.estimate(
+            EX.a, EX.knows, None
+        )
+        assert graph.estimate_ids(None, p_id, None) == graph.estimate(
+            None, EX.knows, None
+        )
+
+    def test_numeric_spellings_share_an_id(self):
+        g = Graph()
+        g.add((EX.a, EX.p, Literal("100")))
+        g.add((EX.b, EX.p, Literal("1e2")))
+        assert g.term_id(Literal("100")) == g.term_id(Literal("1e2"))
+
+    def test_triples_preserve_per_cell_spelling(self):
+        # The dictionary canonicalizes, but each triple keeps the lexical
+        # form it was added with (the seed's observable behavior).
+        g = Graph()
+        g.add((EX.a, EX.p, Literal("100")))
+        g.add((EX.b, EX.p, Literal("1e2")))
+        assert next(g.triples(EX.a, EX.p, None))[2].lexical == "100"
+        assert next(g.triples(EX.b, EX.p, None))[2].lexical == "1e2"
+
+    def test_copy_shares_no_mutable_state(self, graph):
+        clone = graph.copy()
+        # Mutating the clone in every way must leave the original intact.
+        clone.remove((EX.a, EX.knows, EX.b))
+        clone.add((EX.z, EX.fresh_predicate, Literal("new")))
+        assert (EX.a, EX.knows, EX.b) in graph
+        assert (EX.z, EX.fresh_predicate, Literal("new")) not in graph
+        assert graph.term_id(Literal("new")) is None
+        assert graph.estimate(None, EX.knows, None) == 3
+
+    def test_copy_spelling_table_independent(self):
+        g = Graph()
+        g.add((EX.a, EX.p, Literal("100")))
+        g.add((EX.b, EX.p, Literal("1e2")))
+        clone = g.copy()
+        clone.remove((EX.b, EX.p, Literal("1e2")))
+        assert next(g.triples(EX.b, EX.p, None))[2].lexical == "1e2"
+
+    def test_equality_label_stable_across_id_assignments(self):
+        # Same triples inserted in different orders => different dense
+        # IDs, but graph equality is by terms, not IDs.
+        triples = [
+            (EX.a, EX.knows, EX.b),
+            (EX.b, EX.knows, EX.c),
+            (EX.a, EX.name, Literal("alice")),
+        ]
+        g1, g2 = Graph(), Graph()
+        g1.add_all(triples)
+        g2.add_all(reversed(triples))
+        assert g1.term_id(EX.b) != g2.term_id(EX.b)  # IDs really differ
+        assert g1 == g2
+
+    def test_inequality_across_id_assignments(self):
+        g1, g2 = Graph(), Graph()
+        g1.add((EX.a, EX.p, EX.b))
+        g2.add((EX.a, EX.p, EX.c))
+        assert g1 != g2
+
+    def test_node_ids_cover_subjects_and_objects(self, graph):
+        nodes = {graph.id_term(i) for i in graph.node_ids()}
+        expected = set()
+        for s, _, o in graph.triples():
+            expected.add(s)
+            expected.add(o)
+        assert nodes == expected
+
+    def test_is_literal_id(self, graph):
+        lit_id = graph.term_id(Literal("alice"))
+        uri_id = graph.term_id(EX.a)
+        assert graph.is_literal_id(lit_id)
+        assert not graph.is_literal_id(uri_id)

@@ -127,3 +127,69 @@ def test_is_ground():
     assert is_ground(BNode("b"))
     assert is_ground(Literal("x"))
     assert not is_ground(Variable("v"))
+
+
+class TestInterning:
+    """Equal lexical construction returns the identical object (and hash
+    caching / as_number memoization never change value semantics)."""
+
+    def test_uriref_interned(self):
+        assert URIRef("http://x/intern") is URIRef("http://x/intern")
+
+    def test_variable_interned(self):
+        assert Variable("pop1") is Variable("?pop1")
+
+    def test_literal_interned_by_spelling(self):
+        assert Literal("NLJOIN") is Literal("NLJOIN")
+        assert Literal("5", datatype=_XSD_INT) is Literal("5", datatype=_XSD_INT)
+
+    def test_equal_numeric_spellings_stay_distinct_objects(self):
+        # Interning keys on (lexical, datatype): "100" and "1e2" are EQUAL
+        # but must keep their own lexical forms — never substitute `is`
+        # for `==` on literals.
+        a, b = Literal("100"), Literal("1e2")
+        assert a == b
+        assert a is not b
+        assert a.lexical == "100" and b.lexical == "1e2"
+
+    def test_python_value_normalization_interns(self):
+        assert Literal(5) is Literal("5", datatype=_XSD_INT)
+        assert Literal(True).lexical == "true"
+
+    def test_bnode_not_interned(self):
+        # Minting must stay fresh; equal labels still compare equal.
+        assert BNode("same") is not BNode("same")
+        assert BNode("same") == BNode("same")
+
+    def test_hash_cached_and_stable(self):
+        for term in (URIRef("http://x/h"), Literal("1e2"), Variable("v")):
+            assert hash(term) == hash(term)
+
+    def test_as_number_memoized(self):
+        lit = Literal("2.87997e+07")
+        assert lit.as_number() is lit.as_number()  # same float object back
+        assert lit.as_number() == pytest.approx(2.87997e7)
+
+
+class TestNumericLiteralRegression:
+    """The equality/hash contract the evaluator and the term dictionary
+    both rely on: numerically equal spellings are one value."""
+
+    def test_cross_spelling_equality(self):
+        assert Literal("100") == Literal("1e2")
+        assert Literal("100") == Literal("100.0")
+        assert Literal("15771.9") != Literal("15771.8")
+
+    def test_cross_spelling_hash_consistency(self):
+        assert hash(Literal("100")) == hash(Literal("1e2"))
+        assert hash(Literal("100")) == hash(Literal("100.0"))
+
+    def test_set_dedup_across_spellings(self):
+        assert len({Literal("100"), Literal("1e2"), Literal("100.0")}) == 1
+
+    def test_nan_and_inf_are_plain_strings(self):
+        for spelling in ("NaN", "inf", "-inf", "1e999"):
+            lit = Literal(spelling)
+            assert lit.as_number() is None
+            assert lit == Literal(spelling)
+            assert lit != Literal(spelling + "x")
