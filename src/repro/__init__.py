@@ -19,9 +19,14 @@ paper-to-module mapping.
 """
 
 from repro.core import (
+    Budget,
+    BudgetExceeded,
+    EvaluationTimeout,
     Match,
     MatchingEngine,
     OptImatch,
+    PlanError,
+    SearchResult,
     PatternBuilder,
     PlanMatches,
     PopSpec,
@@ -55,11 +60,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BaseObject",
+    "Budget",
+    "BudgetExceeded",
+    "EvaluationTimeout",
     "KnowledgeBase",
     "Match",
     "MatchingEngine",
     "OptImatch",
     "PatternBuilder",
+    "PlanError",
     "PlanGraph",
     "PlanMatches",
     "PlanOperator",
@@ -69,6 +78,7 @@ __all__ = [
     "PropertyConstraint",
     "Recommendation",
     "Relationship",
+    "SearchResult",
     "StreamRole",
     "TransformedPlan",
     "WorkloadGenerator",

@@ -7,6 +7,8 @@ Commands:
 * ``compile``    — compile a pattern JSON file to SPARQL
 * ``search``     — search a workload directory for a pattern
 * ``kb``         — run the (builtin or saved) knowledge base over a workload
+* ``serve``      — start the HTTP server (with resource-governance flags)
+* ``remote``     — drive a running server over HTTP (retry/backoff client)
 * ``experiment`` — reproduce a paper figure/table (fig9 fig10 fig11 study)
 """
 
@@ -285,6 +287,10 @@ def _cmd_serve(args) -> int:
         knowledge_base=kb,
         workers=args.workers,
         cache=not args.no_cache,
+        max_body_bytes=args.max_body_bytes,
+        default_timeout_ms=args.default_timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
+        max_inflight=args.max_inflight,
     )
     if args.workload:
         for name in sorted(os.listdir(args.workload)):
@@ -300,6 +306,47 @@ def _cmd_serve(args) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def _cmd_remote(args) -> int:
+    """Drive a running server over HTTP with retry/backoff."""
+    import json as _json
+
+    from repro.client import ClientError, OptImatchClient
+
+    client = OptImatchClient(args.url, retries=args.retries)
+    try:
+        if args.action == "health":
+            payload = client.health()
+        elif args.action == "stats":
+            payload = client.stats()
+        elif args.action == "plans":
+            payload = {"plans": client.plans()}
+        elif args.action == "upload":
+            if not args.target:
+                print("upload requires an explain file argument", file=sys.stderr)
+                return 2
+            with open(args.target, "r", encoding="utf-8") as handle:
+                payload = client.upload_plan(handle.read())
+        elif args.action == "search":
+            if not args.target:
+                print("search requires a pattern (JSON file or letter A-D)",
+                      file=sys.stderr)
+                return 2
+            pattern = _load_pattern(args.target)
+            payload = client.search(
+                pattern.to_json_object(), timeout_ms=args.timeout_ms
+            )
+        else:  # kb-run
+            payload = client.run_kb(timeout_ms=args.timeout_ms)
+    except ClientError as exc:
+        print(f"remote error: {exc}", file=sys.stderr)
+        return 1
+    print(_json.dumps(payload, indent=2))
+    if isinstance(payload, dict) and payload.get("degraded"):
+        print("warning: response is degraded (see errors above)",
+              file=sys.stderr)
     return 0
 
 
@@ -324,6 +371,8 @@ def _cmd_experiment(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import server as server_defaults
+
     parser = argparse.ArgumentParser(
         prog="optimatch",
         description="Query performance problem determination with a "
@@ -439,8 +488,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", help="preload *.exfmt files from a directory")
     p.add_argument("--extended", action="store_true",
                    help="serve the extended expert library")
+    p.add_argument("--max-body-bytes", type=int,
+                   default=server_defaults.DEFAULT_MAX_BODY_BYTES,
+                   help="reject larger request bodies with 413")
+    p.add_argument("--default-timeout-ms", type=float,
+                   default=server_defaults.DEFAULT_TIMEOUT_MS,
+                   help="deadline applied when the client sends none")
+    p.add_argument("--max-timeout-ms", type=float,
+                   default=server_defaults.DEFAULT_MAX_TIMEOUT_MS,
+                   help="ceiling for client-requested deadlines")
+    p.add_argument("--max-inflight", type=int,
+                   default=server_defaults.DEFAULT_MAX_INFLIGHT,
+                   help="concurrent search/KB requests before 503 shedding")
     add_engine_flags(p)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "remote", help="talk to a running OptImatch server over HTTP"
+    )
+    p.add_argument("action",
+                   choices=["health", "stats", "plans", "upload",
+                            "search", "kb-run"])
+    p.add_argument("target", nargs="?",
+                   help="explain file (upload) or pattern JSON/letter A-D "
+                        "(search)")
+    p.add_argument("--url", default="http://127.0.0.1:8080",
+                   help="server base URL")
+    p.add_argument("--timeout-ms", type=float, default=None,
+                   help="per-request evaluation deadline")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retry attempts on 503/connection errors")
+    p.set_defaults(func=_cmd_remote)
 
     p = sub.add_parser("experiment", help="reproduce a paper figure/table")
     p.add_argument("name", help="fig9 | fig10 | fig11 | study")

@@ -1,0 +1,256 @@
+"""HTTP client for the OptImatch server (stdlib-only, with retries).
+
+The paper's GUI is one client of the server in Figure 4; this module is
+the programmatic one.  :class:`OptImatchClient` wraps the JSON API of
+:mod:`repro.server` and adds the retry discipline the server's load
+shedding expects from well-behaved callers:
+
+* ``503`` (shed) and connection-level failures are retried with
+  exponential backoff and full jitter, honoring a ``Retry-After``
+  header when the server sends one;
+* every other non-2xx response raises :class:`ClientError` immediately
+  (retrying a ``400`` or ``422`` would just repeat the mistake);
+* per-request deadlines are forwarded via ``?timeout_ms=`` so the
+  server clamps and enforces them (see docs/operations.md).
+
+Usage::
+
+    from repro.client import OptImatchClient
+    client = OptImatchClient("http://127.0.0.1:8080", retries=4)
+    client.upload_plan(explain_text)
+    result = client.search_sparql(sparql, timeout_ms=2000)
+    if result.get("degraded"):
+        ...  # inspect result["errors"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
+
+
+class ClientError(RuntimeError):
+    """A non-retryable HTTP error response from the server.
+
+    Carries the HTTP *status*, the machine-readable *code* from the
+    server's error taxonomy, and the parsed response *payload*.
+    """
+
+    def __init__(self, status: int, message: str, code: str = "", payload=None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.code = code
+        self.payload = payload if payload is not None else {}
+
+
+class ServerUnavailable(ClientError):
+    """Retries exhausted: the server kept shedding or was unreachable."""
+
+    def __init__(self, message: str, attempts: int, last: Optional[BaseException] = None):
+        ClientError.__init__(self, 503, message, code="unavailable")
+        self.attempts = attempts
+        self.last = last
+
+
+class OptImatchClient:
+    """A small JSON/HTTP client with backoff for the OptImatch server.
+
+    *retries* is the number of attempts **after** the first (so
+    ``retries=3`` means up to 4 requests); *backoff_base* seconds
+    doubles per attempt up to *backoff_cap*, with full jitter.  Pass
+    ``rng=random.Random(0)`` (or any object with ``uniform``) for
+    deterministic tests, and *sleep* to intercept waiting.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        retries: int = 3,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        connect_timeout: float = 10.0,
+        rng=None,
+        sleep=time.sleep,
+    ):
+        parts = urlsplit(base_url)
+        if parts.scheme not in ("http", ""):
+            raise ValueError(f"unsupported URL scheme: {parts.scheme!r}")
+        netloc = parts.netloc or parts.path  # allow "host:port" bare form
+        self._host = netloc.rsplit(":", 1)[0]
+        self._port = int(netloc.rsplit(":", 1)[1]) if ":" in netloc else 80
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.connect_timeout = connect_timeout
+        self._rng = rng or random
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _send_once(
+        self, method: str, path: str, body: Optional[bytes], headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP round-trip; the seam tests stub to inject failures."""
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, dict(response.getheaders()), data
+        finally:
+            conn.close()
+
+    def _backoff_delay(self, attempt: int, retry_after: Optional[str]) -> float:
+        if retry_after:
+            try:
+                return max(0.0, float(retry_after))
+            except ValueError:
+                pass  # e.g. an HTTP-date; fall through to backoff
+        cap = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return self._rng.uniform(0, cap)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> dict:
+        headers = {}
+        if isinstance(body, dict):
+            body = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        elif isinstance(body, str):
+            body = body.encode("utf-8")
+            headers["Content-Type"] = "text/plain; charset=utf-8"
+        if body is not None:
+            headers["Content-Length"] = str(len(body))
+        if params:
+            filtered = {k: v for k, v in params.items() if v is not None}
+            if filtered:
+                path = f"{path}?{urlencode(filtered)}"
+
+        attempts = self.retries + 1
+        last_exc: Optional[BaseException] = None
+        for attempt in range(attempts):
+            try:
+                status, resp_headers, data = self._send_once(
+                    method, path, body, headers
+                )
+            except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                last_exc = exc
+                if attempt + 1 < attempts:
+                    self._sleep(self._backoff_delay(attempt, None))
+                continue
+            if status == 503:
+                last_exc = None
+                if attempt + 1 < attempts:
+                    retry_after = {
+                        k.lower(): v for k, v in resp_headers.items()
+                    }.get("retry-after")
+                    self._sleep(self._backoff_delay(attempt, retry_after))
+                continue
+            payload = self._decode(data)
+            if 200 <= status < 300:
+                return payload
+            message = (
+                payload.get("error", data.decode("utf-8", "replace"))
+                if isinstance(payload, dict)
+                else str(payload)
+            )
+            code = payload.get("code", "") if isinstance(payload, dict) else ""
+            raise ClientError(status, message, code=code, payload=payload)
+        raise ServerUnavailable(
+            f"{method} {path} failed after {attempts} attempts",
+            attempts=attempts,
+            last=last_exc,
+        )
+
+    @staticmethod
+    def _decode(data: bytes):
+        if not data:
+            return {}
+        try:
+            return json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            return {"raw": data.decode("utf-8", "replace")}
+
+    # ------------------------------------------------------------------
+    # API surface (mirrors the routes in repro.server)
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def plans(self) -> list:
+        return self._request("GET", "/plans")["plans"]
+
+    def upload_plan(self, explain_text: str) -> dict:
+        """POST explain text (or a tree snippet); returns the load reply."""
+        return self._request("POST", "/plans", body=explain_text)
+
+    def clear_plans(self) -> dict:
+        return self._request("DELETE", "/plans")
+
+    def search(
+        self,
+        pattern_json: dict,
+        timeout_ms: Optional[float] = None,
+        strict: bool = False,
+    ) -> dict:
+        """Search with a Figure-5 pattern JSON object."""
+        return self._request(
+            "POST",
+            "/search",
+            body=pattern_json,
+            params={
+                "timeout_ms": timeout_ms,
+                "strict": 1 if strict else None,
+            },
+        )
+
+    def search_sparql(
+        self,
+        sparql: str,
+        timeout_ms: Optional[float] = None,
+        strict: bool = False,
+    ) -> dict:
+        """Search with raw SPARQL text; returns matches + degraded flag."""
+        return self._request(
+            "POST",
+            "/search/sparql",
+            body=sparql,
+            params={
+                "timeout_ms": timeout_ms,
+                "strict": 1 if strict else None,
+            },
+        )
+
+    def kb_entries(self) -> list:
+        return self._request("GET", "/kb/entries")["entries"]
+
+    def add_kb_entry(self, entry_json: dict) -> dict:
+        return self._request("POST", "/kb/entries", body=entry_json)
+
+    def run_kb(
+        self, timeout_ms: Optional[float] = None, strict: bool = False
+    ) -> dict:
+        """Run the server's knowledge base over its loaded workload."""
+        return self._request(
+            "POST",
+            "/kb/run",
+            params={
+                "timeout_ms": timeout_ms,
+                "strict": 1 if strict else None,
+            },
+            body="",
+        )

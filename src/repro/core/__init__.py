@@ -13,11 +13,28 @@ from repro.core.pattern import (
 from repro.core.sparqlgen import pattern_to_sparql
 from repro.core.pattern_rdf import pattern_from_rdf, pattern_to_rdf
 from repro.core.matcher import Match, PlanMatches, find_matches, search_plan
-from repro.core.engine import EngineStats, MatchingEngine
+from repro.core.limits import (
+    Budget,
+    BudgetExceeded,
+    EvaluationTimeout,
+    LimitError,
+)
+from repro.core.engine import (
+    EngineStats,
+    MatchingEngine,
+    PlanError,
+    SearchResult,
+)
 from repro.core.optimatch import OptImatch
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
     "EngineStats",
+    "EvaluationTimeout",
+    "LimitError",
+    "PlanError",
+    "SearchResult",
     "Match",
     "MatchingEngine",
     "OBJ",

@@ -50,6 +50,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core import limits
+from repro.core.limits import Budget, LimitError
 from repro.core.matcher import PlanMatches, search_plan
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
@@ -60,6 +62,54 @@ from repro.sparql import prepare_query
 DEFAULT_PREPARED_CACHE_SIZE = 128
 #: Default bound on (plan, version, query) match entries kept in memory.
 DEFAULT_MATCH_CACHE_SIZE = 16384
+
+
+@dataclass
+class PlanError:
+    """Structured record of one plan's failed evaluation.
+
+    Produced by :meth:`MatchingEngine.search_isolated` instead of
+    letting the exception poison the whole batch.  ``kind`` is one of
+    ``"timeout"`` (deadline), ``"budget"`` (row/binding cap) or
+    ``"error"`` (any other exception).
+    """
+
+    plan_id: str
+    kind: str
+    message: str
+    elapsed_seconds: float = 0.0
+
+    def to_json_object(self) -> dict:
+        return {
+            "planId": self.plan_id,
+            "kind": self.kind,
+            "message": self.message,
+            "elapsedSeconds": round(self.elapsed_seconds, 6),
+        }
+
+
+@dataclass
+class SearchResult:
+    """Matches plus per-plan error records from one isolated search.
+
+    Iterating yields the successful :class:`PlanMatches` (workload
+    order), so consumers written against the plain-list API keep
+    working; ``errors`` carries one :class:`PlanError` per failed plan
+    and ``degraded`` flags a partial result set.
+    """
+
+    matches: List[PlanMatches] = field(default_factory=list)
+    errors: List["PlanError"] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.errors)
+
+    def __iter__(self):
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
 
 
 class LRUCache:
@@ -106,6 +156,7 @@ class EngineStats:
     prepared_misses: int = 0
     match_hits: int = 0
     match_misses: int = 0
+    plan_errors: int = 0
     prepare_seconds: float = 0.0
     evaluate_seconds: float = 0.0
     total_seconds: float = 0.0
@@ -123,6 +174,7 @@ class EngineStats:
             "plansSeen": self.plans_seen,
             "plansEvaluated": self.plans_evaluated,
             "plansFromCache": self.plans_from_cache,
+            "planErrors": self.plan_errors,
             "preparedCache": {
                 "hits": self.prepared_hits,
                 "misses": self.prepared_misses,
@@ -249,12 +301,49 @@ class MatchingEngine:
 
         Mirrors :func:`repro.core.matcher.find_matches`: plans without
         occurrences are dropped unless *keep_empty* is set (one
-        :class:`PlanMatches` per plan then).
+        :class:`PlanMatches` per plan then).  An exception anywhere
+        aborts the whole search; for per-plan fault containment and
+        resource budgets use :meth:`search_isolated`.
         """
+        matches, _ = self._search(
+            sparql_or_pattern, workload, keep_empty, budget=None, isolate=False
+        )
+        return matches
+
+    def search_isolated(
+        self,
+        sparql_or_pattern: Union[str, ProblemPattern, object],
+        workload: Iterable[TransformedPlan],
+        keep_empty: bool = False,
+        budget: Optional[Budget] = None,
+    ) -> SearchResult:
+        """Fault-isolated search: one bad plan cannot poison the batch.
+
+        Every plan is evaluated under *budget* (deadline / row / visited
+        -binding caps; shared across the whole batch).  A plan that
+        times out, exhausts the budget or raises produces a structured
+        :class:`PlanError` in :attr:`SearchResult.errors` while the
+        remaining plans still return their matches; once the deadline
+        has passed, not-yet-evaluated plans short-circuit to ``timeout``
+        errors without doing any work.  Errored plans are never cached.
+        """
+        matches, errors = self._search(
+            sparql_or_pattern, workload, keep_empty, budget=budget, isolate=True
+        )
+        return SearchResult(matches=matches, errors=errors)
+
+    def _search(
+        self,
+        sparql_or_pattern: Union[str, ProblemPattern, object],
+        workload: Iterable[TransformedPlan],
+        keep_empty: bool,
+        budget: Optional[Budget],
+        isolate: bool,
+    ) -> Tuple[List[PlanMatches], List[PlanError]]:
         started = time.perf_counter()
         key, ast = self.prepare(sparql_or_pattern)
         plans = list(workload)
-        results: List[Optional[PlanMatches]] = [None] * len(plans)
+        results: List[Optional[Union[PlanMatches, PlanError]]] = [None] * len(plans)
         pending: List[Tuple[int, TransformedPlan]] = []
 
         use_cache = self.cache_enabled and key is not None
@@ -272,10 +361,14 @@ class MatchingEngine:
         else:
             pending = list(enumerate(plans))
 
-        evaluated = self._evaluate(ast, pending)
+        evaluated = self._evaluate(ast, pending, budget=budget, isolate=isolate)
+        error_count = 0
         with self._lock:
             for index, transformed, result in evaluated:
                 results[index] = result
+                if isinstance(result, PlanError):
+                    error_count += 1
+                    continue  # never cache failures — they may be transient
                 if use_cache:
                     cache_key = (transformed.plan_id, transformed.graph.version, key)
                     self._matches.put(cache_key, result)
@@ -283,14 +376,21 @@ class MatchingEngine:
             self._stats.plans_seen += len(plans)
             self._stats.plans_evaluated += len(evaluated)
             self._stats.plans_from_cache += len(plans) - len(evaluated)
+            self._stats.plan_errors += error_count
             for result in results:
-                if result and result.count:
+                if isinstance(result, PlanMatches) and result.count:
                     per_plan = self._stats.matches_per_plan
                     per_plan[result.plan_id] = (
                         per_plan.get(result.plan_id, 0) + result.count
                     )
             self._stats.total_seconds += time.perf_counter() - started
-        return [r for r in results if r is not None and (keep_empty or r)]
+        matches = [
+            r
+            for r in results
+            if isinstance(r, PlanMatches) and (keep_empty or r)
+        ]
+        errors = [r for r in results if isinstance(r, PlanError)]
+        return matches, errors
 
     def matching_plan_ids(
         self,
@@ -300,17 +400,66 @@ class MatchingEngine:
         return [m.plan_id for m in self.search(sparql_or_pattern, workload)]
 
     def _evaluate(
-        self, ast: object, pending: Sequence[Tuple[int, TransformedPlan]]
-    ) -> List[Tuple[int, TransformedPlan, PlanMatches]]:
-        """Evaluate the uncached plans, fanning out when it pays off."""
+        self,
+        ast: object,
+        pending: Sequence[Tuple[int, TransformedPlan]],
+        budget: Optional[Budget] = None,
+        isolate: bool = False,
+    ) -> List[Tuple[int, TransformedPlan, Union[PlanMatches, "PlanError"]]]:
+        """Evaluate the uncached plans, fanning out when it pays off.
+
+        With *isolate*, per-plan failures become :class:`PlanError`
+        entries instead of propagating; *budget* is installed as the
+        active evaluation budget around each plan (per worker thread —
+        :func:`repro.core.limits.activate` is context-local, so pool
+        threads each arm their own context).
+        """
         if not pending:
             return []
         started = time.perf_counter()
 
+        def eval_one(index, transformed):
+            if budget is not None and budget.expired():
+                # Deadline already blown: fail the remaining plans fast
+                # instead of burning more wall-clock on a lost cause.
+                return (
+                    index,
+                    transformed,
+                    PlanError(
+                        plan_id=transformed.plan_id,
+                        kind="timeout",
+                        message="deadline expired before evaluation started",
+                        elapsed_seconds=0.0,
+                    ),
+                )
+            plan_started = time.perf_counter()
+            try:
+                with limits.activate(budget):
+                    return index, transformed, search_plan(ast, transformed)
+            except LimitError as exc:
+                if not isolate:
+                    raise
+                kind = exc.kind
+                message = str(exc)
+            except Exception as exc:  # noqa: BLE001 — isolation boundary
+                if not isolate:
+                    raise
+                kind = "error"
+                message = f"{type(exc).__name__}: {exc}"
+            return (
+                index,
+                transformed,
+                PlanError(
+                    plan_id=transformed.plan_id,
+                    kind=kind,
+                    message=message,
+                    elapsed_seconds=time.perf_counter() - plan_started,
+                ),
+            )
+
         def eval_chunk(chunk):
             return [
-                (index, transformed, search_plan(ast, transformed))
-                for index, transformed in chunk
+                eval_one(index, transformed) for index, transformed in chunk
             ]
 
         if self.workers <= 1 or len(pending) <= 1:

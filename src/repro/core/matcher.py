@@ -18,6 +18,7 @@ from repro.core.transform import TransformedPlan
 from repro.qep.model import BaseObject, PlanOperator
 from repro.sparql import prepare_query, query as run_query
 from repro.sparql.results import ResultRow
+from repro.testing import chaos
 
 PlanNode = Union[PlanOperator, BaseObject]
 
@@ -114,6 +115,8 @@ def search_plan(
     transformed: TransformedPlan,
 ) -> PlanMatches:
     """Match one pattern (or SPARQL text / prepared query) against one plan."""
+    if chaos.active:
+        chaos.trip("matcher.search_plan", transformed.plan_id)
     ast = _prepare(sparql_or_pattern)
     result = PlanMatches(transformed=transformed)
     seen = set()

@@ -27,7 +27,8 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, List, Optional, Union
 
-from repro.core.engine import MatchingEngine
+from repro.core.engine import MatchingEngine, SearchResult
+from repro.core.limits import Budget
 from repro.core.matcher import PlanMatches
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
@@ -174,6 +175,22 @@ class OptImatch:
         """Search the whole workload for *pattern* (Algorithm 3)."""
         return self._engine.search(pattern, self._workload)
 
+    def search_isolated(
+        self,
+        pattern: Union[ProblemPattern, str],
+        budget: Optional[Budget] = None,
+    ) -> SearchResult:
+        """Fault-isolated search: per-plan errors are contained.
+
+        A plan that times out against *budget* or raises produces a
+        structured :class:`repro.core.engine.PlanError` in the result's
+        ``errors`` list instead of aborting the batch; see
+        :meth:`repro.core.engine.MatchingEngine.search_isolated`.
+        """
+        return self._engine.search_isolated(
+            pattern, self._workload, budget=budget
+        )
+
     def matching_plan_ids(self, pattern: Union[ProblemPattern, str]) -> List[str]:
         """Plan IDs that contain at least one occurrence of *pattern*."""
         return [m.plan_id for m in self.search(pattern)]
@@ -181,15 +198,22 @@ class OptImatch:
     # ------------------------------------------------------------------
     # Knowledge base
     # ------------------------------------------------------------------
-    def run_knowledge_base(self, knowledge_base) -> "object":
+    def run_knowledge_base(
+        self,
+        knowledge_base,
+        budget: Optional[Budget] = None,
+        isolate: bool = False,
+    ) -> "object":
         """Run every KB entry against the workload (Algorithm 5).
 
         Delegates to :meth:`repro.kb.KnowledgeBase.find_recommendations`
         with this facade's matching engine, so entry queries are parsed
         once, fanned out over the worker pool and match-cached across
         runs; accepting the KB as a parameter keeps the core free of a
-        kb dependency.
+        kb dependency.  *budget* and *isolate* turn on resource limits
+        and per-entry/per-plan fault containment (errors surface in
+        ``report.errors`` instead of aborting the run).
         """
         return knowledge_base.find_recommendations(
-            self._workload, engine=self._engine
+            self._workload, engine=self._engine, budget=budget, isolate=isolate
         )

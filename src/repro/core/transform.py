@@ -93,6 +93,10 @@ def _num(value: float) -> Literal:
 
 def transform_plan(plan: PlanGraph) -> TransformedPlan:
     """Transform one plan into its RDF graph (Algorithm 1)."""
+    from repro.testing import chaos
+
+    if chaos.active:
+        chaos.trip("transform.transform_plan", plan.plan_id)
     graph = Graph(identifier=plan.plan_id)
     transformed = TransformedPlan(plan=plan, graph=graph)
     plan_res = voc.PLAN.term(plan.plan_id)

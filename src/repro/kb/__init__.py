@@ -12,6 +12,7 @@ from repro.kb.recommendation import Recommendation, RenderedRecommendation
 from repro.kb.tagging import TaggingError, render_template, parse_template
 from repro.kb.knowledge_base import (
     KBEntry,
+    KBEntryError,
     KBReport,
     KnowledgeBase,
     NO_RECOMMENDATION,
@@ -24,6 +25,7 @@ from repro.kb.library import extended_knowledge_base, library_entries
 
 __all__ = [
     "KBEntry",
+    "KBEntryError",
     "KBReport",
     "KnowledgeBase",
     "NO_RECOMMENDATION",

@@ -14,6 +14,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.core import limits
+from repro.core.limits import Budget, EvaluationTimeout, LimitError
 from repro.core.matcher import Match, search_plan
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
@@ -21,6 +23,7 @@ from repro.core.transform import TransformedPlan
 from repro.kb.ranking import confidence_score
 from repro.kb.recommendation import Recommendation, RenderedRecommendation
 from repro.sparql import prepare_query
+from repro.testing import chaos
 
 #: Sentinel text from Algorithm 5, line 6.
 NO_RECOMMENDATION = "There is currently no recommendation in knowledge base"
@@ -138,10 +141,41 @@ class PlanRecommendations:
 
 
 @dataclass
+class KBEntryError:
+    """One contained failure during a knowledge-base run.
+
+    ``plan_id`` is set when the failure was confined to one plan
+    (timeout / budget / evaluation error) and ``None`` when the entry
+    itself is broken and was skipped for the whole run.
+    """
+
+    entry_name: str
+    kind: str  # "timeout" | "budget" | "error"
+    message: str
+    plan_id: Optional[str] = None
+
+    def to_json_object(self) -> dict:
+        data = {
+            "entry": self.entry_name,
+            "kind": self.kind,
+            "message": self.message,
+        }
+        if self.plan_id is not None:
+            data["planId"] = self.plan_id
+        return data
+
+
+@dataclass
 class KBReport:
     """The full output of a knowledge-base run over a workload."""
 
     plans: List[PlanRecommendations] = field(default_factory=list)
+    errors: List[KBEntryError] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any entry or plan evaluation was skipped/contained."""
+        return bool(self.errors)
 
     def for_plan(self, plan_id: str) -> Optional[PlanRecommendations]:
         for plan in self.plans:
@@ -221,7 +255,11 @@ class KnowledgeBase:
     # Algorithm 5: FindingRecommendationsKB
     # ------------------------------------------------------------------
     def find_recommendations(
-        self, workload: Iterable[TransformedPlan], engine=None
+        self,
+        workload: Iterable[TransformedPlan],
+        engine=None,
+        budget: Optional[Budget] = None,
+        isolate: bool = False,
     ) -> KBReport:
         """Match every entry against every plan; rank by confidence.
 
@@ -232,43 +270,120 @@ class KnowledgeBase:
         and repeated KB runs over an unchanged workload hit its match
         cache.  Results are identical to the serial path: both evaluate
         each (entry, plan) pair through ``search_plan``.
+
+        Fault containment: with *isolate*, a broken entry (bad SPARQL,
+        exploding template, any unexpected exception) is skipped and
+        reported in :attr:`KBReport.errors` instead of aborting the
+        whole run, and per-plan evaluation failures are contained the
+        same way.  A *budget* (deadline / row / binding caps, shared by
+        the whole run) turns over-limit evaluations into ``timeout`` /
+        ``budget`` error records while the in-limit portion of the
+        report is still produced.
         """
         workload = list(workload)
-        matches_by_entry = None
-        if engine is not None:
-            matches_by_entry = {
-                entry.name: {
-                    m.plan_id: m for m in engine.search(entry.sparql, workload)
-                }
-                for entry in self.entries
-            }
         report = KBReport()
+        matches_by_entry = None
+        skipped: set = set()
+        if engine is not None:
+            matches_by_entry = {}
+            for entry in self.entries:
+                try:
+                    if chaos.active:
+                        chaos.trip("kb.entry", entry.name)
+                    if isolate or budget is not None:
+                        result = engine.search_isolated(
+                            entry.sparql, workload, budget=budget
+                        )
+                        for plan_error in result.errors:
+                            report.errors.append(
+                                KBEntryError(
+                                    entry_name=entry.name,
+                                    kind=plan_error.kind,
+                                    message=plan_error.message,
+                                    plan_id=plan_error.plan_id,
+                                )
+                            )
+                        matches = list(result)
+                    else:
+                        matches = engine.search(entry.sparql, workload)
+                except Exception as exc:  # noqa: BLE001 — entry isolation
+                    if not isolate:
+                        raise
+                    report.errors.append(
+                        KBEntryError(
+                            entry_name=entry.name,
+                            kind="error",
+                            message=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    matches = []
+                matches_by_entry[entry.name] = {
+                    m.plan_id: m for m in matches
+                }
         for transformed in workload:
             plan_result = PlanRecommendations(plan_id=transformed.plan_id)
             for entry in self.entries:
-                if matches_by_entry is not None:
-                    matches = matches_by_entry[entry.name].get(
-                        transformed.plan_id
-                    )
-                else:
-                    # Reuse the entry's precompiled query AST: re-parsing
-                    # the SPARQL per plan x entry dominates small-pattern
-                    # runs.
-                    matches = search_plan(entry.compiled, transformed)
-                if not matches:
+                if entry.name in skipped:
                     continue
-                occurrences: List[Match] = matches.occurrences
-                confidence = max(
-                    confidence_score(
-                        occurrence,
-                        transformed.plan.total_cost,
-                        entry.exemplar_profile,
+                try:
+                    if matches_by_entry is not None:
+                        matches = matches_by_entry[entry.name].get(
+                            transformed.plan_id
+                        )
+                    else:
+                        # Reuse the entry's precompiled query AST:
+                        # re-parsing the SPARQL per plan x entry
+                        # dominates small-pattern runs.
+                        if budget is not None and budget.expired():
+                            raise EvaluationTimeout(
+                                "deadline expired before evaluation"
+                            )
+                        if chaos.active:
+                            chaos.trip("kb.entry", entry.name)
+                        with limits.activate(budget):
+                            matches = search_plan(entry.compiled, transformed)
+                    if not matches:
+                        continue
+                    occurrences: List[Match] = matches.occurrences
+                    confidence = max(
+                        confidence_score(
+                            occurrence,
+                            transformed.plan.total_cost,
+                            entry.exemplar_profile,
+                        )
+                        for occurrence in occurrences
                     )
-                    for occurrence in occurrences
-                )
-                rendered: List[RenderedRecommendation] = []
-                for recommendation in entry.recommendations:
-                    rendered.extend(recommendation.render(occurrences))
+                    rendered: List[RenderedRecommendation] = []
+                    for recommendation in entry.recommendations:
+                        rendered.extend(recommendation.render(occurrences))
+                except LimitError as exc:
+                    if not isolate and budget is None:
+                        raise
+                    report.errors.append(
+                        KBEntryError(
+                            entry_name=entry.name,
+                            kind=exc.kind,
+                            message=str(exc),
+                            plan_id=transformed.plan_id,
+                        )
+                    )
+                    continue
+                except Exception as exc:  # noqa: BLE001 — entry isolation
+                    if not isolate:
+                        raise
+                    # A non-limit failure means the entry itself is
+                    # broken — report once and skip it for the rest of
+                    # the run rather than repeating the error per plan.
+                    report.errors.append(
+                        KBEntryError(
+                            entry_name=entry.name,
+                            kind="error",
+                            message=f"{type(exc).__name__}: {exc}",
+                            plan_id=transformed.plan_id,
+                        )
+                    )
+                    skipped.add(entry.name)
+                    continue
                 plan_result.results.append(
                     RecommendationResult(
                         entry_name=entry.name,

@@ -10,7 +10,7 @@ front end:
 ======  =====================  ==========================================
 method  path                   body / effect
 ======  =====================  ==========================================
-GET     /health                liveness + workload size
+GET     /health                liveness + workload size (never blocks)
 GET     /stats                 matching-engine cache/timing counters
 GET     /plans                 list loaded plan ids
 POST    /plans                 explain text (or tree snippet) → loads it
@@ -21,6 +21,28 @@ GET     /kb/entries            stored entry names
 POST    /kb/entries            entry JSON (pattern + recommendations)
 POST    /kb/run                run all entries → recommendations report
 ======  =====================  ==========================================
+
+Production posture (see docs/operations.md):
+
+* **Per-request deadlines** — ``?timeout_ms=`` or ``X-Timeout-Ms``,
+  clamped to the server maximum; over-deadline plans come back as
+  structured error records with ``degraded: true`` (or ``408``/``422``
+  with ``?strict=1``).
+* **Request body cap** — oversized uploads get ``413``; a missing or
+  garbage ``Content-Length`` gets ``411``/``400`` instead of a dropped
+  connection.
+* **Load shedding** — heavy routes (search, KB runs) are limited to a
+  configurable number of in-flight requests; excess load is shed with
+  ``503`` + ``Retry-After`` instead of queueing without bound.
+* **Fault isolation** — search and KB evaluation never take the state
+  lock, so ``/health`` answers in microseconds while a long search
+  runs; one broken plan or KB entry yields an error record, not a 500.
+* **Error taxonomy** — every failure is JSON with a stable ``code``
+  (parse_error, length_required, body_too_large, deadline_exceeded,
+  budget_exceeded, shed, internal) and 500s carry an ``errorId`` that
+  is also logged to stderr.  No hung sockets, no empty replies.
+* **Graceful shutdown** — :meth:`OptImatchServer.stop` drains in-flight
+  requests (new heavy work is shed while draining) before closing.
 
 Start one with ``optimatch serve --port 8080`` or programmatically::
 
@@ -34,28 +56,99 @@ Start one with ``optimatch serve --port 8080`` or programmatically::
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
-from repro.core import OptImatch, ProblemPattern
+from repro.core import Budget, OptImatch, ProblemPattern
 from repro.kb import KnowledgeBase, builtin_knowledge_base
 from repro.kb.knowledge_base import KBEntry
 from repro.qep.parser import QepParseError
 
+#: Default cap on accepted request bodies (bytes).
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Default per-request deadline for heavy routes when the client sends
+#: none (milliseconds); ``None`` would mean unbounded.
+DEFAULT_TIMEOUT_MS = 30_000.0
+#: Hard ceiling a client-requested deadline is clamped to.
+DEFAULT_MAX_TIMEOUT_MS = 120_000.0
+#: Default cap on concurrently-evaluating heavy requests.
+DEFAULT_MAX_INFLIGHT = 8
+#: Seconds suggested to shed clients via the Retry-After header.
+DEFAULT_RETRY_AFTER_SECONDS = 1
+
+
+class _RequestError(Exception):
+    """Internal: maps straight to one taxonomy response."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
 
 class ServerState:
-    """Shared state behind the HTTP handlers (thread-safe)."""
+    """Shared state behind the HTTP handlers (thread-safe).
+
+    ``lock`` guards *mutations* of the workload and knowledge base and
+    brief snapshot reads.  Long evaluations run on a snapshot **outside**
+    the lock (the engine is internally thread-safe), so read routes and
+    health checks never queue behind a slow search.
+    """
 
     def __init__(
         self,
         knowledge_base: Optional[KnowledgeBase] = None,
         workers: Optional[int] = None,
         cache: bool = True,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        default_timeout_ms: Optional[float] = DEFAULT_TIMEOUT_MS,
+        max_timeout_ms: float = DEFAULT_MAX_TIMEOUT_MS,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
     ):
         self.tool = OptImatch(workers=workers, cache=cache)
         self.kb = knowledge_base or builtin_knowledge_base()
         self.lock = threading.Lock()
+        self.max_body_bytes = max_body_bytes
+        self.default_timeout_ms = default_timeout_ms
+        self.max_timeout_ms = max_timeout_ms
+        self.retry_after_seconds = retry_after_seconds
+        self.draining = False
+        # In-flight accounting: `requests` counts every active request
+        # (for graceful drain); `heavy` counts only evaluation routes
+        # (for load shedding).
+        self._counter_lock = threading.Lock()
+        self.inflight_requests = 0
+        self.inflight_heavy = 0
+        self.max_inflight = max_inflight
+
+    # ------------------------------------------------------------------
+    # In-flight accounting
+    # ------------------------------------------------------------------
+    def request_started(self) -> None:
+        with self._counter_lock:
+            self.inflight_requests += 1
+
+    def request_finished(self) -> None:
+        with self._counter_lock:
+            self.inflight_requests -= 1
+
+    def acquire_heavy_slot(self) -> bool:
+        """Try to reserve an evaluation slot; False = shed the request."""
+        with self._counter_lock:
+            if self.draining or self.inflight_heavy >= self.max_inflight:
+                return False
+            self.inflight_heavy += 1
+            return True
+
+    def release_heavy_slot(self) -> None:
+        with self._counter_lock:
+            self.inflight_heavy -= 1
 
 
 def _matches_to_json(matches) -> list:
@@ -99,7 +192,13 @@ def _report_to_json(report) -> dict:
             for result in plan_recs.results
         ]
         plans.append({"planId": plan_recs.plan_id, "results": results})
-    return {"plans": plans, "hits": report.entry_hit_counts()}
+    payload = {"plans": plans, "hits": report.entry_hit_counts()}
+    if report.errors:
+        payload["degraded"] = True
+        payload["errors"] = [e.to_json_object() for e in report.errors]
+    else:
+        payload["degraded"] = False
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -114,103 +213,334 @@ class _Handler(BaseHTTPRequestHandler):
         pass
 
     def _body(self) -> bytes:
-        length = int(self.headers.get("Content-Length", 0))
+        """Read the request body, validating Content-Length.
+
+        A missing header on a body-bearing request is ``411 Length
+        Required``; a non-integer or negative value is ``400``; a body
+        over the configured cap is ``413`` — never an uncaught exception
+        that silently drops the connection.
+        """
+        raw = self.headers.get("Content-Length")
+        if raw is None:
+            raise _RequestError(
+                411, "length_required", "Content-Length header is required"
+            )
+        try:
+            length = int(raw)
+        except (TypeError, ValueError):
+            raise _RequestError(
+                400,
+                "bad_content_length",
+                f"invalid Content-Length header: {raw!r}",
+            )
+        if length < 0:
+            raise _RequestError(
+                400,
+                "bad_content_length",
+                f"invalid Content-Length header: {raw!r}",
+            )
+        if length > self.state.max_body_bytes:
+            raise _RequestError(
+                413,
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.state.max_body_bytes}-byte limit",
+            )
         return self.rfile.read(length) if length else b""
 
-    def _send(self, status: int, payload) -> None:
+    def _send(self, status: int, payload, headers=()) -> None:
         data = json.dumps(payload, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(data)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _error(
+        self,
+        status: int,
+        message: str,
+        code: str = "bad_request",
+        headers=(),
+        error_id: Optional[str] = None,
+    ) -> None:
+        payload = {"error": message, "code": code}
+        if error_id is not None:
+            payload["errorId"] = error_id
+        self._send(status, payload, headers=headers)
+
+    def _internal_error(self, exc: BaseException) -> None:
+        """Catch-all 500: structured payload + stderr log, never a
+        silently dropped connection."""
+        error_id = uuid.uuid4().hex[:12]
+        print(
+            f"[optimatch-server] error {error_id} on "
+            f"{self.command} {self.path}: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        try:
+            self._error(
+                500,
+                f"internal server error (id {error_id})",
+                code="internal",
+                error_id=error_id,
+            )
+        except OSError:
+            pass  # client went away mid-reply; nothing left to say
+
+    # ------------------------------------------------------------------
+    # Request governance helpers
+    # ------------------------------------------------------------------
+    def _query(self) -> dict:
+        return parse_qs(urlsplit(self.path).query)
+
+    def _route(self) -> str:
+        return urlsplit(self.path).path
+
+    def _budget(self, query: dict) -> Optional[Budget]:
+        """Build the request budget from query params / headers.
+
+        ``timeout_ms`` (or ``X-Timeout-Ms``) is clamped to the server
+        max; without either, the server default applies.  ``max_rows``
+        and ``max_bindings`` add result/work caps.
+        """
+        state = self.state
+
+        def number(name: str, header: Optional[str] = None):
+            raw = None
+            if name in query:
+                raw = query[name][-1]
+            elif header is not None:
+                raw = self.headers.get(header)
+            if raw is None:
+                return None
+            try:
+                value = float(raw)
+            except (TypeError, ValueError):
+                raise _RequestError(
+                    400, "bad_parameter", f"invalid {name} value: {raw!r}"
+                )
+            if value <= 0:
+                raise _RequestError(
+                    400, "bad_parameter", f"{name} must be positive: {raw!r}"
+                )
+            return value
+
+        timeout_ms = number("timeout_ms", "X-Timeout-Ms")
+        if timeout_ms is None:
+            timeout_ms = state.default_timeout_ms
+        if timeout_ms is not None:
+            timeout_ms = min(timeout_ms, state.max_timeout_ms)
+        max_rows = number("max_rows")
+        max_bindings = number("max_bindings")
+        if timeout_ms is None and max_rows is None and max_bindings is None:
+            return None
+        return Budget(
+            timeout_ms=timeout_ms,
+            max_rows=int(max_rows) if max_rows is not None else None,
+            max_bindings=int(max_bindings) if max_bindings is not None else None,
+        )
+
+    def _strict(self, query: dict) -> bool:
+        value = query.get("strict", ["0"])[-1].lower()
+        return value not in ("", "0", "false", "no")
+
+    def _degraded_response(self, payload: dict, errors, strict: bool) -> None:
+        """Send a search/KB-run reply, honoring ``?strict=1``.
+
+        Default: ``200`` with ``degraded`` + per-plan error records
+        (partial results are usable).  Strict: the first deadline error
+        becomes ``408``, any other budget violation ``422``.
+        """
+        if errors and strict:
+            kinds = {e.kind for e in errors}
+            if "timeout" in kinds:
+                self._error(
+                    408,
+                    "request deadline exceeded during evaluation",
+                    code="deadline_exceeded",
+                )
+                return
+            self._error(
+                422,
+                "evaluation budget exhausted",
+                code="budget_exceeded",
+            )
+            return
+        self._send(200, payload)
+
+    def _shed(self) -> None:
+        self._error(
+            503,
+            "server is at capacity, retry later",
+            code="shed",
+            headers=(("Retry-After", str(self.state.retry_after_seconds)),),
+        )
 
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self):
+        self.state.request_started()
+        try:
+            self._do_get()
+        except _RequestError as exc:
+            self._error(exc.status, str(exc), code=exc.code)
+        except Exception as exc:  # noqa: BLE001 — catch-all 500
+            self._internal_error(exc)
+        finally:
+            self.state.request_finished()
+
+    def _do_get(self):
         state = self.state
-        if self.path == "/health":
+        route = self._route()
+        if route == "/health":
+            # Snapshot read: holds the state lock only for two integer
+            # reads, so liveness stays in microseconds even while a
+            # heavy search evaluates (which runs outside the lock).
             with state.lock:
-                self._send(
-                    200,
-                    {
-                        "status": "ok",
-                        "plans": state.tool.plan_count,
-                        "kbEntries": len(state.kb),
-                    },
-                )
-        elif self.path == "/plans":
+                plan_count = state.tool.plan_count
+                kb_entries = len(state.kb)
+            with state._counter_lock:
+                inflight = state.inflight_heavy
+                draining = state.draining
+            self._send(
+                200,
+                {
+                    "status": "draining" if draining else "ok",
+                    "plans": plan_count,
+                    "kbEntries": kb_entries,
+                    "inflight": inflight,
+                },
+            )
+        elif route == "/plans":
             with state.lock:
-                self._send(
-                    200,
-                    {"plans": [t.plan_id for t in state.tool.workload]},
-                )
-        elif self.path == "/kb/entries":
+                plan_ids = [t.plan_id for t in state.tool.workload]
+            self._send(200, {"plans": plan_ids})
+        elif route == "/kb/entries":
             with state.lock:
-                self._send(
-                    200, {"entries": [e.name for e in state.kb.entries]}
-                )
-        elif self.path == "/stats":
-            with state.lock:
-                self._send(200, state.tool.stats())
+                names = [e.name for e in state.kb.entries]
+            self._send(200, {"entries": names})
+        elif route == "/stats":
+            # The engine snapshot has its own internal lock.
+            self._send(200, state.tool.stats())
         else:
-            self._error(404, f"unknown path {self.path}")
+            self._error(404, f"unknown path {route}", code="not_found")
 
     def do_DELETE(self):
-        if self.path == "/plans":
-            with self.state.lock:
-                self.state.tool.clear()
-            self._send(200, {"cleared": True})
-        else:
-            self._error(404, f"unknown path {self.path}")
+        self.state.request_started()
+        try:
+            if self._route() == "/plans":
+                with self.state.lock:
+                    self.state.tool.clear()
+                self._send(200, {"cleared": True})
+            else:
+                self._error(
+                    404, f"unknown path {self._route()}", code="not_found"
+                )
+        except Exception as exc:  # noqa: BLE001 — catch-all 500
+            self._internal_error(exc)
+        finally:
+            self.state.request_finished()
 
     def do_POST(self):
         state = self.state
-        body = self._body()
+        state.request_started()
         try:
-            if self.path == "/plans":
-                text = body.decode("utf-8")
-                with state.lock:
-                    transformed = state.tool.load_explain_text(text)
-                self._send(
-                    201,
-                    {
-                        "planId": transformed.plan_id,
-                        "operators": transformed.plan.op_count,
-                        "triples": len(transformed.graph),
-                    },
-                )
-            elif self.path == "/search":
-                pattern = ProblemPattern.from_json(body.decode("utf-8"))
-                with state.lock:
-                    matches = state.tool.search(pattern)
-                self._send(200, {"matches": _matches_to_json(matches)})
-            elif self.path == "/search/sparql":
-                sparql = body.decode("utf-8")
-                with state.lock:
-                    matches = state.tool.search(sparql)
-                self._send(200, {"matches": _matches_to_json(matches)})
-            elif self.path == "/kb/entries":
-                entry = KBEntry.from_json_object(json.loads(body))
-                with state.lock:
-                    state.kb.add(entry)
-                self._send(201, {"added": entry.name})
-            elif self.path == "/kb/run":
-                with state.lock:
-                    report = state.tool.run_knowledge_base(state.kb)
-                self._send(200, _report_to_json(report))
+            try:
+                self._do_post()
+            except _RequestError as exc:
+                self._error(exc.status, str(exc), code=exc.code)
+            except (QepParseError, ValueError, KeyError) as exc:
+                self._error(400, str(exc), code="parse_error")
+        except Exception as exc:  # noqa: BLE001 — catch-all 500
+            self._internal_error(exc)
+        finally:
+            state.request_finished()
+
+    def _do_post(self):
+        state = self.state
+        route = self._route()
+        query = self._query()
+        body = self._body()
+        if route == "/plans":
+            text = body.decode("utf-8")
+            with state.lock:
+                transformed = state.tool.load_explain_text(text)
+            self._send(
+                201,
+                {
+                    "planId": transformed.plan_id,
+                    "operators": transformed.plan.op_count,
+                    "triples": len(transformed.graph),
+                },
+            )
+        elif route in ("/search", "/search/sparql"):
+            if route == "/search":
+                target = ProblemPattern.from_json(body.decode("utf-8"))
             else:
-                self._error(404, f"unknown path {self.path}")
-        except (QepParseError, ValueError, KeyError) as exc:
-            self._error(400, str(exc))
+                target = body.decode("utf-8")
+            budget = self._budget(query)
+            if not state.acquire_heavy_slot():
+                self._shed()
+                return
+            try:
+                # Snapshot the workload under the lock, evaluate outside
+                # it: long searches never block reads or other requests.
+                with state.lock:
+                    workload = state.tool.workload
+                result = state.tool.engine.search_isolated(
+                    target, workload, budget=budget
+                )
+            finally:
+                state.release_heavy_slot()
+            payload = {
+                "matches": _matches_to_json(result.matches),
+                "degraded": result.degraded,
+            }
+            if result.errors:
+                payload["errors"] = [
+                    e.to_json_object() for e in result.errors
+                ]
+            self._degraded_response(payload, result.errors, self._strict(query))
+        elif route == "/kb/entries":
+            entry = KBEntry.from_json_object(json.loads(body))
+            with state.lock:
+                state.kb.add(entry)
+            self._send(201, {"added": entry.name})
+        elif route == "/kb/run":
+            budget = self._budget(query)
+            if not state.acquire_heavy_slot():
+                self._shed()
+                return
+            try:
+                with state.lock:
+                    workload = state.tool.workload
+                    kb = state.kb
+                report = kb.find_recommendations(
+                    workload,
+                    engine=state.tool.engine,
+                    budget=budget,
+                    isolate=True,
+                )
+            finally:
+                state.release_heavy_slot()
+            self._degraded_response(
+                _report_to_json(report), report.errors, self._strict(query)
+            )
+        else:
+            self._error(404, f"unknown path {route}", code="not_found")
 
 
 class OptImatchServer:
-    """A threaded HTTP server wrapping one :class:`OptImatch` instance."""
+    """A threaded HTTP server wrapping one :class:`OptImatch` instance.
+
+    *max_body_bytes*, *default_timeout_ms*, *max_timeout_ms*,
+    *max_inflight* and *retry_after_seconds* configure the governance
+    layer (see docs/operations.md for tuning guidance).
+    """
 
     def __init__(
         self,
@@ -219,10 +549,25 @@ class OptImatchServer:
         knowledge_base: Optional[KnowledgeBase] = None,
         workers: Optional[int] = None,
         cache: bool = True,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        default_timeout_ms: Optional[float] = DEFAULT_TIMEOUT_MS,
+        max_timeout_ms: float = DEFAULT_MAX_TIMEOUT_MS,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
     ):
-        self.state = ServerState(knowledge_base, workers=workers, cache=cache)
+        self.state = ServerState(
+            knowledge_base,
+            workers=workers,
+            cache=cache,
+            max_body_bytes=max_body_bytes,
+            default_timeout_ms=default_timeout_ms,
+            max_timeout_ms=max_timeout_ms,
+            max_inflight=max_inflight,
+            retry_after_seconds=retry_after_seconds,
+        )
         handler = type("BoundHandler", (_Handler,), {"state": self.state})
         self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -246,7 +591,20 @@ class OptImatchServer:
         """Serve on the calling thread (the CLI entry point)."""
         self._httpd.serve_forever()
 
-    def stop(self) -> None:
+    def stop(self, drain_seconds: float = 5.0) -> None:
+        """Graceful shutdown: drain in-flight requests, then close.
+
+        New heavy requests are shed with 503 while draining; requests
+        already evaluating get up to *drain_seconds* to finish before
+        the listener is torn down.
+        """
+        self.state.draining = True
+        deadline = time.monotonic() + drain_seconds
+        while time.monotonic() < deadline:
+            with self.state._counter_lock:
+                if self.state.inflight_requests == 0:
+                    break
+            time.sleep(0.02)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.core.limits import active_budget
 from repro.rdf.graph import Graph
 from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
 from repro.sparql import ast
@@ -57,7 +58,17 @@ def evaluate_query(query, graph: Graph):
     """
     if isinstance(query, ast.AskQuery):
         return group_matches(query.where, graph, {})
-    solutions = list(eval_group(query.where, graph, {}))
+    budget = active_budget()
+    if budget is None:
+        solutions = list(eval_group(query.where, graph, {}))
+    else:
+        # Enforce the result-row cap while solutions materialize, so an
+        # exploding WHERE clause is stopped before it fills memory.
+        budget.check()
+        solutions = []
+        for solution in eval_group(query.where, graph, {}):
+            budget.count_row()
+            solutions.append(solution)
     if query.has_aggregates():
         rows, variables = _project_aggregated(query, graph, solutions)
         if query.order_by:
@@ -237,17 +248,21 @@ def _passes_filters(
 def _join_bgp(
     stream: Iterable[Bindings], patterns: List[ast.TriplePattern], graph: Graph
 ) -> Iterator[Bindings]:
+    budget = active_budget()
     if ID_SPACE_JOIN and isinstance(graph, Graph):
         compiled = _compile_bgp(patterns, graph)
         for solution in stream:
-            yield from _eval_bgp_encoded(compiled, graph, solution)
+            yield from _eval_bgp_encoded(compiled, graph, solution, budget)
         return
     for solution in stream:
-        yield from _eval_bgp(patterns, graph, solution)
+        yield from _eval_bgp(patterns, graph, solution, budget)
 
 
 def _eval_bgp(
-    patterns: List[ast.TriplePattern], graph: Graph, bindings: Bindings
+    patterns: List[ast.TriplePattern],
+    graph: Graph,
+    bindings: Bindings,
+    budget=None,
 ) -> Iterator[Bindings]:
     if not patterns:
         yield bindings
@@ -256,7 +271,9 @@ def _eval_bgp(
     order = _choose_next(remaining, bindings, graph)
     pattern = remaining.pop(order)
     for extended in _match_triple(pattern, graph, bindings):
-        yield from _eval_bgp(remaining, graph, extended)
+        if budget is not None:
+            budget.tick()
+        yield from _eval_bgp(remaining, graph, extended, budget)
 
 
 #: Assumed result sizes for property-path patterns by number of bound
@@ -424,7 +441,10 @@ def _compile_bgp(
 
 
 def _eval_bgp_encoded(
-    compiled: List[_CompiledPattern], graph: Graph, bindings: Bindings
+    compiled: List[_CompiledPattern],
+    graph: Graph,
+    bindings: Bindings,
+    budget=None,
 ) -> Iterator[Bindings]:
     """Evaluate a compiled BGP in ID space, decoding only at the boundary.
 
@@ -443,7 +463,9 @@ def _eval_bgp_encoded(
         else:
             ids[var] = tid
     id_term = graph.id_term
-    for solution_ids, spell in _eval_bgp_ids(compiled, graph, ids, dead, _NO_SPELL):
+    for solution_ids, spell in _eval_bgp_ids(
+        compiled, graph, ids, dead, _NO_SPELL, budget
+    ):
         out = dict(bindings)
         for var, tid in solution_ids.items():
             if var not in out:
@@ -463,6 +485,7 @@ def _eval_bgp_ids(
     ids: IdBindings,
     dead: Set[Variable],
     spell: Dict[Variable, Term],
+    budget=None,
 ) -> Iterator[Tuple[IdBindings, Dict[Variable, Term]]]:
     if not compiled:
         yield ids, spell
@@ -471,7 +494,9 @@ def _eval_bgp_ids(
     order = _choose_next_ids(remaining, ids, dead, graph)
     pattern = remaining.pop(order)
     for ext_ids, ext_spell in _match_triple_ids(pattern, graph, ids, dead, spell):
-        yield from _eval_bgp_ids(remaining, graph, ext_ids, dead, ext_spell)
+        if budget is not None:
+            budget.tick()
+        yield from _eval_bgp_ids(remaining, graph, ext_ids, dead, ext_spell, budget)
 
 
 def _resolve_spec(
@@ -807,6 +832,7 @@ def _closure(
     # BFS discovery order, not set order: deterministic given the store,
     # and identical to the ID-space closure over the same encoded graph
     # (both walk the same int-keyed indexes).
+    budget = active_budget()
     seen: Set[Term] = set()
     order: List[Term] = []
     frontier = [start]
@@ -814,6 +840,8 @@ def _closure(
         next_frontier: List[Term] = []
         for node in frontier:
             for successor in _path_successors(path, graph, node, forward):
+                if budget is not None:
+                    budget.tick()
                 if successor not in seen:
                     seen.add(successor)
                     order.append(successor)
@@ -868,11 +896,14 @@ def _eval_mod(
             yield from emit(pair)
         return
 
+    budget = active_budget()
     include_zero = mod == "*"
     if subject is not None:
         if include_zero and (obj is None or obj == subject):
             yield from emit((subject, subject))
         for target in _closure(inner, graph, subject, forward=True):
+            if budget is not None:
+                budget.tick()
             if obj is None or target == obj:
                 yield from emit((subject, target))
         return
@@ -880,6 +911,8 @@ def _eval_mod(
         if include_zero:
             yield from emit((obj, obj))
         for source in _closure(inner, graph, obj, forward=False):
+            if budget is not None:
+                budget.tick()
             yield from emit((source, obj))
         return
     # Both ends free: closure from every node with outgoing inner-path edges.
@@ -891,6 +924,8 @@ def _eval_mod(
         if isinstance(node, Literal):
             continue  # literals cannot start a forward path
         for target in _closure(inner, graph, node, forward=True):
+            if budget is not None:
+                budget.tick()
             yield from emit((node, target))
 
 
@@ -999,6 +1034,7 @@ def _closure_ids(
         if hit is not None:
             yield from hit[1]
             return
+    budget = active_budget()
     seen: Set[int] = set()
     order: List[int] = []
     frontier = [start]
@@ -1006,6 +1042,8 @@ def _closure_ids(
         next_frontier: List[int] = []
         for node in frontier:
             for successor in _path_successors_ids(path, graph, node, forward):
+                if budget is not None:
+                    budget.tick()
                 if successor not in seen:
                     seen.add(successor)
                     order.append(successor)
@@ -1044,11 +1082,14 @@ def _eval_mod_ids(
             yield from emit(pair)
         return
 
+    budget = active_budget()
     include_zero = mod == "*"
     if subject is not None:
         if include_zero and (obj is None or obj == subject):
             yield from emit((subject, subject))
         for target in _closure_ids(inner, graph, subject, forward=True):
+            if budget is not None:
+                budget.tick()
             if obj is None or target == obj:
                 yield from emit((subject, target))
         return
@@ -1056,6 +1097,8 @@ def _eval_mod_ids(
         if include_zero:
             yield from emit((obj, obj))
         for source in _closure_ids(inner, graph, obj, forward=False):
+            if budget is not None:
+                budget.tick()
             yield from emit((source, obj))
         return
     # Both ends free: closure from every node with outgoing inner-path edges.
@@ -1067,6 +1110,8 @@ def _eval_mod_ids(
         if graph.is_literal_id(node):
             continue  # literals cannot start a forward path
         for target in _closure_ids(inner, graph, node, forward=True):
+            if budget is not None:
+                budget.tick()
             yield from emit((node, target))
 
 

@@ -1,0 +1,9 @@
+"""Test-support utilities (fault injection, chaos hooks).
+
+Nothing in here runs in production paths unless explicitly armed; see
+:mod:`repro.testing.chaos`.
+"""
+
+from repro.testing import chaos
+
+__all__ = ["chaos"]

@@ -1,0 +1,135 @@
+"""Fault-injection hooks for robustness testing.
+
+Production code calls :func:`trip` at a handful of named *sites* (plan
+transformation, per-plan matching, knowledge-base entries).  By default
+nothing is armed and the hook is a single module-attribute read — no
+locks, no dictionary lookups — so the hot paths pay effectively nothing.
+
+Tests arm a site with :func:`inject` (or the :func:`injected` context
+manager) to make it raise a chosen exception and/or stall for a fixed
+delay, optionally restricted to specific keys (plan ids, entry names)
+and a maximum trigger count::
+
+    from repro.testing import chaos
+
+    with chaos.injected("matcher.search_plan", keys={"qep-0003"},
+                        exc=RuntimeError("boom")):
+        engine.search_isolated(pattern, workload)   # qep-0003 fails,
+                                                    # the rest succeed
+
+Known sites
+-----------
+``transform.transform_plan``
+    Keyed by plan id; fires before a plan is transformed to RDF.
+``matcher.search_plan``
+    Keyed by plan id; fires before a plan graph is evaluated.
+``kb.entry``
+    Keyed by KB entry name; fires before an entry's pattern is searched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Set, Union
+
+#: Fast-path flag: hooks check this before anything else.  Only the
+#: functions below mutate it (under the lock).
+active = False
+
+_lock = threading.Lock()
+
+
+@dataclass
+class _Injection:
+    exc: Optional[Union[BaseException, Callable[[], BaseException]]] = None
+    delay: float = 0.0
+    keys: Optional[Set[str]] = None
+    remaining: Optional[int] = None  # None = unlimited triggers
+
+    def matches(self, key: Optional[str]) -> bool:
+        if self.keys is None:
+            return True
+        return key is not None and key in self.keys
+
+
+_sites: Dict[str, _Injection] = {}
+
+
+def inject(
+    site: str,
+    *,
+    exc: Optional[Union[BaseException, Callable[[], BaseException]]] = None,
+    delay: float = 0.0,
+    keys: Optional[Set[str]] = None,
+    times: Optional[int] = None,
+) -> None:
+    """Arm *site* to stall for *delay* seconds and/or raise *exc*.
+
+    *exc* may be an exception instance (re-raised on every trigger) or a
+    zero-argument factory.  *keys* restricts triggering to specific keys
+    (plan ids / entry names); *times* caps the number of triggers, after
+    which the site disarms itself.
+    """
+    global active
+    if exc is None and delay <= 0:
+        raise ValueError("inject() needs an exception, a delay, or both")
+    with _lock:
+        _sites[site] = _Injection(
+            exc=exc,
+            delay=delay,
+            keys=set(keys) if keys is not None else None,
+            remaining=times,
+        )
+        active = True
+
+
+def clear(site: Optional[str] = None) -> None:
+    """Disarm one *site*, or everything when called without arguments."""
+    global active
+    with _lock:
+        if site is None:
+            _sites.clear()
+        else:
+            _sites.pop(site, None)
+        active = bool(_sites)
+
+
+@contextmanager
+def injected(site: str, **kwargs) -> Iterator[None]:
+    """Arm *site* for the duration of the ``with`` block (always disarms)."""
+    inject(site, **kwargs)
+    try:
+        yield
+    finally:
+        clear(site)
+
+
+def trip(site: str, key: Optional[str] = None) -> None:
+    """Hook point: stall/raise if *site* is armed and *key* matches.
+
+    Call guarded by ``chaos.active`` so the disarmed cost is one
+    attribute read at the call site.
+    """
+    if not active:  # double-check under races; callers pre-check too
+        return
+    with _lock:
+        injection = _sites.get(site)
+        if injection is None or not injection.matches(key):
+            return
+        if injection.remaining is not None:
+            if injection.remaining <= 0:
+                return
+            injection.remaining -= 1
+            if injection.remaining == 0:
+                # Keep the site entry (and ``active``) until clear();
+                # remaining==0 simply stops further triggers.
+                pass
+        delay = injection.delay
+        exc = injection.exc
+    if delay > 0:
+        time.sleep(delay)
+    if exc is not None:
+        raise exc() if callable(exc) else exc

@@ -1,0 +1,66 @@
+"""Shared fixtures for the robustness suite.
+
+Chaos injection is process-global state, so an autouse fixture disarms
+everything after every test — a failing test must not poison the rest
+of the run.
+"""
+
+import pytest
+
+from repro.testing import chaos
+
+#: All four stream predicates; input streams point down the plan tree
+#: and output streams point back up, so the alternation closure is
+#: cyclic and a both-free double-closure query is combinatorial.
+STREAM_PATH = (
+    "(predURI:hasInputStream|predURI:hasOuterInputStream|"
+    "predURI:hasInnerInputStream|predURI:hasOutputStream)+"
+)
+
+#: The pathological descendant query used throughout the suite: mutual
+#: reachability over every stream edge with both endpoints free.
+PATHOLOGICAL_SPARQL = f"""PREFIX predURI: <http://optimatch/predicate#>
+SELECT ?a ?b WHERE {{
+  ?a {STREAM_PATH} ?b .
+  ?b {STREAM_PATH} ?a .
+}}"""
+
+#: A cheap query every generated plan answers quickly.
+TRIVIAL_SPARQL = """PREFIX predURI: <http://optimatch/predicate#>
+SELECT ?p WHERE { ?p predURI:hasPopType "RETURN" }"""
+
+
+@pytest.fixture(autouse=True)
+def _disarm_chaos():
+    chaos.clear()
+    yield
+    chaos.clear()
+
+
+@pytest.fixture
+def mixed_workload():
+    """Six tiny plans plus four huge ones (transformed).
+
+    Against :data:`PATHOLOGICAL_SPARQL`, the tiny plans evaluate in
+    single-digit milliseconds while each huge one takes tens of seconds
+    unbudgeted — the shape the governance layer exists for.
+    """
+    from repro.core.transform import transform_workload
+    from repro.workload import generate_workload
+
+    healthy = generate_workload(6, seed=11, size_sampler=lambda rng: 7)
+    monsters = generate_workload(4, seed=13, size_sampler=lambda rng: 220)
+    for index, plan in enumerate(monsters):
+        plan.plan_id = f"monster-{index}"
+    return transform_workload(healthy + monsters)
+
+
+@pytest.fixture
+def small_transformed():
+    """Five small transformed plans for isolation tests."""
+    from repro.core.transform import transform_workload
+    from repro.workload import generate_workload
+
+    return transform_workload(
+        generate_workload(5, seed=3, size_sampler=lambda rng: 9)
+    )

@@ -1,0 +1,80 @@
+"""Unit tests for the repro.testing.chaos fault-injection helper."""
+
+import time
+
+import pytest
+
+from repro.testing import chaos
+
+
+def test_disarmed_by_default():
+    assert chaos.active is False
+    chaos.trip("matcher.search_plan", "anything")  # no-op
+
+
+def test_inject_requires_effect():
+    with pytest.raises(ValueError):
+        chaos.inject("some.site")
+
+
+def test_exception_injection():
+    chaos.inject("some.site", exc=RuntimeError("boom"))
+    assert chaos.active is True
+    with pytest.raises(RuntimeError, match="boom"):
+        chaos.trip("some.site")
+    chaos.clear("some.site")
+    assert chaos.active is False
+    chaos.trip("some.site")  # disarmed again
+
+
+def test_exception_factory():
+    counter = {"n": 0}
+
+    def factory():
+        counter["n"] += 1
+        return ValueError(f"fault {counter['n']}")
+
+    chaos.inject("some.site", exc=factory)
+    with pytest.raises(ValueError, match="fault 1"):
+        chaos.trip("some.site")
+    with pytest.raises(ValueError, match="fault 2"):
+        chaos.trip("some.site")
+
+
+def test_key_filtering():
+    chaos.inject("some.site", exc=RuntimeError("boom"), keys={"bad-plan"})
+    chaos.trip("some.site", "good-plan")  # no match → no fault
+    chaos.trip("some.site", None)  # keyless trip never matches a key set
+    with pytest.raises(RuntimeError):
+        chaos.trip("some.site", "bad-plan")
+
+
+def test_trigger_count_cap():
+    chaos.inject("some.site", exc=RuntimeError("boom"), times=2)
+    for _ in range(2):
+        with pytest.raises(RuntimeError):
+            chaos.trip("some.site")
+    chaos.trip("some.site")  # third trigger: cap reached, no fault
+
+
+def test_delay_injection():
+    chaos.inject("some.site", delay=0.05)
+    start = time.monotonic()
+    chaos.trip("some.site")
+    assert time.monotonic() - start >= 0.05
+
+
+def test_injected_context_manager_always_disarms():
+    with pytest.raises(RuntimeError):
+        with chaos.injected("some.site", exc=RuntimeError("boom")):
+            chaos.trip("some.site")
+    assert chaos.active is False
+
+
+def test_clear_all():
+    chaos.inject("a", exc=RuntimeError("a"))
+    chaos.inject("b", exc=RuntimeError("b"))
+    chaos.clear()
+    assert chaos.active is False
+    chaos.trip("a")
+    chaos.trip("b")

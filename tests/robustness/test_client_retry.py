@@ -1,0 +1,115 @@
+"""Retry/backoff behavior of repro.client.OptImatchClient."""
+
+import json
+import random
+
+import pytest
+
+from repro.client import ClientError, OptImatchClient, ServerUnavailable
+
+
+def make_client(script, retries=3):
+    """A client whose transport replays *script*: each element is either
+    an exception instance (raised) or a (status, headers, payload) tuple.
+    Sleeps are recorded instead of slept."""
+    client = OptImatchClient(
+        "http://127.0.0.1:1",  # never actually dialed
+        retries=retries,
+        backoff_base=0.1,
+        rng=random.Random(0),
+        sleep=lambda s: client.slept.append(s),
+    )
+    client.slept = []
+    client.calls = []
+    steps = iter(script)
+
+    def fake_send(method, path, body, headers):
+        client.calls.append((method, path))
+        step = next(steps)
+        if isinstance(step, Exception):
+            raise step
+        status, headers_out, payload = step
+        return status, headers_out, json.dumps(payload).encode("utf-8")
+
+    client._send_once = fake_send
+    return client
+
+
+def test_success_first_try():
+    client = make_client([(200, {}, {"status": "ok"})])
+    assert client.health() == {"status": "ok"}
+    assert client.slept == []
+
+
+def test_retries_on_connection_error_then_succeeds():
+    client = make_client(
+        [ConnectionRefusedError(), ConnectionResetError(), (200, {}, {"ok": 1})]
+    )
+    assert client.health() == {"ok": 1}
+    assert len(client.calls) == 3
+    assert len(client.slept) == 2
+    # exponential envelope: each delay is within [0, base * 2^attempt]
+    assert 0 <= client.slept[0] <= 0.1
+    assert 0 <= client.slept[1] <= 0.2
+
+
+def test_retries_on_503_honoring_retry_after():
+    client = make_client(
+        [
+            (503, {"Retry-After": "0.25"}, {"error": "shed", "code": "shed"}),
+            (200, {}, {"ok": 1}),
+        ]
+    )
+    assert client.health() == {"ok": 1}
+    assert client.slept == [0.25]
+
+
+def test_gives_up_after_retries_exhausted():
+    client = make_client([ConnectionRefusedError()] * 4)
+    with pytest.raises(ServerUnavailable) as info:
+        client.health()
+    assert info.value.attempts == 4
+    assert isinstance(info.value.last, ConnectionRefusedError)
+    assert len(client.slept) == 3  # no sleep after the final failure
+
+
+def test_unavailable_after_persistent_503():
+    client = make_client(
+        [(503, {}, {"error": "shed", "code": "shed"})] * 4
+    )
+    with pytest.raises(ServerUnavailable):
+        client.health()
+
+
+def test_client_errors_are_not_retried():
+    client = make_client(
+        [(400, {}, {"error": "bad pattern", "code": "parse_error"})]
+    )
+    with pytest.raises(ClientError) as info:
+        client.search({"nope": 1})
+    assert info.value.status == 400
+    assert info.value.code == "parse_error"
+    assert len(client.calls) == 1
+    assert client.slept == []
+
+
+def test_timeout_param_is_forwarded():
+    client = make_client([(200, {}, {"matches": [], "degraded": False})])
+    client.search_sparql("SELECT * WHERE {}", timeout_ms=1500)
+    method, path = client.calls[0]
+    assert method == "POST"
+    assert path.startswith("/search/sparql?")
+    assert "timeout_ms=1500" in path
+
+
+def test_strict_flag_is_forwarded():
+    client = make_client([(200, {}, {})])
+    client.run_kb(timeout_ms=100, strict=True)
+    _, path = client.calls[0]
+    assert "strict=1" in path
+    assert "timeout_ms=100" in path
+
+
+def test_rejects_non_http_scheme():
+    with pytest.raises(ValueError):
+        OptImatchClient("ftp://example.com")

@@ -1,0 +1,96 @@
+"""Per-entry fault isolation in knowledge-base runs."""
+
+import time
+
+import pytest
+
+from repro.core import Budget, MatchingEngine
+from repro.kb import builtin_knowledge_base
+from repro.testing import chaos
+
+
+@pytest.fixture
+def kb():
+    return builtin_knowledge_base()
+
+
+def entry_names(kb):
+    return [entry.name for entry in kb.entries]
+
+
+def expired_budget():
+    budget = Budget(timeout_ms=1)
+    time.sleep(0.01)
+    return budget
+
+
+class TestEngineBackedRuns:
+    def test_broken_entry_is_reported_not_fatal(self, kb, small_transformed):
+        baseline = kb.find_recommendations(
+            small_transformed, engine=MatchingEngine(workers=1)
+        ).entry_hit_counts()
+        bad = entry_names(kb)[0]
+        engine = MatchingEngine(workers=1)
+        with chaos.injected("kb.entry", keys={bad}, exc=RuntimeError("boom")):
+            report = kb.find_recommendations(
+                small_transformed, engine=engine, isolate=True
+            )
+        assert report.degraded
+        assert [e.entry_name for e in report.errors] == [bad]
+        assert report.errors[0].kind == "error"
+        # every other entry produced exactly its baseline hits
+        expected = {k: v for k, v in baseline.items() if k != bad}
+        assert report.entry_hit_counts() == expected
+
+    def test_unisolated_run_still_raises(self, kb, small_transformed):
+        engine = MatchingEngine(workers=1)
+        with chaos.injected(
+            "kb.entry", keys={entry_names(kb)[0]}, exc=RuntimeError("boom")
+        ):
+            with pytest.raises(RuntimeError, match="boom"):
+                kb.find_recommendations(small_transformed, engine=engine)
+
+    def test_budget_timeout_recorded_per_plan(self, kb, small_transformed):
+        engine = MatchingEngine(workers=1)
+        report = kb.find_recommendations(
+            small_transformed, engine=engine, budget=expired_budget()
+        )
+        assert report.degraded
+        assert {e.kind for e in report.errors} == {"timeout"}
+        # a plan-level timeout names both the entry and the plan
+        assert all(e.plan_id for e in report.errors)
+
+    def test_error_objects_serialize(self, kb, small_transformed):
+        engine = MatchingEngine(workers=1)
+        with chaos.injected(
+            "kb.entry", keys={entry_names(kb)[0]}, exc=RuntimeError("boom")
+        ):
+            report = kb.find_recommendations(
+                small_transformed, engine=engine, isolate=True
+            )
+        payload = report.errors[0].to_json_object()
+        assert payload["entry"] == entry_names(kb)[0]
+        assert payload["kind"] == "error"
+        assert "boom" in payload["message"]
+
+
+class TestSerialRuns:
+    def test_broken_entry_skipped_in_serial_path(self, kb, small_transformed):
+        baseline = kb.find_recommendations(small_transformed).entry_hit_counts()
+        bad = entry_names(kb)[1]
+        with chaos.injected("kb.entry", keys={bad}, exc=RuntimeError("boom")):
+            report = kb.find_recommendations(small_transformed, isolate=True)
+        assert report.degraded
+        assert {e.entry_name for e in report.errors} == {bad}
+        # skipped-and-reported once, not once per plan
+        assert len(report.errors) == 1
+        expected = {k: v for k, v in baseline.items() if k != bad}
+        assert report.entry_hit_counts() == expected
+
+    def test_serial_budget_contains_limit_errors(self, kb, small_transformed):
+        report = kb.find_recommendations(
+            small_transformed, budget=expired_budget()
+        )
+        assert report.degraded
+        assert {e.kind for e in report.errors} == {"timeout"}
+        assert all(e.plan_id for e in report.errors)

@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.limits: Budget semantics with a fake clock."""
+
+import pytest
+
+from repro.core import limits
+from repro.core.limits import (
+    Budget,
+    BudgetExceeded,
+    EvaluationTimeout,
+    LimitError,
+    activate,
+    active_budget,
+)
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBudgetValidation:
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            Budget(timeout_ms=0)
+        with pytest.raises(ValueError):
+            Budget(timeout_ms=-5)
+
+    def test_rejects_nonpositive_caps(self):
+        with pytest.raises(ValueError):
+            Budget(max_rows=0)
+        with pytest.raises(ValueError):
+            Budget(max_bindings=0)
+        with pytest.raises(ValueError):
+            Budget(check_interval=0)
+
+    def test_unlimited_budget_never_trips(self):
+        budget = Budget()
+        budget.check()
+        budget.tick(10_000)
+        for _ in range(100):
+            budget.count_row()
+        assert not budget.expired()
+        assert budget.remaining_ms() is None
+
+
+class TestDeadline:
+    def test_check_raises_past_deadline(self):
+        clock = FakeClock()
+        budget = Budget(timeout_ms=1000, clock=clock)
+        budget.check()  # fine at t=0
+        clock.advance(0.999)
+        budget.check()  # still inside
+        clock.advance(0.002)
+        with pytest.raises(EvaluationTimeout):
+            budget.check()
+
+    def test_expired_and_remaining(self):
+        clock = FakeClock()
+        budget = Budget(timeout_ms=500, clock=clock)
+        assert not budget.expired()
+        assert budget.remaining_ms() == pytest.approx(500)
+        clock.advance(0.2)
+        assert budget.remaining_ms() == pytest.approx(300)
+        clock.advance(0.4)
+        assert budget.expired()
+        assert budget.remaining_ms() == 0.0
+
+    def test_tick_consults_clock_every_interval(self):
+        clock = FakeClock()
+        budget = Budget(timeout_ms=1000, check_interval=10, clock=clock)
+        clock.advance(5.0)  # deadline long gone, but ticks are throttled
+        for _ in range(9):
+            budget.tick()
+        with pytest.raises(EvaluationTimeout):
+            budget.tick()  # 10th tick crosses the interval boundary
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock()
+        budget = Budget(clock=clock)
+        clock.advance(2.5)
+        assert budget.elapsed() == pytest.approx(2.5)
+
+
+class TestCaps:
+    def test_binding_cap_checked_every_tick(self):
+        budget = Budget(max_bindings=3)
+        budget.tick()
+        budget.tick()
+        budget.tick()
+        with pytest.raises(BudgetExceeded):
+            budget.tick()
+
+    def test_bulk_tick_counts(self):
+        budget = Budget(max_bindings=100)
+        with pytest.raises(BudgetExceeded):
+            budget.tick(101)
+
+    def test_row_cap(self):
+        budget = Budget(max_rows=2)
+        budget.count_row()
+        budget.count_row()
+        with pytest.raises(BudgetExceeded):
+            budget.count_row()
+
+    def test_kinds_are_stable(self):
+        assert EvaluationTimeout.kind == "timeout"
+        assert BudgetExceeded.kind == "budget"
+        assert issubclass(EvaluationTimeout, LimitError)
+        assert issubclass(BudgetExceeded, LimitError)
+
+
+class TestActivation:
+    def test_activate_installs_and_restores(self):
+        assert active_budget() is None
+        budget = Budget()
+        with activate(budget) as installed:
+            assert installed is budget
+            assert active_budget() is budget
+        assert active_budget() is None
+
+    def test_activate_none_is_noop(self):
+        with activate(None) as installed:
+            assert installed is None
+            assert active_budget() is None
+
+    def test_activation_is_per_thread(self):
+        import threading
+
+        seen = []
+        budget = Budget()
+
+        def worker():
+            seen.append(active_budget())
+
+        with limits.activate(budget):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen == [None]  # other threads see their own context
+
+    def test_nested_activation_restores_outer(self):
+        outer, inner = Budget(), Budget()
+        with activate(outer):
+            with activate(inner):
+                assert active_budget() is inner
+            assert active_budget() is outer
