@@ -6,6 +6,7 @@ Commands:
 * ``transform``  — transform one explain file to RDF (N-Triples)
 * ``compile``    — compile a pattern JSON file to SPARQL
 * ``search``     — search a workload directory for a pattern
+* ``profile``    — EXPLAIN-style breakdown of matching one pattern
 * ``kb``         — run the (builtin or saved) knowledge base over a workload
 * ``serve``      — start the HTTP server (with resource-governance flags)
 * ``remote``     — drive a running server over HTTP (retry/backoff client)
@@ -93,6 +94,29 @@ def _cmd_search(args) -> int:
             for occurrence in plan_matches:
                 print(f"    {occurrence.describe()}")
     print(_engine_stats_line(tool))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    """EXPLAIN-style profile: per-triple-pattern cardinalities, index
+    choices, join order, closure frontiers and budget ticks."""
+    import json as _json
+
+    tool = OptImatch(workers=args.workers, cache=not args.no_cache)
+    count = tool.load_workload_dir(args.workload)
+    if not count:
+        print("no explain files found", file=sys.stderr)
+        return 2
+    pattern = _load_pattern(args.pattern)
+    plans = [args.plan] if args.plan else [t.plan_id for t in tool.workload]
+    reports = [tool.explain(pattern, plan_id) for plan_id in plans]
+    if args.json:
+        print(_json.dumps([r.to_json_object() for r in reports], indent=2))
+        return 0
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(report.to_text())
     return 0
 
 
@@ -420,6 +444,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-v", "--verbose", action="store_true")
     add_engine_flags(p)
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "profile",
+        help="EXPLAIN-style per-pattern profile of matching one pattern",
+    )
+    p.add_argument("workload", help="directory of *.exfmt files")
+    p.add_argument("pattern", help="pattern JSON path or builtin letter A-D")
+    p.add_argument("--plan", help="profile only this plan id "
+                   "(default: every plan in the workload)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of the table")
+    add_engine_flags(p)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("kb", help="run the knowledge base over a workload")
     p.add_argument("workload", help="directory of *.exfmt files")

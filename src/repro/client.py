@@ -32,6 +32,8 @@ import time
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import urlencode, urlsplit
 
+from repro.obs.metrics import MetricsRegistry, default_registry
+
 
 class ClientError(RuntimeError):
     """A non-retryable HTTP error response from the server.
@@ -75,6 +77,7 @@ class OptImatchClient:
         connect_timeout: float = 10.0,
         rng=None,
         sleep=time.sleep,
+        registry: Optional[MetricsRegistry] = None,
     ):
         parts = urlsplit(base_url)
         if parts.scheme not in ("http", ""):
@@ -88,6 +91,24 @@ class OptImatchClient:
         self.connect_timeout = connect_timeout
         self._rng = rng or random
         self._sleep = sleep
+        self.registry = registry or default_registry()
+        self._m_requests = self.registry.counter(
+            "optimatch_client_requests_total",
+            "Client requests by terminal outcome "
+            "(ok, error, unavailable).",
+            ("method", "outcome"),
+        )
+        self._m_retries = self.registry.counter(
+            "optimatch_client_retries_total",
+            "Retry attempts, by what triggered them (shed or connection).",
+            ("reason",),
+        )
+        self._m_latency = self.registry.histogram(
+            "optimatch_client_request_seconds",
+            "End-to-end request latency in seconds, including backoff "
+            "sleeps and all retry attempts, by method.",
+            ("method",),
+        )
 
     # ------------------------------------------------------------------
     # Transport
@@ -123,6 +144,33 @@ class OptImatchClient:
         body: Any = None,
         params: Optional[Dict[str, Any]] = None,
     ) -> dict:
+        """Instrumented wrapper: one latency sample and one terminal
+        outcome (ok / error / unavailable) per logical request, however
+        many attempts it took."""
+        started = time.perf_counter()
+        try:
+            result = self._request_attempts(method, path, body, params)
+        except ServerUnavailable:
+            self._m_requests.labels(method, "unavailable").inc()
+            raise
+        except ClientError:
+            self._m_requests.labels(method, "error").inc()
+            raise
+        else:
+            self._m_requests.labels(method, "ok").inc()
+            return result
+        finally:
+            self._m_latency.labels(method).observe(
+                time.perf_counter() - started
+            )
+
+    def _request_attempts(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> dict:
         headers = {}
         if isinstance(body, dict):
             body = json.dumps(body).encode("utf-8")
@@ -147,11 +195,13 @@ class OptImatchClient:
             except (ConnectionError, OSError, http.client.HTTPException) as exc:
                 last_exc = exc
                 if attempt + 1 < attempts:
+                    self._m_retries.labels("connection").inc()
                     self._sleep(self._backoff_delay(attempt, None))
                 continue
             if status == 503:
                 last_exc = None
                 if attempt + 1 < attempts:
+                    self._m_retries.labels("shed").inc()
                     retry_after = {
                         k.lower(): v for k, v in resp_headers.items()
                     }.get("retry-after")

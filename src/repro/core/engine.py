@@ -21,8 +21,17 @@ workload-scale path fast:
   still evaluated by :func:`repro.core.matcher.search_plan`).
 
 Instrumentation (per-stage timings, cache hit/miss counters,
-matches-per-plan) is collected in :class:`EngineStats` and exposed via
-:meth:`MatchingEngine.stats`.
+matches-per-plan) is recorded into a
+:class:`repro.obs.metrics.MetricsRegistry` (Prometheus-exportable via
+the server's ``GET /metrics``) and, in the same atomic commit per
+search, into :class:`EngineStats` — which backs the
+:meth:`MatchingEngine.stats` compatibility view.  Snapshots from
+``stats()`` are always internally consistent (e.g. ``matchCache.hits ==
+plansFromCache`` between searches); see ``tests/core/test_engine.py``
+for the torn-read regression test.  Pass an enabled
+:class:`repro.obs.tracing.Tracer` to get hierarchical spans
+(``search → plan → compile → bgp-join → closure-bfs → tag-rebind``)
+that parent correctly across the worker pool.
 
 Threads vs. the GIL
 -------------------
@@ -41,12 +50,14 @@ evaluation.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import sys
 import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -56,6 +67,9 @@ from repro.core.matcher import PlanMatches, search_plan
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
 from repro.core.transform import TransformedPlan
+from repro.obs.instrument import probing
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.tracing import Tracer, TracingProbe
 from repro.sparql import prepare_query
 
 #: Default bound on distinct prepared queries kept in memory.
@@ -240,6 +254,8 @@ class MatchingEngine:
         prepared_cache_size: int = DEFAULT_PREPARED_CACHE_SIZE,
         match_cache_size: int = DEFAULT_MATCH_CACHE_SIZE,
         chunk_size: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.workers = max(1, workers if workers is not None else default_worker_count())
         self.cache_enabled = bool(cache)
@@ -249,6 +265,42 @@ class MatchingEngine:
         self._lock = threading.Lock()
         self._stats = EngineStats()
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Observability: metric children are pre-bound here so the
+        # per-search cost is plain counter increments; the tracer
+        # defaults to disabled (a no-op span per stage).
+        self.registry = registry if registry is not None else default_registry()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._m_searches = self.registry.counter(
+            "optimatch_engine_searches_total", "Workload searches executed"
+        )
+        plans = self.registry.counter(
+            "optimatch_engine_plans_total",
+            "Plans processed, by outcome",
+            ("outcome",),
+        )
+        self._m_plans_evaluated = plans.labels("evaluated")
+        self._m_plans_cached = plans.labels("cached")
+        self._m_plans_error = plans.labels("error")
+        lookups = self.registry.counter(
+            "optimatch_engine_cache_lookups_total",
+            "Cache lookups, by cache level and result",
+            ("cache", "result"),
+        )
+        self._m_prepared_hit = lookups.labels("prepared", "hit")
+        self._m_prepared_miss = lookups.labels("prepared", "miss")
+        self._m_match_hit = lookups.labels("match", "hit")
+        self._m_match_miss = lookups.labels("match", "miss")
+        stage = self.registry.histogram(
+            "optimatch_engine_stage_seconds",
+            "Wall-clock seconds per engine stage, per search",
+            ("stage",),
+        )
+        self._m_stage_prepare = stage.labels("prepare")
+        self._m_stage_evaluate = stage.labels("evaluate")
+        self._m_stage_total = stage.labels("total")
+        self._m_matches = self.registry.counter(
+            "optimatch_engine_matches_total", "Pattern occurrences found"
+        )
 
     # ------------------------------------------------------------------
     # Query preparation (cache level 1)
@@ -263,30 +315,41 @@ class MatchingEngine:
         stable key and bypasses both caches.
         """
         started = time.perf_counter()
+        hits = misses = 0
         try:
-            if isinstance(sparql_or_pattern, ProblemPattern):
-                text = pattern_to_sparql(sparql_or_pattern)
-            elif isinstance(sparql_or_pattern, str):
-                text = sparql_or_pattern
-            else:
-                return None, sparql_or_pattern
-            if not self.cache_enabled:
+            with self.tracer.span("compile"):
+                if isinstance(sparql_or_pattern, ProblemPattern):
+                    text = pattern_to_sparql(sparql_or_pattern)
+                elif isinstance(sparql_or_pattern, str):
+                    text = sparql_or_pattern
+                else:
+                    return None, sparql_or_pattern
+                if not self.cache_enabled:
+                    misses = 1
+                    return text, prepare_query(text)
                 with self._lock:
-                    self._stats.prepared_misses += 1
-                return text, prepare_query(text)
-            with self._lock:
-                ast = self._prepared.get(text)
-                if ast is not None:
-                    self._stats.prepared_hits += 1
-                    return text, ast
-                self._stats.prepared_misses += 1
-            ast = prepare_query(text)  # parse outside the lock
-            with self._lock:
-                self._prepared.put(text, ast)
-            return text, ast
+                    ast = self._prepared.get(text)
+                    if ast is not None:
+                        hits = 1
+                        return text, ast
+                misses = 1
+                ast = prepare_query(text)  # parse outside the lock
+                with self._lock:
+                    self._prepared.put(text, ast)
+                return text, ast
         finally:
+            # Single atomic commit: a concurrent stats() never sees the
+            # hit/miss counters and the timing out of step.
+            elapsed = time.perf_counter() - started
             with self._lock:
-                self._stats.prepare_seconds += time.perf_counter() - started
+                self._stats.prepared_hits += hits
+                self._stats.prepared_misses += misses
+                self._stats.prepare_seconds += elapsed
+            if hits:
+                self._m_prepared_hit.inc()
+            elif misses:
+                self._m_prepared_miss.inc()
+            self._m_stage_prepare.observe(elapsed)
 
     # ------------------------------------------------------------------
     # Search (cache level 2 + fan-out)
@@ -341,56 +404,98 @@ class MatchingEngine:
         isolate: bool,
     ) -> Tuple[List[PlanMatches], List[PlanError]]:
         started = time.perf_counter()
-        key, ast = self.prepare(sparql_or_pattern)
-        plans = list(workload)
-        results: List[Optional[Union[PlanMatches, PlanError]]] = [None] * len(plans)
-        pending: List[Tuple[int, TransformedPlan]] = []
+        with self.tracer.span("search") as search_span:
+            key, ast = self.prepare(sparql_or_pattern)
+            plans = list(workload)
+            results: List[Optional[Union[PlanMatches, PlanError]]] = [None] * len(plans)
+            pending: List[Tuple[int, TransformedPlan]] = []
 
-        use_cache = self.cache_enabled and key is not None
-        if use_cache:
+            # Cache-lookup phase: counts hits/misses into LOCALS only.
+            # Committing them here and the derived counters (plans_from
+            # _cache etc.) later is the torn-read bug this replaced — a
+            # stats() between the two sections saw match_hits already
+            # bumped with plansFromCache still stale.
+            match_hits = match_misses = 0
+            use_cache = self.cache_enabled and key is not None
+            if use_cache:
+                with self._lock:
+                    for index, transformed in enumerate(plans):
+                        cache_key = (
+                            transformed.plan_id, transformed.graph.version, key,
+                        )
+                        cached = self._matches.get(cache_key)
+                        if cached is not None:
+                            match_hits += 1
+                            results[index] = cached
+                        else:
+                            match_misses += 1
+                            pending.append((index, transformed))
+            else:
+                pending = list(enumerate(plans))
+
+            evaluate_started = time.perf_counter()
+            evaluated = self._evaluate(ast, pending, budget=budget, isolate=isolate)
+            evaluate_seconds = time.perf_counter() - evaluate_started
+            error_count = 0
+            match_count = 0
+            total_seconds = 0.0
             with self._lock:
-                for index, transformed in enumerate(plans):
-                    cache_key = (transformed.plan_id, transformed.graph.version, key)
-                    cached = self._matches.get(cache_key)
-                    if cached is not None:
-                        self._stats.match_hits += 1
-                        results[index] = cached
-                    else:
-                        self._stats.match_misses += 1
-                        pending.append((index, transformed))
-        else:
-            pending = list(enumerate(plans))
-
-        evaluated = self._evaluate(ast, pending, budget=budget, isolate=isolate)
-        error_count = 0
-        with self._lock:
-            for index, transformed, result in evaluated:
-                results[index] = result
-                if isinstance(result, PlanError):
-                    error_count += 1
-                    continue  # never cache failures — they may be transient
-                if use_cache:
-                    cache_key = (transformed.plan_id, transformed.graph.version, key)
-                    self._matches.put(cache_key, result)
-            self._stats.searches += 1
-            self._stats.plans_seen += len(plans)
-            self._stats.plans_evaluated += len(evaluated)
-            self._stats.plans_from_cache += len(plans) - len(evaluated)
-            self._stats.plan_errors += error_count
-            for result in results:
-                if isinstance(result, PlanMatches) and result.count:
-                    per_plan = self._stats.matches_per_plan
-                    per_plan[result.plan_id] = (
-                        per_plan.get(result.plan_id, 0) + result.count
-                    )
-            self._stats.total_seconds += time.perf_counter() - started
-        matches = [
-            r
-            for r in results
-            if isinstance(r, PlanMatches) and (keep_empty or r)
-        ]
-        errors = [r for r in results if isinstance(r, PlanError)]
-        return matches, errors
+                for index, transformed, result in evaluated:
+                    results[index] = result
+                    if isinstance(result, PlanError):
+                        error_count += 1
+                        continue  # never cache failures — they may be transient
+                    if use_cache:
+                        cache_key = (
+                            transformed.plan_id, transformed.graph.version, key,
+                        )
+                        self._matches.put(cache_key, result)
+                # The one atomic stats commit for this search: every
+                # counter a snapshot invariant relates (match_hits vs
+                # plans_from_cache, plans_seen vs evaluated+cached) moves
+                # in the same critical section.
+                self._stats.searches += 1
+                self._stats.plans_seen += len(plans)
+                self._stats.plans_evaluated += len(evaluated)
+                self._stats.plans_from_cache += len(plans) - len(evaluated)
+                self._stats.plan_errors += error_count
+                self._stats.match_hits += match_hits
+                self._stats.match_misses += match_misses
+                for result in results:
+                    if isinstance(result, PlanMatches) and result.count:
+                        match_count += result.count
+                        per_plan = self._stats.matches_per_plan
+                        per_plan[result.plan_id] = (
+                            per_plan.get(result.plan_id, 0) + result.count
+                        )
+                total_seconds = time.perf_counter() - started
+                self._stats.evaluate_seconds += evaluate_seconds
+                self._stats.total_seconds += total_seconds
+            # Registry mirror (per-metric locks; scrape-consistent per
+            # family, like any Prometheus client).
+            self._m_searches.inc()
+            if match_hits:
+                self._m_match_hit.inc(match_hits)
+            if match_misses:
+                self._m_match_miss.inc(match_misses)
+            self._m_plans_evaluated.inc(len(evaluated) - error_count)
+            self._m_plans_cached.inc(len(plans) - len(evaluated))
+            if error_count:
+                self._m_plans_error.inc(error_count)
+            if match_count:
+                self._m_matches.inc(match_count)
+            self._m_stage_evaluate.observe(evaluate_seconds)
+            self._m_stage_total.observe(total_seconds)
+            search_span.set_attr("plans", len(plans))
+            search_span.set_attr("evaluated", len(evaluated))
+            search_span.set_attr("cached", len(plans) - len(evaluated))
+            matches = [
+                r
+                for r in results
+                if isinstance(r, PlanMatches) and (keep_empty or r)
+            ]
+            errors = [r for r in results if isinstance(r, PlanError)]
+            return matches, errors
 
     def matching_plan_ids(
         self,
@@ -416,7 +521,8 @@ class MatchingEngine:
         """
         if not pending:
             return []
-        started = time.perf_counter()
+        tracing = self.tracer.enabled
+        tracer = self.tracer if tracing else None
 
         def eval_one(index, transformed):
             if budget is not None and budget.expired():
@@ -433,9 +539,23 @@ class MatchingEngine:
                     ),
                 )
             plan_started = time.perf_counter()
+            span_ctx = (
+                self.tracer.span("plan", planId=transformed.plan_id)
+                if tracing
+                else nullcontext()
+            )
+            # The closure-bfs probe is installed only while tracing —
+            # the disabled path must not pay for (or shadow) a probe.
+            probe_ctx = (
+                probing(TracingProbe(self.tracer)) if tracing else nullcontext()
+            )
             try:
-                with limits.activate(budget):
-                    return index, transformed, search_plan(ast, transformed)
+                with span_ctx, probe_ctx, limits.activate(budget):
+                    return (
+                        index,
+                        transformed,
+                        search_plan(ast, transformed, tracer=tracer),
+                    )
             except LimitError as exc:
                 if not isolate:
                     raise
@@ -469,11 +589,20 @@ class MatchingEngine:
                 1, len(pending) // (self.workers * 4) or 1
             )
             chunks = list(_chunked(list(pending), size))
+            # Pool threads do not inherit the submitter's contextvars,
+            # so the current span (and any active probe) would be lost
+            # and worker "plan" spans would orphan.  Capture the context
+            # once and run each chunk inside a copy — a Context object
+            # cannot be entered concurrently, hence ``.copy()`` per task.
+            ctx = contextvars.copy_context()
+            pool = self._executor()
+            futures = [
+                pool.submit(ctx.copy().run, eval_chunk, chunk)
+                for chunk in chunks
+            ]
             out = []
-            for part in self._executor().map(eval_chunk, chunks):
-                out.extend(part)
-        with self._lock:
-            self._stats.evaluate_seconds += time.perf_counter() - started
+            for future in futures:
+                out.extend(future.result())
         return out
 
     def _executor(self) -> ThreadPoolExecutor:

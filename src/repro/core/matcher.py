@@ -113,22 +113,43 @@ def _prepare(sparql_or_pattern) -> object:
 def search_plan(
     sparql_or_pattern: Union[str, ProblemPattern, object],
     transformed: TransformedPlan,
+    tracer=None,
 ) -> PlanMatches:
-    """Match one pattern (or SPARQL text / prepared query) against one plan."""
+    """Match one pattern (or SPARQL text / prepared query) against one plan.
+
+    With a *tracer* (an enabled :class:`repro.obs.tracing.Tracer`) the
+    two stages get their own spans: ``bgp-join`` for the SPARQL
+    evaluation and ``tag-rebind`` for de-transformation back to plan
+    nodes.  The traced path materializes the solution rows between the
+    stages; the default path stays streaming.
+    """
     if chaos.active:
         chaos.trip("matcher.search_plan", transformed.plan_id)
     ast = _prepare(sparql_or_pattern)
     result = PlanMatches(transformed=transformed)
     seen = set()
-    for row in run_query(transformed.graph, ast):
+
+    def rebind(row: ResultRow) -> None:
         match = _detransform_row(row, transformed)
         if match is None:
-            continue
+            return
         signature = match.signature()
         if signature in seen:
-            continue
+            return
         seen.add(signature)
         result.occurrences.append(match)
+
+    if tracer is not None and tracer.enabled:
+        with tracer.span("bgp-join", planId=transformed.plan_id) as span:
+            rows = list(run_query(transformed.graph, ast))
+            span.set_attr("rows", len(rows))
+        with tracer.span("tag-rebind", planId=transformed.plan_id) as span:
+            for row in rows:
+                rebind(row)
+            span.set_attr("occurrences", len(result.occurrences))
+        return result
+    for row in run_query(transformed.graph, ast):
+        rebind(row)
     return result
 
 

@@ -50,10 +50,14 @@ class OptImatch:
         workers: Optional[int] = None,
         cache: bool = True,
         engine: Optional[MatchingEngine] = None,
+        registry=None,
+        tracer=None,
     ):
         self._workload: List[TransformedPlan] = []
         self._by_id: Dict[str, TransformedPlan] = {}
-        self._engine = engine or MatchingEngine(workers=workers, cache=cache)
+        self._engine = engine or MatchingEngine(
+            workers=workers, cache=cache, registry=registry, tracer=tracer
+        )
 
     # ------------------------------------------------------------------
     # Workload management
@@ -162,8 +166,50 @@ class OptImatch:
         return self._engine
 
     def stats(self) -> dict:
-        """Engine instrumentation: cache hit/miss counters and timings."""
+        """Engine instrumentation: cache hit/miss counters and timings.
+
+        A thin compatibility view over the engine's atomically-committed
+        stats; the same counters are exported through
+        :attr:`registry` (see ``docs/observability.md``).
+        """
         return self._engine.stats()
+
+    @property
+    def registry(self):
+        """The engine's :class:`repro.obs.metrics.MetricsRegistry`."""
+        return self._engine.registry
+
+    @property
+    def tracer(self):
+        """The engine's :class:`repro.obs.tracing.Tracer`."""
+        return self._engine.tracer
+
+    def explain(
+        self,
+        pattern: Union[ProblemPattern, str],
+        plan: Union[str, TransformedPlan, None] = None,
+    ):
+        """EXPLAIN-style profile of matching *pattern* against one plan.
+
+        *plan* is a plan id, a :class:`TransformedPlan`, or ``None`` for
+        the first plan in the workload.  Returns a
+        :class:`repro.obs.profiler.ExplainReport` with per-triple-pattern
+        input/output cardinalities, index choices, the observed join
+        order, closure BFS frontier sizes and budget ticks consumed.
+        Profiling never changes results — it runs the same
+        :func:`repro.core.matcher.search_plan` with a probe installed.
+        """
+        from repro.obs.profiler import explain as _explain
+
+        if plan is None:
+            if not self._workload:
+                raise ValueError("explain() needs a loaded workload or a plan")
+            transformed = self._workload[0]
+        elif isinstance(plan, str):
+            transformed = self._by_id[plan]
+        else:
+            transformed = plan
+        return _explain(pattern, transformed)
 
     def compile(self, pattern: ProblemPattern) -> str:
         """Compile a pattern to its SPARQL text (for inspection/storage)."""

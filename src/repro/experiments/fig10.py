@@ -18,6 +18,7 @@ from repro.core.transform import transform_plan
 from repro.experiments.common import ExperimentTable, default_scale, timed
 from repro.experiments.workloads import bucketed_workload
 from repro.kb.builtin import make_pattern
+from repro.obs.profiler import StageTimer
 
 #: The paper's buckets (operator-count ranges).
 PAPER_BUCKETS = [(1, 50), (50, 100), (100, 150), (150, 200), (200, 250), (500, 550)]
@@ -37,11 +38,14 @@ def run(
         # Pattern #2, which is nearly free on LOJ-less plans), so keep a
         # minimum sample per bucket even at small scales.
         plans_per_bucket = max(4, int(round(30 * scale)))
-    workloads = bucketed_workload(PAPER_BUCKETS, plans_per_bucket, seed=seed)
-    queries = {
-        label: pattern_to_sparql(make_pattern(letter))
-        for label, letter in PATTERN_IDS.items()
-    }
+    timer = StageTimer()
+    with timer.stage("generate"):
+        workloads = bucketed_workload(PAPER_BUCKETS, plans_per_bucket, seed=seed)
+    with timer.stage("compile"):
+        queries = {
+            label: pattern_to_sparql(make_pattern(letter))
+            for label, letter in PATTERN_IDS.items()
+        }
 
     table = ExperimentTable(
         title="Figure 10 — per-plan search time vs number of LOLEPOPs",
@@ -55,7 +59,8 @@ def run(
         ],
     )
     for (low, high), plans in workloads.items():
-        transformed = [transform_plan(plan) for plan in plans]
+        with timer.stage("transform"):
+            transformed = [transform_plan(plan) for plan in plans]
         avg_ops = sum(p.op_count for p in plans) / len(plans)
         row: List[object] = [f"[{low}-{high}]", len(plans), round(avg_ops, 1)]
         for label, sparql in queries.items():
@@ -63,6 +68,7 @@ def run(
             for item in transformed:
                 elapsed, _ = timed(search_plan, sparql, item)
                 total += elapsed
+            timer.add("search", total)
             row.append(total / len(transformed) * 1000.0)
         table.add_row(*row)
     table.add_note(
@@ -72,6 +78,7 @@ def run(
     table.add_note(
         "paper reference: linear growth; < 400 ms per plan at ~500 LOLEPOPs"
     )
+    table.add_note(timer.to_note())
     return table
 
 

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments.common import ExperimentTable, default_scale, timed
 from repro.experiments.workloads import transformed_experiment_workload
+from repro.obs.profiler import StageTimer
 
 #: KB sizes from the paper.
 PAPER_KB_SIZES = [1, 10, 100, 250]
@@ -53,15 +54,19 @@ def run(
         kb_sizes = sorted(set(kb_sizes))
         if len(kb_sizes) < 3:
             kb_sizes = [1, 4, 10, 25]
-    workload = transformed_experiment_workload(n_plans, seed=seed)
+    timer = StageTimer()
+    with timer.stage("generate+transform"):
+        workload = transformed_experiment_workload(n_plans, seed=seed)
 
     table = ExperimentTable(
         title="Figure 11 — KB run time vs number of recommendations",
         headers=["KB entries", "QEP files", "Run time [s]", "s per entry"],
     )
     for size in kb_sizes:
-        kb = _kb_of_size(size)
+        with timer.stage("kb-build"):
+            kb = _kb_of_size(size)
         elapsed, report = timed(kb.find_recommendations, workload)
+        timer.add("kb-run", elapsed)
         table.add_row(size, n_plans, elapsed, elapsed / max(size, 1))
     table.add_note(
         f"scale={scale:g}: {n_plans} QEPs x KB sizes {kb_sizes} "
@@ -70,6 +75,7 @@ def run(
     table.add_note(
         "paper reference: linear in KB size; 1000x250 took ~70 minutes"
     )
+    table.add_note(timer.to_note())
     return table
 
 

@@ -22,6 +22,7 @@ from repro.core.transform import transform_workload
 from repro.experiments.common import ExperimentTable, default_scale, timed
 from repro.experiments.workloads import experiment_workload
 from repro.kb.builtin import make_pattern
+from repro.obs.profiler import StageTimer
 
 #: Paper reference series (seconds, read off Figure 9 at 1000 QEPs).
 PAPER_SECONDS_AT_1000 = {"#1": 32.0, "#2": 66.0, "#3": 30.0}
@@ -40,18 +41,22 @@ def run(
     QEPs); *repetitions* averages the timing per bucket (the paper used
     six repetitions with random bucket assignment)."""
     scale = default_scale() if scale is None else scale
+    timer = StageTimer()
     bucket_step = max(1, int(round(100 * scale)))
     sizes = [bucket_step * i for i in range(1, 11)]
-    plans = experiment_workload(sizes[-1], seed=seed)
+    with timer.stage("generate"):
+        plans = experiment_workload(sizes[-1], seed=seed)
     # The paper assigns QEPs to buckets randomly (6 repetitions); a
     # deterministic equivalent is striping by size so every prefix holds
     # a representative mix of small and huge plans.
     plans = _striped_by_size(plans, len(sizes))
-    transformed = transform_workload(plans)
-    queries = {
-        label: pattern_to_sparql(make_pattern(letter))
-        for label, letter in PATTERN_IDS.items()
-    }
+    with timer.stage("transform"):
+        transformed = transform_workload(plans)
+    with timer.stage("compile"):
+        queries = {
+            label: pattern_to_sparql(make_pattern(letter))
+            for label, letter in PATTERN_IDS.items()
+        }
 
     table = ExperimentTable(
         title="Figure 9 — search time vs number of QEP files",
@@ -66,6 +71,7 @@ def run(
             for _ in range(repetitions):
                 elapsed, _ = timed(find_matches, sparql, subset)
                 total += elapsed
+            timer.add("search", total)
             seconds = total / repetitions
             series[label].append(seconds)
             row.append(seconds)
@@ -86,6 +92,7 @@ def run(
         f"Pattern #2 / Pattern #1 time ratio at the largest bucket: "
         f"{ratio:.2f} (paper: ~2x, recursion over descendants)"
     )
+    table.add_note(timer.to_note())
     return table
 
 

@@ -25,6 +25,7 @@ from repro.core.transform import transform_workload
 from repro.experiments.common import ExperimentTable, default_scale, timed
 from repro.experiments.workloads import experiment_workload
 from repro.kb.builtin import make_pattern
+from repro.obs.profiler import StageTimer
 from repro.qep.writer import write_plan
 from repro.workload.reference import REFERENCE_CHECKERS
 
@@ -57,9 +58,12 @@ def run(
     scale = default_scale() if scale is None else scale
     if n_plans is None:
         n_plans = max(10, int(round(100 * max(scale, 0.1))))
-    plans = experiment_workload(n_plans, seed=seed)
-    explain_texts = {plan.plan_id: write_plan(plan) for plan in plans}
-    transformed = transform_workload(plans)
+    timer = StageTimer()
+    with timer.stage("generate"):
+        plans = experiment_workload(n_plans, seed=seed)
+        explain_texts = {plan.plan_id: write_plan(plan) for plan in plans}
+    with timer.stage("transform"):
+        transformed = transform_workload(plans)
     truth = {
         label: {
             plan.plan_id
@@ -99,7 +103,8 @@ def run(
         expert_found: List[float] = []
         expert_precision: List[float] = []
         for expert in experts:
-            result = expert.search_workload(letter, explain_texts)
+            with timer.stage("manual-search"):
+                result = expert.search_workload(letter, explain_texts)
             quality = search_quality(
                 result.flagged, truth[label], len(plans)
             )
@@ -114,6 +119,7 @@ def run(
         # paper includes)
         sparql = pattern_to_sparql(make_pattern(letter))
         elapsed, matches = timed(find_matches, sparql, transformed)
+        timer.add("search", elapsed)
         tool_found = {m.plan_id for m in matches}
         tool_quality = search_quality(tool_found, truth[label], len(plans))
         tool_seconds = elapsed + PAPER_PATTERN_SPEC_SECONDS
@@ -145,6 +151,7 @@ def run(
         "paper Table 1 metric: share of true-match QEP files found "
         "(manual avg ~80%); OptImatch is exact (1.0)"
     )
+    time_table.add_note(timer.to_note())
     return UserStudyResult(
         time_table=time_table,
         precision_table=precision_table,

@@ -119,15 +119,18 @@ def builtin_sparql(letter: str) -> str:
 
 
 def builtin_knowledge_base(
-    letters: str = "ABCD", extra_copies: int = 0
+    letters: str = "ABCD", extra_copies: int = 0, registry=None
 ) -> KnowledgeBase:
     """The expert knowledge base used by examples and benchmarks.
 
     *extra_copies* clones entries under synthetic names to grow the KB
     for the Figure 11 scalability experiment (timing is what matters
-    there, not novelty of the patterns).
+    there, not novelty of the patterns).  *registry* routes the KB's
+    metrics into a caller-owned
+    :class:`repro.obs.metrics.MetricsRegistry` (the HTTP server passes
+    its per-instance registry here).
     """
-    kb = KnowledgeBase()
+    kb = KnowledgeBase(registry=registry)
     if "A" in letters:
         kb.add_entry(
             "pattern-a",

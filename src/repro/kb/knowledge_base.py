@@ -11,6 +11,8 @@ RDF structure describing this pattern").
 from __future__ import annotations
 
 import json
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -199,10 +201,58 @@ class KBReport:
 
 
 class KnowledgeBase:
-    """A library of expert patterns and recommendations."""
+    """A library of expert patterns and recommendations.
 
-    def __init__(self):
+    Run instrumentation goes to *registry* (a
+    :class:`repro.obs.metrics.MetricsRegistry`; the process default when
+    omitted): run counts/durations, per-(entry, plan) evaluation
+    outcomes and rendered-recommendation counts.  :meth:`stats` is the
+    dict-shaped compatibility view over the same numbers, committed
+    atomically per run.
+    """
+
+    def __init__(self, registry=None):
         self._entries: Dict[str, KBEntry] = {}
+        if registry is None:
+            from repro.obs.metrics import default_registry
+
+            registry = default_registry()
+        self.registry = registry
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "runs": 0,
+            "entriesEvaluated": 0,
+            "entryHits": 0,
+            "entryErrors": 0,
+            "recommendations": 0,
+            "totalSeconds": 0.0,
+        }
+        self._m_runs = registry.counter(
+            "optimatch_kb_runs_total", "Knowledge-base runs executed"
+        )
+        evaluations = registry.counter(
+            "optimatch_kb_entry_evaluations_total",
+            "(entry, plan) evaluations, by outcome",
+            ("outcome",),
+        )
+        self._m_eval_hit = evaluations.labels("hit")
+        self._m_eval_miss = evaluations.labels("miss")
+        self._m_eval_error = evaluations.labels("error")
+        self._m_recommendations = registry.counter(
+            "optimatch_kb_recommendations_total",
+            "Recommendations rendered across all runs",
+        )
+        self._m_run_seconds = registry.histogram(
+            "optimatch_kb_run_seconds", "Wall-clock seconds per KB run"
+        )
+
+    def stats(self) -> dict:
+        """Consistent snapshot of cumulative KB-run instrumentation."""
+        with self._stats_lock:
+            data = dict(self._stats)
+        data["entries"] = len(self._entries)
+        data["totalSeconds"] = round(data["totalSeconds"], 6)
+        return data
 
     # ------------------------------------------------------------------
     # Algorithm 4: SavingRecommendationsKB
@@ -280,8 +330,10 @@ class KnowledgeBase:
         ``budget`` error records while the in-limit portion of the
         report is still produced.
         """
+        run_started = time.perf_counter()
         workload = list(workload)
         report = KBReport()
+        evaluations = hits = eval_errors = rendered_count = 0
         matches_by_entry = None
         skipped: set = set()
         if engine is not None:
@@ -325,6 +377,7 @@ class KnowledgeBase:
             for entry in self.entries:
                 if entry.name in skipped:
                     continue
+                evaluations += 1
                 try:
                     if matches_by_entry is not None:
                         matches = matches_by_entry[entry.name].get(
@@ -359,6 +412,7 @@ class KnowledgeBase:
                 except LimitError as exc:
                     if not isolate and budget is None:
                         raise
+                    eval_errors += 1
                     report.errors.append(
                         KBEntryError(
                             entry_name=entry.name,
@@ -374,6 +428,7 @@ class KnowledgeBase:
                     # A non-limit failure means the entry itself is
                     # broken — report once and skip it for the rest of
                     # the run rather than repeating the error per plan.
+                    eval_errors += 1
                     report.errors.append(
                         KBEntryError(
                             entry_name=entry.name,
@@ -384,6 +439,8 @@ class KnowledgeBase:
                     )
                     skipped.add(entry.name)
                     continue
+                hits += 1
+                rendered_count += len(rendered)
                 plan_result.results.append(
                     RecommendationResult(
                         entry_name=entry.name,
@@ -396,6 +453,27 @@ class KnowledgeBase:
                 key=lambda r: (-r.confidence, r.entry_name)
             )
             report.plans.append(plan_result)
+        # One atomic stats commit per run, mirrored into the registry.
+        elapsed = time.perf_counter() - run_started
+        errors = len(report.errors)
+        with self._stats_lock:
+            self._stats["runs"] += 1
+            self._stats["entriesEvaluated"] += evaluations
+            self._stats["entryHits"] += hits
+            self._stats["entryErrors"] += errors
+            self._stats["recommendations"] += rendered_count
+            self._stats["totalSeconds"] += elapsed
+        self._m_runs.inc()
+        if hits:
+            self._m_eval_hit.inc(hits)
+        misses = evaluations - hits - eval_errors
+        if misses > 0:
+            self._m_eval_miss.inc(misses)
+        if eval_errors:
+            self._m_eval_error.inc(eval_errors)
+        if rendered_count:
+            self._m_recommendations.inc(rendered_count)
+        self._m_run_seconds.observe(elapsed)
         return report
 
     # ------------------------------------------------------------------

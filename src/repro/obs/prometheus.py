@@ -1,0 +1,66 @@
+"""Prometheus text exposition (format version 0.0.4), hand-rolled.
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` snapshot as the
+plain-text format Prometheus scrapes: one ``# HELP`` / ``# TYPE`` pair
+per family followed by its samples, histogram buckets cumulative with
+an explicit ``+Inf``, label values escaped per the spec.  Served by
+``GET /metrics`` in :mod:`repro.server`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .metrics import MetricSnapshot, MetricsRegistry
+
+__all__ = ["render_text", "CONTENT_TYPE"]
+
+#: Content-Type for the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_family(snapshot: MetricSnapshot) -> Iterable[str]:
+    yield f"# HELP {snapshot.name} {_escape_help(snapshot.help)}"
+    yield f"# TYPE {snapshot.name} {snapshot.kind}"
+    for sample in snapshot.samples:
+        if sample.labels:
+            labels = ",".join(
+                f'{key}="{_escape_label_value(str(value))}"'
+                for key, value in sample.labels
+            )
+            yield (
+                f"{snapshot.name}{sample.suffix}{{{labels}}} "
+                f"{_format_value(sample.value)}"
+            )
+        else:
+            yield f"{snapshot.name}{sample.suffix} {_format_value(sample.value)}"
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """The full exposition document for ``registry``, newline-terminated."""
+    lines = []
+    for snapshot in registry.collect():
+        lines.extend(_render_family(snapshot))
+    return "\n".join(lines) + "\n" if lines else ""

@@ -12,6 +12,7 @@ method  path                   body / effect
 ======  =====================  ==========================================
 GET     /health                liveness + workload size (never blocks)
 GET     /stats                 matching-engine cache/timing counters
+GET     /metrics               Prometheus text exposition (scrape me)
 GET     /plans                 list loaded plan ids
 POST    /plans                 explain text (or tree snippet) → loads it
 DELETE  /plans                 clear the workload
@@ -67,6 +68,9 @@ from urllib.parse import parse_qs, urlsplit
 from repro.core import Budget, OptImatch, ProblemPattern
 from repro.kb import KnowledgeBase, builtin_knowledge_base
 from repro.kb.knowledge_base import KBEntry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.prometheus import render_text
 from repro.qep.parser import QepParseError
 
 #: Default cap on accepted request bodies (bytes).
@@ -80,6 +84,22 @@ DEFAULT_MAX_TIMEOUT_MS = 120_000.0
 DEFAULT_MAX_INFLIGHT = 8
 #: Seconds suggested to shed clients via the Retry-After header.
 DEFAULT_RETRY_AFTER_SECONDS = 1
+
+#: Routes whose names may appear as metric label values.  Anything else
+#: (404 probes, scanners) is folded into ``other`` so a hostile client
+#: cannot grow the label space without bound.
+_KNOWN_ROUTES = frozenset(
+    {
+        "/health",
+        "/stats",
+        "/metrics",
+        "/plans",
+        "/kb/entries",
+        "/kb/run",
+        "/search",
+        "/search/sparql",
+    }
+)
 
 
 class _RequestError(Exception):
@@ -110,9 +130,14 @@ class ServerState:
         max_timeout_ms: float = DEFAULT_MAX_TIMEOUT_MS,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
+        registry: Optional[MetricsRegistry] = None,
     ):
-        self.tool = OptImatch(workers=workers, cache=cache)
-        self.kb = knowledge_base or builtin_knowledge_base()
+        # One registry per server (not the process default) so a scrape
+        # of this instance sees only its own traffic, and tests/goldens
+        # start from a clean slate.
+        self.registry = registry or MetricsRegistry()
+        self.tool = OptImatch(workers=workers, cache=cache, registry=self.registry)
+        self.kb = knowledge_base or builtin_knowledge_base(registry=self.registry)
         self.lock = threading.Lock()
         self.max_body_bytes = max_body_bytes
         self.default_timeout_ms = default_timeout_ms
@@ -126,6 +151,54 @@ class ServerState:
         self.inflight_requests = 0
         self.inflight_heavy = 0
         self.max_inflight = max_inflight
+        self._m_requests = self.registry.counter(
+            "optimatch_http_requests_total",
+            "HTTP requests served, by route, method and status code.",
+            ("route", "method", "status"),
+        )
+        self._m_latency = self.registry.histogram(
+            "optimatch_http_request_seconds",
+            "Wall-clock HTTP request latency in seconds, by route.",
+            ("route",),
+        )
+        self._m_shed = self.registry.counter(
+            "optimatch_http_shed_total",
+            "Requests shed with 503 because the server was at capacity.",
+            ("route",),
+        )
+        self._m_timeouts = self.registry.counter(
+            "optimatch_http_timeouts_total",
+            "Per-plan deadline violations surfaced by heavy routes.",
+            ("route",),
+        )
+        self._m_plan_errors = self.registry.counter(
+            "optimatch_http_plan_errors_total",
+            "Structured per-plan/per-entry evaluation errors, by kind.",
+            ("kind",),
+        )
+
+    # ------------------------------------------------------------------
+    # Request metrics
+    # ------------------------------------------------------------------
+    def metric_route(self, route: str) -> str:
+        """Bound label cardinality: unknown paths collapse to ``other``."""
+        return route if route in _KNOWN_ROUTES else "other"
+
+    def observe_request(
+        self, route: str, method: str, status: int, elapsed: float
+    ) -> None:
+        self._m_requests.labels(route, method, str(status)).inc()
+        self._m_latency.labels(route).observe(elapsed)
+
+    def record_shed(self, route: str) -> None:
+        self._m_shed.labels(route).inc()
+
+    def record_plan_errors(self, route: str, errors) -> None:
+        for error in errors:
+            kind = getattr(error, "kind", None) or "error"
+            self._m_plan_errors.labels(kind).inc()
+            if kind == "timeout":
+                self._m_timeouts.labels(route).inc()
 
     # ------------------------------------------------------------------
     # In-flight accounting
@@ -206,6 +279,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     state: ServerState  # set by OptImatchServer
 
+    #: Status code of the last reply on this request, for the request
+    #: counter; 0 means the connection died before anything was sent.
+    _status_sent: int = 0
+
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
@@ -250,11 +327,27 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send(self, status: int, payload, headers=()) -> None:
         data = json.dumps(payload, indent=2).encode("utf-8")
+        self._status_sent = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
         for name, value in headers:
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        """Plain-text reply (the Prometheus exposition is not JSON)."""
+        data = text.encode("utf-8")
+        self._status_sent = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
 
@@ -371,7 +464,18 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send(200, payload)
 
+    def _observe(self, method: str, started: float) -> None:
+        """Commit this request to the per-route series (route label is
+        cardinality-bounded by :meth:`ServerState.metric_route`)."""
+        self.state.observe_request(
+            self.state.metric_route(self._route()),
+            method,
+            self._status_sent,
+            time.perf_counter() - started,
+        )
+
     def _shed(self) -> None:
+        self.state.record_shed(self.state.metric_route(self._route()))
         self._error(
             503,
             "server is at capacity, retry later",
@@ -384,6 +488,7 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self):
         self.state.request_started()
+        started = time.perf_counter()
         try:
             self._do_get()
         except _RequestError as exc:
@@ -392,6 +497,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._internal_error(exc)
         finally:
             self.state.request_finished()
+            self._observe("GET", started)
 
     def _do_get(self):
         state = self.state
@@ -426,11 +532,20 @@ class _Handler(BaseHTTPRequestHandler):
         elif route == "/stats":
             # The engine snapshot has its own internal lock.
             self._send(200, state.tool.stats())
+        elif route == "/metrics":
+            # Prometheus text exposition over the server's registry:
+            # request series plus everything the engine and KB export.
+            self._send_text(
+                200,
+                render_text(state.registry),
+                content_type=METRICS_CONTENT_TYPE,
+            )
         else:
             self._error(404, f"unknown path {route}", code="not_found")
 
     def do_DELETE(self):
         self.state.request_started()
+        started = time.perf_counter()
         try:
             if self._route() == "/plans":
                 with self.state.lock:
@@ -444,10 +559,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._internal_error(exc)
         finally:
             self.state.request_finished()
+            self._observe("DELETE", started)
 
     def do_POST(self):
         state = self.state
         state.request_started()
+        started = time.perf_counter()
         try:
             try:
                 self._do_post()
@@ -459,6 +576,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._internal_error(exc)
         finally:
             state.request_finished()
+            self._observe("POST", started)
 
     def _do_post(self):
         state = self.state
@@ -496,6 +614,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             finally:
                 state.release_heavy_slot()
+            state.record_plan_errors(route, result.errors)
             payload = {
                 "matches": _matches_to_json(result.matches),
                 "degraded": result.degraded,
@@ -527,6 +646,7 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             finally:
                 state.release_heavy_slot()
+            state.record_plan_errors(route, report.errors)
             self._degraded_response(
                 _report_to_json(report), report.errors, self._strict(query)
             )
@@ -554,6 +674,7 @@ class OptImatchServer:
         max_timeout_ms: float = DEFAULT_MAX_TIMEOUT_MS,
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.state = ServerState(
             knowledge_base,
@@ -564,6 +685,7 @@ class OptImatchServer:
             max_timeout_ms=max_timeout_ms,
             max_inflight=max_inflight,
             retry_after_seconds=retry_after_seconds,
+            registry=registry,
         )
         handler = type("BoundHandler", (_Handler,), {"state": self.state})
         self._httpd = ThreadingHTTPServer((host, port), handler)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.core.limits import active_budget
+from repro.obs.instrument import active_probe
 from repro.rdf.graph import Graph
 from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
 from repro.sparql import ast
@@ -249,13 +250,21 @@ def _join_bgp(
     stream: Iterable[Bindings], patterns: List[ast.TriplePattern], graph: Graph
 ) -> Iterator[Bindings]:
     budget = active_budget()
+    # The probe is fetched once per BGP join (not per binding) and
+    # threaded down the recursion; with no probe installed every hook
+    # site below is a single ``is not None`` check.
+    probe = active_probe()
     if ID_SPACE_JOIN and isinstance(graph, Graph):
         compiled = _compile_bgp(patterns, graph)
+        if probe is not None:
+            probe.bgp(patterns, compiled)
         for solution in stream:
-            yield from _eval_bgp_encoded(compiled, graph, solution, budget)
+            yield from _eval_bgp_encoded(compiled, graph, solution, budget, probe)
         return
+    if probe is not None:
+        probe.bgp(patterns, None)
     for solution in stream:
-        yield from _eval_bgp(patterns, graph, solution, budget)
+        yield from _eval_bgp(patterns, graph, solution, budget, probe)
 
 
 def _eval_bgp(
@@ -263,6 +272,7 @@ def _eval_bgp(
     graph: Graph,
     bindings: Bindings,
     budget=None,
+    probe=None,
 ) -> Iterator[Bindings]:
     if not patterns:
         yield bindings
@@ -270,10 +280,14 @@ def _eval_bgp(
     remaining = list(patterns)
     order = _choose_next(remaining, bindings, graph)
     pattern = remaining.pop(order)
+    if probe is not None:
+        probe.pattern_input(pattern, bindings)
     for extended in _match_triple(pattern, graph, bindings):
         if budget is not None:
             budget.tick()
-        yield from _eval_bgp(remaining, graph, extended, budget)
+        if probe is not None:
+            probe.pattern_output(pattern)
+        yield from _eval_bgp(remaining, graph, extended, budget, probe)
 
 
 #: Assumed result sizes for property-path patterns by number of bound
@@ -445,6 +459,7 @@ def _eval_bgp_encoded(
     graph: Graph,
     bindings: Bindings,
     budget=None,
+    probe=None,
 ) -> Iterator[Bindings]:
     """Evaluate a compiled BGP in ID space, decoding only at the boundary.
 
@@ -464,7 +479,7 @@ def _eval_bgp_encoded(
             ids[var] = tid
     id_term = graph.id_term
     for solution_ids, spell in _eval_bgp_ids(
-        compiled, graph, ids, dead, _NO_SPELL, budget
+        compiled, graph, ids, dead, _NO_SPELL, budget, probe
     ):
         out = dict(bindings)
         for var, tid in solution_ids.items():
@@ -486,6 +501,7 @@ def _eval_bgp_ids(
     dead: Set[Variable],
     spell: Dict[Variable, Term],
     budget=None,
+    probe=None,
 ) -> Iterator[Tuple[IdBindings, Dict[Variable, Term]]]:
     if not compiled:
         yield ids, spell
@@ -493,10 +509,16 @@ def _eval_bgp_ids(
     remaining = list(compiled)
     order = _choose_next_ids(remaining, ids, dead, graph)
     pattern = remaining.pop(order)
+    if probe is not None:
+        probe.pattern_input(pattern, ids)
     for ext_ids, ext_spell in _match_triple_ids(pattern, graph, ids, dead, spell):
         if budget is not None:
             budget.tick()
-        yield from _eval_bgp_ids(remaining, graph, ext_ids, dead, ext_spell, budget)
+        if probe is not None:
+            probe.pattern_output(pattern)
+        yield from _eval_bgp_ids(
+            remaining, graph, ext_ids, dead, ext_spell, budget, probe
+        )
 
 
 def _resolve_spec(
@@ -812,6 +834,7 @@ def _closure(
     path: ast.Path, graph: Graph, start: Term, forward: bool
 ) -> Iterator[Term]:
     """Nodes reachable from *start* by one or more applications of *path*."""
+    probe = active_probe()
     cache = None
     key = None
     if CLOSURE_CACHING:
@@ -824,6 +847,8 @@ def _closure(
             key = (id(path), start, forward)
             hit = cache.get(key)
             if hit is not None:
+                if probe is not None:
+                    probe.closure(path, start, forward, None, cached=True)
                 yield from hit[1]
                 return
         except (TypeError, AttributeError):  # unhashable term / frozen graph
@@ -833,10 +858,13 @@ def _closure(
     # and identical to the ID-space closure over the same encoded graph
     # (both walk the same int-keyed indexes).
     budget = active_budget()
+    frontier_sizes: Optional[List[int]] = [] if probe is not None else None
     seen: Set[Term] = set()
     order: List[Term] = []
     frontier = [start]
     while frontier:
+        if frontier_sizes is not None:
+            frontier_sizes.append(len(frontier))
         next_frontier: List[Term] = []
         for node in frontier:
             for successor in _path_successors(path, graph, node, forward):
@@ -849,6 +877,8 @@ def _closure(
         frontier = next_frontier
     if cache is not None:
         cache[key] = (path, tuple(order))
+    if probe is not None:
+        probe.closure(path, start, forward, frontier_sizes, cached=False)
     yield from order
 
 
@@ -1025,6 +1055,7 @@ def _closure_ids(
     carries an int start in ID mode and a Term in term mode, which can
     never collide (an int never equals a Term).
     """
+    probe = active_probe()
     cache = None
     key = None
     if CLOSURE_CACHING:
@@ -1032,13 +1063,18 @@ def _closure_ids(
         key = (id(path), start, forward)
         hit = cache.get(key)
         if hit is not None:
+            if probe is not None:
+                probe.closure(path, start, forward, None, cached=True)
             yield from hit[1]
             return
     budget = active_budget()
+    frontier_sizes: Optional[List[int]] = [] if probe is not None else None
     seen: Set[int] = set()
     order: List[int] = []
     frontier = [start]
     while frontier:
+        if frontier_sizes is not None:
+            frontier_sizes.append(len(frontier))
         next_frontier: List[int] = []
         for node in frontier:
             for successor in _path_successors_ids(path, graph, node, forward):
@@ -1051,6 +1087,8 @@ def _closure_ids(
         frontier = next_frontier
     if cache is not None:
         cache[key] = (path, tuple(order))
+    if probe is not None:
+        probe.closure(path, start, forward, frontier_sizes, cached=False)
     yield from order
 
 

@@ -14,6 +14,21 @@ from repro.qep import (
 from repro.workload.generator import GeneratorConfig, generate_workload
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the exporter golden files under tests/obs/goldens/ "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 def build_figure1_plan(plan_id: str = "fig1") -> PlanGraph:
     """The NLJOIN snippet of the paper's Figure 1 as a full plan."""
     plan = PlanGraph(plan_id, "SELECT ... FROM SALES_FACT, CUST_DIM ...")

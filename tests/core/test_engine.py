@@ -270,3 +270,86 @@ class TestAtomicLoads:
         with pytest.raises(ValueError, match="duplicate"):
             tool.load_workload_dir(str(tmp_path), use_rdf_cache=True)
         assert tool.plan_count == 1
+
+
+class TestStatsTornReads:
+    """Regression: ``stats()`` must never expose a half-committed search.
+
+    The engine accumulates per-search counters locally and commits them
+    under one lock, so every snapshot satisfies the documented
+    invariants even while other threads are mid-search.  Before the fix
+    the counters were bumped one by one on the shared dict and a
+    concurrent reader could observe e.g. ``plansSeen`` updated but
+    ``plansEvaluated`` not yet.
+    """
+
+    def _assert_consistent(self, stats):
+        assert stats["matchCache"]["hits"] == stats["plansFromCache"], stats
+        assert (
+            stats["plansSeen"]
+            == stats["plansEvaluated"] + stats["plansFromCache"]
+        ), stats
+
+    def test_engine_snapshots_consistent_under_load(self, planted_workload):
+        import threading
+
+        engine = MatchingEngine(workers=4, cache=True)
+        snapshots = []
+        stop = threading.Event()
+
+        def searcher():
+            for i in range(8):
+                # Alternate patterns so both cache hits and misses occur.
+                engine.search(builtin_sparql("AB"[i % 2]), planted_workload)
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(engine.stats())
+
+        try:
+            searchers = [threading.Thread(target=searcher) for _ in range(3)]
+            readers = [threading.Thread(target=reader) for _ in range(2)]
+            for thread in readers + searchers:
+                thread.start()
+            for thread in searchers:
+                thread.join()
+            stop.set()
+            for thread in readers:
+                thread.join()
+        finally:
+            stop.set()
+            engine.close()
+        assert snapshots, "readers never sampled stats()"
+        for stats in snapshots:
+            self._assert_consistent(stats)
+        self._assert_consistent(engine.stats())
+
+    def test_facade_snapshots_consistent_under_load(self, planted_workload):
+        import threading
+
+        tool = OptImatch(workers=4, cache=True)
+        tool.add_plans([t.plan for t in planted_workload])
+        snapshots = []
+        stop = threading.Event()
+
+        def searcher():
+            for i in range(6):
+                tool.search(make_pattern("AB"[i % 2]))
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(tool.stats())
+
+        searchers = [threading.Thread(target=searcher) for _ in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in readers + searchers:
+            thread.start()
+        for thread in searchers:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert snapshots
+        for stats in snapshots:
+            self._assert_consistent(stats)
+        assert tool.stats()["searches"] == 12

@@ -79,6 +79,23 @@ class TestWorkloads:
                 )
 
 
+def assert_stage_breakdown(table, *stages):
+    """The profiler's stage breakdown must appear in the rendered report
+    with every named stage carrying a parseable seconds value."""
+    notes = [n for n in table.notes if n.startswith("stage breakdown: ")]
+    assert len(notes) == 1, f"expected one stage-breakdown note: {table.notes}"
+    body = notes[0][len("stage breakdown: "):]
+    seconds = {}
+    for part in body.split(", "):
+        name, _, value = part.partition("=")
+        assert value.endswith("s"), part
+        seconds[name] = float(value[:-1])
+    for stage in stages:
+        assert stage in seconds, f"missing stage {stage!r} in {seconds}"
+        assert seconds[stage] >= 0.0
+    assert notes[0] in table.to_text()
+
+
 class TestFig9:
     @pytest.fixture(scope="class")
     def table(self):
@@ -110,6 +127,9 @@ class TestFig9:
         for label in ("#1", "#3"):
             assert series[label][-1] >= series[label][0]
 
+    def test_report_embeds_stage_breakdown(self, table):
+        assert_stage_breakdown(table, "generate", "transform", "search")
+
 
 class TestFig10:
     @pytest.fixture(scope="class")
@@ -132,6 +152,9 @@ class TestFig10:
         # Pattern #3 time grows with plan size end-to-end.
         assert series["#3"][-1] > series["#3"][0]
 
+    def test_report_embeds_stage_breakdown(self, table):
+        assert_stage_breakdown(table, "generate", "transform", "search")
+
 
 class TestFig11:
     @pytest.fixture(scope="class")
@@ -149,6 +172,11 @@ class TestFig11:
         series = fig11.series_from_table(table)
         r2 = linear_fit_r2(series["kb_sizes"], series["seconds"])
         assert r2 > 0.8
+
+    def test_report_embeds_stage_breakdown(self, table):
+        assert_stage_breakdown(
+            table, "generate+transform", "kb-build", "kb-run"
+        )
 
 
 class TestUserStudy:
@@ -177,3 +205,12 @@ class TestUserStudy:
     def test_to_text(self, result):
         text = result.to_text()
         assert "Figure 12" in text and "Table 1" in text
+
+    def test_report_embeds_stage_breakdown(self, result):
+        assert_stage_breakdown(
+            result.time_table,
+            "generate",
+            "transform",
+            "manual-search",
+            "search",
+        )

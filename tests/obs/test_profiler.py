@@ -1,0 +1,204 @@
+"""The EXPLAIN-style profiler: reports, closures, facade and CLI."""
+
+import json
+
+import pytest
+
+from repro.core import OptImatch
+from repro.core.sparqlgen import pattern_to_sparql
+from repro.core.transform import transform_plan
+from repro.kb.builtin import make_pattern
+from repro.obs.instrument import probing
+from repro.obs.profiler import CollectingProbe, StageTimer, explain
+from repro.rdf import Graph, Namespace
+from repro.sparql import query
+
+from tests.conftest import build_figure1_plan
+
+EX = Namespace("http://n/")
+P = Namespace("http://p/")
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return transform_plan(build_figure1_plan())
+
+
+class TestExplainReport:
+    def test_pattern_a_profile(self, fig1):
+        report = explain(make_pattern("A"), fig1)
+        assert report.plan_id == "fig1"
+        assert report.occurrences == 1
+        assert report.budget_ticks > 0
+        assert report.elapsed_seconds >= 0
+        assert report.patterns, "no per-pattern profiles collected"
+        # Join order is 1-based and dense.
+        assert [p.order for p in report.patterns] == list(
+            range(1, len(report.patterns) + 1)
+        )
+        first = report.patterns[0]
+        # The first pattern starts from one empty solution and its only
+        # bound position is the predicate+object -> POS lookup.
+        assert first.inputs == 1
+        assert first.indexes == {"POS": first.inputs}
+        for profile in report.patterns:
+            assert profile.inputs >= profile.outputs >= 0 or profile.outputs >= 0
+            assert sum(profile.indexes.values()) == profile.inputs
+
+    def test_accepts_raw_sparql(self, fig1):
+        sparql = pattern_to_sparql(make_pattern("A"))
+        report = explain(sparql, fig1)
+        assert report.query == sparql
+        assert report.occurrences == 1
+
+    def test_no_match_reports_zero(self, fig1):
+        report = explain(make_pattern("B"), fig1)
+        assert report.occurrences == 0
+        assert report.patterns, "even a miss profiles the attempted joins"
+
+    def test_to_text_table(self, fig1):
+        text = explain(make_pattern("A"), fig1).to_text()
+        assert "EXPLAIN plan fig1" in text
+        for column in ("step", "triple pattern", "in", "out", "index"):
+            assert column in text
+        assert "#1" in text and "POS" in text
+
+    def test_to_json_roundtrips(self, fig1):
+        payload = explain(make_pattern("A"), fig1).to_json_object()
+        # Must be JSON-serializable and carry the documented keys.
+        parsed = json.loads(json.dumps(payload))
+        for key in (
+            "planId",
+            "query",
+            "occurrences",
+            "elapsedSeconds",
+            "budgetTicks",
+            "patterns",
+            "closures",
+        ):
+            assert key in parsed
+        assert parsed["planId"] == "fig1"
+        assert parsed["patterns"][0]["order"] == 1
+
+
+class TestClosureProfiles:
+    def _chain_graph(self) -> Graph:
+        graph = Graph()
+        graph.add((EX.a, P.e, EX.b))
+        graph.add((EX.b, P.e, EX.c))
+        graph.add((EX.c, P.e, EX.d))
+        return graph
+
+    def test_closure_bfs_frontiers_recorded(self):
+        graph = self._chain_graph()
+        probe = CollectingProbe()
+        with probing(probe):
+            query(
+                graph,
+                "PREFIX n: <http://n/> PREFIX p: <http://p/> "
+                "SELECT ?y WHERE { n:a p:e+ ?y }",
+            )
+        closures = probe.closure_profiles()
+        assert closures, "path query ran no closure"
+        closure = closures[0]
+        assert closure.runs >= 1
+        assert closure.levels >= 2, "a 3-hop chain has a multi-level BFS"
+        assert closure.max_frontier >= 1
+        assert closure.nodes_discovered >= 3
+        assert closure.frontier_sizes
+
+    def test_closure_cache_hits_counted(self):
+        from repro.sparql import prepare_query
+
+        graph = self._chain_graph()
+        probe = CollectingProbe()
+        # The closure memo keys by path-object identity, so a cache hit
+        # needs the same prepared query evaluated twice.
+        prepared = prepare_query(
+            "PREFIX n: <http://n/> PREFIX p: <http://p/> "
+            "SELECT ?y WHERE { n:a p:e+ ?y }"
+        )
+        with probing(probe):
+            query(graph, prepared)
+            query(graph, prepared)
+        closure = probe.closure_profiles()[0]
+        assert closure.cached_hits >= 1
+        assert closure.runs >= 1
+
+
+class TestOptImatchFacade:
+    def test_explain_default_plan_is_first(self, fig1):
+        tool = OptImatch(workers=1)
+        tool.add_plan(build_figure1_plan("first"))
+        tool.add_plan(build_figure1_plan("second"))
+        report = tool.explain(make_pattern("A"))
+        assert report.plan_id == "first"
+
+    def test_explain_by_plan_id(self):
+        tool = OptImatch(workers=1)
+        tool.add_plan(build_figure1_plan("first"))
+        tool.add_plan(build_figure1_plan("second"))
+        assert tool.explain(make_pattern("A"), "second").plan_id == "second"
+
+    def test_explain_without_workload_raises(self):
+        with pytest.raises(ValueError):
+            OptImatch(workers=1).explain(make_pattern("A"))
+
+
+class TestStageTimer:
+    def test_stages_accumulate_and_render(self):
+        timer = StageTimer()
+        with timer.stage("load"):
+            pass
+        with timer.stage("load"):
+            pass
+        timer.add("search", 0.25)
+        breakdown = timer.breakdown()
+        assert set(breakdown) == {"load", "search"}
+        assert breakdown["search"] == pytest.approx(0.25)
+        note = timer.to_note()
+        assert note.startswith("stage breakdown: ")
+        assert "search=0.2500s" in note
+
+    def test_empty_timer_note(self):
+        assert StageTimer().to_note() == "stage breakdown: (empty)"
+
+
+class TestProfileCli:
+    @pytest.fixture(scope="class")
+    def workload_dir(self, tmp_path_factory):
+        from repro.qep.writer import write_plan_file
+
+        directory = tmp_path_factory.mktemp("profile-wl")
+        for index in range(2):
+            write_plan_file(
+                build_figure1_plan(f"fig1-{index}"),
+                str(directory / f"fig1-{index}.exfmt"),
+            )
+        return str(directory)
+
+    def test_profile_prints_table(self, workload_dir, capsys):
+        from repro.cli import main
+
+        assert main(["profile", workload_dir, "A"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("EXPLAIN plan") == 2
+        assert "budget tick(s)" in out
+        assert "index" in out and "POS" in out
+
+    def test_profile_single_plan_json(self, workload_dir, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["profile", workload_dir, "A", "--plan", "fig1-1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["planId"] for r in payload] == ["fig1-1"]
+        assert payload[0]["occurrences"] == 1
+        assert payload[0]["patterns"]
+
+    def test_profile_empty_dir_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["profile", str(tmp_path), "A"]) == 2
+        assert "no explain files" in capsys.readouterr().err
