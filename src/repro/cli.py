@@ -99,7 +99,8 @@ def _cmd_search(args) -> int:
 
 def _cmd_profile(args) -> int:
     """EXPLAIN-style profile: per-triple-pattern cardinalities, index
-    choices, join order, closure frontiers and budget ticks."""
+    choices, planned join order with estimated rows, closure-direction
+    decisions, closure frontiers and budget ticks."""
     import json as _json
 
     tool = OptImatch(workers=args.workers, cache=not args.no_cache)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import random
 import time
 from typing import Any, Dict, Optional, Tuple
@@ -131,9 +132,15 @@ class OptImatchClient:
     def _backoff_delay(self, attempt: int, retry_after: Optional[str]) -> float:
         if retry_after:
             try:
-                return max(0.0, float(retry_after))
+                value = float(retry_after)
             except ValueError:
                 pass  # e.g. an HTTP-date; fall through to backoff
+            else:
+                # The header is server input: "inf"/"nan" parse as floats
+                # but would stall the client forever, and even a finite
+                # value must not exceed the caller's configured cap.
+                if math.isfinite(value):
+                    return min(max(0.0, value), self.backoff_cap)
         cap = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
         return self._rng.uniform(0, cap)
 

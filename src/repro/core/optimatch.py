@@ -194,8 +194,9 @@ class OptImatch:
         *plan* is a plan id, a :class:`TransformedPlan`, or ``None`` for
         the first plan in the workload.  Returns a
         :class:`repro.obs.profiler.ExplainReport` with per-triple-pattern
-        input/output cardinalities, index choices, the observed join
-        order, closure BFS frontier sizes and budget ticks consumed.
+        input/output cardinalities, index choices, the planned join
+        order with estimated cardinalities, closure-direction decisions,
+        closure BFS frontier sizes and budget ticks consumed.
         Profiling never changes results — it runs the same
         :func:`repro.core.matcher.search_plan` with a probe installed.
         """

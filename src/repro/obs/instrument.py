@@ -48,6 +48,15 @@ class EvalProbe:
       property-path closure BFS finished.  *frontier_sizes* lists the
       BFS frontier size per level (``None`` when served from the
       closure memo, in which case ``cached`` is True).
+    * ``bgp_plan(patterns, compiled, plan)`` — the cost-based planner
+      fixed a join order for this BGP.  *plan* is a
+      ``repro.sparql.planner.BGPPlan``; *compiled* is the compiled
+      pattern list on the ID-space path, ``None`` on the term path.
+      Fired once per distinct plan per BGP join.
+    * ``closure_plan(path, decision)`` — a both-free closure picked its
+      direction/seeding.  *decision* is a dict with ``direction``,
+      ``mode`` ("seeded" / "full-scan"), ``seeds``, ``totalNodes`` and
+      the candidate counts per direction.
     """
 
     __slots__ = ()
@@ -69,6 +78,14 @@ class EvalProbe:
         frontier_sizes: Optional[List[int]],
         cached: bool,
     ) -> None:
+        pass
+
+    def bgp_plan(
+        self, patterns: Sequence[Any], compiled: Optional[Sequence[Any]], plan: Any
+    ) -> None:
+        pass
+
+    def closure_plan(self, path: Any, decision: dict) -> None:
         pass
 
 

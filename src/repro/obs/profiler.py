@@ -10,8 +10,12 @@ bindings, then reports what the evaluator actually did:
   extensions it produced),
 * the **index chosen** per lookup (SPO/POS/OSP, mirroring the branch
   order of :meth:`repro.rdf.graph.Graph.triples_ids`),
-* the **join order** the greedy reorderer settled on,
-* property-path **closure BFS frontier sizes** and memo hits,
+* the **join order** the evaluator settled on, and — when the
+  cost-based planner is active — the **planned order with estimated
+  cardinalities** per step next to the actual ones,
+* property-path **closure BFS frontier sizes** and memo hits, plus the
+  planner's **closure direction decisions** (forward vs reverse BFS,
+  seeded vs full node scan) for both-ends-free closures,
 * **budget ticks** consumed (visited bindings — the same quantity the
   resource governor caps).
 
@@ -153,6 +157,9 @@ class PatternProfile:
     inputs: int = 0
     outputs: int = 0
     indexes: Dict[str, int] = field(default_factory=dict)
+    #: Planner-estimated cumulative rows after this pattern's join step
+    #: (None when the cost planner did not plan this pattern).
+    estimated: Optional[float] = None
 
     def to_json_object(self) -> dict:
         return {
@@ -161,6 +168,7 @@ class PatternProfile:
             "inputs": self.inputs,
             "outputs": self.outputs,
             "indexes": dict(self.indexes),
+            "estimated": self.estimated,
         }
 
 
@@ -210,6 +218,13 @@ class CollectingProbe(EvalProbe):
         # Pin registered pattern objects so their ids cannot be recycled
         # and remapped to a different pattern mid-profile.
         self._pinned: List[Any] = []
+        # Cost-planner observations: one entry per distinct BGP plan and
+        # per distinct closure-direction decision, plus the estimated
+        # cumulative rows per pattern (keyed by display text).
+        self._plans: List[dict] = []
+        self._plan_keys: set = set()
+        self._closure_plans: Dict[Tuple, dict] = {}
+        self._estimates: Dict[str, float] = {}
 
     # -- EvalProbe hooks ----------------------------------------------
     def bgp(self, patterns: Sequence[Any], compiled: Optional[Sequence[Any]]) -> None:
@@ -258,6 +273,36 @@ class CollectingProbe(EvalProbe):
                 if len(profile.frontier_sizes) < _MAX_FRONTIER_SAMPLES:
                     profile.frontier_sizes.append(list(frontier_sizes))
 
+    def bgp_plan(self, patterns, compiled, plan) -> None:
+        with self._lock:
+            keys = compiled if compiled is not None else patterns
+            for source, key_obj in zip(patterns, keys):
+                self._display[id(key_obj)] = _format_pattern(source)
+                self._pinned.append(key_obj)
+            texts = [_format_pattern(patterns[i]) for i in plan.order]
+            dedup = (tuple(texts), plan.method, tuple(plan.indexes))
+            if dedup in self._plan_keys:
+                return
+            self._plan_keys.add(dedup)
+            for text, estimate in zip(texts, plan.estimates):
+                self._estimates.setdefault(text, estimate)
+            self._plans.append(
+                {
+                    "method": plan.method,
+                    "cost": plan.cost,
+                    "order": texts,
+                    "estimatedRows": list(plan.estimates),
+                    "indexes": list(plan.indexes),
+                }
+            )
+
+    def closure_plan(self, path, decision: dict) -> None:
+        text = _format_path(path)
+        key = (text, decision.get("direction"), decision.get("mode"))
+        with self._lock:
+            if key not in self._closure_plans:
+                self._closure_plans[key] = {"path": text, **decision}
+
     # -- aggregation ---------------------------------------------------
     def _profile_for(self, pattern: Any) -> PatternProfile:
         # Caller holds the lock.
@@ -274,11 +319,28 @@ class CollectingProbe(EvalProbe):
 
     def pattern_profiles(self) -> List[PatternProfile]:
         with self._lock:
-            return sorted(self._patterns.values(), key=lambda p: p.order)
+            profiles = sorted(self._patterns.values(), key=lambda p: p.order)
+            for profile in profiles:
+                if profile.estimated is None:
+                    profile.estimated = self._estimates.get(profile.pattern)
+            return profiles
 
     def closure_profiles(self) -> List[ClosureProfile]:
         with self._lock:
             return sorted(self._closures.values(), key=lambda c: c.path)
+
+    def plans(self) -> List[dict]:
+        """Distinct BGP plans observed, in first-seen order."""
+        with self._lock:
+            return [dict(plan) for plan in self._plans]
+
+    def closure_plan_decisions(self) -> List[dict]:
+        """Distinct closure-direction decisions, sorted by path text."""
+        with self._lock:
+            return sorted(
+                (dict(d) for d in self._closure_plans.values()),
+                key=lambda d: (d.get("path", ""), d.get("direction", "")),
+            )
 
 
 # ----------------------------------------------------------------------
@@ -295,6 +357,8 @@ class ExplainReport:
     budget_ticks: int
     patterns: List[PatternProfile] = field(default_factory=list)
     closures: List[ClosureProfile] = field(default_factory=list)
+    plans: List[dict] = field(default_factory=list)
+    closure_plans: List[dict] = field(default_factory=list)
 
     def to_json_object(self) -> dict:
         return {
@@ -305,6 +369,8 @@ class ExplainReport:
             "budgetTicks": self.budget_ticks,
             "patterns": [p.to_json_object() for p in self.patterns],
             "closures": [c.to_json_object() for c in self.closures],
+            "plans": [dict(p) for p in self.plans],
+            "closurePlans": [dict(d) for d in self.closure_plans],
         }
 
     def to_text(self) -> str:
@@ -320,11 +386,12 @@ class ExplainReport:
                     p.pattern,
                     str(p.inputs),
                     str(p.outputs),
+                    "-" if p.estimated is None else f"{p.estimated:.1f}",
                     _summarize_indexes(p.indexes),
                 )
                 for p in self.patterns
             ]
-            header = ("step", "triple pattern", "in", "out", "index")
+            header = ("step", "triple pattern", "in", "out", "est", "index")
             widths = [
                 max(len(header[col]), *(len(row[col]) for row in rows))
                 for col in range(len(header))
@@ -335,6 +402,22 @@ class ExplainReport:
             lines.extend(fmt.format(*row) for row in rows)
         else:
             lines.append("(no triple patterns evaluated)")
+        for plan in self.plans:
+            order = " -> ".join(
+                f"#{i + 1} {text}" for i, text in enumerate(plan.get("order", []))
+            )
+            lines.append(
+                f"plan ({plan.get('method')}, est cost {plan.get('cost', 0):.1f}): "
+                f"{order}"
+            )
+        for decision in self.closure_plans:
+            seeds = decision.get("seeds")
+            seed_note = "full scan" if seeds is None else f"{seeds} seed(s)"
+            lines.append(
+                f"closure plan {decision.get('path')}: {decision.get('direction')} "
+                f"({decision.get('mode')}, {seed_note}, "
+                f"{decision.get('totalNodes')} node(s) total)"
+            )
         for c in self.closures:
             detail = (
                 f"{c.runs} BFS run(s), {c.cached_hits} memo hit(s), "
@@ -389,6 +472,8 @@ def explain(sparql_or_pattern: Any, transformed: Any) -> ExplainReport:
         budget_ticks=budget.bindings,
         patterns=probe.pattern_profiles(),
         closures=probe.closure_profiles(),
+        plans=probe.plans(),
+        closure_plans=probe.closure_plan_decisions(),
     )
 
 

@@ -290,3 +290,15 @@ class TracingProbe:
             forward=forward,
             frontierSizes=list(frontier_sizes) if frontier_sizes else [],
         )
+
+    def bgp_plan(self, patterns, compiled, plan) -> None:
+        pass
+
+    def closure_plan(self, path, decision) -> None:
+        self._tracer.event(
+            "closure-plan",
+            direction=decision.get("direction"),
+            mode=decision.get("mode"),
+            seeds=decision.get("seeds"),
+            totalNodes=decision.get("totalNodes"),
+        )

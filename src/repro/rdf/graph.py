@@ -75,6 +75,14 @@ class Graph:
         # for graphs without mixed-spelling numeric literals (the
         # common case), so the lookup is skipped entirely.
         self._spell: Dict[Tuple[int, int, int], Term] = {}
+        # Lazily computed per-predicate statistics for the cost-based
+        # planner (repro/sparql/planner.py): predicate ID -> (total,
+        # distinct subjects, distinct objects), plus the sorted subject
+        # and object ID tuples that seed both-free path closures.
+        # Version-stamped; rebuilt on demand after any mutation.
+        self._pstats: Dict[int, Tuple[int, int, int]] = {}
+        self._pseeds: Dict[Tuple[int, bool], Tuple[int, ...]] = {}
+        self._pstats_version = -1
 
     # ------------------------------------------------------------------
     # Mutation
@@ -260,6 +268,80 @@ class Graph:
         nodes: Set[int] = set(self._spo)
         nodes.update(self._osp)
         return sorted(nodes)
+
+    def _stats_fresh(self) -> None:
+        """Drop stale planner statistics after a mutation (lazy rebuild)."""
+        if self._pstats_version != self._version:
+            self._pstats = {}
+            self._pseeds = {}
+            self._pstats_version = self._version
+
+    def distinct_predicates(self) -> int:
+        """Number of distinct predicates with at least one triple."""
+        return len(self._pos)
+
+    def predicate_stats(self, predicate: int) -> Tuple[int, int, int]:
+        """``(total, distinct subjects, distinct objects)`` for a predicate ID.
+
+        Exact.  O(triples of the predicate) the first time per graph
+        version, then a dictionary hit until the graph mutates.  The
+        planner divides pattern cardinalities by the distinct counts to
+        estimate the selectivity of join-bound variable positions.
+        """
+        self._stats_fresh()
+        cached = self._pstats.get(predicate)
+        if cached is not None:
+            return cached
+        by_obj = self._pos.get(predicate)
+        if not by_obj:
+            stats = (0, 0, 0)
+        else:
+            subjects: Set[int] = set()
+            for subs in by_obj.values():
+                subjects.update(subs)
+            stats = (
+                self._pred_total.get(predicate, 0),
+                len(subjects),
+                len(by_obj),
+            )
+        self._pstats[predicate] = stats
+        return stats
+
+    def subject_ids_for(self, predicate: int) -> Tuple[int, ...]:
+        """Distinct subject IDs of a predicate, ascending (cached per version).
+
+        Seeds forward both-free path closures: only these nodes can start
+        a non-empty edge of the predicate.
+        """
+        self._stats_fresh()
+        key = (predicate, True)
+        cached = self._pseeds.get(key)
+        if cached is None:
+            by_obj = self._pos.get(predicate)
+            if not by_obj:
+                cached = ()
+            else:
+                subjects: Set[int] = set()
+                for subs in by_obj.values():
+                    subjects.update(subs)
+                cached = tuple(sorted(subjects))
+            self._pseeds[key] = cached
+        return cached
+
+    def object_ids_for(self, predicate: int) -> Tuple[int, ...]:
+        """Distinct object IDs of a predicate, ascending (cached per version).
+
+        Seeds reverse both-free path closures: only these nodes can end
+        a non-empty edge of the predicate.
+        """
+        self._stats_fresh()
+        key = (predicate, False)
+        cached = self._pseeds.get(key)
+        if cached is None:
+            by_obj = self._pos.get(predicate)
+            cached = tuple(sorted(by_obj)) if by_obj else ()
+            self._pseeds[key] = cached
+        return cached
 
     def is_literal_id(self, tid: int) -> bool:
         """True when *tid* decodes to a :class:`Literal`."""

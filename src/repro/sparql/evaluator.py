@@ -2,10 +2,16 @@
 
 Evaluation is streaming where possible: a group graph pattern produces an
 iterator of binding dictionaries (``Variable -> Term``).  Basic graph
-patterns use greedy join reordering — at each step the remaining triple
-pattern with the most bound positions is evaluated next — so index
-lookups dominate and scans are rare.  Property paths are evaluated with
-breadth-first fixpoints, matching SPARQL 1.1 semantics for ``/ | ^ + * ?``.
+patterns are ordered ahead of time by the cost-based planner
+(:mod:`repro.sparql.planner`) — exact DP over join orders for small
+BGPs, greedy cheapest-next-connected for large ones, memoized per
+(pattern set, bound vars, graph version) — with the original
+per-solution greedy (most-bound positions, estimate tie-break) retained
+as the ``COST_PLANNER = False`` ablation.  Property paths are evaluated
+with breadth-first fixpoints, matching SPARQL 1.1 semantics for
+``/ | ^ + * ?``; both-ends-free closures are seeded from the planner's
+cheaper endpoint set instead of every graph node, and closures with
+both ends bound become memoized membership tests.
 
 Against a dictionary-encoded :class:`~repro.rdf.graph.Graph`, the BGP
 join core and the property-path fixpoints run entirely in **ID space**:
@@ -21,13 +27,14 @@ the same underlying indexes.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from repro.core.limits import active_budget
 from repro.obs.instrument import active_probe
 from repro.rdf.graph import Graph
 from repro.rdf.term import BNode, Literal, Term, URIRef, Variable
-from repro.sparql import ast
+from repro.sparql import ast, planner
 from repro.sparql.functions import (
     ExprError,
     effective_boolean_value,
@@ -43,10 +50,14 @@ _XSD = "http://www.w3.org/2001/XMLSchema#"
 #: Ablation switches (used by benchmarks; leave True in production).
 #: JOIN_REORDERING toggles greedy estimate-based BGP ordering;
 #: CLOSURE_CACHING toggles the per-graph property-path closure memo;
-#: ID_SPACE_JOIN toggles the dictionary-encoded (int-space) BGP core.
+#: ID_SPACE_JOIN toggles the dictionary-encoded (int-space) BGP core;
+#: COST_PLANNER toggles the ahead-of-time cost-based plans (BGP join
+#: order and closure direction/seeding) — off, evaluation falls back to
+#: the per-solution greedy and the full-node-scan closure paths.
 JOIN_REORDERING = True
 CLOSURE_CACHING = True
 ID_SPACE_JOIN = True
+COST_PLANNER = True
 
 
 # ----------------------------------------------------------------------
@@ -254,15 +265,50 @@ def _join_bgp(
     # threaded down the recursion; with no probe installed every hook
     # site below is a single ``is not None`` check.
     probe = active_probe()
-    if ID_SPACE_JOIN and isinstance(graph, Graph):
-        compiled = _compile_bgp(patterns, graph)
-        if probe is not None:
-            probe.bgp(patterns, compiled)
+    encoded = ID_SPACE_JOIN and isinstance(graph, Graph)
+    # Planning needs compiled patterns (for the static cost model) even
+    # on the term-space path, and applies identically to both join
+    # cores so they keep emitting solutions in the same order.
+    planned = (
+        COST_PLANNER
+        and JOIN_REORDERING
+        and len(patterns) > 1
+        and isinstance(graph, Graph)
+    )
+    compiled = _compile_bgp(patterns, graph) if (encoded or planned) else None
+    if probe is not None:
+        probe.bgp(patterns, compiled if encoded else None)
+    if planned:
+        # One plan per distinct bound-variable set; within this call the
+        # (tiny) set of orders seen is cached locally so the per-graph
+        # memo is consulted once per bound set, not per solution.
+        pattern_vars = frozenset(v for cp in compiled for v in cp[3])
+        orders: Dict[frozenset, list] = {}
+        reported: Set[int] = set()
+        source = compiled if encoded else patterns
+        for solution in stream:
+            bound = frozenset(solution) & pattern_vars
+            ordered = orders.get(bound)
+            if ordered is None:
+                plan = planner.plan_bgp(patterns, compiled, graph, bound)
+                if probe is not None and id(plan) not in reported:
+                    reported.add(id(plan))
+                    probe.bgp_plan(patterns, compiled if encoded else None, plan)
+                ordered = [source[i] for i in plan.order]
+                orders[bound] = ordered
+            if encoded:
+                yield from _eval_bgp_encoded(
+                    ordered, graph, solution, budget, probe, planned=True
+                )
+            else:
+                yield from _eval_bgp_ordered(
+                    ordered, 0, graph, solution, budget, probe
+                )
+        return
+    if encoded:
         for solution in stream:
             yield from _eval_bgp_encoded(compiled, graph, solution, budget, probe)
         return
-    if probe is not None:
-        probe.bgp(patterns, None)
     for solution in stream:
         yield from _eval_bgp(patterns, graph, solution, budget, probe)
 
@@ -288,6 +334,32 @@ def _eval_bgp(
         if probe is not None:
             probe.pattern_output(pattern)
         yield from _eval_bgp(remaining, graph, extended, budget, probe)
+
+
+def _eval_bgp_ordered(
+    ordered: List[ast.TriplePattern],
+    position: int,
+    graph: Graph,
+    bindings: Bindings,
+    budget=None,
+    probe=None,
+) -> Iterator[Bindings]:
+    """Term-space BGP recursion over a planner-fixed pattern order."""
+    if position == len(ordered):
+        yield bindings
+        return
+    pattern = ordered[position]
+    if probe is not None:
+        probe.pattern_input(pattern, bindings)
+    position += 1
+    for extended in _match_triple(pattern, graph, bindings):
+        if budget is not None:
+            budget.tick()
+        if probe is not None:
+            probe.pattern_output(pattern)
+        yield from _eval_bgp_ordered(
+            ordered, position, graph, extended, budget, probe
+        )
 
 
 #: Assumed result sizes for property-path patterns by number of bound
@@ -394,14 +466,17 @@ def _extend(bindings: Bindings, term: Term, value: Term) -> Optional[Bindings]:
 # ----------------------------------------------------------------------
 #: Sentinel for a pattern position whose ground value is provably absent
 #: from the graph dictionary (real IDs are always >= 0).  A pattern with
-#: an unmatchable position matches nothing.
-_UNMATCHABLE = -1
+#: an unmatchable position matches nothing.  The planner owns the
+#: compiled-pattern spec vocabulary (it consumes compiled patterns but
+#: must not import this module); the historical underscore names are
+#: kept here for the profiler and tests.
+_UNMATCHABLE = planner.UNMATCHABLE
 
 #: Position-spec kinds for compiled triple patterns.
-_GROUND = 0  # pre-encoded dictionary ID
-_VAR = 1     # a Variable, resolved against the ID bindings at runtime
-_ABSENT = 2  # ground term not in the graph dictionary: matches nothing
-_PATH = 3    # predicate position only: a property-path expression
+_GROUND = planner.GROUND  # pre-encoded dictionary ID
+_VAR = planner.VAR        # a Variable, resolved against the ID bindings
+_ABSENT = planner.ABSENT  # ground term not in the dictionary: matches nothing
+_PATH = planner.PATH      # predicate position only: a property path
 
 IdBindings = Dict[Variable, int]
 
@@ -460,13 +535,16 @@ def _eval_bgp_encoded(
     bindings: Bindings,
     budget=None,
     probe=None,
+    planned: bool = False,
 ) -> Iterator[Bindings]:
     """Evaluate a compiled BGP in ID space, decoding only at the boundary.
 
     Incoming term bindings are encoded once; variables bound to terms
     the graph has never seen go into *dead* — any pattern referencing
     one matches nothing, while solutions not touching it pass through
-    with the original term binding intact.
+    with the original term binding intact.  With *planned* true,
+    *compiled* is already in plan order and evaluated as-is; otherwise
+    the per-solution greedy picks the order.
     """
     ids: IdBindings = {}
     dead: Set[Variable] = set()
@@ -478,9 +556,15 @@ def _eval_bgp_encoded(
         else:
             ids[var] = tid
     id_term = graph.id_term
-    for solution_ids, spell in _eval_bgp_ids(
-        compiled, graph, ids, dead, _NO_SPELL, budget, probe
-    ):
+    if planned:
+        solutions = _eval_bgp_ids_ordered(
+            compiled, 0, graph, ids, dead, _NO_SPELL, budget, probe
+        )
+    else:
+        solutions = _eval_bgp_ids(
+            compiled, graph, ids, dead, _NO_SPELL, budget, probe
+        )
+    for solution_ids, spell in solutions:
         out = dict(bindings)
         for var, tid in solution_ids.items():
             if var not in out:
@@ -518,6 +602,38 @@ def _eval_bgp_ids(
             probe.pattern_output(pattern)
         yield from _eval_bgp_ids(
             remaining, graph, ext_ids, dead, ext_spell, budget, probe
+        )
+
+
+def _eval_bgp_ids_ordered(
+    ordered: List[_CompiledPattern],
+    position: int,
+    graph: Graph,
+    ids: IdBindings,
+    dead: Set[Variable],
+    spell: Dict[Variable, Term],
+    budget=None,
+    probe=None,
+) -> Iterator[Tuple[IdBindings, Dict[Variable, Term]]]:
+    """ID-space BGP recursion over a planner-fixed pattern order.
+
+    Skipping the per-solution ``_choose_next_ids`` is itself a win on
+    deep joins: the order was decided once from static selectivities.
+    """
+    if position == len(ordered):
+        yield ids, spell
+        return
+    pattern = ordered[position]
+    if probe is not None:
+        probe.pattern_input(pattern, ids)
+    position += 1
+    for ext_ids, ext_spell in _match_triple_ids(pattern, graph, ids, dead, spell):
+        if budget is not None:
+            budget.tick()
+        if probe is not None:
+            probe.pattern_output(pattern)
+        yield from _eval_bgp_ids_ordered(
+            ordered, position, graph, ext_ids, dead, ext_spell, budget, probe
         )
 
 
@@ -820,13 +936,32 @@ def _path_successors(
 # evaluation.  Invalidation goes through the graph's mutation counter.
 _CLOSURE_ATTR = "_sparql_closure_cache"
 
+#: Guards the attach/replace of the per-graph closure memo.  Multiple
+#: engine workers share one graph; without the lock two threads racing
+#: a version bump could each install a fresh state and interleave
+#: writes across them, or a reader could observe a state dict whose
+#: "entries" belong to another version.
+_CLOSURE_LOCK = threading.Lock()
+
 
 def _closure_entries(graph: Graph) -> dict:
-    """The (version-checked) closure memo for *graph*."""
+    """A snapshot of the (version-checked) closure memo for *graph*.
+
+    The returned entries dict is captured once per call: a caller keeps
+    reading/writing the dict it was handed even if the graph mutates
+    mid-iteration and a newer state replaces the attribute.  Writes then
+    land in the superseded snapshot and are garbage-collected with it —
+    stale closures are never served to post-mutation readers, matching
+    the version check at generator start.
+    """
     state = getattr(graph, _CLOSURE_ATTR, None)
-    if state is None or state["version"] != graph.version:
-        state = {"version": graph.version, "entries": {}}
-        setattr(graph, _CLOSURE_ATTR, state)
+    version = graph.version
+    if state is None or state["version"] != version:
+        with _CLOSURE_LOCK:
+            state = getattr(graph, _CLOSURE_ATTR, None)
+            if state is None or state["version"] != version:
+                state = {"version": version, "entries": {}}
+                setattr(graph, _CLOSURE_ATTR, state)
     return state["entries"]
 
 
@@ -835,6 +970,7 @@ def _closure(
 ) -> Iterator[Term]:
     """Nodes reachable from *start* by one or more applications of *path*."""
     probe = active_probe()
+    budget = active_budget()
     cache = None
     key = None
     if CLOSURE_CACHING:
@@ -849,7 +985,15 @@ def _closure(
             if hit is not None:
                 if probe is not None:
                     probe.closure(path, start, forward, None, cached=True)
-                yield from hit[1]
+                # Warm hits still consume budget per yielded node: a
+                # cached closure feeds the same downstream join work as
+                # a cold one, and deadline/visit governance must see it.
+                if budget is None:
+                    yield from hit[1]
+                else:
+                    for node in hit[1]:
+                        budget.tick()
+                        yield node
                 return
         except (TypeError, AttributeError):  # unhashable term / frozen graph
             cache = None
@@ -857,7 +1001,6 @@ def _closure(
     # BFS discovery order, not set order: deterministic given the store,
     # and identical to the ID-space closure over the same encoded graph
     # (both walk the same int-keyed indexes).
-    budget = active_budget()
     frontier_sizes: Optional[List[int]] = [] if probe is not None else None
     seen: Set[Term] = set()
     order: List[Term] = []
@@ -876,10 +1019,55 @@ def _closure(
                     next_frontier.append(successor)
         frontier = next_frontier
     if cache is not None:
-        cache[key] = (path, tuple(order))
+        # (pinned path, discovery order, membership set): the set serves
+        # the both-bound membership fast path in _eval_mod.
+        cache[key] = (path, tuple(order), frozenset(order))
     if probe is not None:
         probe.closure(path, start, forward, frontier_sizes, cached=False)
     yield from order
+
+
+def _closure_contains(
+    path: ast.Path, graph: Graph, start: Term, target: Term
+) -> bool:
+    """Is *target* forward-reachable from *start*?  Memoized membership.
+
+    A warm closure answers in O(1) against the cached membership set —
+    one budget tick instead of a scan of the whole closure sequence.
+    Cold closures run (and memoize) the full BFS via :func:`_closure`.
+    """
+    if CLOSURE_CACHING:
+        try:
+            hit = _closure_entries(graph).get((id(path), start, True))
+        except (TypeError, AttributeError):
+            hit = None
+        if hit is not None:
+            budget = active_budget()
+            if budget is not None:
+                budget.tick()
+            probe = active_probe()
+            if probe is not None:
+                probe.closure(path, start, True, None, cached=True)
+            return target in hit[2]
+    found = False
+    # Drain fully (no early break) so the generator reaches its cache
+    # write and the next membership probe for this start is O(1).
+    for node in _closure(path, graph, start, forward=True):
+        if node == target:
+            found = True
+    return found
+
+
+def _closure_decision(plan, total_nodes: int) -> Dict[str, object]:
+    """Probe payload describing a both-free closure-direction decision."""
+    return {
+        "direction": plan.direction,
+        "mode": "full-scan" if plan.seeds is None else "seeded",
+        "seeds": total_nodes if plan.seeds is None else len(plan.seeds),
+        "totalNodes": total_nodes,
+        "forwardCandidates": plan.forward_count,
+        "reverseCandidates": plan.reverse_count,
+    }
 
 
 def _graph_nodes(graph: Graph) -> Iterable[Term]:
@@ -929,6 +1117,17 @@ def _eval_mod(
     budget = active_budget()
     include_zero = mod == "*"
     if subject is not None:
+        if obj is not None and COST_PLANNER:
+            # Both ends bound: the closure only decides whether *obj* is
+            # reachable — a memoized membership test, not a scan of the
+            # whole closure sequence per candidate pair.
+            if include_zero and obj == subject:
+                yield from emit((subject, subject))
+            if _closure_contains(inner, graph, subject, obj):
+                if budget is not None:
+                    budget.tick()
+                yield from emit((subject, obj))
+            return
         if include_zero and (obj is None or obj == subject):
             yield from emit((subject, subject))
         for target in _closure(inner, graph, subject, forward=True):
@@ -945,18 +1144,48 @@ def _eval_mod(
                 budget.tick()
             yield from emit((source, obj))
         return
-    # Both ends free: closure from every node with outgoing inner-path edges.
+    # Both ends free: zero-length pairs cover every node, but non-empty
+    # closures can only start from the planner's endpoint candidates.
     nodes = _graph_nodes(graph)
     if include_zero:
         for node in nodes:
             yield from emit((node, node))
-    for node in nodes:
-        if isinstance(node, Literal):
-            continue  # literals cannot start a forward path
-        for target in _closure(inner, graph, node, forward=True):
+    plan = (
+        planner.plan_closure(inner, graph)
+        if COST_PLANNER and isinstance(graph, Graph)
+        else None
+    )
+    probe = active_probe()
+    if probe is not None and plan is not None:
+        probe.closure_plan(inner, _closure_decision(plan, len(nodes)))
+    if plan is None or plan.seeds is None:
+        for node in nodes:
+            if isinstance(node, Literal):
+                continue  # literals cannot start a forward path
+            for target in _closure(inner, graph, node, forward=True):
+                if budget is not None:
+                    budget.tick()
+                yield from emit((node, target))
+        return
+    id_term = graph.id_term
+    if plan.direction == "forward":
+        for tid in plan.seeds:
+            node = id_term(tid)
+            if isinstance(node, Literal):
+                continue  # literals cannot start a forward path
+            for target in _closure(inner, graph, node, forward=True):
+                if budget is not None:
+                    budget.tick()
+                yield from emit((node, target))
+        return
+    for tid in plan.seeds:  # reverse: seeds are the reachable endpoints
+        node = id_term(tid)
+        for source in _closure(inner, graph, node, forward=False):
             if budget is not None:
                 budget.tick()
-            yield from emit((node, target))
+            if isinstance(source, Literal):
+                continue  # literal sources match the forward skip above
+            yield from emit((source, node))
 
 
 # ----------------------------------------------------------------------
@@ -1056,6 +1285,7 @@ def _closure_ids(
     never collide (an int never equals a Term).
     """
     probe = active_probe()
+    budget = active_budget()
     cache = None
     key = None
     if CLOSURE_CACHING:
@@ -1065,9 +1295,16 @@ def _closure_ids(
         if hit is not None:
             if probe is not None:
                 probe.closure(path, start, forward, None, cached=True)
-            yield from hit[1]
+            # Warm hits still consume budget per yielded node (see the
+            # term-space twin): governance must not be bypassed by the
+            # memo.
+            if budget is None:
+                yield from hit[1]
+            else:
+                for node in hit[1]:
+                    budget.tick()
+                    yield node
             return
-    budget = active_budget()
     frontier_sizes: Optional[List[int]] = [] if probe is not None else None
     seen: Set[int] = set()
     order: List[int] = []
@@ -1086,10 +1323,34 @@ def _closure_ids(
                     next_frontier.append(successor)
         frontier = next_frontier
     if cache is not None:
-        cache[key] = (path, tuple(order))
+        # (pinned path, discovery order, membership set) — the set backs
+        # the both-bound membership fast path in _eval_mod_ids.
+        cache[key] = (path, tuple(order), frozenset(order))
     if probe is not None:
         probe.closure(path, start, forward, frontier_sizes, cached=False)
     yield from order
+
+
+def _closure_contains_ids(
+    path: ast.Path, graph: Graph, start: int, target: int
+) -> bool:
+    """ID-space twin of :func:`_closure_contains` (O(1) when warm)."""
+    if CLOSURE_CACHING:
+        hit = _closure_entries(graph).get((id(path), start, True))
+        if hit is not None:
+            budget = active_budget()
+            if budget is not None:
+                budget.tick()
+            probe = active_probe()
+            if probe is not None:
+                probe.closure(path, start, True, None, cached=True)
+            return target in hit[2]
+    found = False
+    # Drain fully so _closure_ids reaches its cache write.
+    for node in _closure_ids(path, graph, start, forward=True):
+        if node == target:
+            found = True
+    return found
 
 
 def _eval_mod_ids(
@@ -1123,6 +1384,18 @@ def _eval_mod_ids(
     budget = active_budget()
     include_zero = mod == "*"
     if subject is not None:
+        if obj is not None and COST_PLANNER:
+            # Both ends bound: memoized membership test instead of a
+            # scan of the whole closure sequence per candidate pair —
+            # this is what turns the pathological mutual-reachability
+            # join from O(pairs x closure) into O(pairs).
+            if include_zero and obj == subject:
+                yield from emit((subject, subject))
+            if _closure_contains_ids(inner, graph, subject, obj):
+                if budget is not None:
+                    budget.tick()
+                yield from emit((subject, obj))
+            return
         if include_zero and (obj is None or obj == subject):
             yield from emit((subject, subject))
         for target in _closure_ids(inner, graph, subject, forward=True):
@@ -1139,18 +1412,41 @@ def _eval_mod_ids(
                 budget.tick()
             yield from emit((source, obj))
         return
-    # Both ends free: closure from every node with outgoing inner-path edges.
+    # Both ends free: zero-length pairs cover every node, but non-empty
+    # closures can only start from the planner's endpoint candidates.
     nodes = graph.node_ids()
     if include_zero:
         for node in nodes:
             yield from emit((node, node))
-    for node in nodes:
-        if graph.is_literal_id(node):
-            continue  # literals cannot start a forward path
-        for target in _closure_ids(inner, graph, node, forward=True):
+    plan = planner.plan_closure(inner, graph) if COST_PLANNER else None
+    probe = active_probe()
+    if probe is not None and plan is not None:
+        probe.closure_plan(inner, _closure_decision(plan, len(nodes)))
+    if plan is None or plan.seeds is None:
+        for node in nodes:
+            if graph.is_literal_id(node):
+                continue  # literals cannot start a forward path
+            for target in _closure_ids(inner, graph, node, forward=True):
+                if budget is not None:
+                    budget.tick()
+                yield from emit((node, target))
+        return
+    if plan.direction == "forward":
+        for node in plan.seeds:
+            if graph.is_literal_id(node):
+                continue  # literals cannot start a forward path
+            for target in _closure_ids(inner, graph, node, forward=True):
+                if budget is not None:
+                    budget.tick()
+                yield from emit((node, target))
+        return
+    for node in plan.seeds:  # reverse: seeds are the reachable endpoints
+        for source in _closure_ids(inner, graph, node, forward=False):
             if budget is not None:
                 budget.tick()
-            yield from emit((node, target))
+            if graph.is_literal_id(source):
+                continue  # literal sources match the forward skip above
+            yield from emit((source, node))
 
 
 # ----------------------------------------------------------------------

@@ -113,3 +113,55 @@ def test_strict_flag_is_forwarded():
 def test_rejects_non_http_scheme():
     with pytest.raises(ValueError):
         OptImatchClient("ftp://example.com")
+
+
+# ----------------------------------------------------------------------
+# Retry-After validation: the header is server input and must not be
+# able to stall the client (inf), poison the sleep (nan) or exceed the
+# caller's configured backoff cap.
+# ----------------------------------------------------------------------
+def _delay_for(retry_after):
+    client = make_client([])
+    return client._backoff_delay(0, retry_after)
+
+
+def test_retry_after_infinite_falls_back_to_jitter():
+    for header in ("inf", "Infinity", "-inf"):
+        delay = _delay_for(header)
+        assert 0 <= delay <= 0.1  # jittered base backoff, not the header
+
+
+def test_retry_after_nan_falls_back_to_jitter():
+    delay = _delay_for("nan")
+    assert delay == delay  # never NaN
+    assert 0 <= delay <= 0.1
+
+
+def test_retry_after_huge_value_is_clamped_to_cap():
+    client = make_client([])
+    assert client._backoff_delay(0, "86400") == client.backoff_cap
+
+
+def test_retry_after_negative_is_floored_at_zero():
+    assert _delay_for("-3") == 0.0
+
+
+def test_retry_after_http_date_falls_back_to_jitter():
+    delay = _delay_for("Fri, 08 Aug 2026 12:00:00 GMT")
+    assert 0 <= delay <= 0.1
+
+
+def test_retry_after_valid_value_is_used_verbatim():
+    assert _delay_for("0.25") == 0.25
+
+
+def test_sleep_is_capped_even_when_server_sends_inf():
+    client = make_client(
+        [
+            (503, {"Retry-After": "inf"}, {"error": "shed", "code": "shed"}),
+            (200, {}, {"ok": 1}),
+        ]
+    )
+    assert client.health() == {"ok": 1}
+    assert len(client.slept) == 1
+    assert client.slept[0] <= client.backoff_cap
