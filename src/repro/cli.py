@@ -68,32 +68,48 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _engine_kwargs(args) -> dict:
+    """Map ``--workers`` / ``--mp-workers`` onto engine arguments.
+
+    ``--mp-workers N`` selects the multiprocess tier with N worker
+    processes (``0`` = auto, one per CPU); otherwise the thread tier
+    with ``--workers`` threads.
+    """
+    mp_workers = getattr(args, "mp_workers", None)
+    if mp_workers is not None:
+        return {"mode": "process", "workers": mp_workers or None}
+    return {"mode": None, "workers": args.workers}
+
+
 def _engine_stats_line(tool: OptImatch) -> str:
     """One-line engine instrumentation summary for CLI output."""
     stats = tool.stats()
     match_cache = stats["matchCache"]
     timings = stats["timings"]
+    mode = ""
+    if stats.get("mode", "thread") != "thread":
+        mode = f", mode {stats['mode']}"
     return (
         f"engine: {stats['workers']} worker(s), cache "
         f"{'on' if stats['cacheEnabled'] else 'off'} "
         f"(hits {match_cache['hits']}/{match_cache['hits'] + match_cache['misses']}), "
         f"prepare {timings['prepareSeconds']:.3f}s, "
-        f"evaluate {timings['evaluateSeconds']:.3f}s"
+        f"evaluate {timings['evaluateSeconds']:.3f}s{mode}"
     )
 
 
 def _cmd_search(args) -> int:
-    tool = OptImatch(workers=args.workers, cache=not args.no_cache)
-    count = tool.load_workload_dir(args.workload)
-    pattern = _load_pattern(args.pattern)
-    matches = tool.search(pattern)
-    print(f"searched {count} plans; {len(matches)} matched")
-    for plan_matches in matches:
-        print(f"  {plan_matches.plan_id}: {plan_matches.count} occurrence(s)")
-        if args.verbose:
-            for occurrence in plan_matches:
-                print(f"    {occurrence.describe()}")
-    print(_engine_stats_line(tool))
+    with OptImatch(cache=not args.no_cache, **_engine_kwargs(args)) as tool:
+        count = tool.load_workload_dir(args.workload)
+        pattern = _load_pattern(args.pattern)
+        matches = tool.search(pattern)
+        print(f"searched {count} plans; {len(matches)} matched")
+        for plan_matches in matches:
+            print(f"  {plan_matches.plan_id}: {plan_matches.count} occurrence(s)")
+            if args.verbose:
+                for occurrence in plan_matches:
+                    print(f"    {occurrence.describe()}")
+        print(_engine_stats_line(tool))
     return 0
 
 
@@ -103,14 +119,14 @@ def _cmd_profile(args) -> int:
     decisions, closure frontiers and budget ticks."""
     import json as _json
 
-    tool = OptImatch(workers=args.workers, cache=not args.no_cache)
-    count = tool.load_workload_dir(args.workload)
-    if not count:
-        print("no explain files found", file=sys.stderr)
-        return 2
-    pattern = _load_pattern(args.pattern)
-    plans = [args.plan] if args.plan else [t.plan_id for t in tool.workload]
-    reports = [tool.explain(pattern, plan_id) for plan_id in plans]
+    with OptImatch(cache=not args.no_cache, **_engine_kwargs(args)) as tool:
+        count = tool.load_workload_dir(args.workload)
+        if not count:
+            print("no explain files found", file=sys.stderr)
+            return 2
+        pattern = _load_pattern(args.pattern)
+        plans = [args.plan] if args.plan else [t.plan_id for t in tool.workload]
+        reports = [tool.explain(pattern, plan_id) for plan_id in plans]
     if args.json:
         print(_json.dumps([r.to_json_object() for r in reports], indent=2))
         return 0
@@ -122,28 +138,28 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_kb(args) -> int:
-    tool = OptImatch(workers=args.workers, cache=not args.no_cache)
-    count = tool.load_workload_dir(args.workload)
-    if args.kb_file:
-        kb = KnowledgeBase.load(args.kb_file)
-    elif args.extended:
-        from repro.kb import extended_knowledge_base
+    with OptImatch(cache=not args.no_cache, **_engine_kwargs(args)) as tool:
+        count = tool.load_workload_dir(args.workload)
+        if args.kb_file:
+            kb = KnowledgeBase.load(args.kb_file)
+        elif args.extended:
+            from repro.kb import extended_knowledge_base
 
-        kb = extended_knowledge_base()
-    else:
-        kb = builtin_knowledge_base()
-    report = tool.run_knowledge_base(kb)
-    hits = report.entry_hit_counts()
-    print(f"ran {len(kb)} KB entries over {count} plans")
-    for name in sorted(hits):
-        print(f"  {name}: {hits[name]} plan(s)")
-    if args.verbose:
-        for plan in report.plans_with_recommendations():
-            print(plan.summary())
-    else:
-        flagged = len(report.plans_with_recommendations())
-        print(f"{flagged} plan(s) received recommendations; use -v for details")
-    print(_engine_stats_line(tool))
+            kb = extended_knowledge_base()
+        else:
+            kb = builtin_knowledge_base()
+        report = tool.run_knowledge_base(kb)
+        hits = report.entry_hit_counts()
+        print(f"ran {len(kb)} KB entries over {count} plans")
+        for name in sorted(hits):
+            print(f"  {name}: {hits[name]} plan(s)")
+        if args.verbose:
+            for plan in report.plans_with_recommendations():
+                print(plan.summary())
+        else:
+            flagged = len(report.plans_with_recommendations())
+            print(f"{flagged} plan(s) received recommendations; use -v for details")
+        print(_engine_stats_line(tool))
     return 0
 
 
@@ -310,8 +326,8 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         knowledge_base=kb,
-        workers=args.workers,
         cache=not args.no_cache,
+        **_engine_kwargs(args),
         max_body_bytes=args.max_body_bytes,
         default_timeout_ms=args.default_timeout_ms,
         max_timeout_ms=args.max_timeout_ms,
@@ -331,6 +347,8 @@ def _cmd_serve(args) -> int:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        server.state.tool.close()
     return 0
 
 
@@ -432,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=int,
             default=None,
             help="matching-engine threads (default: one per CPU)",
+        )
+        sub_parser.add_argument(
+            "--mp-workers",
+            type=int,
+            default=None,
+            metavar="N",
+            help="run matching on N worker processes over shared-memory "
+                 "graph snapshots (0 = one per CPU); overrides --workers",
         )
         sub_parser.add_argument(
             "--no-cache",

@@ -33,44 +33,58 @@ for the torn-read regression test.  Pass an enabled
 (``search → plan → compile → bgp-join → closure-bfs → tag-rebind``)
 that parent correctly across the worker pool.
 
-Threads vs. the GIL
--------------------
+Execution modes: serial, threads, processes
+-------------------------------------------
 Per-plan evaluation is pure Python, so on a standard (GIL) CPython build
-threads cannot run it in parallel — they only interleave, and extra
+*threads* cannot run it in parallel — they only interleave, and extra
 workers add scheduling overhead and lock contention on the caches
-without any speedup.  The engine therefore defaults to **one** worker on
-GIL builds (measured: ``workers=os.cpu_count()`` was consistently *no
-faster or slower* than serial on the Fig-9 workload) and to
-``os.cpu_count()`` only on free-threaded builds (``python -VV`` shows
-``free-threading``), where the evaluators genuinely run concurrently.
-Pass ``workers=N`` explicitly to override either way — e.g. when the
-per-plan work is dominated by I/O-bound custom handlers rather than
-evaluation.
+without any speedup (measured flat on the Fig-9 workload).  Thread mode
+therefore defaults to **one** worker (serial) on GIL builds and to
+``os.cpu_count()`` only on free-threaded builds.
+
+``mode="process"`` is the tier that actually uses the cores: the
+workload's dictionary-encoded graphs are serialized once into a
+shared-memory segment (:mod:`repro.core.shm`) and a persistent
+spawn-context process pool evaluates chunks against zero-copy
+:class:`repro.rdf.snapshot.GraphView` attachments
+(:mod:`repro.core.mpexec`).  Results are marshalled back as compact
+term-ID rows and replayed through the same de-transform/dedup code as
+the in-process path, so output is bit-identical (values *and* order —
+see ``tests/core/test_mp_engine.py``).  Budget deadlines are re-armed
+in-worker from the remaining milliseconds at dispatch; a worker crash
+surfaces as a ``PlanError(kind="crash")`` under ``search_isolated`` and
+the pool respawns on the next search.  When ``cpus == 1`` or shared
+memory is unavailable (sandboxes) the engine silently degrades to the
+serial path.  ``docs/scale-out.md`` covers the segment layout, the
+attach lifecycle and when to pick each mode.
 """
 
 from __future__ import annotations
 
 import contextvars
+import multiprocessing
 import os
 import sys
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core import limits
-from repro.core.limits import Budget, LimitError
-from repro.core.matcher import PlanMatches, search_plan
+from repro.core import limits, mpexec
+from repro.core.limits import Budget, BudgetExceeded, EvaluationTimeout, LimitError
+from repro.core.matcher import PlanMatches, RowCollector, search_plan
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
 from repro.core.transform import TransformedPlan
 from repro.obs.instrument import probing
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.tracing import Tracer, TracingProbe
+from repro.rdf.graph import Graph
 from repro.sparql import prepare_query
+from repro.testing import chaos
 
 #: Default bound on distinct prepared queries kept in memory.
 DEFAULT_PREPARED_CACHE_SIZE = 128
@@ -84,8 +98,9 @@ class PlanError:
 
     Produced by :meth:`MatchingEngine.search_isolated` instead of
     letting the exception poison the whole batch.  ``kind`` is one of
-    ``"timeout"`` (deadline), ``"budget"`` (row/binding cap) or
-    ``"error"`` (any other exception).
+    ``"timeout"`` (deadline), ``"budget"`` (row/binding cap),
+    ``"crash"`` (a pool worker process died mid-evaluation; process
+    mode only) or ``"error"`` (any other exception).
     """
 
     plan_id: str
@@ -175,6 +190,16 @@ class EngineStats:
     evaluate_seconds: float = 0.0
     total_seconds: float = 0.0
     matches_per_plan: Dict[str, int] = field(default_factory=dict)
+    #: Effective execution mode ("thread" or "process"); lets /stats and
+    #: /metrics consumers tell which tier produced these numbers.
+    mode: str = "thread"
+    #: Chunk tasks per worker — thread names in thread mode, pids in
+    #: process mode.
+    worker_tasks: Dict[str, int] = field(default_factory=dict)
+    snapshot_builds: int = 0
+    snapshot_build_seconds: float = 0.0
+    snapshot_attaches: int = 0
+    snapshot_attach_seconds: float = 0.0
 
     @property
     def match_hit_rate(self) -> float:
@@ -204,6 +229,14 @@ class EngineStats:
                 "totalSeconds": round(self.total_seconds, 6),
             },
             "matchesPerPlan": dict(self.matches_per_plan),
+            "mode": self.mode,
+            "workerTasks": dict(self.worker_tasks),
+            "snapshot": {
+                "builds": self.snapshot_builds,
+                "buildSeconds": round(self.snapshot_build_seconds, 6),
+                "attaches": self.snapshot_attaches,
+                "attachSeconds": round(self.snapshot_attach_seconds, 6),
+            },
         }
 
 
@@ -212,14 +245,21 @@ def _chunked(items: Sequence, size: int) -> Iterable[Sequence]:
         yield items[start:start + size]
 
 
-def default_worker_count() -> int:
-    """Sane evaluation-thread default for this interpreter.
+def default_worker_count(mode: str = "thread") -> int:
+    """Sane worker-count default for this interpreter and *mode*.
 
-    Pure-Python evaluation is GIL-bound: on a standard CPython build the
-    pool can only interleave, so more than one worker is pure overhead
-    (see the module docstring).  Only a free-threaded build can use the
-    cores.
+    ``mode="process"`` workers are separate interpreters, so the GIL is
+    irrelevant and every core helps: the default is ``os.cpu_count()``.
+    (On a 1-CPU host that is 1, which makes ``mode="process"`` degrade
+    gracefully to the serial path — processes cannot beat serial there.)
+
+    ``mode="thread"`` evaluation is GIL-bound: on a standard CPython
+    build the pool can only interleave, so more than one worker is pure
+    overhead (see the module docstring).  Only a free-threaded build can
+    use the cores with threads.
     """
+    if mode == "process":
+        return os.cpu_count() or 1
     gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
     if gil_enabled:
         return 1
@@ -227,16 +267,16 @@ def default_worker_count() -> int:
 
 
 class MatchingEngine:
-    """Workload-scale pattern matching with caching and a thread pool.
+    """Workload-scale pattern matching with caching and a worker pool.
 
     Parameters
     ----------
     workers:
-        Number of evaluation threads.  ``None`` uses
-        :func:`default_worker_count` — ``1`` on GIL builds (pure-Python
-        evaluation cannot parallelize across threads there),
-        ``os.cpu_count()`` on free-threaded builds.  ``1`` evaluates
-        serially on the calling thread (still cached).
+        Number of evaluation workers.  ``None`` uses
+        :func:`default_worker_count` for the selected mode —
+        ``os.cpu_count()`` in process mode; ``1`` on GIL builds /
+        ``os.cpu_count()`` on free-threaded builds in thread mode.
+        ``1`` evaluates serially on the calling thread (still cached).
     cache:
         Enable the two cache levels.  With ``False`` every search
         re-parses and re-evaluates, exactly like the bare
@@ -245,6 +285,16 @@ class MatchingEngine:
         Plans per scheduled task.  ``None`` picks a size that gives each
         worker a few chunks (amortizes task overhead while keeping the
         pool load-balanced).
+    mode:
+        ``"thread"`` (default) or ``"process"``.  Process mode fans the
+        per-plan evaluations out over a spawn-context process pool
+        attached to shared-memory graph snapshots (see the module
+        docstring); it degrades to the serial path when the effective
+        worker count is 1 or shared memory is unavailable, recording
+        the reason in :attr:`mode_fallback`.  Searches whose query has
+        no stable text key (pre-parsed ASTs) and plans whose graphs are
+        not snapshot-capable fall back to the in-process path per
+        search.
     """
 
     def __init__(
@@ -256,15 +306,38 @@ class MatchingEngine:
         chunk_size: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        mode: Optional[str] = None,
     ):
-        self.workers = max(1, workers if workers is not None else default_worker_count())
+        requested = (mode or "thread").lower()
+        if requested not in ("thread", "process"):
+            raise ValueError(f"mode must be 'thread' or 'process', not {mode!r}")
+        resolved = (
+            workers if workers is not None else default_worker_count(requested)
+        )
+        self.mode = requested
+        self.mode_fallback: Optional[str] = None
+        if requested == "process":
+            if resolved <= 1:
+                self.mode = "thread"
+                self.mode_fallback = "single worker (1 CPU?); using serial path"
+            elif not mpexec.available():
+                self.mode = "thread"
+                self.mode_fallback = "shared memory unavailable; using serial path"
+                resolved = 1
+        self.workers = max(1, resolved)
         self.cache_enabled = bool(cache)
         self.chunk_size = chunk_size
         self._prepared = LRUCache(prepared_cache_size)
         self._matches = LRUCache(match_cache_size)
         self._lock = threading.Lock()
-        self._stats = EngineStats()
+        self._stats = EngineStats(mode=self.mode)
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._mp_pool: Optional[ProcessPoolExecutor] = None
+        self._snapshot = None  # repro.core.shm.WorkloadSnapshot
+        # Worker pids mapped to "p0"/"p1"... slots in first-seen order:
+        # pids are not acceptable metric label values (unbounded, differ
+        # every run), and tests need deterministic workerTasks keys.
+        self._worker_slots: Dict[int, str] = {}
         # Observability: metric children are pre-bound here so the
         # per-search cost is plain counter increments; the tracer
         # defaults to disabled (a no-op span per stage).
@@ -301,6 +374,27 @@ class MatchingEngine:
         self._m_matches = self.registry.counter(
             "optimatch_engine_matches_total", "Pattern occurrences found"
         )
+        self._m_worker_tasks = self.registry.counter(
+            "optimatch_engine_worker_tasks_total",
+            "Chunk tasks executed, by execution mode and worker",
+            ("mode", "worker"),
+        )
+        snap = self.registry.histogram(
+            "optimatch_engine_snapshot_seconds",
+            "Shared-memory snapshot build/attach seconds, per search",
+            ("stage",),
+        )
+        self._m_snap_build = snap.labels("build")
+        self._m_snap_attach = snap.labels("attach")
+        mode_info = self.registry.gauge(
+            "optimatch_engine_mode_info",
+            "Active execution mode of the matching engine (1 = active)",
+            ("mode",),
+        )
+        for known_mode in ("thread", "process"):
+            mode_info.labels(known_mode).set(
+                1.0 if known_mode == self.mode else 0.0
+            )
 
     # ------------------------------------------------------------------
     # Query preparation (cache level 1)
@@ -434,7 +528,9 @@ class MatchingEngine:
                 pending = list(enumerate(plans))
 
             evaluate_started = time.perf_counter()
-            evaluated = self._evaluate(ast, pending, budget=budget, isolate=isolate)
+            evaluated, exec_meta = self._evaluate(
+                ast, pending, budget=budget, isolate=isolate, key=key
+            )
             evaluate_seconds = time.perf_counter() - evaluate_started
             error_count = 0
             match_count = 0
@@ -468,6 +564,13 @@ class MatchingEngine:
                         per_plan[result.plan_id] = (
                             per_plan.get(result.plan_id, 0) + result.count
                         )
+                worker_tasks = self._stats.worker_tasks
+                for worker, count in exec_meta["workerTasks"].items():
+                    worker_tasks[worker] = worker_tasks.get(worker, 0) + count
+                self._stats.snapshot_builds += exec_meta["snapshotBuilds"]
+                self._stats.snapshot_build_seconds += exec_meta["snapshotBuildSeconds"]
+                self._stats.snapshot_attaches += exec_meta["snapshotAttaches"]
+                self._stats.snapshot_attach_seconds += exec_meta["snapshotAttachSeconds"]
                 total_seconds = time.perf_counter() - started
                 self._stats.evaluate_seconds += evaluate_seconds
                 self._stats.total_seconds += total_seconds
@@ -484,6 +587,12 @@ class MatchingEngine:
                 self._m_plans_error.inc(error_count)
             if match_count:
                 self._m_matches.inc(match_count)
+            for worker, count in exec_meta["workerTasks"].items():
+                self._m_worker_tasks.labels(self.mode, worker).inc(count)
+            if exec_meta["snapshotBuilds"]:
+                self._m_snap_build.observe(exec_meta["snapshotBuildSeconds"])
+            if exec_meta["snapshotAttaches"]:
+                self._m_snap_attach.observe(exec_meta["snapshotAttachSeconds"])
             self._m_stage_evaluate.observe(evaluate_seconds)
             self._m_stage_total.observe(total_seconds)
             search_span.set_attr("plans", len(plans))
@@ -504,23 +613,44 @@ class MatchingEngine:
     ) -> List[str]:
         return [m.plan_id for m in self.search(sparql_or_pattern, workload)]
 
+    @staticmethod
+    def _fresh_meta() -> dict:
+        return {
+            "workerTasks": {},
+            "snapshotBuilds": 0,
+            "snapshotBuildSeconds": 0.0,
+            "snapshotAttaches": 0,
+            "snapshotAttachSeconds": 0.0,
+        }
+
     def _evaluate(
         self,
         ast: object,
         pending: Sequence[Tuple[int, TransformedPlan]],
         budget: Optional[Budget] = None,
         isolate: bool = False,
-    ) -> List[Tuple[int, TransformedPlan, Union[PlanMatches, "PlanError"]]]:
+        key: Optional[str] = None,
+    ) -> Tuple[
+        List[Tuple[int, TransformedPlan, Union[PlanMatches, "PlanError"]]], dict
+    ]:
         """Evaluate the uncached plans, fanning out when it pays off.
 
         With *isolate*, per-plan failures become :class:`PlanError`
         entries instead of propagating; *budget* is installed as the
         active evaluation budget around each plan (per worker thread —
         :func:`repro.core.limits.activate` is context-local, so pool
-        threads each arm their own context).
+        threads each arm their own context).  Returns the per-plan
+        outcomes plus an execution-meta dict (worker task counts and
+        snapshot build/attach timings) committed into the stats by the
+        caller.
         """
+        meta = self._fresh_meta()
         if not pending:
-            return []
+            return [], meta
+        if self.mode == "process" and key is not None and len(pending) > 1:
+            out = self._evaluate_process(key, pending, budget, isolate, meta)
+            if out is not None:
+                return out, meta
         tracing = self.tracer.enabled
         tracer = self.tracer if tracing else None
 
@@ -578,12 +708,18 @@ class MatchingEngine:
             )
 
         def eval_chunk(chunk):
-            return [
+            results = [
                 eval_one(index, transformed) for index, transformed in chunk
             ]
+            return threading.current_thread().name, results
 
+        worker_tasks = meta["workerTasks"]
         if self.workers <= 1 or len(pending) <= 1:
-            out = eval_chunk(pending)
+            # Inline on the calling thread; label it "serial" rather than
+            # the caller's thread name (request-handler thread names are
+            # not stable label values).
+            _, out = eval_chunk(pending)
+            worker_tasks["serial"] = worker_tasks.get("serial", 0) + 1
         else:
             size = self.chunk_size or max(
                 1, len(pending) // (self.workers * 4) or 1
@@ -602,8 +738,191 @@ class MatchingEngine:
             ]
             out = []
             for future in futures:
-                out.extend(future.result())
+                worker, results = future.result()
+                worker_tasks[worker] = worker_tasks.get(worker, 0) + 1
+                out.extend(results)
+        return out, meta
+
+    # ------------------------------------------------------------------
+    # Process-mode dispatch
+    # ------------------------------------------------------------------
+    def _ensure_snapshot(self, plans: Sequence[TransformedPlan], meta: dict):
+        """The current shared-memory snapshot, rebuilt if any pending
+        plan is missing or its graph mutated since the last build."""
+        from repro.core.shm import WorkloadSnapshot
+
+        needed = {t.plan_id: t.graph.version for t in plans}
+        with self._lock:
+            snapshot = self._snapshot
+        if snapshot is not None and snapshot.covers(needed):
+            return snapshot
+        started = time.perf_counter()
+        fresh = WorkloadSnapshot(plans)
+        build_seconds = time.perf_counter() - started
+        meta["snapshotBuilds"] += 1
+        meta["snapshotBuildSeconds"] += build_seconds
+        if self.tracer.enabled:
+            self.tracer.event(
+                "snapshot-build",
+                segment=fresh.name,
+                plans=len(plans),
+                bytes=fresh.total_bytes,
+                seconds=round(build_seconds, 6),
+            )
+        with self._lock:
+            old, self._snapshot = self._snapshot, fresh
+        if old is not None:
+            old.close()
+        return fresh
+
+    def _evaluate_process(
+        self,
+        key: str,
+        pending: Sequence[Tuple[int, TransformedPlan]],
+        budget: Optional[Budget],
+        isolate: bool,
+        meta: dict,
+    ) -> Optional[List[Tuple[int, TransformedPlan, Union[PlanMatches, "PlanError"]]]]:
+        """Fan the pending plans out over the process pool.
+
+        Returns ``None`` when this search cannot use the pool (a plan
+        graph that cannot be snapshotted, or the snapshot build failed —
+        e.g. ``/dev/shm`` exhausted); the caller then degrades to the
+        in-process path for this search.
+        """
+        if not all(isinstance(t.graph, Graph) for _, t in pending):
+            return None
+        try:
+            snapshot = self._ensure_snapshot([t for _, t in pending], meta)
+        except Exception:  # noqa: BLE001 — degrade, never fail the search
+            return None
+        chaos_spec = chaos.export_spec() if chaos.active else None
+        budget_spec = None
+        if budget is not None:
+            budget_spec = (
+                budget.remaining_ms(), budget.max_rows, budget.max_bindings,
+            )
+        size = self.chunk_size or max(1, len(pending) // (self.workers * 4) or 1)
+        chunks = list(_chunked(list(pending), size))
+        pool = self._mp_executor()
+        submissions = []
+        for chunk in chunks:
+            task = {
+                "segment": snapshot.name,
+                "chunk": [
+                    (t.plan_id,) + snapshot.entry(t.plan_id)[:2]
+                    for _, t in chunk
+                ],
+                "query": key,
+                "budget": budget_spec,
+                "chaos": chaos_spec,
+            }
+            submissions.append((chunk, pool.submit(mpexec.worker_run_chunk, task)))
+        tracing = self.tracer.enabled
+        worker_tasks = meta["workerTasks"]
+        out: List[Tuple[int, TransformedPlan, Union[PlanMatches, PlanError]]] = []
+        crashed = False
+        for chunk, future in submissions:
+            try:
+                payload = future.result()
+            except Exception as exc:  # noqa: BLE001 — worker process died
+                crashed = True
+                if not isolate:
+                    self._discard_mp_pool()
+                    raise RuntimeError(
+                        f"matching worker process died: {exc}"
+                    ) from exc
+                for index, transformed in chunk:
+                    out.append(
+                        (
+                            index,
+                            transformed,
+                            PlanError(
+                                plan_id=transformed.plan_id,
+                                kind="crash",
+                                message=f"worker process died: {exc}",
+                            ),
+                        )
+                    )
+                continue
+            worker = self._worker_slot(payload["pid"])
+            worker_tasks[worker] = worker_tasks.get(worker, 0) + 1
+            if payload["attachSeconds"]:
+                meta["snapshotAttaches"] += 1
+                meta["snapshotAttachSeconds"] += payload["attachSeconds"]
+                if tracing:
+                    self.tracer.event(
+                        "snapshot-attach",
+                        worker=worker,
+                        seconds=round(payload["attachSeconds"], 6),
+                    )
+            for (index, transformed), outcome in zip(chunk, payload["outcomes"]):
+                if outcome[0] == "ok":
+                    _, rows, eval_seconds = outcome
+                    collector = RowCollector(transformed)
+                    graph = transformed.graph
+                    decode = mpexec.decode_term
+                    for row in rows:
+                        collector.add(
+                            (name, decode(graph, value)) for name, value in row
+                        )
+                    if tracing:
+                        self.tracer.event(
+                            "mp-plan",
+                            planId=transformed.plan_id,
+                            worker=worker,
+                            evalSeconds=round(eval_seconds, 6),
+                        )
+                    out.append((index, transformed, collector.result))
+                    continue
+                _, kind, message, eval_seconds = outcome
+                if not isolate:
+                    if kind == "timeout":
+                        raise EvaluationTimeout(message)
+                    if kind == "budget":
+                        raise BudgetExceeded(message)
+                    raise RuntimeError(message)
+                out.append(
+                    (
+                        index,
+                        transformed,
+                        PlanError(
+                            plan_id=transformed.plan_id,
+                            kind=kind,
+                            message=message,
+                            elapsed_seconds=eval_seconds,
+                        ),
+                    )
+                )
+        if crashed:
+            # The executor is broken; drop it so the next search spawns
+            # a fresh pool (the snapshot segment is still valid).
+            self._discard_mp_pool()
         return out
+
+    def _worker_slot(self, pid: int) -> str:
+        with self._lock:
+            slot = self._worker_slots.get(pid)
+            if slot is None:
+                slot = f"p{len(self._worker_slots)}"
+                self._worker_slots[pid] = slot
+            return slot
+
+    def _mp_executor(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._mp_pool is None:
+                self._mp_pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=mpexec.worker_init,
+                )
+            return self._mp_pool
+
+    def _discard_mp_pool(self) -> None:
+        with self._lock:
+            pool, self._mp_pool = self._mp_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def _executor(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -623,13 +942,14 @@ class MatchingEngine:
             data = self._stats.snapshot()
             data["workers"] = self.workers
             data["cacheEnabled"] = self.cache_enabled
+            data["modeFallback"] = self.mode_fallback
             data["preparedCache"]["size"] = len(self._prepared)
             data["matchCache"]["size"] = len(self._matches)
             return data
 
     def reset_stats(self) -> None:
         with self._lock:
-            self._stats = EngineStats()
+            self._stats = EngineStats(mode=self.mode)
 
     def clear_caches(self) -> None:
         with self._lock:
@@ -637,11 +957,23 @@ class MatchingEngine:
             self._matches.clear()
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent)."""
+        """Shut the pools down and release the shared-memory snapshot.
+
+        Idempotent.  After this returns no ``/dev/shm`` segment created
+        by this engine survives (the snapshot also has a
+        ``weakref.finalize`` and a module ``atexit`` hook as backstops
+        for engines that are never closed explicitly).
+        """
         with self._lock:
             pool, self._pool = self._pool, None
+            mp_pool, self._mp_pool = self._mp_pool, None
+            snapshot, self._snapshot = self._snapshot, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if mp_pool is not None:
+            mp_pool.shutdown(wait=True)
+        if snapshot is not None:
+            snapshot.close()
 
     def __enter__(self) -> "MatchingEngine":
         return self

@@ -85,12 +85,12 @@ class PlanMatches:
         return iter(self.occurrences)
 
 
-def _detransform_row(
-    row: ResultRow, transformed: TransformedPlan
+def _detransform_items(
+    items, transformed: TransformedPlan
 ) -> Optional[Match]:
-    """Map one SPARQL solution back to plan nodes (de-transformation)."""
+    """Map one solution's ``(name, term)`` pairs back to plan nodes."""
     match = Match(plan_id=transformed.plan_id)
-    for name, term in row.items():
+    for name, term in items:
         if term is None:
             continue
         node = transformed.node_for(term)
@@ -99,6 +99,38 @@ def _detransform_row(
     if not match.bindings:
         return None
     return match
+
+
+class RowCollector:
+    """Accumulates solution rows into a deduped :class:`PlanMatches`.
+
+    This is the single definition of the de-transform + dedup-by-
+    signature semantics: :func:`search_plan` feeds it rows evaluated
+    in-process, and the multiprocess tier (:mod:`repro.core.mpexec`)
+    feeds it rows marshalled back from pool workers — both in the
+    evaluator's emission order, so the two paths produce bit-identical
+    occurrence lists.
+    """
+
+    __slots__ = ("result", "_seen")
+
+    def __init__(self, transformed: TransformedPlan):
+        self.result = PlanMatches(transformed=transformed)
+        self._seen = set()
+
+    def add(self, items) -> None:
+        """Fold in one solution row (an iterable of ``(name, term)``)."""
+        match = _detransform_items(items, self.result.transformed)
+        if match is None:
+            return
+        signature = match.signature()
+        if signature in self._seen:
+            return
+        self._seen.add(signature)
+        self.result.occurrences.append(match)
+
+    def add_row(self, row: ResultRow) -> None:
+        self.add(row.items())
 
 
 def _prepare(sparql_or_pattern) -> object:
@@ -126,18 +158,7 @@ def search_plan(
     if chaos.active:
         chaos.trip("matcher.search_plan", transformed.plan_id)
     ast = _prepare(sparql_or_pattern)
-    result = PlanMatches(transformed=transformed)
-    seen = set()
-
-    def rebind(row: ResultRow) -> None:
-        match = _detransform_row(row, transformed)
-        if match is None:
-            return
-        signature = match.signature()
-        if signature in seen:
-            return
-        seen.add(signature)
-        result.occurrences.append(match)
+    collector = RowCollector(transformed)
 
     if tracer is not None and tracer.enabled:
         with tracer.span("bgp-join", planId=transformed.plan_id) as span:
@@ -145,12 +166,12 @@ def search_plan(
             span.set_attr("rows", len(rows))
         with tracer.span("tag-rebind", planId=transformed.plan_id) as span:
             for row in rows:
-                rebind(row)
-            span.set_attr("occurrences", len(result.occurrences))
-        return result
+                collector.add_row(row)
+            span.set_attr("occurrences", len(collector.result.occurrences))
+        return collector.result
     for row in run_query(transformed.graph, ast):
-        rebind(row)
-    return result
+        collector.add_row(row)
+    return collector.result
 
 
 def find_matches(

@@ -41,8 +41,10 @@ class OptImatch:
     """Query performance problem determination over a QEP workload.
 
     *workers* and *cache* configure the matching engine (defaults: one
-    worker per CPU, caching on); pass an *engine* to share one across
-    facades.
+    worker per CPU, caching on); *mode* selects the execution tier —
+    ``"thread"`` (default) or ``"process"`` for the shared-memory
+    multiprocess pool (see ``docs/scale-out.md``).  Pass an *engine* to
+    share one across facades.
     """
 
     def __init__(
@@ -52,12 +54,25 @@ class OptImatch:
         engine: Optional[MatchingEngine] = None,
         registry=None,
         tracer=None,
+        mode: Optional[str] = None,
     ):
         self._workload: List[TransformedPlan] = []
         self._by_id: Dict[str, TransformedPlan] = {}
         self._engine = engine or MatchingEngine(
-            workers=workers, cache=cache, registry=registry, tracer=tracer
+            workers=workers, cache=cache, registry=registry, tracer=tracer,
+            mode=mode,
         )
+
+    def close(self) -> None:
+        """Release engine resources: worker pools and (in process mode)
+        the shared-memory snapshot segment.  Idempotent."""
+        self._engine.close()
+
+    def __enter__(self) -> "OptImatch":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Workload management

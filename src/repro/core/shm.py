@@ -1,0 +1,197 @@
+"""Shared-memory packaging of workload graph snapshots.
+
+The multiprocess matching tier (:mod:`repro.core.mpexec`) needs every
+worker to see the workload's plan graphs without pickling them per
+task.  This module packs the flat per-graph snapshots produced by
+:func:`repro.rdf.snapshot.encode_graph` into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment with a
+directory of ``plan_id -> (offset, length, graph_version)`` entries.
+Workers attach the segment once (zero-copy) and open a
+:class:`repro.rdf.snapshot.GraphView` per plan at its offset; the
+parent re-uses a segment across searches for as long as every pending
+plan is still present at the same ``graph.version``, and rebuilds it
+(new segment, old one unlinked) when any graph mutated.
+
+Leak safety: every created segment is registered for cleanup three
+ways — an explicit :meth:`WorkloadSnapshot.close` (called by
+``MatchingEngine.close()``), a :class:`weakref.finalize` on the
+snapshot object, and a process-level :mod:`atexit` hook that unlinks
+any segment still alive at interpreter shutdown.  ``/dev/shm`` must
+hold nothing of ours once the engine is closed (asserted by
+``tests/core/test_mp_engine.py``).
+
+Attaching without the resource tracker
+--------------------------------------
+On Python < 3.13, ``SharedMemory(name=...)`` *registers* the segment
+with the per-process resource tracker, and each worker's tracker would
+then unlink the segment when that worker exits — yanking it out from
+under its siblings (and spamming KeyError warnings).  The parent owns
+the lifecycle here, so :func:`attach_untracked` suppresses the
+registration for the duration of the attach (the ``track=False``
+parameter that solves this properly is 3.13+).
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+import weakref
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.rdf.snapshot import encode_graph
+
+try:  # pragma: no cover - exercised implicitly on every import
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - platforms without _posixshmem
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+#: Directory entry: byte offset, byte length, graph version at build.
+Entry = Tuple[int, int, int]
+
+_available: Optional[bool] = None
+_lock = threading.Lock()
+#: Names of segments created by this process that are not yet unlinked.
+_live_segments: Dict[str, "shared_memory.SharedMemory"] = {}
+
+
+def shm_available() -> bool:
+    """Can this host create and attach POSIX shared memory?
+
+    Probed once (create + attach + unlink of a tiny segment); sandboxed
+    environments without ``/dev/shm`` make the engine fall back to the
+    in-process path instead of failing searches.
+    """
+    global _available
+    if _available is None:
+        if shared_memory is None:
+            _available = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=8)
+                try:
+                    probe.buf[:8] = b"optprobe"
+                    second = attach_untracked(probe.name)
+                    second.close()
+                finally:
+                    probe.close()
+                    probe.unlink()
+                _available = True
+            except Exception:
+                _available = False
+    return _available
+
+
+def attach_untracked(name: str) -> "shared_memory.SharedMemory":
+    """Attach an existing segment without resource-tracker registration.
+
+    See the module docstring; safe to call concurrently (the patch
+    window is serialized under a lock).
+    """
+    with _lock:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _release_segment(shm: "shared_memory.SharedMemory") -> None:
+    """Close + unlink one segment; idempotent and exception-safe."""
+    try:
+        shm.close()
+    except Exception:
+        pass
+    try:
+        shm.unlink()
+    except Exception:
+        pass  # already unlinked (close() raced the finalizer / atexit)
+    _live_segments.pop(shm.name, None)
+
+
+@atexit.register
+def _cleanup_live_segments() -> None:  # pragma: no cover - shutdown path
+    for shm in list(_live_segments.values()):
+        _release_segment(shm)
+
+
+class WorkloadSnapshot:
+    """One shared-memory segment holding snapshots of many plan graphs.
+
+    Parameters
+    ----------
+    plans:
+        The transformed plans to pack (anything with ``plan_id`` and a
+        dictionary-encoded ``graph``).  Every graph is serialized with
+        :func:`repro.rdf.snapshot.encode_graph` at an 8-byte-aligned
+        offset recorded in :attr:`directory`.
+    """
+
+    def __init__(self, plans: Sequence):
+        if shared_memory is None:  # pragma: no cover - guarded by caller
+            raise RuntimeError("shared memory is unavailable on this platform")
+        directory: Dict[str, Entry] = {}
+        chunks = []
+        offset = 0
+        for transformed in plans:
+            buf = encode_graph(transformed.graph)
+            directory[transformed.plan_id] = (
+                offset, len(buf), transformed.graph.version,
+            )
+            chunks.append(buf)
+            padding = (-len(buf)) % 8
+            if padding:
+                chunks.append(b"\x00" * padding)
+            offset += len(buf) + padding
+        self.directory = directory
+        self.total_bytes = max(offset, 8)
+        shm = shared_memory.SharedMemory(create=True, size=self.total_bytes)
+        position = 0
+        for chunk in chunks:
+            shm.buf[position:position + len(chunk)] = chunk
+            position += len(chunk)
+        self._shm = shm
+        self.name = shm.name
+        self._closed = False
+        _live_segments[shm.name] = shm
+        self._finalizer = weakref.finalize(self, _release_segment, shm)
+
+    def covers(self, needed: Dict[str, int]) -> bool:
+        """True when every ``plan_id -> graph.version`` is present
+        unchanged (the attach key the workers rely on)."""
+        if self._closed:
+            return False
+        directory = self.directory
+        for plan_id, version in needed.items():
+            entry = directory.get(plan_id)
+            if entry is None or entry[2] != version:
+                return False
+        return True
+
+    def entry(self, plan_id: str) -> Entry:
+        return self.directory[plan_id]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink the segment (idempotent).
+
+        Attached workers keep their mappings alive until they drop them
+        (POSIX semantics), but the name disappears from ``/dev/shm``
+        immediately, so nothing leaks even if workers linger.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _release_segment(self._shm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<WorkloadSnapshot {self.name} plans={len(self.directory)} "
+            f"bytes={self.total_bytes} {state}>"
+        )

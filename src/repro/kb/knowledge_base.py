@@ -317,9 +317,11 @@ class KnowledgeBase:
         duck-typed to keep the kb package decoupled from it) each
         entry's SPARQL text is searched over the whole workload in one
         call, so the evaluation fans out over the engine's worker pool
-        and repeated KB runs over an unchanged workload hit its match
-        cache.  Results are identical to the serial path: both evaluate
-        each (entry, plan) pair through ``search_plan``.
+        (threads, or the shared-memory process tier when the engine was
+        built with ``mode="process"``) and repeated KB runs over an
+        unchanged workload hit its match cache.  Results are identical
+        to the serial path: both evaluate each (entry, plan) pair
+        through ``search_plan``.
 
         Fault containment: with *isolate*, a broken entry (bad SPARQL,
         exploding template, any unexpected exception) is skipped and

@@ -57,6 +57,14 @@ def _index_remove(index: _Index, a: int, b: int, c: int) -> None:
 class Graph:
     """A set of RDF triples with int-keyed SPO / POS / OSP indexes."""
 
+    #: Capability flag: this store exposes the full ID-level API
+    #: (``term_id`` / ``triples_ids`` / ``estimate_ids`` / planner
+    #: statistics).  The SPARQL evaluator and cost planner key on this
+    #: attribute rather than ``isinstance(graph, Graph)`` so read-only
+    #: stand-ins — notably :class:`repro.rdf.snapshot.GraphView` over a
+    #: shared-memory snapshot — take the same compiled ID-space paths.
+    supports_id_api = True
+
     def __init__(self, identifier: Optional[str] = None):
         self.identifier = identifier
         self._dict = TermDictionary()
@@ -546,6 +554,18 @@ class Graph:
 
     def __bool__(self) -> bool:
         return self._size > 0
+
+    def snapshot_bytes(self) -> bytes:
+        """Serialize this graph into a flat zero-copy snapshot buffer.
+
+        The buffer round-trips through
+        :class:`repro.rdf.snapshot.GraphView` with identical results
+        *and enumeration order*; it is what :mod:`repro.core.shm`
+        places into shared memory for the multiprocess matching pool.
+        """
+        from repro.rdf.snapshot import encode_graph
+
+        return encode_graph(self)
 
     def copy(self) -> "Graph":
         """Independent clone: no index, dictionary or counter state is

@@ -131,12 +131,15 @@ class ServerState:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
         registry: Optional[MetricsRegistry] = None,
+        mode: Optional[str] = None,
     ):
         # One registry per server (not the process default) so a scrape
         # of this instance sees only its own traffic, and tests/goldens
         # start from a clean slate.
         self.registry = registry or MetricsRegistry()
-        self.tool = OptImatch(workers=workers, cache=cache, registry=self.registry)
+        self.tool = OptImatch(
+            workers=workers, cache=cache, registry=self.registry, mode=mode
+        )
         self.kb = knowledge_base or builtin_knowledge_base(registry=self.registry)
         self.lock = threading.Lock()
         self.max_body_bytes = max_body_bytes
@@ -675,6 +678,7 @@ class OptImatchServer:
         max_inflight: int = DEFAULT_MAX_INFLIGHT,
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
         registry: Optional[MetricsRegistry] = None,
+        mode: Optional[str] = None,
     ):
         self.state = ServerState(
             knowledge_base,
@@ -686,6 +690,7 @@ class OptImatchServer:
             max_inflight=max_inflight,
             retry_after_seconds=retry_after_seconds,
             registry=registry,
+            mode=mode,
         )
         handler = type("BoundHandler", (_Handler,), {"state": self.state})
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -732,3 +737,6 @@ class OptImatchServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+        # Release engine resources (worker pools and, in process mode,
+        # the shared-memory snapshot segment).
+        self.state.tool.close()

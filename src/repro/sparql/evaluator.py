@@ -60,6 +60,18 @@ ID_SPACE_JOIN = True
 COST_PLANNER = True
 
 
+def _id_capable(graph) -> bool:
+    """Does *graph* expose the full ID-level store API?
+
+    A capability check rather than ``isinstance(graph, Graph)``: the
+    compiled ID-space join core, the cost planner and the closure BFS
+    must also engage for :class:`repro.rdf.snapshot.GraphView` — the
+    zero-copy shared-memory stand-in the multiprocess pool evaluates
+    against — and for any future store that advertises the API.
+    """
+    return getattr(graph, "supports_id_api", False)
+
+
 # ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
@@ -265,7 +277,7 @@ def _join_bgp(
     # threaded down the recursion; with no probe installed every hook
     # site below is a single ``is not None`` check.
     probe = active_probe()
-    encoded = ID_SPACE_JOIN and isinstance(graph, Graph)
+    encoded = ID_SPACE_JOIN and _id_capable(graph)
     # Planning needs compiled patterns (for the static cost model) even
     # on the term-space path, and applies identically to both join
     # cores so they keep emitting solutions in the same order.
@@ -273,7 +285,7 @@ def _join_bgp(
         COST_PLANNER
         and JOIN_REORDERING
         and len(patterns) > 1
-        and isinstance(graph, Graph)
+        and _id_capable(graph)
     )
     compiled = _compile_bgp(patterns, graph) if (encoded or planned) else None
     if probe is not None:
@@ -1077,7 +1089,7 @@ def _graph_nodes(graph: Graph) -> Iterable[Term]:
     order the ID-space path uses, so both join cores emit both-free path
     solutions identically.  Plain stores fall back to an unordered set.
     """
-    if isinstance(graph, Graph):
+    if _id_capable(graph):
         id_term = graph.id_term
         return [id_term(tid) for tid in graph.node_ids()]
     nodes: Set[Term] = set(graph.subject_set())
@@ -1152,7 +1164,7 @@ def _eval_mod(
             yield from emit((node, node))
     plan = (
         planner.plan_closure(inner, graph)
-        if COST_PLANNER and isinstance(graph, Graph)
+        if COST_PLANNER and _id_capable(graph)
         else None
     )
     probe = active_probe()

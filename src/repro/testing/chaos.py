@@ -25,15 +25,33 @@ Known sites
     Keyed by plan id; fires before a plan graph is evaluated.
 ``kb.entry``
     Keyed by KB entry name; fires before an entry's pattern is searched.
+``mpexec.worker_plan``
+    Keyed by plan id; fires *inside a pool worker process* before a
+    plan is evaluated against its shared-memory graph view.
+
+Cross-process injection
+-----------------------
+Pool workers are separate interpreters, so a site armed in the test
+process is invisible to them.  The multiprocess dispatcher ships
+:func:`export_spec` (a picklable description of every armed site) with
+each task and the worker re-arms itself via :func:`install_spec`.
+``times`` counts are therefore per-worker-task, not global.  The
+``kill=True`` injection terminates the worker with ``os._exit`` — the
+hammer the worker-crash recovery tests swing.
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, Optional, Set, Union
+from typing import Callable, Dict, Iterator, List, Optional, Set, Union
+
+#: Exit status used by ``kill=True`` injections (distinctive in waitpid).
+KILL_EXIT_CODE = 86
 
 #: Fast-path flag: hooks check this before anything else.  Only the
 #: functions below mutate it (under the lock).
@@ -48,6 +66,7 @@ class _Injection:
     delay: float = 0.0
     keys: Optional[Set[str]] = None
     remaining: Optional[int] = None  # None = unlimited triggers
+    kill: bool = False  # hard-exit the process at the trip point
 
     def matches(self, key: Optional[str]) -> bool:
         if self.keys is None:
@@ -65,23 +84,27 @@ def inject(
     delay: float = 0.0,
     keys: Optional[Set[str]] = None,
     times: Optional[int] = None,
+    kill: bool = False,
 ) -> None:
-    """Arm *site* to stall for *delay* seconds and/or raise *exc*.
+    """Arm *site* to stall for *delay* seconds, raise *exc*, or die.
 
     *exc* may be an exception instance (re-raised on every trigger) or a
     zero-argument factory.  *keys* restricts triggering to specific keys
     (plan ids / entry names); *times* caps the number of triggers, after
-    which the site disarms itself.
+    which the site disarms itself.  *kill* terminates the whole process
+    with ``os._exit(KILL_EXIT_CODE)`` at the trip point — it simulates a
+    worker crash (segfault/OOM-kill) that no ``except`` can observe.
     """
     global active
-    if exc is None and delay <= 0:
-        raise ValueError("inject() needs an exception, a delay, or both")
+    if exc is None and delay <= 0 and not kill:
+        raise ValueError("inject() needs an exception, a delay, a kill, or some")
     with _lock:
         _sites[site] = _Injection(
             exc=exc,
             delay=delay,
             keys=set(keys) if keys is not None else None,
             remaining=times,
+            kill=kill,
         )
         active = True
 
@@ -129,7 +152,66 @@ def trip(site: str, key: Optional[str] = None) -> None:
                 pass
         delay = injection.delay
         exc = injection.exc
+        kill = injection.kill
     if delay > 0:
         time.sleep(delay)
+    if kill:
+        # A real crash: bypass finally blocks, atexit and the executor's
+        # result plumbing, exactly like a segfault or the OOM killer.
+        os._exit(KILL_EXIT_CODE)
     if exc is not None:
         raise exc() if callable(exc) else exc
+
+
+def export_spec() -> Optional[List[dict]]:
+    """Picklable description of every armed site, for pool workers.
+
+    Exception *instances* are pickled as-is; unpicklable instances and
+    callable factories degrade to a ``RuntimeError`` carrying their
+    ``repr`` (the cross-process contract is "this site fails", not
+    "with this exact object").  Returns ``None`` when nothing is armed.
+    """
+    with _lock:
+        if not _sites:
+            return None
+        spec = []
+        for site, injection in _sites.items():
+            exc_bytes = None
+            if injection.exc is not None:
+                try:
+                    exc_bytes = pickle.dumps(injection.exc)
+                    pickle.loads(exc_bytes)  # must survive the round trip
+                except Exception:
+                    exc_bytes = pickle.dumps(RuntimeError(repr(injection.exc)))
+            spec.append(
+                {
+                    "site": site,
+                    "exc": exc_bytes,
+                    "delay": injection.delay,
+                    "keys": sorted(injection.keys) if injection.keys else None,
+                    "remaining": injection.remaining,
+                    "kill": injection.kill,
+                }
+            )
+        return spec
+
+
+def install_spec(spec: Optional[List[dict]]) -> None:
+    """Arm this process from an :func:`export_spec` payload.
+
+    Replaces the whole armed-site table (workers call this per task, so
+    a site cleared in the parent disarms here on the next task).
+    """
+    global active
+    with _lock:
+        _sites.clear()
+        for entry in spec or ():
+            exc = pickle.loads(entry["exc"]) if entry["exc"] is not None else None
+            _sites[entry["site"]] = _Injection(
+                exc=exc,
+                delay=entry["delay"],
+                keys=set(entry["keys"]) if entry["keys"] is not None else None,
+                remaining=entry["remaining"],
+                kill=entry["kill"],
+            )
+        active = bool(_sites)

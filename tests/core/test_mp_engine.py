@@ -1,0 +1,235 @@
+"""The multiprocess matching tier: differential, chaos, budget, leaks.
+
+The contract under test (``docs/scale-out.md``): ``mode="process"``
+gives *bit-identical* results — the same occurrences in the same order
+— as the in-process path; a worker crash mid-search degrades the batch
+with structured ``kind="crash"`` errors and the pool respawns; budgets
+are enforced inside workers; and no shared-memory segment outlives
+``MatchingEngine.close()``.
+
+Everything here drives a real spawn-context process pool, so the suite
+skips as a whole where POSIX shared memory is unavailable.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import mpexec
+from repro.core.engine import MatchingEngine, default_worker_count
+from repro.core.limits import Budget
+from repro.experiments.workloads import transformed_experiment_workload
+from repro.kb.builtin import builtin_sparql, make_pattern
+from repro.testing import chaos
+
+pytestmark = pytest.mark.skipif(
+    not mpexec.available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _signatures(matches):
+    """Order-sensitive identity of a search outcome."""
+    return [
+        (m.plan_id, [occ.signature() for occ in m]) for m in matches
+    ]
+
+
+@pytest.fixture(scope="module")
+def process_engine():
+    with MatchingEngine(workers=2, mode="process", cache=False) as engine:
+        yield engine
+
+
+@pytest.fixture(scope="module")
+def serial_engine():
+    with MatchingEngine(workers=1, cache=False) as engine:
+        yield engine
+
+
+class TestDifferential:
+    """Process pool vs. in-process: same values, same order."""
+
+    def test_fig9_workload_all_builtin_patterns(
+        self, process_engine, serial_engine
+    ):
+        workload = transformed_experiment_workload(12, seed=2016)
+        for letter in "ABCD":
+            pattern = make_pattern(letter)
+            expected = _signatures(serial_engine.search(pattern, workload))
+            actual = _signatures(process_engine.search(pattern, workload))
+            assert actual == expected, letter
+        assert process_engine.stats()["mode"] == "process"
+
+    def test_raw_sparql_entry_point(self, process_engine, serial_engine):
+        workload = transformed_experiment_workload(8, seed=7)
+        sparql = builtin_sparql("B")
+        assert _signatures(process_engine.search(sparql, workload)) == (
+            _signatures(serial_engine.search(sparql, workload))
+        )
+
+    @given(
+        n_plans=st.integers(4, 10),
+        seed=st.integers(0, 40),
+        letter=st.sampled_from("ABCD"),
+    )
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_generated_workloads(
+        self, process_engine, serial_engine, n_plans, seed, letter
+    ):
+        workload = transformed_experiment_workload(n_plans, seed=seed)
+        pattern = make_pattern(letter)
+        assert _signatures(process_engine.search(pattern, workload)) == (
+            _signatures(serial_engine.search(pattern, workload))
+        )
+
+
+class TestStatsAndMetrics:
+    def test_worker_slots_and_snapshot_counters(self):
+        with MatchingEngine(workers=2, mode="process") as engine:
+            workload = transformed_experiment_workload(8, seed=3)
+            engine.search(make_pattern("A"), workload)
+            stats = engine.stats()
+            assert stats["mode"] == "process"
+            assert stats["modeFallback"] is None
+            workers = set(stats["workerTasks"])
+            assert workers and workers <= {"p0", "p1"}
+            assert stats["snapshot"]["builds"] >= 1
+            assert stats["snapshot"]["attaches"] >= 1
+            assert stats["snapshot"]["buildSeconds"] > 0
+            # Same workload again: the segment is reused, not rebuilt.
+            engine.search(make_pattern("B"), workload)
+            assert engine.stats()["snapshot"]["builds"] == 1
+
+    def test_snapshot_rebuilt_when_graph_mutates(self):
+        # cache=False keeps every plan pending on the second search; with
+        # caching on only the mutated plan would re-evaluate, and a
+        # single-plan batch skips the pool (and the rebuild) entirely.
+        with MatchingEngine(workers=2, mode="process", cache=False) as engine:
+            workload = transformed_experiment_workload(6, seed=4)
+            engine.search(make_pattern("A"), workload)
+            graph = workload[0].graph
+            triple = next(iter(graph))
+            graph.remove(triple)
+            graph.add(triple)  # bump the version, same contents
+            engine.search(make_pattern("A"), workload)
+            assert engine.stats()["snapshot"]["builds"] == 2
+
+    def test_mode_gauge_exported(self):
+        from repro.obs.prometheus import render_text
+
+        with MatchingEngine(workers=2, mode="process") as engine:
+            text = render_text(engine.registry)
+            assert 'optimatch_engine_mode_info{mode="process"} 1' in text
+            assert 'optimatch_engine_mode_info{mode="thread"} 0' in text
+
+
+class TestFallbacks:
+    def test_single_worker_falls_back_to_serial(self):
+        with MatchingEngine(workers=1, mode="process") as engine:
+            assert engine.mode == "thread"
+            assert "serial" in engine.mode_fallback
+            workload = transformed_experiment_workload(4, seed=5)
+            assert engine.search(make_pattern("A"), workload) is not None
+
+    def test_shm_unavailable_falls_back(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.core.engine.mpexec.available", lambda: False
+        )
+        with MatchingEngine(workers=4, mode="process") as engine:
+            assert engine.mode == "thread"
+            assert "unavailable" in engine.mode_fallback
+
+    def test_default_worker_count_process_mode(self):
+        assert default_worker_count("process") == (os.cpu_count() or 1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MatchingEngine(mode="fibers")
+
+
+class TestWorkerCrash:
+    def test_kill_degrades_and_respawns(self):
+        workload = transformed_experiment_workload(8, seed=6)
+        victim = workload[3].plan_id
+        with MatchingEngine(workers=2, mode="process", cache=False) as engine:
+            with chaos.injected(
+                "mpexec.worker_plan", keys={victim}, kill=True
+            ):
+                result = engine.search_isolated(make_pattern("A"), workload)
+            assert result.degraded
+            kinds = {e.plan_id: e.kind for e in result.errors}
+            assert kinds[victim] == "crash"
+            assert set(kinds.values()) == {"crash"}
+            # The pool respawns lazily: the next search must succeed and
+            # return the full, non-degraded result set.
+            again = engine.search_isolated(make_pattern("A"), workload)
+            assert not again.degraded
+            assert not again.errors
+
+    def test_kill_without_isolation_raises(self):
+        workload = transformed_experiment_workload(6, seed=6)
+        victim = workload[0].plan_id
+        with MatchingEngine(workers=2, mode="process", cache=False) as engine:
+            with chaos.injected(
+                "mpexec.worker_plan", keys={victim}, kill=True
+            ):
+                with pytest.raises(RuntimeError, match="died"):
+                    engine.search(make_pattern("A"), workload)
+
+
+class TestBudgetInWorker:
+    def test_deadline_enforced_within_tolerance(self):
+        workload = transformed_experiment_workload(8, seed=8)
+        delay = 0.25
+        with MatchingEngine(workers=2, mode="process", cache=False) as engine:
+            with chaos.injected("mpexec.worker_plan", delay=delay):
+                result = engine.search_isolated(
+                    make_pattern("A"),
+                    workload,
+                    budget=Budget(timeout_ms=100),
+                )
+            assert result.degraded
+            assert {e.kind for e in result.errors} == {"timeout"}
+            # The budget is re-armed inside the worker; a timed-out plan
+            # must stop within the injected stall plus a small margin,
+            # not run to completion unbounded.
+            for error in result.errors:
+                assert error.elapsed_seconds <= delay + 0.6
+
+    def test_expired_budget_fails_fast(self):
+        workload = transformed_experiment_workload(6, seed=8)
+        with MatchingEngine(workers=2, mode="process", cache=False) as engine:
+            budget = Budget(timeout_ms=0.0001)
+            budget.expired()  # let the deadline lapse
+            result = engine.search_isolated(
+                make_pattern("A"), workload, budget=budget
+            )
+            assert {e.kind for e in result.errors} == {"timeout"}
+
+
+class TestLeakSafety:
+    def test_no_segment_survives_close(self):
+        workload = transformed_experiment_workload(6, seed=9)
+        engine = MatchingEngine(workers=2, mode="process")
+        try:
+            engine.search(make_pattern("A"), workload)
+            snapshot = engine._snapshot
+            assert snapshot is not None
+            name = snapshot.name
+            if os.path.isdir("/dev/shm"):
+                assert os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+        finally:
+            engine.close()
+        assert snapshot.closed
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{name.lstrip('/')}")
+
+    def test_close_is_idempotent(self):
+        engine = MatchingEngine(workers=2, mode="process")
+        engine.close()
+        engine.close()
