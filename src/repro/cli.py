@@ -315,6 +315,9 @@ def _cmd_report(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from repro.server import OptImatchServer
 
     kb = None
@@ -332,23 +335,53 @@ def _cmd_serve(args) -> int:
         default_timeout_ms=args.default_timeout_ms,
         max_timeout_ms=args.max_timeout_ms,
         max_inflight=args.max_inflight,
+        data_dir=args.data_dir,
+        fsync_mode=args.fsync_mode,
+        checkpoint_every=args.checkpoint_every,
     )
     if args.workload:
+        if args.data_dir:
+            # Recover first so --workload files merge into (rather than
+            # collide with) the journaled workload.
+            server.state.begin_recovery()
+            server.state._recovery_thread.join()
         for name in sorted(os.listdir(args.workload)):
             if name.endswith(".exfmt"):
-                server.state.tool.load_explain_file(
-                    os.path.join(args.workload, name)
-                )
-    host, port = server.address
-    print(f"OptImatch server listening on http://{host}:{port} "
-          f"({server.state.tool.plan_count} plans, "
-          f"{len(server.state.kb)} KB entries); Ctrl-C to stop")
+                try:
+                    server.state.tool.load_explain_file(
+                        os.path.join(args.workload, name)
+                    )
+                except ValueError:
+                    pass  # already recovered from the journal
+    # The serve loop runs on a daemon thread and signals only set an
+    # event: a SIGTERM that lands at any instant — even before the loop
+    # is entered — always takes the graceful path (stop() would deadlock
+    # if the signal interrupted the main thread mid-serve_forever()
+    # startup).  The handler is installed BEFORE announcing the address,
+    # so a supervisor that SIGTERMs as soon as it sees "listening on"
+    # can never hit the default disposition.
+    stop_requested = threading.Event()
+
+    def _sigterm(signum, frame):
+        stop_requested.set()
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
     try:
-        server.serve_forever()
+        server.start()
+        host, port = server.address
+        print(f"OptImatch server listening on http://{host}:{port} "
+              f"({server.state.tool.plan_count} plans, "
+              f"{len(server.state.kb)} KB entries); Ctrl-C to stop")
+        while not stop_requested.wait(0.5):
+            pass
     except KeyboardInterrupt:
         pass
     finally:
-        server.state.tool.close()
+        signal.signal(signal.SIGTERM, previous)
+        # Full graceful shutdown: drain in-flight requests, flush the
+        # journal + final checkpoint, release worker pools and (in
+        # process mode) the shared-memory segment.
+        server.stop()
     return 0
 
 
@@ -415,6 +448,7 @@ def _cmd_experiment(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     from repro import server as server_defaults
+    from repro import store as store_defaults
 
     parser = argparse.ArgumentParser(
         prog="optimatch",
@@ -564,6 +598,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-inflight", type=int,
                    default=server_defaults.DEFAULT_MAX_INFLIGHT,
                    help="concurrent search/KB requests before 503 shedding")
+    p.add_argument("--data-dir", default=None,
+                   help="durable data directory: journal ingest, "
+                        "checkpoint, and recover on restart "
+                        "(docs/durability.md)")
+    p.add_argument("--fsync-mode", choices=["fsync", "batch", "async"],
+                   default="batch",
+                   help="journal fsync policy (default: batch)")
+    p.add_argument("--checkpoint-every", type=int,
+                   default=store_defaults.DEFAULT_CHECKPOINT_EVERY,
+                   help="journal records between automatic checkpoints")
     add_engine_flags(p)
     p.set_defaults(func=_cmd_serve)
 

@@ -208,7 +208,20 @@ class OptImatchClient:
             if status == 503:
                 last_exc = None
                 if attempt + 1 < attempts:
-                    self._m_retries.labels("shed").inc()
+                    # Same capped backoff for every transient 503, but
+                    # the retry series distinguishes a shedding server
+                    # from one that is recovering its journal or
+                    # degraded to read-only.
+                    payload = self._decode(data)
+                    code = (
+                        payload.get("code", "")
+                        if isinstance(payload, dict)
+                        else ""
+                    )
+                    reason = (
+                        code if code in ("recovering", "read_only") else "shed"
+                    )
+                    self._m_retries.labels(reason).inc()
                     retry_after = {
                         k.lower(): v for k, v in resp_headers.items()
                     }.get("retry-after")
@@ -251,9 +264,36 @@ class OptImatchClient:
     def plans(self) -> list:
         return self._request("GET", "/plans")["plans"]
 
-    def upload_plan(self, explain_text: str) -> dict:
-        """POST explain text (or a tree snippet); returns the load reply."""
-        return self._request("POST", "/plans", body=explain_text)
+    def upload_plan(
+        self,
+        explain_text: str,
+        replace: bool = False,
+        ack: Optional[str] = None,
+    ) -> dict:
+        """POST explain text (or a tree snippet); returns the load reply.
+
+        *replace* upserts by plan id; *ack* = ``"sync"`` asks the server
+        to fsync its journal before replying (durability ack)."""
+        params: Dict[str, Any] = {}
+        if replace:
+            params["replace"] = 1
+        if ack:
+            params["ack"] = ack
+        return self._request(
+            "POST", "/plans", body=explain_text, params=params or None
+        )
+
+    def upload_plans(
+        self, explain_texts, ack: Optional[str] = None
+    ) -> dict:
+        """Batch ingest: atomic in memory and across a server crash."""
+        params = {"ack": ack} if ack else None
+        return self._request(
+            "POST",
+            "/plans",
+            body={"plans": list(explain_texts)},
+            params=params,
+        )
 
     def clear_plans(self) -> dict:
         return self._request("DELETE", "/plans")

@@ -185,6 +185,10 @@ class EngineStats:
     prepared_misses: int = 0
     match_hits: int = 0
     match_misses: int = 0
+    #: Entries pre-loaded from a recovered checkpoint (delta-based
+    #: re-arming; see docs/durability.md).  Seeds are neither hits nor
+    #: misses — they only become hits when a later search reuses them.
+    match_seeded: int = 0
     plan_errors: int = 0
     prepare_seconds: float = 0.0
     evaluate_seconds: float = 0.0
@@ -221,6 +225,7 @@ class EngineStats:
             "matchCache": {
                 "hits": self.match_hits,
                 "misses": self.match_misses,
+                "seeded": self.match_seeded,
                 "hitRate": round(self.match_hit_rate, 4),
             },
             "timings": {
@@ -363,6 +368,7 @@ class MatchingEngine:
         self._m_prepared_miss = lookups.labels("prepared", "miss")
         self._m_match_hit = lookups.labels("match", "hit")
         self._m_match_miss = lookups.labels("match", "miss")
+        self._m_match_seeded = lookups.labels("match", "seeded")
         stage = self.registry.histogram(
             "optimatch_engine_stage_seconds",
             "Wall-clock seconds per engine stage, per search",
@@ -946,6 +952,36 @@ class MatchingEngine:
             data["preparedCache"]["size"] = len(self._prepared)
             data["matchCache"]["size"] = len(self._matches)
             return data
+
+    def export_match_cache(
+        self,
+    ) -> List[Tuple[Tuple[str, int, str], PlanMatches]]:
+        """Snapshot the match cache as ``(key, PlanMatches)`` pairs.
+
+        Keys are the engine's ``(plan_id, graph.version, query_key)``
+        triples, LRU order (oldest first).  The durability layer
+        persists these with each checkpoint so a recovered process can
+        re-arm the cache for plans whose graphs did not change.
+        """
+        with self._lock:
+            return list(self._matches._data.items())
+
+    def seed_match_cache(
+        self, key: Tuple[str, int, str], matches: PlanMatches
+    ) -> bool:
+        """Pre-load one recovered entry; False when caching is off.
+
+        Seeded entries are counted separately from hits/misses (``
+        stats()["matchCache"]["seeded"]``), so recovery tests can assert
+        exactly which plans were re-armed versus re-matched.
+        """
+        if not self.cache_enabled:
+            return False
+        with self._lock:
+            self._matches.put(key, matches)
+            self._stats.match_seeded += 1
+        self._m_match_seeded.inc()
+        return True
 
     def reset_stats(self) -> None:
         with self._lock:

@@ -20,6 +20,13 @@ Workload loads are atomic: ``add_plans`` and ``load_workload_dir`` stage
 the whole batch (parsing, transforming and checking for duplicate ids)
 before committing anything, so a failure mid-directory leaves the
 workload exactly as it was.
+
+With a *data_dir* the facade becomes durable: every workload mutation is
+journaled through :class:`repro.store.DurableStore` before it is
+applied, periodic checkpoints bound recovery time, and a restart with
+the same directory recovers the workload — and re-arms the engine's
+match cache for every plan whose graph is unchanged.  See
+docs/durability.md.
 """
 
 from __future__ import annotations
@@ -29,12 +36,19 @@ from typing import Dict, Iterable, List, Optional, Union
 
 from repro.core.engine import MatchingEngine, SearchResult
 from repro.core.limits import Budget
-from repro.core.matcher import PlanMatches
+from repro.core.matcher import PlanMatches, RowCollector
 from repro.core.pattern import ProblemPattern
 from repro.core.sparqlgen import pattern_to_sparql
 from repro.core.transform import TransformedPlan, transform_plan
-from repro.qep.model import PlanGraph
+from repro.qep.model import PlanGraph, PlanOperator
 from repro.qep.parser import parse_plan, parse_plan_file
+from repro.store import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DurabilityError,
+    DurableStore,
+    RecoveryInfo,
+    compose_version,
+)
 
 
 class OptImatch:
@@ -45,6 +59,15 @@ class OptImatch:
     ``"thread"`` (default) or ``"process"`` for the shared-memory
     multiprocess pool (see ``docs/scale-out.md``).  Pass an *engine* to
     share one across facades.
+
+    *data_dir* turns on durability (``docs/durability.md``): mutations
+    are journaled with the given *fsync* policy (``fsync`` / ``batch`` /
+    ``async``) and checkpointed every *checkpoint_every* journal
+    records.  Recovery runs in the constructor unless *defer_recovery*
+    is set, in which case every mutation raises
+    :class:`repro.store.DurabilityError` until :meth:`recover` is called
+    (the server uses this to come up in a ``recovering`` state and
+    replay in the background).
     """
 
     def __init__(
@@ -55,17 +78,52 @@ class OptImatch:
         registry=None,
         tracer=None,
         mode: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        fsync: str = "batch",
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        defer_recovery: bool = False,
     ):
         self._workload: List[TransformedPlan] = []
         self._by_id: Dict[str, TransformedPlan] = {}
+        #: Monotonic per-plan-id revisions; maintained even without a
+        #: store so re-adding a same-sized plan after ``clear()`` can
+        #: never collide with a stale match-cache entry.
+        self._revisions: Dict[str, int] = {}
+        self._recovered_kb: List[dict] = []
         self._engine = engine or MatchingEngine(
             workers=workers, cache=cache, registry=registry, tracer=tracer,
             mode=mode,
         )
+        self._store: Optional[DurableStore] = None
+        self._recovery_pending = False
+        if data_dir is not None:
+            self._store = DurableStore(
+                data_dir,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+                registry=self._engine.registry,
+            )
+            self._recovery_pending = True
+            if not defer_recovery:
+                self.recover()
 
     def close(self) -> None:
         """Release engine resources: worker pools and (in process mode)
-        the shared-memory snapshot segment.  Idempotent."""
+        the shared-memory snapshot segment.  With durability on, flushes
+        the journal and writes a final checkpoint first (unless recovery
+        never completed — closing a still-``recovering`` store must not
+        checkpoint an empty workload over real data).  Idempotent."""
+        if self._store is not None:
+            if (
+                not self._recovery_pending
+                and self._store.state == "ready"
+                and self._store.records_since_checkpoint > 0
+            ):
+                try:
+                    self.checkpoint()
+                except DurabilityError:
+                    pass  # close() must not raise; journal is intact
+            self._store.close()
         self._engine.close()
 
     def __enter__(self) -> "OptImatch":
@@ -77,14 +135,83 @@ class OptImatch:
     # ------------------------------------------------------------------
     # Workload management
     # ------------------------------------------------------------------
+    def _check_writable(self) -> None:
+        if self._recovery_pending:
+            raise DurabilityError(
+                "recovery pending: call recover() before mutating the workload"
+            )
+
+    def _stamp(self, transformed: TransformedPlan, revision: int) -> None:
+        """Compose the plan revision into the graph version (see
+        :func:`repro.store.compose_version`): distinct across replaces,
+        deterministic across recovery."""
+        self._revisions[transformed.plan_id] = revision
+        transformed.graph.stamp_version(
+            compose_version(revision, transformed.graph.version)
+        )
+
+    def _plan_source(self, transformed: TransformedPlan) -> str:
+        from repro.qep.writer import write_plan
+
+        return write_plan(transformed.plan)
+
+    def _maybe_checkpoint(self) -> None:
+        if self._store is not None and self._store.should_checkpoint:
+            self.checkpoint()
+
     def add_plan(self, plan: PlanGraph) -> TransformedPlan:
         """Transform *plan* and add it to the workload."""
         if plan.plan_id in self._by_id:
             raise ValueError(f"duplicate plan id {plan.plan_id!r} in workload")
+        self._check_writable()
         transformed = transform_plan(plan)
+        if self._store is not None:
+            revision = self._store.record_add(
+                transformed.plan_id, self._plan_source(transformed)
+            )
+        else:
+            revision = self._revisions.get(transformed.plan_id, 0) + 1
+        self._stamp(transformed, revision)
         self._workload.append(transformed)
         self._by_id[plan.plan_id] = transformed
+        self._maybe_checkpoint()
         return transformed
+
+    def replace_plan(self, plan: PlanGraph) -> TransformedPlan:
+        """Replace the workload plan with the same id (add when absent).
+
+        The replacement gets a fresh revision, so its stamped graph
+        version can never collide with a cached match for the old plan
+        even when both graphs have the same triple count.
+        """
+        self._check_writable()
+        transformed = transform_plan(plan)
+        if self._store is not None:
+            revision = self._store.record_replace(
+                transformed.plan_id, self._plan_source(transformed)
+            )
+        else:
+            revision = self._revisions.get(transformed.plan_id, 0) + 1
+        self._stamp(transformed, revision)
+        existing = self._by_id.get(plan.plan_id)
+        if existing is not None:
+            self._workload[self._workload.index(existing)] = transformed
+        else:
+            self._workload.append(transformed)
+        self._by_id[plan.plan_id] = transformed
+        self._maybe_checkpoint()
+        return transformed
+
+    def remove_plan(self, plan_id: str) -> None:
+        """Remove one plan from the workload (KeyError when absent)."""
+        if plan_id not in self._by_id:
+            raise KeyError(plan_id)
+        self._check_writable()
+        if self._store is not None:
+            self._store.record_remove(plan_id)
+        transformed = self._by_id.pop(plan_id)
+        self._workload.remove(transformed)
+        self._maybe_checkpoint()
 
     def add_plans(self, plans: Iterable[PlanGraph]) -> None:
         """Transform and add a batch of plans, atomically.
@@ -97,7 +224,13 @@ class OptImatch:
         self._commit(transform_plan(plan) for plan in plans)
 
     def _commit(self, staged: Iterable[TransformedPlan]) -> int:
-        """Validate a staged batch of transformed plans, then add it."""
+        """Validate a staged batch of transformed plans, then add it.
+
+        With durability on the whole batch is journaled as ONE record,
+        so it is atomic across a crash too: either every plan in the
+        batch recovers or none does.
+        """
+        self._check_writable()
         batch: List[TransformedPlan] = []
         seen = set(self._by_id)
         for transformed in staged:
@@ -107,10 +240,30 @@ class OptImatch:
                 )
             seen.add(transformed.plan_id)
             batch.append(transformed)
-        for transformed in batch:
+        if self._store is not None and batch:
+            revisions = self._store.record_add_batch(
+                [(t.plan_id, self._plan_source(t)) for t in batch]
+            )
+        else:
+            revisions = [
+                self._revisions.get(t.plan_id, 0) + 1 for t in batch
+            ]
+        for transformed, revision in zip(batch, revisions):
+            self._stamp(transformed, revision)
             self._workload.append(transformed)
             self._by_id[transformed.plan_id] = transformed
+        self._maybe_checkpoint()
         return len(batch)
+
+    @staticmethod
+    def _parse_explain(text: str, plan_id: Optional[str] = None) -> PlanGraph:
+        """Parse explain *text*: full explain files (Plan Details
+        section) or bare ASCII tree snippets like the paper's Figure 1."""
+        if "Plan Details:" in text:
+            return parse_plan(text, plan_id)
+        from repro.qep.tree_parser import parse_tree
+
+        return parse_tree(text, plan_id or "tree-snippet")
 
     def load_explain_text(self, text: str, plan_id: Optional[str] = None) -> TransformedPlan:
         """Parse explain *text* and add the plan to the workload.
@@ -118,13 +271,15 @@ class OptImatch:
         Accepts both full explain files (Plan Details section) and bare
         ASCII tree snippets like the paper's Figure 1.
         """
-        if "Plan Details:" in text:
-            plan = parse_plan(text, plan_id)
-        else:
-            from repro.qep.tree_parser import parse_tree
+        return self.add_plan(self._parse_explain(text, plan_id))
 
-            plan = parse_tree(text, plan_id or "tree-snippet")
-        return self.add_plan(plan)
+    def load_explain_batch(self, texts: Iterable[str]) -> int:
+        """Parse and add a batch of explain texts, atomically.
+
+        Like :meth:`add_plans`, the batch is all-or-nothing — including
+        across a crash when durability is on (one journal record)."""
+        plans = [self._parse_explain(text) for text in texts]
+        return self._commit(transform_plan(plan) for plan in plans)
 
     def load_explain_file(self, path: str) -> TransformedPlan:
         return self.add_plan(parse_plan_file(path))
@@ -169,8 +324,197 @@ class OptImatch:
         return self._by_id[plan_id]
 
     def clear(self) -> None:
+        """Empty the workload (journaled when durability is on).
+
+        Plan revisions survive on purpose: re-adding a plan after a
+        clear gets a *higher* revision, so stale match-cache entries for
+        the old graph can never be served for the new one."""
+        self._check_writable()
+        if self._store is not None:
+            self._store.record_clear()
         self._workload.clear()
         self._by_id.clear()
+        self._maybe_checkpoint()
+
+    # ------------------------------------------------------------------
+    # Durability (docs/durability.md)
+    # ------------------------------------------------------------------
+    @property
+    def durable(self) -> bool:
+        return self._store is not None
+
+    @property
+    def recovered_kb_entries(self) -> List[dict]:
+        """KB entries (JSON objects) recovered from the journal, for the
+        owner of the knowledge base to re-apply after :meth:`recover`."""
+        return list(self._recovered_kb)
+
+    def durability_status(self) -> dict:
+        """JSON-ready durability state (``disabled`` without a data_dir)."""
+        if self._store is None:
+            return {"state": "disabled"}
+        return self._store.status()
+
+    def sync_journal(self) -> None:
+        """Force journaled mutations to the device (the ``ack=sync``
+        ingest mode).  No-op without durability."""
+        if self._store is not None:
+            self._store.sync()
+
+    def record_kb_entry(self, entry: dict) -> None:
+        """Journal one knowledge-base entry (its ``to_json_object``
+        form) so runtime-added entries survive a restart."""
+        self._check_writable()
+        if self._store is not None:
+            self._store.record_kb_entry(entry)
+
+    def checkpoint(self) -> int:
+        """Write a checkpoint now: every plan's graph snapshot plus the
+        engine's current match-cache entries.  Returns the sequence."""
+        if self._store is None:
+            raise DurabilityError("durability is disabled (no data_dir)")
+        self._check_writable()
+        from repro.rdf.snapshot import encode_graph
+
+        snapshots: Dict[str, bytes] = {}
+        versions: Dict[str, int] = {}
+        for transformed in self._workload:
+            snapshots[transformed.plan_id] = encode_graph(transformed.graph)
+            versions[transformed.plan_id] = transformed.graph.version
+        cache_entries = self._export_cache_entries(snapshots, versions)
+        return self._store.checkpoint(snapshots, versions, cache_entries)
+
+    def _export_cache_entries(
+        self, snapshots: Dict[str, bytes], versions: Dict[str, int]
+    ) -> List[dict]:
+        """Wire-form match-cache entries for the checkpoint manifest.
+
+        Each occurrence row keeps the engine's binding insertion order,
+        with every bound plan node encoded as its term id in the plan's
+        checkpointed snapshot — replaying the rows through
+        :class:`repro.core.matcher.RowCollector` on recovery rebuilds
+        bit-identical :class:`PlanMatches`.  Entries whose version no
+        longer matches the live graph (replaced plans) are dropped here;
+        entries for changed graphs are dropped again on recovery — the
+        delta invalidation the issue calls for.
+        """
+        from repro.rdf.snapshot import GraphView
+
+        entries: List[dict] = []
+        views: Dict[str, GraphView] = {}
+        for key, matches in self._engine.export_match_cache():
+            plan_id, version, query = key
+            if versions.get(plan_id) != version:
+                continue  # stale: plan replaced/removed since caching
+            transformed = self._by_id.get(plan_id)
+            if transformed is None:
+                continue
+            view = views.get(plan_id)
+            if view is None:
+                view = GraphView(memoryview(snapshots[plan_id]))
+                views[plan_id] = view
+            rows: List[list] = []
+            encodable = True
+            for occurrence in matches.occurrences:
+                row = []
+                for name, node in occurrence.bindings.items():
+                    if isinstance(node, PlanOperator):
+                        resource = transformed.pop_resources.get(node.number)
+                    else:
+                        resource = transformed.object_resources.get(
+                            node.qualified_name
+                        )
+                    term_id = (
+                        view.term_id(resource) if resource is not None else None
+                    )
+                    if term_id is None:
+                        encodable = False
+                        break
+                    row.append([name, term_id])
+                if not encodable:
+                    break
+                rows.append(row)
+            if encodable:
+                entries.append(
+                    {
+                        "plan": plan_id,
+                        "version": version,
+                        "query": query,
+                        "rows": rows,
+                    }
+                )
+        return entries
+
+    def recover(self) -> RecoveryInfo:
+        """Replay the journal and rebuild the workload (once).
+
+        Plans are re-parsed and re-transformed from their journaled
+        explain source — the transform is deterministic, so recovered
+        graphs (and therefore search results) are bit-identical to the
+        pre-crash ones.  Checkpointed match-cache entries whose graph
+        version still matches are seeded back into the engine; entries
+        for plans that changed are dropped, so only those plans pay the
+        re-match cost.
+        """
+        if self._store is None:
+            raise DurabilityError("durability is disabled (no data_dir)")
+        if not self._recovery_pending:
+            raise DurabilityError("recover() may only run once")
+        info = self._store.recover()
+        workload: List[TransformedPlan] = []
+        by_id: Dict[str, TransformedPlan] = {}
+        for plan_id, revision, source in info.plans:
+            plan = self._parse_explain(source, plan_id)
+            transformed = transform_plan(plan)
+            transformed.graph.stamp_version(
+                compose_version(revision, transformed.graph.version)
+            )
+            workload.append(transformed)
+            by_id[plan_id] = transformed
+        self._workload = workload
+        self._by_id = by_id
+        self._revisions = self._store.revisions
+        self._recovered_kb = list(info.kb_entries)
+        seeded = self._seed_cache(info)
+        info.release()
+        if self._store.last_recovery is not None:
+            self._store.last_recovery["cacheSeeded"] = seeded
+        self._recovery_pending = False
+        return info
+
+    def _seed_cache(self, info: RecoveryInfo) -> int:
+        """Re-arm the engine match cache from checkpointed entries."""
+        seeded = 0
+        for entry in info.cache_entries:
+            transformed = self._by_id.get(entry.plan_id)
+            if transformed is None or transformed.graph.version != entry.version:
+                continue  # plan changed since the checkpoint: re-match
+            view = info.view(entry.plan_id)
+            if view is None or view.version != entry.version:
+                continue  # snapshot/graph mismatch: never serve stale rows
+            collector = RowCollector(transformed)
+            decodable = True
+            for row in entry.rows:
+                items = []
+                for name, term_id in row:
+                    try:
+                        term = view.id_term(int(term_id))
+                    except Exception:
+                        term = None
+                    if term is None:
+                        decodable = False
+                        break
+                    items.append((name, term))
+                if not decodable:
+                    break
+                collector.add(items)
+            if not decodable:
+                continue
+            if self._engine.seed_match_cache(
+                (entry.plan_id, entry.version, entry.query), collector.result
+            ):
+                seeded += 1
+        return seeded
 
     # ------------------------------------------------------------------
     # Search
@@ -185,9 +529,14 @@ class OptImatch:
 
         A thin compatibility view over the engine's atomically-committed
         stats; the same counters are exported through
-        :attr:`registry` (see ``docs/observability.md``).
+        :attr:`registry` (see ``docs/observability.md``).  With
+        durability on, a ``durability`` section carries the store's
+        :meth:`durability_status`.
         """
-        return self._engine.stats()
+        stats = self._engine.stats()
+        if self._store is not None:
+            stats["durability"] = self.durability_status()
+        return stats
 
     @property
     def registry(self):

@@ -514,6 +514,20 @@ class Graph:
         """Mutation counter; changes whenever the triple set changes."""
         return self._version
 
+    def stamp_version(self, version: int) -> None:
+        """Overwrite the mutation counter with an assigned version.
+
+        The durability layer stamps freshly transformed graphs with
+        ``repro.store.compose_version(revision, natural)`` so the
+        engine's ``(plan_id, graph.version, query_key)`` cache keys stay
+        distinct across replace/remove/re-add cycles and deterministic
+        across crash recovery.  Subsequent mutations keep incrementing
+        from the stamped value, preserving the invalidation contract.
+        """
+        if version < 0:
+            raise ValueError(f"graph version must be >= 0, not {version}")
+        self._version = int(version)
+
     def estimate(
         self,
         subject: Optional[Term] = None,

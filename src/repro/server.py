@@ -43,7 +43,18 @@ Production posture (see docs/operations.md):
   budget_exceeded, shed, internal) and 500s carry an ``errorId`` that
   is also logged to stderr.  No hung sockets, no empty replies.
 * **Graceful shutdown** — :meth:`OptImatchServer.stop` drains in-flight
-  requests (new heavy work is shed while draining) before closing.
+  requests (new heavy work is shed while draining) before closing; with
+  durability on the final :meth:`OptImatch.close` flushes the journal
+  and writes a checkpoint.
+* **Durability** — with *data_dir* set, every ingest is journaled and
+  checkpointed (``docs/durability.md``): the server binds immediately
+  and replays the journal in the background (``/health`` reports
+  ``recovering``; mutating/heavy routes answer ``503`` + ``Retry-After``
+  until it finishes), ``POST /plans`` accepts a JSON batch
+  (``{"plans": [...]}``, atomic across a crash) plus ``?ack=sync`` for
+  fsync-before-reply and ``?replace=1`` for upserts, and a journal
+  device failure degrades ingest to ``503`` (code ``read_only``) while
+  searches keep being served.
 
 Start one with ``optimatch serve --port 8080`` or programmatically::
 
@@ -72,6 +83,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.prometheus import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.obs.prometheus import render_text
 from repro.qep.parser import QepParseError
+from repro.store import DEFAULT_CHECKPOINT_EVERY, DurabilityError
 
 #: Default cap on accepted request bodies (bytes).
 DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -105,10 +117,11 @@ _KNOWN_ROUTES = frozenset(
 class _RequestError(Exception):
     """Internal: maps straight to one taxonomy response."""
 
-    def __init__(self, status: int, code: str, message: str):
+    def __init__(self, status: int, code: str, message: str, headers=()):
         super().__init__(message)
         self.status = status
         self.code = code
+        self.headers = tuple(headers)
 
 
 class ServerState:
@@ -132,16 +145,32 @@ class ServerState:
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
         registry: Optional[MetricsRegistry] = None,
         mode: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        fsync_mode: str = "batch",
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ):
         # One registry per server (not the process default) so a scrape
         # of this instance sees only its own traffic, and tests/goldens
         # start from a clean slate.
         self.registry = registry or MetricsRegistry()
+        # With a data_dir, recovery is deferred: the server binds and
+        # answers /health immediately in a ``recovering`` state while a
+        # background thread replays the journal (begin_recovery()).
         self.tool = OptImatch(
-            workers=workers, cache=cache, registry=self.registry, mode=mode
+            workers=workers,
+            cache=cache,
+            registry=self.registry,
+            mode=mode,
+            data_dir=data_dir,
+            fsync=fsync_mode,
+            checkpoint_every=checkpoint_every,
+            defer_recovery=True,
         )
         self.kb = knowledge_base or builtin_knowledge_base(registry=self.registry)
         self.lock = threading.Lock()
+        self.recovering = data_dir is not None
+        self.recovery_error: Optional[str] = None
+        self._recovery_thread: Optional[threading.Thread] = None
         self.max_body_bytes = max_body_bytes
         self.default_timeout_ms = default_timeout_ms
         self.max_timeout_ms = max_timeout_ms
@@ -179,6 +208,79 @@ class ServerState:
             "Structured per-plan/per-entry evaluation errors, by kind.",
             ("kind",),
         )
+
+    # ------------------------------------------------------------------
+    # Recovery / durability
+    # ------------------------------------------------------------------
+    def begin_recovery(self) -> None:
+        """Kick off background journal recovery (idempotent, no-op
+        without durability).  Mutating and heavy routes answer ``503``
+        with code ``recovering`` until the replay finishes; /health and
+        other reads stay live throughout."""
+        if not self.recovering or self._recovery_thread is not None:
+            return
+        self._recovery_thread = threading.Thread(
+            target=self._run_recovery, daemon=True, name="optimatch-recovery"
+        )
+        self._recovery_thread.start()
+
+    def _run_recovery(self) -> None:
+        try:
+            self.tool.recover()
+            entries = self.tool.recovered_kb_entries
+        except Exception as exc:  # noqa: BLE001 — degrade, don't die
+            print(
+                f"[optimatch-server] journal recovery failed: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            with self.lock:
+                self.recovery_error = str(exc)
+                self.recovering = False
+            return
+        with self.lock:
+            for entry in entries:
+                try:
+                    self.kb.add(KBEntry.from_json_object(entry))
+                except Exception:  # noqa: BLE001 — skip bad/dup entries
+                    pass
+            self.recovering = False
+
+    def health_status(self) -> str:
+        """Precedence: draining > recovering > read_only > ok."""
+        if self.draining:
+            return "draining"
+        if self.recovering:
+            return "recovering"
+        durability = self.tool.durability_status()
+        if self.recovery_error is not None or durability["state"] == "read_only":
+            return "read_only"
+        return "ok"
+
+    def check_not_recovering(self, retry_after: int) -> None:
+        """503 ``recovering`` while the journal replay is running (the
+        workload is not fully rebuilt yet, so neither mutations nor
+        searches can answer correctly)."""
+        if self.recovering:
+            raise _RequestError(
+                503,
+                "recovering",
+                "journal recovery in progress, retry later",
+                headers=(("Retry-After", str(retry_after)),),
+            )
+
+    def check_ingest_allowed(self, retry_after: int) -> None:
+        """Raise the 503 taxonomy error when mutations cannot proceed.
+
+        Searches keep working in ``read_only`` — only ingest degrades."""
+        self.check_not_recovering(retry_after)
+        if self.recovery_error is not None:
+            raise _RequestError(
+                503,
+                "read_only",
+                f"journal recovery failed: {self.recovery_error}",
+                headers=(("Retry-After", str(retry_after)),),
+            )
 
     # ------------------------------------------------------------------
     # Request metrics
@@ -486,6 +588,16 @@ class _Handler(BaseHTTPRequestHandler):
             headers=(("Retry-After", str(self.state.retry_after_seconds)),),
         )
 
+    def _read_only_error(self, exc: DurabilityError) -> None:
+        """The journal failed (or is still recovering): ingest degrades
+        to 503 + Retry-After; searches keep being served."""
+        self._error(
+            503,
+            str(exc),
+            code="read_only",
+            headers=(("Retry-After", str(self.state.retry_after_seconds)),),
+        )
+
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
@@ -495,7 +607,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             self._do_get()
         except _RequestError as exc:
-            self._error(exc.status, str(exc), code=exc.code)
+            self._error(exc.status, str(exc), code=exc.code, headers=exc.headers)
         except Exception as exc:  # noqa: BLE001 — catch-all 500
             self._internal_error(exc)
         finally:
@@ -514,16 +626,15 @@ class _Handler(BaseHTTPRequestHandler):
                 kb_entries = len(state.kb)
             with state._counter_lock:
                 inflight = state.inflight_heavy
-                draining = state.draining
-            self._send(
-                200,
-                {
-                    "status": "draining" if draining else "ok",
-                    "plans": plan_count,
-                    "kbEntries": kb_entries,
-                    "inflight": inflight,
-                },
-            )
+            payload = {
+                "status": state.health_status(),
+                "plans": plan_count,
+                "kbEntries": kb_entries,
+                "inflight": inflight,
+            }
+            if state.tool.durable:
+                payload["durability"] = state.tool.durability_status()
+            self._send(200, payload)
         elif route == "/plans":
             with state.lock:
                 plan_ids = [t.plan_id for t in state.tool.workload]
@@ -550,14 +661,24 @@ class _Handler(BaseHTTPRequestHandler):
         self.state.request_started()
         started = time.perf_counter()
         try:
-            if self._route() == "/plans":
-                with self.state.lock:
-                    self.state.tool.clear()
-                self._send(200, {"cleared": True})
-            else:
+            try:
+                if self._route() == "/plans":
+                    self.state.check_ingest_allowed(
+                        self.state.retry_after_seconds
+                    )
+                    with self.state.lock:
+                        self.state.tool.clear()
+                    self._send(200, {"cleared": True})
+                else:
+                    self._error(
+                        404, f"unknown path {self._route()}", code="not_found"
+                    )
+            except _RequestError as exc:
                 self._error(
-                    404, f"unknown path {self._route()}", code="not_found"
+                    exc.status, str(exc), code=exc.code, headers=exc.headers
                 )
+            except DurabilityError as exc:
+                self._read_only_error(exc)
         except Exception as exc:  # noqa: BLE001 — catch-all 500
             self._internal_error(exc)
         finally:
@@ -572,7 +693,11 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 self._do_post()
             except _RequestError as exc:
-                self._error(exc.status, str(exc), code=exc.code)
+                self._error(
+                    exc.status, str(exc), code=exc.code, headers=exc.headers
+                )
+            except DurabilityError as exc:
+                self._read_only_error(exc)
             except (QepParseError, ValueError, KeyError) as exc:
                 self._error(400, str(exc), code="parse_error")
         except Exception as exc:  # noqa: BLE001 — catch-all 500
@@ -587,18 +712,58 @@ class _Handler(BaseHTTPRequestHandler):
         query = self._query()
         body = self._body()
         if route == "/plans":
+            state.check_ingest_allowed(state.retry_after_seconds)
+            content_type = self.headers.get("Content-Type", "")
+            if "json" in content_type.lower():
+                # Batch ingest: {"plans": [text, ...]} — atomic in
+                # memory AND across a crash (one journal record).
+                payload = json.loads(body)
+                texts = payload.get("plans")
+                if not isinstance(texts, list) or not all(
+                    isinstance(t, str) for t in texts
+                ):
+                    raise _RequestError(
+                        400,
+                        "bad_request",
+                        'batch ingest body must be {"plans": [<text>, ...]}',
+                    )
+                with state.lock:
+                    count = state.tool.load_explain_batch(texts)
+                    plan_ids = [
+                        t.plan_id for t in state.tool.workload[-count:]
+                    ]
+                    synced = self._ack(query)
+                self._send(
+                    201,
+                    {
+                        "planIds": plan_ids,
+                        "count": count,
+                        "durability": self._durability_ack(synced),
+                    },
+                )
+                return
             text = body.decode("utf-8")
+            replace = query.get("replace", ["0"])[-1].lower() not in (
+                "", "0", "false", "no",
+            )
             with state.lock:
-                transformed = state.tool.load_explain_text(text)
+                if replace:
+                    plan = state.tool._parse_explain(text)
+                    transformed = state.tool.replace_plan(plan)
+                else:
+                    transformed = state.tool.load_explain_text(text)
+                synced = self._ack(query)
             self._send(
                 201,
                 {
                     "planId": transformed.plan_id,
                     "operators": transformed.plan.op_count,
                     "triples": len(transformed.graph),
+                    "durability": self._durability_ack(synced),
                 },
             )
         elif route in ("/search", "/search/sparql"):
+            state.check_not_recovering(state.retry_after_seconds)
             if route == "/search":
                 target = ProblemPattern.from_json(body.decode("utf-8"))
             else:
@@ -628,11 +793,20 @@ class _Handler(BaseHTTPRequestHandler):
                 ]
             self._degraded_response(payload, result.errors, self._strict(query))
         elif route == "/kb/entries":
+            state.check_ingest_allowed(state.retry_after_seconds)
             entry = KBEntry.from_json_object(json.loads(body))
             with state.lock:
+                # Journal first: a DurabilityError must leave the KB
+                # unchanged (the 503 tells the client nothing happened).
+                state.tool.record_kb_entry(entry.to_json_object())
                 state.kb.add(entry)
-            self._send(201, {"added": entry.name})
+                synced = self._ack(query)
+            self._send(
+                201,
+                {"added": entry.name, "durability": self._durability_ack(synced)},
+            )
         elif route == "/kb/run":
+            state.check_not_recovering(state.retry_after_seconds)
             budget = self._budget(query)
             if not state.acquire_heavy_slot():
                 self._shed()
@@ -655,6 +829,26 @@ class _Handler(BaseHTTPRequestHandler):
             )
         else:
             self._error(404, f"unknown path {route}", code="not_found")
+
+    # ------------------------------------------------------------------
+    # Durability acks
+    # ------------------------------------------------------------------
+    def _ack(self, query: dict) -> bool:
+        """Honor ``?ack=sync`` (fsync before replying) / ``?ack=none``.
+
+        Default is the store's configured fsync policy; returns whether
+        this request explicitly synced."""
+        mode = query.get("ack", [""])[-1].lower()
+        if mode == "sync":
+            self.state.tool.sync_journal()
+            return True
+        return False
+
+    def _durability_ack(self, synced: bool) -> dict:
+        status = self.state.tool.durability_status()
+        if status["state"] == "disabled":
+            return {"mode": "disabled", "synced": False}
+        return {"mode": status["fsync"], "synced": synced}
 
 
 class OptImatchServer:
@@ -679,6 +873,9 @@ class OptImatchServer:
         retry_after_seconds: int = DEFAULT_RETRY_AFTER_SECONDS,
         registry: Optional[MetricsRegistry] = None,
         mode: Optional[str] = None,
+        data_dir: Optional[str] = None,
+        fsync_mode: str = "batch",
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     ):
         self.state = ServerState(
             knowledge_base,
@@ -691,6 +888,9 @@ class OptImatchServer:
             retry_after_seconds=retry_after_seconds,
             registry=registry,
             mode=mode,
+            data_dir=data_dir,
+            fsync_mode=fsync_mode,
+            checkpoint_every=checkpoint_every,
         )
         handler = type("BoundHandler", (_Handler,), {"state": self.state})
         self._httpd = ThreadingHTTPServer((host, port), handler)
@@ -707,7 +907,13 @@ class OptImatchServer:
         return f"http://{host}:{port}"
 
     def start(self) -> "OptImatchServer":
-        """Serve in a daemon thread; returns self for chaining."""
+        """Serve in a daemon thread; returns self for chaining.
+
+        With durability on, journal recovery runs in its own background
+        thread — the listener answers immediately (``/health`` reports
+        ``recovering``; ingest and searches 503 until the replay ends).
+        """
+        self.state.begin_recovery()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, daemon=True
         )
@@ -716,6 +922,7 @@ class OptImatchServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI entry point)."""
+        self.state.begin_recovery()
         self._httpd.serve_forever()
 
     def stop(self, drain_seconds: float = 5.0) -> None:

@@ -28,6 +28,20 @@ Known sites
 ``mpexec.worker_plan``
     Keyed by plan id; fires *inside a pool worker process* before a
     plan is evaluated against its shared-memory graph view.
+``wal.append``
+    Keyed by the plan id of the journaled mutation (the op name for
+    plan-less records); fires before the record is written.  An
+    injected ``OSError`` surfaces as a journal-device failure
+    (``WalError`` → read-only degradation); ``kill=True`` simulates a
+    crash with the record unwritten.
+``wal.fsync``
+    Keyed by the journal file name (``wal-<seq>.log``); fires before
+    the journal file is fsynced.
+``checkpoint.rename``
+    Keyed by the checkpoint sequence number as a string; fires between
+    writing ``ckpt-<seq>.bin.tmp`` and the atomic rename — the window a
+    crash must leave recoverable (the ``.tmp`` is swept, the previous
+    checkpoint + journal still replay).
 
 Cross-process injection
 -----------------------

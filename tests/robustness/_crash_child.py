@@ -1,0 +1,75 @@
+"""Subprocess body for the kill -9 crash-recovery harness.
+
+Ingests every ``*.exfmt`` file from a workload directory into a durable
+:class:`repro.core.optimatch.OptImatch`, printing ``ACK <plan_id>``
+after each plan's journal record is fsynced — the parent test treats an
+ACK as the durability contract ("this plan must survive any crash after
+this line").  Optional chaos flags arm a ``kill=True`` injection so the
+process dies at a precise point (mid-append, mid-checkpoint-rename)
+with exit code 86; the parent may also SIGKILL it externally after N
+ACKs.  With ``--search`` the child warms the match cache and writes a
+checkpoint before finishing, so the parent can assert delta-based cache
+re-arming after the crash.
+"""
+
+import argparse
+import os
+import sys
+
+SPARQL = (
+    'PREFIX predURI: <http://optimatch/predicate#> '
+    'SELECT ?p WHERE { ?p predURI:hasPopType "RETURN" }'
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("data_dir")
+    parser.add_argument("workload")
+    parser.add_argument("--fsync", default="fsync")
+    parser.add_argument("--checkpoint-every", type=int, default=10**9)
+    parser.add_argument("--kill-site", default=None)
+    parser.add_argument("--kill-key", default=None)
+    parser.add_argument("--search", action="store_true")
+    parser.add_argument("--close", action="store_true")
+    args = parser.parse_args()
+
+    from repro.core.optimatch import OptImatch
+    from repro.testing import chaos
+
+    if args.kill_site:
+        chaos.inject(
+            args.kill_site,
+            keys={args.kill_key} if args.kill_key else None,
+            kill=True,
+        )
+
+    tool = OptImatch(
+        workers=1,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        checkpoint_every=args.checkpoint_every,
+    )
+    for name in sorted(os.listdir(args.workload)):
+        if not name.endswith(".exfmt"):
+            continue
+        transformed = tool.load_explain_file(os.path.join(args.workload, name))
+        tool.sync_journal()
+        print(f"ACK {transformed.plan_id}", flush=True)
+    if args.search:
+        tool.search(SPARQL)
+        tool.checkpoint()
+        print("SEARCHED", flush=True)
+    print("DONE", flush=True)
+    if args.close:
+        tool.close()
+        print("CLOSED", flush=True)
+        return 0
+    # No close(): the parent SIGKILLs us (or we simply vanish), so the
+    # only durable state is whatever the journal/checkpoint already has.
+    sys.stdout.flush()
+    os._exit(0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

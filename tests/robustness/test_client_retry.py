@@ -6,6 +6,7 @@ import random
 import pytest
 
 from repro.client import ClientError, OptImatchClient, ServerUnavailable
+from repro.obs.metrics import MetricsRegistry
 
 
 def make_client(script, retries=3):
@@ -18,6 +19,7 @@ def make_client(script, retries=3):
         backoff_base=0.1,
         rng=random.Random(0),
         sleep=lambda s: client.slept.append(s),
+        registry=MetricsRegistry(),  # isolated: tests read retry counters
     )
     client.slept = []
     client.calls = []
@@ -165,3 +167,72 @@ def test_sleep_is_capped_even_when_server_sends_inf():
     assert client.health() == {"ok": 1}
     assert len(client.slept) == 1
     assert client.slept[0] <= client.backoff_cap
+
+
+# ----------------------------------------------------------------------
+# Durability-aware retries: a 503 that carries code "recovering" or
+# "read_only" is transient (the server is replaying its journal or
+# waiting for an operator) and must be retried, with the retry series
+# labeled by the actual reason instead of folding into "shed".
+# ----------------------------------------------------------------------
+def _retry_counts(client):
+    for snapshot in client.registry.collect():
+        if snapshot.name == "optimatch_client_retries_total":
+            return {dict(s.labels)["reason"]: s.value for s in snapshot.samples}
+    return {}
+
+
+def test_503_recovering_and_read_only_are_retried_with_reason_labels():
+    client = make_client(
+        [
+            (
+                503,
+                {"Retry-After": "0.25"},
+                {"error": "journal recovery in progress", "code": "recovering"},
+            ),
+            (503, {}, {"error": "journal failed", "code": "read_only"}),
+            (503, {}, {"error": "at capacity", "code": "shed"}),
+            (200, {}, {"ok": 1}),
+        ]
+    )
+    assert client.health() == {"ok": 1}
+    assert len(client.calls) == 4
+    assert client.slept[0] == 0.25  # recovering honors Retry-After
+    counts = _retry_counts(client)
+    assert counts.get("recovering") == 1
+    assert counts.get("read_only") == 1
+    assert counts.get("shed") == 1
+
+
+def test_503_without_code_counts_as_shed():
+    client = make_client([(503, {}, {"error": "busy"}), (200, {}, {"ok": 1})])
+    assert client.health() == {"ok": 1}
+    assert _retry_counts(client) == {"shed": 1}
+
+
+def test_persistent_recovering_exhausts_into_unavailable():
+    client = make_client(
+        [(503, {}, {"error": "recovering", "code": "recovering"})] * 4
+    )
+    with pytest.raises(ServerUnavailable):
+        client.health()
+    assert _retry_counts(client) == {"recovering": 3}
+
+
+def test_upload_plan_forwards_replace_and_ack():
+    client = make_client([(201, {}, {"planId": "p", "durability": {}})])
+    client.upload_plan("EXPLAIN TEXT", replace=True, ack="sync")
+    method, path = client.calls[0]
+    assert method == "POST"
+    assert path.startswith("/plans?")
+    assert "replace=1" in path and "ack=sync" in path
+
+
+def test_upload_plans_posts_json_batch():
+    client = make_client([(201, {}, {"planIds": ["a", "b"], "count": 2})])
+    reply = client.upload_plans(["T1", "T2"], ack="sync")
+    assert reply["count"] == 2
+    method, path = client.calls[0]
+    assert method == "POST"
+    assert path.startswith("/plans")
+    assert "ack=sync" in path

@@ -1,0 +1,209 @@
+"""Unit tests for the write-ahead journal (repro.store.wal).
+
+The invariant everything else builds on: a journal read back after any
+crash is a *prefix* of what was appended — a torn or corrupt tail is
+detected at the CRC/length boundary and never resurrects records past
+the corruption point.
+"""
+
+import os
+
+import pytest
+
+from repro.store.wal import (
+    MAX_RECORD_BYTES,
+    WalError,
+    WalWriter,
+    decode_records,
+    encode_record,
+    scan_wal,
+    truncate_wal,
+)
+
+
+def _write(path, records, fsync="async"):
+    writer = WalWriter(path, fsync=fsync)
+    for record in records:
+        writer.append(record)
+    writer.close()
+
+
+class TestRoundTrip:
+    def test_append_then_scan_round_trips(self, tmp_path):
+        path = str(tmp_path / "wal-0.log")
+        records = [
+            {"op": "add", "plan": "p1", "rev": 1, "source": "text"},
+            {"op": "remove", "plan": "p1"},
+            {"op": "kb_add", "entry": {"name": "e", "nested": [1, 2, 3]}},
+            {"op": "clear"},
+        ]
+        _write(path, records)
+        scan = scan_wal(path)
+        assert scan.records == records
+        assert not scan.truncated
+        assert scan.valid_bytes == scan.total_bytes == os.path.getsize(path)
+
+    def test_unicode_and_empty_values_survive(self, tmp_path):
+        path = str(tmp_path / "wal-0.log")
+        records = [{"op": "add", "plan": "pé", "rev": 1, "source": ""}]
+        _write(path, records)
+        assert scan_wal(path).records == records
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_wal(str(tmp_path / "nope.log"))
+        assert scan.records == [] and not scan.truncated
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        path = str(tmp_path / "wal-0.log")
+        _write(path, [{"op": "add", "plan": "a", "rev": 1, "source": "s"}])
+        _write(path, [{"op": "add", "plan": "b", "rev": 1, "source": "s"}])
+        assert [r["plan"] for r in scan_wal(path).records] == ["a", "b"]
+
+
+class TestCorruption:
+    def _records(self, n=5):
+        return [
+            {"op": "add", "plan": f"p{i}", "rev": 1, "source": "src" * i}
+            for i in range(n)
+        ]
+
+    def test_truncated_tail_is_detected_and_repairable(self, tmp_path):
+        path = str(tmp_path / "wal-0.log")
+        records = self._records()
+        _write(path, records)
+        full = os.path.getsize(path)
+        # Chop the file mid-way through the last record's payload.
+        os.truncate(path, full - 3)
+        scan = scan_wal(path)
+        assert scan.truncated
+        assert scan.records == records[:-1]
+        truncate_wal(path, scan.valid_bytes)
+        repaired = scan_wal(path)
+        assert not repaired.truncated and repaired.records == records[:-1]
+        # The journal accepts appends again after the repair.
+        _write(path, [{"op": "clear"}])
+        assert scan_wal(path).records == records[:-1] + [{"op": "clear"}]
+
+    def test_flipped_byte_stops_at_corruption_point(self, tmp_path):
+        path = str(tmp_path / "wal-0.log")
+        records = self._records()
+        _write(path, records)
+        data = bytearray(open(path, "rb").read())
+        assert decode_records(bytes(data)).records == records
+        # encode_record returns the full frame (header + payload).
+        offset = 0
+        boundaries = []
+        for record in records:
+            boundaries.append(offset)
+            offset += len(encode_record(record))
+        target = boundaries[2] + 10  # inside record #2
+        data[target] ^= 0xFF
+        scan = decode_records(bytes(data))
+        assert scan.truncated
+        assert scan.records == records[:2]
+
+    def test_garbage_appended_after_valid_records(self, tmp_path):
+        path = str(tmp_path / "wal-0.log")
+        records = self._records(3)
+        _write(path, records)
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 5)
+        scan = scan_wal(path)
+        assert scan.truncated and scan.records == records
+
+    def test_insane_length_prefix_is_rejected(self):
+        import struct
+
+        frame = struct.pack("<II", MAX_RECORD_BYTES + 1, 0) + b"x"
+        scan = decode_records(frame)
+        assert scan.truncated and scan.records == []
+
+    def test_zero_length_record_is_rejected(self):
+        import struct
+
+        scan = decode_records(struct.pack("<II", 0, 0))
+        assert scan.truncated and scan.records == []
+
+
+class TestFsyncPolicies:
+    def _count_fsyncs(self, monkeypatch):
+        calls = []
+        real = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real(fd))[1])
+        return calls
+
+    def test_fsync_policy_syncs_every_append(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="fsync")
+        for i in range(3):
+            writer.append({"op": "clear"})
+        assert len(calls) == 3
+        writer.close()
+
+    def test_batch_policy_syncs_on_record_threshold(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        writer = WalWriter(
+            str(tmp_path / "w.log"),
+            fsync="batch",
+            batch_records=4,
+            batch_seconds=3600.0,
+        )
+        for _ in range(7):
+            writer.append({"op": "clear"})
+        assert len(calls) == 1  # one batch boundary crossed at record 4
+        writer.close(sync=True)
+        assert len(calls) == 2  # close flushes the partial batch
+
+    def test_async_policy_never_fsyncs_on_append(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        for _ in range(50):
+            writer.append({"op": "clear"})
+        assert calls == []
+        writer.close(sync=False)
+        assert calls == []
+
+    def test_explicit_sync_flushes_any_policy(self, tmp_path, monkeypatch):
+        calls = self._count_fsyncs(monkeypatch)
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        writer.append({"op": "clear"})
+        writer.sync()
+        assert len(calls) == 1
+        writer.close()
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            WalWriter(str(tmp_path / "w.log"), fsync="eventually")
+
+
+class TestFailureModes:
+    def test_oversized_record_is_rejected_before_writing(self, tmp_path):
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        try:
+            with pytest.raises(ValueError):
+                writer.append({"op": "add", "source": "x" * (MAX_RECORD_BYTES + 1)})
+            assert writer.tell() == 0  # nothing hit the file
+        finally:
+            writer.close()
+
+    def test_os_error_during_append_becomes_wal_error(self, tmp_path):
+        from repro.testing import chaos
+
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        try:
+            with chaos.injected("wal.append", exc=OSError("device gone")):
+                with pytest.raises(WalError):
+                    writer.append({"op": "clear"})
+        finally:
+            writer.close()
+
+    def test_os_error_during_fsync_becomes_wal_error(self, tmp_path):
+        from repro.testing import chaos
+
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="fsync")
+        try:
+            with chaos.injected("wal.fsync", exc=OSError("device gone")):
+                with pytest.raises(WalError):
+                    writer.append({"op": "clear"})
+        finally:
+            writer.close()
