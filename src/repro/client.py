@@ -30,7 +30,7 @@ import json
 import math
 import random
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from urllib.parse import urlencode, urlsplit
 
 from repro.obs.metrics import MetricsRegistry, default_registry
@@ -48,6 +48,11 @@ class ClientError(RuntimeError):
         self.status = status
         self.code = code
         self.payload = payload if payload is not None else {}
+
+
+class _StreamConnectError(ConnectionError):
+    """Internal: the stream failed before any plan byte left the client
+    (so replaying it cannot duplicate plans)."""
 
 
 class ServerUnavailable(ClientError):
@@ -78,6 +83,7 @@ class OptImatchClient:
         connect_timeout: float = 10.0,
         rng=None,
         sleep=time.sleep,
+        clock: Optional[Callable[[], float]] = None,
         registry: Optional[MetricsRegistry] = None,
     ):
         parts = urlsplit(base_url)
@@ -92,6 +98,10 @@ class OptImatchClient:
         self.connect_timeout = connect_timeout
         self._rng = rng or random
         self._sleep = sleep
+        # The clock only feeds latency metrics, but tests that drive the
+        # backoff with a fake ``sleep`` pair it with a fake clock so the
+        # observed latencies stay deterministic too.
+        self._clock = clock if clock is not None else time.perf_counter
         self.registry = registry or default_registry()
         self._m_requests = self.registry.counter(
             "optimatch_client_requests_total",
@@ -154,7 +164,7 @@ class OptImatchClient:
         """Instrumented wrapper: one latency sample and one terminal
         outcome (ok / error / unavailable) per logical request, however
         many attempts it took."""
-        started = time.perf_counter()
+        started = self._clock()
         try:
             result = self._request_attempts(method, path, body, params)
         except ServerUnavailable:
@@ -167,9 +177,7 @@ class OptImatchClient:
             self._m_requests.labels(method, "ok").inc()
             return result
         finally:
-            self._m_latency.labels(method).observe(
-                time.perf_counter() - started
-            )
+            self._m_latency.labels(method).observe(self._clock() - started)
 
     def _request_attempts(
         self,
@@ -294,6 +302,222 @@ class OptImatchClient:
             body={"plans": list(explain_texts)},
             params=params,
         )
+
+    def upload_plans_stream(
+        self,
+        plans: Iterable,
+        ack: Optional[str] = None,
+        batch: Optional[int] = None,
+        replace: bool = False,
+        on_ack=None,
+    ) -> dict:
+        """Stream plans over ``POST /plans/stream`` as chunked NDJSON.
+
+        *plans* yields explain texts (``str``) or ``{"plan": ..., "id":
+        ...}`` records; each becomes one NDJSON line, sent with chunked
+        transfer encoding so arbitrarily long streams never buffer
+        client-side.  *ack* selects the server's reply shape: ``None``
+        (one summary at end of stream), ``"batch"`` (one NDJSON ack per
+        committed micro-batch) or ``"sync"`` (acks that are also
+        crash-durable).  *on_ack* is called with each parsed ack record.
+
+        Returns the final summary dict (``count``/``batches``/
+        ``durability``), with the collected ack records under ``acks``
+        when an ack mode is set.
+
+        Retry discipline: connection failures *before any plan is sent*
+        and ``503`` replies reporting ``ingested == 0`` are retried with
+        the usual backoff — but only when *plans* is a re-iterable
+        sequence.  A failure after plans may have been committed is
+        never retried (replaying a half-ingested stream would duplicate
+        plans); the raised error carries the server's ``ingested`` count
+        instead.
+        """
+        if ack not in (None, "none", "batch", "sync"):
+            raise ValueError(f"invalid ack mode: {ack!r}")
+        params: Dict[str, Any] = {}
+        if ack and ack != "none":
+            params["ack"] = ack
+        if batch is not None:
+            params["batch"] = batch
+        if replace:
+            params["replace"] = 1
+        path = "/plans/stream"
+        if params:
+            path = f"{path}?{urlencode(params)}"
+        reusable = isinstance(plans, (list, tuple))
+        attempts = self.retries + 1 if reusable else 1
+
+        started = self._clock()
+        outcome = "error"
+        try:
+            last_exc: Optional[BaseException] = None
+            for attempt in range(attempts):
+                try:
+                    status, resp_headers, data = self._stream_once(
+                        path, plans
+                    )
+                except (ConnectionError, OSError, http.client.HTTPException) as exc:
+                    last_exc = exc
+                    retryable = (
+                        isinstance(exc, _StreamConnectError)
+                        and attempt + 1 < attempts
+                    )
+                    if not retryable:
+                        if isinstance(exc, _StreamConnectError):
+                            break  # attempts exhausted -> ServerUnavailable
+                        raise  # mid-stream failure: never replay
+                    self._m_retries.labels("connection").inc()
+                    self._sleep(self._backoff_delay(attempt, None))
+                    continue
+                if status == 503:
+                    payload = self._decode(data)
+                    ingested = (
+                        payload.get("ingested", 0)
+                        if isinstance(payload, dict)
+                        else 0
+                    )
+                    code = (
+                        payload.get("code", "")
+                        if isinstance(payload, dict)
+                        else ""
+                    )
+                    if ingested == 0 and attempt + 1 < attempts:
+                        last_exc = None
+                        reason = (
+                            code
+                            if code in ("recovering", "read_only")
+                            else "shed"
+                        )
+                        self._m_retries.labels(reason).inc()
+                        retry_after = {
+                            k.lower(): v for k, v in resp_headers.items()
+                        }.get("retry-after")
+                        self._sleep(self._backoff_delay(attempt, retry_after))
+                        continue
+                    message = (
+                        payload.get("error", "service unavailable")
+                        if isinstance(payload, dict)
+                        else "service unavailable"
+                    )
+                    raise ClientError(503, message, code=code, payload=payload)
+                result = self._finish_stream(status, data, on_ack)
+                outcome = "ok"
+                return result
+            outcome = "unavailable"
+            raise ServerUnavailable(
+                f"POST {path} failed after {attempts} attempts",
+                attempts=attempts,
+                last=last_exc,
+            )
+        finally:
+            self._m_requests.labels("POST", outcome).inc()
+            self._m_latency.labels("POST").observe(self._clock() - started)
+
+    def _stream_once(
+        self, path: str, plans: Iterable
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One streaming round-trip (connect, send NDJSON, read reply).
+
+        Connection failures before the first plan byte raise
+        :class:`_StreamConnectError` (safely retryable); anything later
+        propagates as-is.  A send-side failure (server closed early,
+        e.g. to shed) still attempts to read the server's reply, which
+        is more useful than the raw ``BrokenPipeError``.
+        """
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.connect_timeout
+        )
+        try:
+            try:
+                conn.connect()
+            except (ConnectionError, OSError) as exc:
+                raise _StreamConnectError(exc) from exc
+            conn.putrequest("POST", path)
+            conn.putheader("Content-Type", "application/x-ndjson")
+            conn.putheader("Transfer-Encoding", "chunked")
+            conn.endheaders()
+            send_error: Optional[BaseException] = None
+            try:
+                for plan in plans:
+                    line = self._stream_record(plan)
+                    conn.send(b"%x\r\n%s\r\n" % (len(line), line))
+                conn.send(b"0\r\n\r\n")
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                send_error = exc
+            try:
+                response = conn.getresponse()
+                data = response.read()
+            except (ConnectionError, OSError, http.client.HTTPException):
+                if send_error is not None:
+                    raise send_error from None
+                raise
+            return response.status, dict(response.getheaders()), data
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _stream_record(plan) -> bytes:
+        if isinstance(plan, (str, dict)):
+            return json.dumps(plan, separators=(",", ":")).encode(
+                "utf-8"
+            ) + b"\n"
+        raise TypeError(
+            f"stream records must be str or dict, got {type(plan).__name__}"
+        )
+
+    def _finish_stream(self, status: int, data: bytes, on_ack) -> dict:
+        """Interpret the terminal reply of a plan stream."""
+        if status == 201:  # ack=none summary
+            payload = self._decode(data)
+            if isinstance(payload, dict):
+                return payload
+            raise ClientError(status, f"unexpected summary: {payload!r}")
+        if status == 200:  # NDJSON ack stream
+            acks: List[dict] = []
+            summary: Optional[dict] = None
+            for raw in data.split(b"\n"):
+                if not raw.strip():
+                    continue
+                try:
+                    record = json.loads(raw)
+                except ValueError:
+                    raise ClientError(
+                        status, f"bad ack line: {raw[:200]!r}"
+                    )
+                if not isinstance(record, dict):
+                    raise ClientError(status, f"bad ack line: {record!r}")
+                if record.get("done"):
+                    summary = record
+                elif "error" in record:
+                    # The server aborted after acks went out; committed
+                    # batches stay, and the record says how many.
+                    raise ClientError(
+                        record.get("status", 500)
+                        if isinstance(record.get("status"), int)
+                        else 500,
+                        str(record.get("error")),
+                        code=str(record.get("code", "")),
+                        payload=record,
+                    )
+                else:
+                    acks.append(record)
+                    if on_ack is not None:
+                        on_ack(record)
+            if summary is None:
+                raise ClientError(
+                    status, "ack stream ended without a done record"
+                )
+            summary["acks"] = acks
+            return summary
+        payload = self._decode(data)
+        message = (
+            payload.get("error", data.decode("utf-8", "replace"))
+            if isinstance(payload, dict)
+            else str(payload)
+        )
+        code = payload.get("code", "") if isinstance(payload, dict) else ""
+        raise ClientError(status, message, code=code, payload=payload)
 
     def clear_plans(self) -> dict:
         return self._request("DELETE", "/plans")

@@ -40,6 +40,31 @@ from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 
+#: The process-default monotonic clock.  Swappable via
+#: :func:`install_clock` so time-sensitive tests can drive deadlines
+#: deterministically (``repro.testing.clock.FakeClock``) instead of
+#: sleeping through them.
+_default_clock: Callable[[], float] = time.monotonic
+
+
+def default_clock() -> float:
+    """Read the process-default monotonic clock (see :func:`install_clock`)."""
+    return _default_clock()
+
+
+def install_clock(clock: Optional[Callable[[], float]] = None) -> None:
+    """Install *clock* as the process-default budget clock.
+
+    ``install_clock(None)`` restores ``time.monotonic``.  Budgets built
+    without an explicit ``clock=`` argument — including every budget the
+    HTTP fronts build from request parameters — read the installed clock
+    on each consultation, so a test can swap it even for budgets created
+    later inside server threads.
+    """
+    global _default_clock
+    _default_clock = clock if clock is not None else time.monotonic
+
+
 class LimitError(RuntimeError):
     """Base class for budget violations (a typed, catchable family)."""
 
@@ -77,7 +102,10 @@ class Budget:
         Consult the clock every this-many ticks (cost/precision
         trade-off; the default re-checks every 256 visited bindings).
     clock:
-        Injectable monotonic clock, for deterministic tests.
+        Injectable monotonic clock, for deterministic tests.  ``None``
+        (the default) reads the process-default clock on every
+        consultation, so :func:`install_clock` affects budgets built
+        before *and* after the install.
     """
 
     __slots__ = (
@@ -99,7 +127,7 @@ class Budget:
         max_rows: Optional[int] = None,
         max_bindings: Optional[int] = None,
         check_interval: int = 256,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if timeout_ms is not None and timeout_ms <= 0:
             raise ValueError("timeout_ms must be positive")
@@ -113,8 +141,8 @@ class Budget:
         self.max_rows = max_rows
         self.max_bindings = max_bindings
         self.check_interval = check_interval
-        self._clock = clock
-        self.started = clock()
+        self._clock = clock if clock is not None else default_clock
+        self.started = self._clock()
         self.deadline = (
             self.started + timeout_ms / 1000.0 if timeout_ms is not None else None
         )

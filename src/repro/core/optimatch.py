@@ -273,12 +273,29 @@ class OptImatch:
         """
         return self.add_plan(self._parse_explain(text, plan_id))
 
-    def load_explain_batch(self, texts: Iterable[str]) -> int:
+    def load_explain_batch(
+        self,
+        texts: Iterable[str],
+        plan_ids: Optional[Iterable[Optional[str]]] = None,
+    ) -> int:
         """Parse and add a batch of explain texts, atomically.
 
         Like :meth:`add_plans`, the batch is all-or-nothing — including
-        across a crash when durability is on (one journal record)."""
-        plans = [self._parse_explain(text) for text in texts]
+        across a crash when durability is on (one journal record).
+        *plan_ids*, when given, pairs an explicit id with each text
+        (``None`` entries keep the parsed/default id) — the streaming
+        ingest route uses this so tree snippets, whose default id is
+        shared, can be batched.  Explicit ids survive recovery: the
+        journal records ``(plan_id, source)`` and replay re-parses with
+        the recorded id.
+        """
+        if plan_ids is None:
+            plans = [self._parse_explain(text) for text in texts]
+        else:
+            plans = [
+                self._parse_explain(text, plan_id)
+                for text, plan_id in zip(texts, plan_ids)
+            ]
         return self._commit(transform_plan(plan) for plan in plans)
 
     def load_explain_file(self, path: str) -> TransformedPlan:

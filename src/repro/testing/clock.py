@@ -1,0 +1,72 @@
+"""A deterministic fake clock for time-sensitive tests.
+
+Sleep-based tests guess how long a slow CI machine needs; fake-clock
+tests state what they mean: *advance time past the deadline and assert
+the timeout fired*.  :class:`FakeClock` is a drop-in for
+``time.monotonic`` (callable, returns seconds) that only moves when
+told to, plus a drop-in for ``time.sleep`` (:meth:`sleep`) that moves
+the clock instead of blocking.
+
+Use it per-object (``Budget(..., clock=clock)``,
+``OptImatchClient(..., clock=clock)``) or process-wide for code that
+builds budgets internally — the HTTP fronts build one per request —
+via :func:`installed`::
+
+    clock = FakeClock()
+    with installed(clock):
+        ...                      # server-side Budgets read this clock
+        clock.advance(99.0)      # deadline long gone, no wall time spent
+
+The clock is monotonic and thread-safe: server threads may read it
+while the test thread advances it.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.limits import install_clock
+
+
+class FakeClock:
+    """A callable monotonic clock that advances only on request.
+
+    Starts at an arbitrary non-zero epoch so code subtracting
+    timestamps cannot accidentally pass with zeros.
+    """
+
+    def __init__(self, start: float = 100.0):
+        self._now = start
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """``time.sleep`` stand-in: advances the clock, never blocks."""
+        self.advance(max(0.0, seconds))
+
+
+@contextmanager
+def installed(clock: FakeClock) -> Iterator[FakeClock]:
+    """Install *clock* as the process-default budget clock for the block.
+
+    Restores the real ``time.monotonic`` on exit even on failure, so one
+    test's frozen time cannot leak into the next.
+    """
+    install_clock(clock)
+    try:
+        yield clock
+    finally:
+        install_clock(None)

@@ -1,0 +1,366 @@
+"""Differential suite: the asyncio front must be indistinguishable from
+the threaded front on the wire.
+
+Both fronts route through :func:`repro.server.common.dispatch` and the
+shared :func:`encode_json` encoder, so every *deterministic* response —
+success or taxonomy error — must be **byte-identical**, not merely
+equivalent JSON.  This suite drives the same request sequences against
+one server of each front (same engine configuration, same uploads in
+the same order) and compares raw bodies, statuses, content types and
+the Retry-After discipline.  Routes whose payloads embed timings
+(``/stats``, ``/metrics``) are compared structurally instead.
+
+The hypothesis section replays generated workloads through both fronts
+— batch uploads, NDJSON streams split at arbitrary points, searches —
+and asserts the observable state (plan listing, search results) stays
+byte-identical.
+"""
+
+import http.client
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.kb.builtin import make_pattern
+from repro.qep import write_plan
+from repro.server import AsyncOptImatchServer, OptImatchServer
+from repro.workload import generate_workload
+from tests.conftest import build_figure1_plan
+
+SPARQL = (
+    "PREFIX predURI: <http://optimatch/predicate#>\n"
+    'SELECT ?pop1 WHERE { ?pop1 predURI:hasPopType "NLJOIN" }'
+)
+
+
+@pytest.fixture(scope="module")
+def servers():
+    threaded = OptImatchServer(port=0).start()
+    asynchronous = AsyncOptImatchServer(port=0).start()
+    yield (threaded, asynchronous)
+    threaded.stop()
+    asynchronous.stop()
+
+
+def _roundtrip(server, method, path, body=None, headers=None):
+    """One request → (status, lowercase headers, raw body bytes)."""
+    connection = http.client.HTTPConnection(*server.address, timeout=30)
+    try:
+        try:
+            connection.request(method, path, body=body, headers=headers or {})
+        except (BrokenPipeError, ConnectionResetError):
+            # The server answered before reading the whole body (the
+            # 413 path) and closed its read side; the response is
+            # already on the wire.
+            pass
+        response = connection.getresponse()
+        data = response.read()
+        return (
+            response.status,
+            {k.lower(): v for k, v in response.getheaders()},
+            data,
+        )
+    finally:
+        connection.close()
+
+
+def _both(servers, method, path, body=None, headers=None):
+    """Run one request against each front; assert the responses agree
+    byte-for-byte and return the (shared) status/headers/body."""
+    results = [
+        _roundtrip(server, method, path, body, headers) for server in servers
+    ]
+    (status_a, headers_a, body_a), (status_b, headers_b, body_b) = results
+    assert status_a == status_b, (path, body_a, body_b)
+    assert body_a == body_b, (path, status_a)
+    assert headers_a.get("content-type") == headers_b.get("content-type")
+    # The Retry-After discipline must match exactly: same presence,
+    # same value (both fronts read the same retry_after_seconds).
+    assert headers_a.get("retry-after") == headers_b.get("retry-after")
+    return status_a, headers_a, body_a
+
+
+def _reset(servers):
+    for server in servers:
+        status, _, _ = _roundtrip(server, "DELETE", "/plans")
+        assert status == 200
+
+
+@pytest.fixture(autouse=True)
+def clean_workload(servers):
+    _reset(servers)
+    yield
+
+
+class TestDeterministicRoutes:
+    """Every route with a timing-free payload: byte-identical bodies."""
+
+    def test_health(self, servers):
+        status, _, body = _both(servers, "GET", "/health")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_plans_lifecycle(self, servers):
+        text = write_plan(build_figure1_plan())
+        status, _, body = _both(servers, "POST", "/plans", body=text)
+        assert status == 201
+        assert json.loads(body)["planId"] == "fig1"
+        status, _, body = _both(servers, "GET", "/plans")
+        assert json.loads(body)["plans"] == ["fig1"]
+        status, _, body = _both(servers, "DELETE", "/plans")
+        assert status == 200
+
+    def test_batch_upload(self, servers):
+        texts = [write_plan(p) for p in generate_workload(4, seed=21)]
+        status, _, body = _both(
+            servers,
+            "POST",
+            "/plans",
+            body=json.dumps({"plans": texts}),
+            headers={"Content-Type": "application/json"},
+        )
+        assert status == 201
+        assert json.loads(body)["count"] == 4
+
+    def test_search_pattern_json(self, servers):
+        _both(servers, "POST", "/plans", body=write_plan(build_figure1_plan()))
+        status, _, body = _both(
+            servers, "POST", "/search", body=make_pattern("A").to_json()
+        )
+        assert status == 200
+        assert len(json.loads(body)["matches"]) == 1
+
+    def test_search_sparql(self, servers):
+        _both(servers, "POST", "/plans", body=write_plan(build_figure1_plan()))
+        status, _, body = _both(servers, "POST", "/search/sparql", body=SPARQL)
+        assert status == 200
+        assert json.loads(body)["matches"]
+
+    def test_kb_entries_and_run(self, servers):
+        _both(servers, "POST", "/plans", body=write_plan(build_figure1_plan()))
+        status, _, body = _both(servers, "GET", "/kb/entries")
+        assert "pattern-a" in json.loads(body)["entries"]
+        status, _, body = _both(servers, "POST", "/kb/run", body="")
+        assert status == 200
+        assert json.loads(body)["hits"].get("pattern-a") == 1
+
+    def test_stream_ack_none(self, servers):
+        texts = [write_plan(p) for p in generate_workload(5, seed=22)]
+        ndjson = b"".join(
+            json.dumps(t).encode("utf-8") + b"\n" for t in texts
+        )
+        status, _, body = _both(
+            servers, "POST", "/plans/stream?batch=2", body=ndjson
+        )
+        assert status == 201
+        payload = json.loads(body)
+        assert payload["count"] == 5 and payload["batches"] == 3
+        _both(servers, "GET", "/plans")
+
+    def test_stream_ack_batch(self, servers):
+        texts = [write_plan(p) for p in generate_workload(4, seed=23)]
+        ndjson = b"".join(
+            json.dumps({"plan": t, "id": f"s{i}"}).encode("utf-8") + b"\n"
+            for i, t in enumerate(texts)
+        )
+        status, headers, body = _both(
+            servers, "POST", "/plans/stream?ack=batch&batch=2", body=ndjson
+        )
+        assert status == 200
+        assert headers["content-type"] == "application/x-ndjson"
+        lines = [json.loads(l) for l in body.splitlines() if l.strip()]
+        assert lines[-1]["done"] is True
+        assert [l["seq"] for l in lines[:-1]] == [1, 2]
+
+
+class TestErrorTaxonomy:
+    """Identical statuses, codes and bodies on every failure path."""
+
+    def test_unknown_path(self, servers):
+        status, _, body = _both(servers, "GET", "/nope")
+        assert status == 404
+        assert json.loads(body)["code"] == "not_found"
+
+    def test_unknown_method(self, servers):
+        status, _, body = _both(servers, "PUT", "/plans", body="")
+        assert status == 405
+        assert json.loads(body)["code"] == "method_not_allowed"
+
+    def test_parse_error(self, servers):
+        status, _, body = _both(servers, "POST", "/plans", body="not a plan")
+        assert status == 400
+        assert json.loads(body)["code"] == "parse_error"
+
+    def test_duplicate_plan(self, servers):
+        text = write_plan(build_figure1_plan())
+        _both(servers, "POST", "/plans", body=text)
+        status, _, body = _both(servers, "POST", "/plans", body=text)
+        assert status == 400
+        assert "duplicate" in json.loads(body)["error"]
+
+    def test_bad_search_body(self, servers):
+        status, _, body = _both(servers, "POST", "/search", body="{bad json")
+        assert status == 400
+
+    def test_body_too_large(self, servers):
+        # Both servers share DEFAULT_MAX_BODY_BYTES; one byte over.
+        limit = servers[0].state.max_body_bytes
+        status, _, body = _both(
+            servers,
+            "POST",
+            "/plans",
+            body=b"x" * (limit + 1),
+        )
+        assert status == 413
+        assert json.loads(body)["code"] == "body_too_large"
+
+    def test_bad_timeout_parameter(self, servers):
+        status, _, body = _both(
+            servers, "POST", "/search/sparql?timeout_ms=banana", body=SPARQL
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "bad_parameter"
+
+    def test_stream_torn_final_line(self, servers):
+        text = write_plan(build_figure1_plan())
+        ndjson = json.dumps(text).encode("utf-8") + b"\n" + b'"torn'
+        status, _, body = _both(servers, "POST", "/plans/stream", body=ndjson)
+        assert status == 400
+        payload = json.loads(body)
+        assert payload["code"] == "truncated_stream"
+        # The committed prefix stays on both fronts, identically.
+        _both(servers, "GET", "/plans")
+
+    def test_stream_bad_record(self, servers):
+        status, _, body = _both(
+            servers, "POST", "/plans/stream", body=b"[1, 2, 3]\n"
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "bad_stream_record"
+
+    def test_stream_bad_ack_parameter(self, servers):
+        status, _, body = _both(
+            servers, "POST", "/plans/stream?ack=quorum", body=b""
+        )
+        assert status == 400
+        assert json.loads(body)["code"] == "bad_parameter"
+
+    def test_shed_responses_match(self, servers):
+        """Drain mode: both fronts shed with the same 503 body and the
+        same Retry-After header."""
+        for server in servers:
+            server.state.draining = True
+        try:
+            status, headers, body = _both(
+                servers, "POST", "/search/sparql", body=SPARQL
+            )
+            assert status == 503
+            assert json.loads(body)["code"] == "shed"
+            assert headers.get("retry-after") is not None
+        finally:
+            for server in servers:
+                server.state.draining = False
+
+
+class TestStructuralRoutes:
+    """Timing-bearing routes: same shape, not same bytes."""
+
+    def test_stats_same_keys(self, servers):
+        results = [
+            _roundtrip(server, "GET", "/stats") for server in servers
+        ]
+        payloads = [json.loads(body) for _, _, body in results]
+        assert results[0][0] == results[1][0] == 200
+        assert set(payloads[0]) == set(payloads[1])
+
+    def test_metrics_exposition(self, servers):
+        for server in servers:
+            status, headers, body = _roundtrip(server, "GET", "/metrics")
+            assert status == 200
+            assert "text/plain" in headers["content-type"]
+            assert b"optimatch_http_requests_total" in body
+
+
+class TestKeepAlive:
+    """The asyncio front's keep-alive must not change response bytes."""
+
+    def test_pipelined_sequence_one_connection(self, servers):
+        threaded, asynchronous = servers
+        text = write_plan(build_figure1_plan())
+        # Async front: several requests over ONE connection.
+        connection = http.client.HTTPConnection(
+            *asynchronous.address, timeout=30
+        )
+        try:
+            async_bodies = []
+            for method, path, body in (
+                ("POST", "/plans", text),
+                ("GET", "/plans", None),
+                ("POST", "/search/sparql", SPARQL),
+                ("DELETE", "/plans", None),
+            ):
+                connection.request(method, path, body=body)
+                response = connection.getresponse()
+                async_bodies.append(response.read())
+        finally:
+            connection.close()
+        # Threaded front: same sequence, fresh connections.
+        threaded_bodies = [
+            _roundtrip(threaded, method, path, body)[2]
+            for method, path, body in (
+                ("POST", "/plans", text),
+                ("GET", "/plans", None),
+                ("POST", "/search/sparql", SPARQL),
+                ("DELETE", "/plans", None),
+            )
+        ]
+        assert async_bodies == threaded_bodies
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    count=st.integers(1, 8),
+    batch=st.integers(1, 5),
+    data=st.data(),
+)
+def test_generated_workloads_agree(servers, seed, count, batch, data):
+    """Hypothesis: arbitrary generated workloads produce byte-identical
+    upload replies, plan listings and search results on both fronts —
+    whether uploaded one by one, as a batch, or streamed as NDJSON."""
+    _reset(servers)
+    texts = [
+        write_plan(p)
+        for p in generate_workload(
+            count, seed=seed, size_sampler=lambda rng: rng.randint(5, 15)
+        )
+    ]
+    mode = data.draw(st.sampled_from(["single", "batch", "stream"]))
+    if mode == "single":
+        for text in texts:
+            _both(servers, "POST", "/plans", body=text)
+    elif mode == "batch":
+        _both(
+            servers,
+            "POST",
+            "/plans",
+            body=json.dumps({"plans": texts}),
+            headers={"Content-Type": "application/json"},
+        )
+    else:
+        ndjson = b"".join(
+            json.dumps(t).encode("utf-8") + b"\n" for t in texts
+        )
+        _both(servers, "POST", f"/plans/stream?batch={batch}", body=ndjson)
+    status, _, body = _both(servers, "GET", "/plans")
+    assert len(json.loads(body)["plans"]) == count
+    status, _, body = _both(servers, "POST", "/search/sparql", body=SPARQL)
+    assert status == 200

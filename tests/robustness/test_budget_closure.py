@@ -14,22 +14,12 @@ from repro.core.limits import Budget, BudgetExceeded, EvaluationTimeout
 from repro.rdf import Graph, Namespace
 from repro.sparql import evaluator, query
 from repro.sparql.parser import parse_query
+from repro.testing.clock import FakeClock
 
 EX = Namespace("http://n/")
 P = Namespace("http://p/")
 PREFIX = "PREFIX n: <http://n/> PREFIX p: <http://p/>\n"
 CHAIN_QUERY = PREFIX + "SELECT ?a ?b WHERE { ?a p:e0+ ?b }"
-
-
-class FakeClock:
-    def __init__(self, start=100.0):
-        self.now = start
-
-    def __call__(self):
-        return self.now
-
-    def advance(self, seconds):
-        self.now += seconds
 
 
 def chain_graph(length=40) -> Graph:

@@ -236,3 +236,179 @@ def test_upload_plans_posts_json_batch():
     assert method == "POST"
     assert path.startswith("/plans")
     assert "ack=sync" in path
+
+
+# ----------------------------------------------------------------------
+# Streaming upload retry discipline: a stream is only replayed when
+# doing so cannot duplicate plans — the input is re-iterable AND the
+# failure provably happened before anything was committed (connect
+# failure, or a 503 reporting ingested == 0).
+# ----------------------------------------------------------------------
+def make_stream_client(script, retries=3):
+    """A client whose _stream_once replays *script*: an exception
+    instance (raised) or a (status, headers, body_bytes) tuple."""
+    client = OptImatchClient(
+        "http://127.0.0.1:1",
+        retries=retries,
+        backoff_base=0.1,
+        rng=random.Random(0),
+        sleep=lambda s: client.slept.append(s),
+        registry=MetricsRegistry(),
+    )
+    client.slept = []
+    client.stream_calls = []
+    steps = iter(script)
+
+    def fake_stream(path, plans):
+        client.stream_calls.append((path, list(plans)))
+        step = next(steps)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    client._stream_once = fake_stream
+    return client
+
+
+def _summary_body(count, batches):
+    return json.dumps(
+        {"count": count, "batches": batches, "durability": {}}
+    ).encode("utf-8")
+
+
+def test_stream_retries_connect_failure_with_sequence_input():
+    from repro.client import _StreamConnectError
+
+    client = make_stream_client(
+        [
+            _StreamConnectError(ConnectionRefusedError()),
+            (201, {}, _summary_body(2, 1)),
+        ]
+    )
+    reply = client.upload_plans_stream(["T1", "T2"])
+    assert reply["count"] == 2
+    assert len(client.stream_calls) == 2
+    assert len(client.slept) == 1
+
+
+def test_stream_does_not_retry_midstream_failure():
+    client = make_stream_client(
+        [BrokenPipeError("server died mid-body"), (201, {}, b"{}")]
+    )
+    with pytest.raises(OSError):
+        client.upload_plans_stream(["T1", "T2"])
+    assert len(client.stream_calls) == 1  # replay could duplicate plans
+    assert client.slept == []
+
+
+def test_stream_retries_503_with_zero_ingested():
+    client = make_stream_client(
+        [
+            (
+                503,
+                {"Retry-After": "0.25"},
+                json.dumps(
+                    {"error": "at capacity", "code": "shed", "ingested": 0}
+                ).encode("utf-8"),
+            ),
+            (201, {}, _summary_body(2, 1)),
+        ]
+    )
+    reply = client.upload_plans_stream(["T1", "T2"])
+    assert reply["count"] == 2
+    assert client.slept == [0.25]
+
+
+def test_stream_does_not_retry_503_after_partial_ingest():
+    client = make_stream_client(
+        [
+            (
+                503,
+                {},
+                json.dumps(
+                    {"error": "read only", "code": "read_only", "ingested": 3}
+                ).encode("utf-8"),
+            ),
+        ]
+    )
+    with pytest.raises(ClientError) as info:
+        client.upload_plans_stream(["T1", "T2", "T3", "T4"])
+    assert info.value.code == "read_only"
+    assert info.value.payload["ingested"] == 3
+    assert len(client.stream_calls) == 1
+
+
+def test_stream_generator_input_is_never_retried():
+    from repro.client import _StreamConnectError
+
+    client = make_stream_client(
+        [_StreamConnectError(ConnectionRefusedError())]
+    )
+    with pytest.raises(ServerUnavailable):
+        client.upload_plans_stream(iter(["T1", "T2"]))  # consumed once
+    assert len(client.stream_calls) == 1
+    assert client.slept == []
+
+
+def test_stream_parses_ack_lines_and_done_record():
+    acks = (
+        b'{"count":2,"planIds":["a","b"],"seq":1,"synced":true}\n'
+        b'{"count":1,"planIds":["c"],"seq":2,"synced":true}\n'
+        b'{"batches":2,"count":3,"done":true,"durability":{}}\n'
+    )
+    client = make_stream_client([(200, {}, acks)])
+    seen = []
+    reply = client.upload_plans_stream(
+        ["T1", "T2", "T3"], ack="sync", on_ack=lambda a: seen.append(a["seq"])
+    )
+    assert reply["count"] == 3
+    assert [a["planIds"] for a in reply["acks"]] == [["a", "b"], ["c"]]
+    assert seen == [1, 2]
+    path, _ = client.stream_calls[0]
+    assert "ack=sync" in path
+
+
+def test_stream_trailing_error_record_raises_with_ingested():
+    body = (
+        b'{"count":2,"planIds":["a","b"],"seq":1,"synced":false}\n'
+        b'{"error":"journal failed","code":"read_only","ingested":2}\n'
+    )
+    client = make_stream_client([(200, {}, body)])
+    with pytest.raises(ClientError) as info:
+        client.upload_plans_stream(["T1", "T2", "T3"], ack="batch")
+    assert info.value.code == "read_only"
+    assert info.value.payload["ingested"] == 2
+
+
+def test_stream_records_must_be_str_or_dict():
+    client = make_stream_client([(201, {}, b"{}")])
+    with pytest.raises(TypeError):
+        client._stream_record(42)
+
+
+def test_client_latency_uses_injected_clock():
+    from repro.testing.clock import FakeClock
+
+    clock = FakeClock()
+    client = OptImatchClient(
+        "http://127.0.0.1:1",
+        retries=0,
+        clock=clock,
+        registry=MetricsRegistry(),
+    )
+    client._send_once = lambda *a: (
+        clock.advance(2.0),
+        (200, {}, b'{"status": "ok"}'),
+    )[1]
+    client.health()
+    for snapshot in client.registry.collect():
+        if snapshot.name == "optimatch_client_request_seconds":
+            sums = {
+                s.value
+                for s in snapshot.samples
+                if s.suffix.endswith("_sum")
+            }
+            assert sums == {2.0}  # fake time, exactly
+            break
+    else:  # pragma: no cover
+        pytest.fail("latency histogram not exported")

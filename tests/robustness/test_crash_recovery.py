@@ -161,6 +161,99 @@ class TestSigkillMidIngest:
             tool.close()
 
 
+class TestSigkillMidStream:
+    """kill -9 a server front mid ``POST /plans/stream?ack=sync``.
+
+    Every ack line the client read was preceded by a journal fsync, so
+    after SIGKILL the recovered workload must contain every acked plan;
+    it may additionally contain later batches that were journaled but
+    not yet acked — never anything that was not sent.
+    """
+
+    STREAM_CHILD = os.path.join(os.path.dirname(__file__), "_stream_child.py")
+
+    def _spawn_server(self, data_dir, front):
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(root, "src"), root, env.get("PYTHONPATH", "")]
+        )
+        return subprocess.Popen(
+            [sys.executable, "-u", self.STREAM_CHILD, str(data_dir), front],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+    @pytest.mark.parametrize("front", ["threaded", "async"])
+    def test_acked_stream_batches_survive_sigkill(
+        self, tmp_path, workload_dir, front
+    ):
+        import socket
+
+        data_dir = tmp_path / "data"
+        proc = self._spawn_server(data_dir, front)
+        try:
+            port = int(read_until(proc, "PORT")[0].split(" ", 1)[1])
+            names = sorted(
+                name[: -len(".exfmt")]
+                for name in os.listdir(workload_dir)
+                if name.endswith(".exfmt")
+            )
+            sent = []
+            acked = []
+            sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+            reader = sock.makefile("rb")
+            try:
+                sock.sendall(
+                    b"POST /plans/stream?ack=sync&batch=1 HTTP/1.1\r\n"
+                    b"Host: localhost\r\n"
+                    b"Content-Type: application/x-ndjson\r\n"
+                    b"Transfer-Encoding: chunked\r\n"
+                    b"\r\n"
+                )
+                for index, name in enumerate(names[:4]):
+                    text = (workload_dir / f"{name}.exfmt").read_text()
+                    line = json.dumps(
+                        {"plan": text, "id": name}
+                    ).encode("utf-8") + b"\n"
+                    sock.sendall(b"%x\r\n%s\r\n" % (len(line), line))
+                    sent.append(name)
+                    if index == 0:
+                        # Headers ride out with the first ack.
+                        status_line = reader.readline()
+                        assert b"200" in status_line, status_line
+                        while reader.readline() not in (b"\r\n", b"\n", b""):
+                            pass
+                    ack = json.loads(reader.readline())
+                    assert ack["synced"] is True
+                    acked.extend(ack["planIds"])
+                # Mid-stream, acks in hand, torn request body: SIGKILL.
+                os.kill(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=30)
+            finally:
+                reader.close()
+                sock.close()
+        finally:
+            proc.kill()
+            proc.stdout.close()
+            proc.stderr.close()
+
+        assert len(acked) == 4
+        tool = recovered_tool(data_dir)
+        try:
+            recovered_ids = {t.plan_id for t in tool.workload}
+            # Durability contract, both directions: every synced ack
+            # survived, and nothing that was never sent materialized.
+            assert set(acked) <= recovered_ids <= set(sent)
+            assert canonical_results(tool) == control_results(
+                workload_dir, sorted(recovered_ids)
+            )
+        finally:
+            tool.close()
+
+
 class TestChaosKillSites:
     def test_kill_at_wal_append_loses_only_that_record(
         self, tmp_path, workload_dir

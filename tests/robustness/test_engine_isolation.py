@@ -97,13 +97,14 @@ class TestPlanErrorShape:
 
 class TestBudgets:
     def test_expired_budget_short_circuits_all_plans(self, small_transformed):
-        clockless = Budget(timeout_ms=1)
-        import time
+        from repro.testing.clock import FakeClock
 
-        time.sleep(0.01)
+        clock = FakeClock()
+        expired = Budget(timeout_ms=1, clock=clock)
+        clock.advance(0.01)  # past the deadline, no wall time spent
         engine = MatchingEngine(workers=1)
         result = engine.search_isolated(
-            TRIVIAL_SPARQL, small_transformed, budget=clockless
+            TRIVIAL_SPARQL, small_transformed, budget=expired
         )
         assert not result.matches
         assert len(result.errors) == len(small_transformed)

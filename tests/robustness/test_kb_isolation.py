@@ -1,12 +1,11 @@
 """Per-entry fault isolation in knowledge-base runs."""
 
-import time
-
 import pytest
 
 from repro.core import Budget, MatchingEngine
 from repro.kb import builtin_knowledge_base
 from repro.testing import chaos
+from repro.testing.clock import FakeClock
 
 
 @pytest.fixture
@@ -19,8 +18,9 @@ def entry_names(kb):
 
 
 def expired_budget():
-    budget = Budget(timeout_ms=1)
-    time.sleep(0.01)
+    clock = FakeClock()
+    budget = Budget(timeout_ms=1, clock=clock)
+    clock.advance(0.01)  # past the deadline, no wall time spent
     return budget
 
 

@@ -11,17 +11,7 @@ from repro.core.limits import (
     activate,
     active_budget,
 )
-
-
-class FakeClock:
-    def __init__(self, start=100.0):
-        self.now = start
-
-    def __call__(self):
-        return self.now
-
-    def advance(self, seconds):
-        self.now += seconds
+from repro.testing.clock import FakeClock, installed as installed_clock
 
 
 class TestBudgetValidation:
@@ -150,3 +140,46 @@ class TestActivation:
             with activate(inner):
                 assert active_budget() is inner
             assert active_budget() is outer
+
+
+class TestInstalledClock:
+    """The process-default clock: budgets built without an explicit
+    clock read whatever :func:`limits.install_clock` installed, so
+    whole subsystems (server request budgets, retry backoff tests) run
+    on fake time without threading a clock through every call site."""
+
+    def test_budget_without_clock_uses_installed_default(self):
+        clock = FakeClock()
+        with installed_clock(clock):
+            budget = Budget(timeout_ms=1000)
+            budget.check()
+            clock.advance(2.0)
+            assert budget.expired()
+            with pytest.raises(EvaluationTimeout):
+                budget.check()
+
+    def test_installed_clock_is_restored_on_exit(self):
+        clock = FakeClock()
+        with installed_clock(clock):
+            assert limits.default_clock() == clock()
+        before = limits.default_clock()
+        clock.advance(50.0)
+        assert limits.default_clock() != clock()  # real clock is back
+        assert limits.default_clock() >= before
+
+    def test_explicit_clock_wins_over_installed(self):
+        explicit = FakeClock(start=0.0)
+        ambient = FakeClock(start=1000.0)
+        with installed_clock(ambient):
+            budget = Budget(timeout_ms=1000, clock=explicit)
+            ambient.advance(100.0)  # irrelevant to this budget
+            budget.check()
+            explicit.advance(2.0)
+            assert budget.expired()
+
+    def test_fake_clock_sleep_advances(self):
+        clock = FakeClock(start=5.0)
+        clock.sleep(1.5)
+        assert clock() == 6.5
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
