@@ -1,0 +1,148 @@
+"""Disabled-path cost of the chaos trip points and admission guards.
+
+This PR's hardening added hooks to hot paths: every WAL append and
+fsync now checks ``chaos.active``, and every ingest admission runs the
+``--min-free-bytes`` / ``--max-rss-bytes`` guards (two falsy-int checks
+when disabled, the default).  The robustness contract is that all of it
+is *free when off* — this module measures the disabled-path cost of
+each hook against the operation it guards and asserts the ratio stays
+under the 2% budget.
+
+Like the other perf gates, the assertion is report-only under
+``OPTIMATCH_PERF_SMOKE=1`` (CI runners are too noisy for hard perf
+thresholds); the numbers still land in ``BENCH_matching.json`` so the
+trajectory is visible per PR.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import write_json_report, write_report
+from repro.server.common import ServerState
+from repro.store.wal import WalWriter
+from repro.testing import chaos
+
+OVERHEAD_BUDGET = 0.02  # disabled hooks vs the work they guard
+REPORT_ONLY = os.environ.get("OPTIMATCH_PERF_SMOKE") == "1"
+
+APPENDS = 2000
+CHECKS = 20000
+
+
+def _best_of(n, fn):
+    best = float("inf")
+    for _ in range(n):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_disabled_chaos_and_guards_are_free(tmp_path):
+    assert not chaos.active  # the path under measurement
+
+    # --- WAL appends with the (disabled) trip + short-write hooks.
+    record = {"op": "add", "plan": "qep-0001", "source": "x" * 256}
+    writer = WalWriter(str(tmp_path / "bench.log"), fsync="async")
+
+    def append_batch():
+        for _ in range(APPENDS):
+            writer.append(record)
+
+    append_batch()  # warm page cache / allocator
+    append_seconds = _best_of(3, append_batch)
+    writer.close()
+    per_append = append_seconds / APPENDS
+
+    # The pure hook cost: what each append pays before any IO.
+    def check_batch():
+        for _ in range(CHECKS):
+            if chaos.active:  # pragma: no cover - disarmed by assert
+                raise AssertionError
+    check_seconds = _best_of(5, check_batch)
+    per_check = check_seconds / CHECKS
+    chaos_ratio = per_check / per_append
+
+    # --- The new admission guards, disabled (the default) — measured
+    # against the single-plan ingest request they gate, which is the
+    # operation that actually pays the check.
+    from repro.qep.writer import write_plan
+    from repro.server.common import dispatch
+    from repro.workload import generate_workload
+
+    state = ServerState(workers=1)  # min_free_bytes=0, max_rss_bytes=0
+    plan_text = write_plan(
+        generate_workload(1, seed=5, size_sampler=lambda rng: 8)[0]
+    )
+    body = plan_text.encode("utf-8")
+    headers = {
+        "content-type": "text/plain",
+        "content-length": str(len(body)),
+    }
+
+    def ingest_once():
+        response = dispatch(
+            state, "POST", "/plans?replace=1", headers, body
+        )
+        assert response.status == 201
+
+    ingest_once()  # warm parse caches; replace=1 makes repeats legal
+    ingest_seconds = _best_of(5, ingest_once)
+
+    def guards_batch():
+        for _ in range(CHECKS):
+            state.check_memory_watermark(1)
+            state.check_disk_preflight(1)
+
+    guards_batch()
+    guards_seconds = _best_of(5, guards_batch)
+    per_guard = guards_seconds / CHECKS
+    guard_ratio = per_guard / ingest_seconds
+
+    # --- The enabled-but-under-watermark RSS probe, for scale: this is
+    # what turning the guard ON costs per ingest request.
+    state.max_rss_bytes = 1 << 50  # never sheds
+
+    def probed_batch():
+        for _ in range(APPENDS):
+            state.check_memory_watermark(1)
+
+    probed_batch()
+    probed_seconds = _best_of(3, probed_batch)
+    per_probed = probed_seconds / APPENDS
+
+    lines = [
+        "Chaos/guard disabled-path overhead",
+        f"  WAL append (async):          {per_append * 1e6:8.2f} us",
+        f"  chaos.active check:          {per_check * 1e9:8.1f} ns "
+        f"({chaos_ratio:.2%} of an append)",
+        f"  single-plan ingest:          {ingest_seconds * 1e6:8.2f} us",
+        f"  both guards, disabled:       {per_guard * 1e9:8.1f} ns "
+        f"({guard_ratio:.2%} of an ingest)",
+        f"  RSS probe, armed:            {per_probed * 1e6:8.2f} us",
+    ]
+    write_report("chaos_overhead", "\n".join(lines))
+    write_json_report(
+        "chaos_overhead",
+        {
+            "walAppendSeconds": round(per_append, 9),
+            "chaosCheckSeconds": round(per_check, 12),
+            "chaosCheckVsAppend": round(chaos_ratio, 6),
+            "ingestSeconds": round(ingest_seconds, 9),
+            "guardsDisabledSeconds": round(per_guard, 12),
+            "guardsDisabledVsIngest": round(guard_ratio, 6),
+            "rssProbeSeconds": round(per_probed, 9),
+            "budget": OVERHEAD_BUDGET,
+            "reportOnly": REPORT_ONLY,
+        },
+    )
+    if REPORT_ONLY:
+        return
+    assert chaos_ratio < OVERHEAD_BUDGET, (
+        f"the disarmed chaos check costs {chaos_ratio:.2%} of a WAL "
+        f"append (budget {OVERHEAD_BUDGET:.0%})"
+    )
+    assert guard_ratio < OVERHEAD_BUDGET, (
+        f"disabled admission guards cost {guard_ratio:.2%} of a "
+        f"single-plan ingest (budget {OVERHEAD_BUDGET:.0%})"
+    )

@@ -341,6 +341,8 @@ def _cmd_serve(args) -> int:
         checkpoint_every=args.checkpoint_every,
         stream_batch=args.stream_batch,
         stream_hwm=args.stream_hwm,
+        min_free_bytes=args.min_free_bytes,
+        max_rss_bytes=args.max_rss_bytes,
     )
     if args.workload:
         if args.data_dir:
@@ -627,6 +629,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int,
                    default=store_defaults.DEFAULT_CHECKPOINT_EVERY,
                    help="journal records between automatic checkpoints")
+    p.add_argument("--min-free-bytes", type=int, default=0,
+                   help="refuse ingest with 503 low_disk while the data "
+                        "dir has less free space than this (0 = off)")
+    p.add_argument("--max-rss-bytes", type=int, default=0,
+                   help="shed ingest with 503 overloaded_memory while "
+                        "process RSS exceeds this watermark (0 = off)")
     add_engine_flags(p)
     p.set_defaults(func=_cmd_serve)
 

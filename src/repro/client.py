@@ -69,7 +69,12 @@ class OptImatchClient:
 
     *retries* is the number of attempts **after** the first (so
     ``retries=3`` means up to 4 requests); *backoff_base* seconds
-    doubles per attempt up to *backoff_cap*, with full jitter.  Pass
+    doubles per attempt up to *backoff_cap*, with full jitter.
+    *retry_budget_s* additionally caps the total wall-clock a logical
+    request may spend retrying (measured on the injectable *clock* from
+    the first attempt): no retry starts after the budget is spent and a
+    backoff sleep is clamped to the remaining budget, so the retry loop
+    composes with caller deadlines instead of overshooting them.  Pass
     ``rng=random.Random(0)`` (or any object with ``uniform``) for
     deterministic tests, and *sleep* to intercept waiting.
     """
@@ -80,6 +85,7 @@ class OptImatchClient:
         retries: int = 3,
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
+        retry_budget_s: Optional[float] = None,
         connect_timeout: float = 10.0,
         rng=None,
         sleep=time.sleep,
@@ -95,6 +101,11 @@ class OptImatchClient:
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
+        if retry_budget_s is not None and retry_budget_s <= 0:
+            raise ValueError(
+                f"retry_budget_s must be positive: {retry_budget_s}"
+            )
+        self.retry_budget_s = retry_budget_s
         self.connect_timeout = connect_timeout
         self._rng = rng or random
         self._sleep = sleep
@@ -154,6 +165,32 @@ class OptImatchClient:
         cap = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
         return self._rng.uniform(0, cap)
 
+    def _retry_delay(
+        self, started: float, attempt: int, retry_after: Optional[str]
+    ) -> Optional[float]:
+        """Backoff for the next retry, clamped to the retry budget.
+
+        Returns ``None`` when the budget is already spent — the caller
+        must stop retrying and surface :class:`ServerUnavailable`.
+        """
+        delay = self._backoff_delay(attempt, retry_after)
+        if self.retry_budget_s is None:
+            return delay
+        remaining = self.retry_budget_s - (self._clock() - started)
+        if remaining <= 0:
+            return None
+        return min(delay, remaining)
+
+    def _budget_exhausted(
+        self, method: str, path: str, tried: int, last: Optional[BaseException]
+    ) -> "ServerUnavailable":
+        return ServerUnavailable(
+            f"{method} {path} failed after {tried} attempts "
+            f"(retry budget of {self.retry_budget_s}s exhausted)",
+            attempts=tried,
+            last=last,
+        )
+
     def _request(
         self,
         method: str,
@@ -200,6 +237,7 @@ class OptImatchClient:
             if filtered:
                 path = f"{path}?{urlencode(filtered)}"
 
+        started = self._clock()
         attempts = self.retries + 1
         last_exc: Optional[BaseException] = None
         for attempt in range(attempts):
@@ -210,8 +248,13 @@ class OptImatchClient:
             except (ConnectionError, OSError, http.client.HTTPException) as exc:
                 last_exc = exc
                 if attempt + 1 < attempts:
+                    delay = self._retry_delay(started, attempt, None)
+                    if delay is None:
+                        raise self._budget_exhausted(
+                            method, path, attempt + 1, last_exc
+                        )
                     self._m_retries.labels("connection").inc()
-                    self._sleep(self._backoff_delay(attempt, None))
+                    self._sleep(delay)
                 continue
             if status == 503:
                 last_exc = None
@@ -229,11 +272,16 @@ class OptImatchClient:
                     reason = (
                         code if code in ("recovering", "read_only") else "shed"
                     )
-                    self._m_retries.labels(reason).inc()
                     retry_after = {
                         k.lower(): v for k, v in resp_headers.items()
                     }.get("retry-after")
-                    self._sleep(self._backoff_delay(attempt, retry_after))
+                    delay = self._retry_delay(started, attempt, retry_after)
+                    if delay is None:
+                        raise self._budget_exhausted(
+                            method, path, attempt + 1, None
+                        )
+                    self._m_retries.labels(reason).inc()
+                    self._sleep(delay)
                 continue
             payload = self._decode(data)
             if 200 <= status < 300:
@@ -367,8 +415,14 @@ class OptImatchClient:
                         if isinstance(exc, _StreamConnectError):
                             break  # attempts exhausted -> ServerUnavailable
                         raise  # mid-stream failure: never replay
+                    delay = self._retry_delay(started, attempt, None)
+                    if delay is None:
+                        outcome = "unavailable"
+                        raise self._budget_exhausted(
+                            "POST", path, attempt + 1, last_exc
+                        )
                     self._m_retries.labels("connection").inc()
-                    self._sleep(self._backoff_delay(attempt, None))
+                    self._sleep(delay)
                     continue
                 if status == 503:
                     payload = self._decode(data)
@@ -389,11 +443,17 @@ class OptImatchClient:
                             if code in ("recovering", "read_only")
                             else "shed"
                         )
-                        self._m_retries.labels(reason).inc()
                         retry_after = {
                             k.lower(): v for k, v in resp_headers.items()
                         }.get("retry-after")
-                        self._sleep(self._backoff_delay(attempt, retry_after))
+                        delay = self._retry_delay(started, attempt, retry_after)
+                        if delay is None:
+                            outcome = "unavailable"
+                            raise self._budget_exhausted(
+                                "POST", path, attempt + 1, None
+                            )
+                        self._m_retries.labels(reason).inc()
+                        self._sleep(delay)
                         continue
                     message = (
                         payload.get("error", "service unavailable")

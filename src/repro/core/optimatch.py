@@ -157,7 +157,16 @@ class OptImatch:
 
     def _maybe_checkpoint(self) -> None:
         if self._store is not None and self._store.should_checkpoint:
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except DurabilityError:
+                # The mutation that triggered this checkpoint is already
+                # journaled AND applied — it must be acked as a success,
+                # or the client would retry a durably-committed write
+                # (duplicate ingestion).  The failed checkpoint has
+                # latched the store read-only (metric + health reason),
+                # so the *next* mutation surfaces the 503.
+                pass
 
     def add_plan(self, plan: PlanGraph) -> TransformedPlan:
         """Transform *plan* and add it to the workload."""

@@ -1,0 +1,38 @@
+"""Process-level resource probes (no psutil dependency).
+
+:func:`current_rss_bytes` is the seam behind the server's
+``--max-rss-bytes`` ingest watermark: on Linux it reads the resident
+page count from ``/proc/self/statm`` (two syscalls, ~microseconds, so
+it is cheap enough to run per admission check); elsewhere it falls
+back to ``resource.getrusage`` — the *peak* RSS, which over-reports
+after a transient spike but still bounds a runaway process.  Returns
+0 when no probe is available, which callers must treat as "unknown,
+do not shed".
+"""
+
+from __future__ import annotations
+
+import os
+
+_PAGE_SIZE = 4096
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    pass
+
+
+def current_rss_bytes() -> int:
+    """Best-effort resident set size of this process, in bytes."""
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:  # pragma: no cover - non-Linux fallback
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        return int(usage.ru_maxrss) * 1024  # ru_maxrss is KiB on Linux
+    except Exception:
+        return 0

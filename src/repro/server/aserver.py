@@ -125,6 +125,8 @@ class AsyncOptImatchServer:
         stream_batch: int = DEFAULT_STREAM_BATCH,
         max_streams: int = DEFAULT_MAX_STREAMS,
         stream_hwm: int = DEFAULT_STREAM_HWM,
+        min_free_bytes: int = 0,
+        max_rss_bytes: int = 0,
         clock=None,
     ):
         self.state = ServerState(
@@ -144,6 +146,8 @@ class AsyncOptImatchServer:
             stream_batch=stream_batch,
             max_streams=max_streams,
             stream_hwm=stream_hwm,
+            min_free_bytes=min_free_bytes,
+            max_rss_bytes=max_rss_bytes,
             clock=clock,
         )
         self._host = host

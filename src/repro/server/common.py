@@ -27,6 +27,7 @@ around it.
 from __future__ import annotations
 
 import json
+import shutil
 import sys
 import threading
 from typing import Callable, Mapping, Optional, Tuple
@@ -37,6 +38,7 @@ from repro.core.limits import default_clock
 from repro.kb import KnowledgeBase, builtin_knowledge_base
 from repro.kb.knowledge_base import KBEntry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.process import current_rss_bytes
 from repro.obs.prometheus import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.obs.prometheus import render_text
 from repro.qep.parser import QepParseError
@@ -173,6 +175,8 @@ class ServerState:
         stream_batch: int = DEFAULT_STREAM_BATCH,
         max_streams: int = DEFAULT_MAX_STREAMS,
         stream_hwm: int = DEFAULT_STREAM_HWM,
+        min_free_bytes: int = 0,
+        max_rss_bytes: int = 0,
         clock: Optional[Callable[[], float]] = None,
     ):
         # One registry per server (not the process default) so a scrape
@@ -209,6 +213,15 @@ class ServerState:
         # connections.  A blocked acquire IS the backpressure — the
         # connection holding it stops reading its socket.
         self.stream_commit_slots = threading.BoundedSemaphore(self.stream_hwm)
+        # Resource-exhaustion admission guards (0 = disabled, the
+        # default, so the disabled path costs one falsy int check).
+        # Both probes are seams — tests monkeypatch `_disk_usage` /
+        # `_rss_probe` instead of actually filling the disk or the heap.
+        self.min_free_bytes = max(0, int(min_free_bytes))
+        self.max_rss_bytes = max(0, int(max_rss_bytes))
+        self.data_dir = data_dir
+        self._disk_usage = shutil.disk_usage
+        self._rss_probe = current_rss_bytes
         self.clock = clock if clock is not None else default_clock
         self.draining = False
         # In-flight accounting: `requests` counts every active request
@@ -267,6 +280,12 @@ class ServerState:
             "optimatch_stream_backpressure_total",
             "Times a streaming connection paused reading because the "
             "commit queue was at its high-water mark.",
+        )
+        self._m_resource_shed = self.registry.counter(
+            "optimatch_resource_shed_total",
+            "Ingest requests refused at admission by a resource guard, "
+            "by reason (low_disk, overloaded_memory).",
+            ("reason",),
         )
 
     # ------------------------------------------------------------------
@@ -332,13 +351,57 @@ class ServerState:
     def check_ingest_allowed(self, retry_after: int) -> None:
         """Raise the 503 taxonomy error when mutations cannot proceed.
 
-        Searches keep working in ``read_only`` — only ingest degrades."""
+        Searches keep working in ``read_only`` — only ingest degrades.
+        Resource guards run here too: refusing ingest while the disk is
+        nearly full (before the journal hits real ``ENOSPC`` and latches
+        read-only) or while RSS is over the watermark (before the OOM
+        killer makes the decision for us) is a *retryable* 503, not a
+        latch."""
         self.check_not_recovering(retry_after)
         if self.recovery_error is not None:
             raise _RequestError(
                 503,
                 "read_only",
                 f"journal recovery failed: {self.recovery_error}",
+                headers=(("Retry-After", str(retry_after)),),
+            )
+        self.check_memory_watermark(retry_after)
+        self.check_disk_preflight(retry_after)
+
+    def check_memory_watermark(self, retry_after: int) -> None:
+        """503 ``overloaded_memory`` when RSS exceeds ``--max-rss-bytes``."""
+        if not self.max_rss_bytes:
+            return
+        rss = self._rss_probe()
+        if rss > self.max_rss_bytes:
+            self._m_resource_shed.labels("overloaded_memory").inc()
+            raise _RequestError(
+                503,
+                "overloaded_memory",
+                f"resident set size {rss} bytes exceeds the "
+                f"{self.max_rss_bytes}-byte watermark, retry later",
+                headers=(("Retry-After", str(retry_after)),),
+            )
+
+    def check_disk_preflight(self, retry_after: int) -> None:
+        """503 ``low_disk`` when the data dir is under ``--min-free-bytes``.
+
+        Only meaningful with durability: the guard protects the journal
+        device.  A probe failure is ignored — the write path will
+        surface (and classify) the real error."""
+        if not self.min_free_bytes or self.data_dir is None:
+            return
+        try:
+            free = self._disk_usage(self.data_dir).free
+        except OSError:
+            return
+        if free < self.min_free_bytes:
+            self._m_resource_shed.labels("low_disk").inc()
+            raise _RequestError(
+                503,
+                "low_disk",
+                f"{free} bytes free on the journal device is under the "
+                f"{self.min_free_bytes}-byte floor, retry later",
                 headers=(("Retry-After", str(retry_after)),),
             )
 
@@ -668,14 +731,23 @@ def health_payload(state: ServerState) -> dict:
     state lock or a heavy search evaluates — and the asyncio front can
     serve it inline on the event loop without an executor hop.
     """
+    status = state.health_status()
     payload = {
-        "status": state.health_status(),
+        "status": status,
         "plans": state.tool.plan_count,
         "kbEntries": len(state.kb),
         "inflight": state.inflight_heavy,
     }
     if state.tool.durable:
         payload["durability"] = state.tool.durability_status()
+    if status == "read_only":
+        # Operators need the *why* (disk full vs bad device vs a failed
+        # recovery) without scraping metrics — see docs/operations.md.
+        if state.recovery_error is not None:
+            payload["reason"] = f"journal recovery failed: {state.recovery_error}"
+        else:
+            durability = payload.get("durability") or state.tool.durability_status()
+            payload["reason"] = durability.get("failure", "journal failure")
     return payload
 
 

@@ -41,14 +41,20 @@ distinct across replaces.
 
 Failure mode
 ------------
-Any journal device failure (:class:`repro.store.wal.WalError`) flips
-the store to **read-only**: every further mutation raises
+Any journal device failure (:class:`repro.store.wal.WalError`) — and
+any ``OSError`` out of the checkpoint write/rename path — flips the
+store to **read-only**: every further mutation raises
 :class:`DurabilityError` while reads keep working, which the server
 surfaces as 503 + ``Retry-After`` on ingest with searches still served.
+Each latch increments ``optimatch_durability_errors_total{kind=...}``
+(``enospc`` / ``eio`` / ``io`` / ``error`` via :func:`failure_kind`) and
+:meth:`DurableStore.status` carries ``failure`` + ``failureKind`` so
+``/health`` can tell operators *why* the store latched.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import re
@@ -78,6 +84,21 @@ DEFAULT_CHECKPOINT_EVERY = 256
 
 class DurabilityError(RuntimeError):
     """A mutation could not be made durable (journal failed / read-only)."""
+
+
+def failure_kind(err: Optional[int]) -> str:
+    """Metric label for a durability failure's errno.
+
+    ``enospc`` (disk full) and ``eio`` (device error) get their own
+    buckets because they drive different operator responses (free space
+    vs replace hardware); any other OS error is ``io``; a failure with
+    no errno at all (e.g. a checkpoint serialization bug) is ``error``.
+    """
+    if err == errno.ENOSPC:
+        return "enospc"
+    if err == errno.EIO:
+        return "eio"
+    return "io" if err is not None else "error"
 
 
 def compose_version(revision: int, natural: int) -> int:
@@ -182,6 +203,7 @@ class DurableStore:
         self._writer: Optional[WalWriter] = None
         self._recovered = False
         self._failed: Optional[str] = None
+        self._failed_kind: Optional[str] = None
         self._closed = False
         self.checkpoint_seq = 0
         self.records_since_checkpoint = 0
@@ -208,6 +230,12 @@ class DurableStore:
             "Durability state of the store (1 = active).",
             ("state",),
         )
+        self._m_dur_errors = self.registry.counter(
+            "optimatch_durability_errors_total",
+            "Durability failures that latched the store read-only, "
+            "by kind (enospc, eio, io, error).",
+            ("kind",),
+        )
         self._set_state_gauge()
 
     # ------------------------------------------------------------------
@@ -230,9 +258,11 @@ class DurableStore:
         for state in ("recovering", "ready", "read_only"):
             self._m_state.labels(state).set(1.0 if state == current else 0.0)
 
-    def _fail(self, reason: str) -> None:
+    def _fail(self, reason: str, kind: str = "error") -> None:
         if self._failed is None:
             self._failed = reason
+            self._failed_kind = kind
+            self._m_dur_errors.labels(kind).inc()
             self._set_state_gauge()
 
     @property
@@ -260,6 +290,7 @@ class DurableStore:
         }
         if self._failed is not None:
             payload["failure"] = self._failed
+            payload["failureKind"] = self._failed_kind or "error"
         if self.last_recovery is not None:
             payload["recovery"] = self.last_recovery
         return payload
@@ -277,7 +308,7 @@ class DurableStore:
         try:
             size = self._writer.append(record)
         except WalError as exc:
-            self._fail(str(exc))
+            self._fail(str(exc), kind=failure_kind(exc.errno))
             raise DurabilityError(str(exc)) from exc
         self._m_records.labels(record["op"]).inc()
         self._m_bytes.inc(size)
@@ -338,7 +369,7 @@ class DurableStore:
         try:
             self._writer.sync()
         except WalError as exc:
-            self._fail(str(exc))
+            self._fail(str(exc), kind=failure_kind(exc.errno))
             raise DurabilityError(str(exc)) from exc
 
     @property
@@ -473,8 +504,18 @@ class DurableStore:
             )
         except WalError as exc:
             self._remove_quietly(tmp_path)
-            self._fail(str(exc))
+            self._fail(str(exc), kind=failure_kind(exc.errno))
             raise DurabilityError(str(exc)) from exc
+        except OSError as exc:
+            # Disk trouble mid-checkpoint (ENOSPC writing the temp file,
+            # EIO on the rename): the existing checkpoint and journal
+            # are intact, but a device that just failed must not keep
+            # taking acked writes — latch read-only.
+            self._remove_quietly(tmp_path)
+            self._fail(
+                f"checkpoint failed: {exc}", kind=failure_kind(exc.errno)
+            )
+            raise DurabilityError(f"checkpoint failed: {exc}") from exc
         except Exception as exc:
             self._remove_quietly(tmp_path)
             if self._writer is None:
@@ -622,7 +663,9 @@ class DurableStore:
                 fsync=self.fsync_policy,
             )
         except OSError as exc:
-            self._fail(f"journal open failed: {exc}")
+            self._fail(
+                f"journal open failed: {exc}", kind=failure_kind(exc.errno)
+            )
         self._recovered = True
         # Replayed records are work the next checkpoint should absorb.
         self.records_since_checkpoint = info.replayed_records

@@ -34,7 +34,10 @@ are forced to the device:
 ``"async"``
     flush to the OS on every append, never an explicit fsync (the
     kernel writes back on its own schedule).  Fastest; a power loss can
-    lose everything since the last kernel writeback.
+    lose everything since the last kernel writeback.  An ``atexit``
+    hook fsyncs the tail on clean interpreter exit, so only a crash or
+    power loss — not an orderly shutdown that skipped ``close`` — can
+    drop buffered records.
 
 Chaos sites
 -----------
@@ -43,11 +46,16 @@ name) fires before a record is framed and written; ``wal.fsync`` fires
 before each explicit ``os.fsync``.  Armed with ``kill=True`` they
 simulate a crash mid-append / mid-sync for the recovery harness; armed
 with an ``OSError`` they simulate a failed journal device (the store
-degrades to read-only serving).
+degrades to read-only serving).  Armed with ``short_write=<n>`` the
+``wal.append`` site persists only the first *n* bytes of the frame
+before failing — a torn append that recovery must truncate at the last
+valid record boundary.
 """
 
 from __future__ import annotations
 
+import atexit
+import errno as _errno
 import json
 import os
 import struct
@@ -74,7 +82,17 @@ FSYNC_POLICIES = ("fsync", "batch", "async")
 
 
 class WalError(RuntimeError):
-    """The journal device failed (write or fsync raised ``OSError``)."""
+    """The journal device failed (write or fsync raised ``OSError``).
+
+    ``errno`` carries the underlying OS error number when the failure
+    was an ``OSError`` (``ENOSPC`` for a full disk, ``EIO`` for a bad
+    device), so callers can classify the failure for metrics/alerting
+    without parsing the message.
+    """
+
+    def __init__(self, message: str, errno: Optional[int] = None):
+        super().__init__(message)
+        self.errno = errno
 
 
 def encode_record(obj: dict) -> bytes:
@@ -194,6 +212,20 @@ class WalWriter:
         self.bytes_appended = 0
         self.fsyncs = 0
         self._closed = False
+        if fsync == "async":
+            # The async policy never fsyncs on its own; make sure a
+            # *clean* interpreter exit (which flushes Python buffers but
+            # not the page cache) still forces the tail to the device.
+            atexit.register(self._flush_at_exit)
+
+    def _flush_at_exit(self) -> None:
+        if self._closed:
+            return
+        try:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError:
+            pass  # interpreter is exiting: nothing left to latch
 
     # ------------------------------------------------------------------
     def append(self, obj: dict) -> int:
@@ -201,9 +233,11 @@ class WalWriter:
         frame = encode_record(obj)
         try:
             if chaos.active:
-                chaos.trip(
-                    "wal.append", str(obj.get("plan") or obj.get("op") or "")
-                )
+                key = str(obj.get("plan") or obj.get("op") or "")
+                injection = chaos.short_write("wal.append", key)
+                if injection is not None:
+                    self._torn_append(frame, injection)
+                chaos.trip("wal.append", key)
             self._fh.write(frame)
             self._fh.flush()
             self._pending += 1
@@ -217,10 +251,34 @@ class WalWriter:
                 ):
                     self._fsync()
         except OSError as exc:
-            raise WalError(f"journal append failed: {exc}") from exc
+            raise WalError(
+                f"journal append failed: {exc}", errno=exc.errno
+            ) from exc
         self.records_appended += 1
         self.bytes_appended += len(frame)
         return len(frame)
+
+    def _torn_append(self, frame: bytes, injection) -> None:
+        """Chaos: persist a prefix of *frame*, then fail like the device.
+
+        The prefix is flushed *and fsynced* so the torn bytes are really
+        on disk before the fault — the ``kill=True`` variant must leave
+        a genuinely torn file for recovery to truncate, not an empty
+        Python buffer.  Raises the armed exception (default
+        ``OSError(EIO)``, which :meth:`append` converts to
+        :class:`WalError`) unless the injection kills the process.
+        """
+        prefix = frame[: min(injection.short_write, len(frame))]
+        if prefix:
+            self._fh.write(prefix)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        if injection.kill:
+            os._exit(chaos.KILL_EXIT_CODE)
+        exc = injection.exc
+        if exc is not None:
+            raise exc() if callable(exc) else exc
+        raise OSError(_errno.EIO, "injected short write")
 
     def _fsync(self) -> None:
         if chaos.active:
@@ -238,7 +296,9 @@ class WalWriter:
             self._fh.flush()
             self._fsync()
         except OSError as exc:
-            raise WalError(f"journal sync failed: {exc}") from exc
+            raise WalError(
+                f"journal sync failed: {exc}", errno=exc.errno
+            ) from exc
 
     def tell(self) -> int:
         return self._fh.tell()
@@ -248,6 +308,8 @@ class WalWriter:
         if self._closed:
             return
         self._closed = True
+        if self.policy == "async":
+            atexit.unregister(self._flush_at_exit)
         try:
             if sync:
                 self._fh.flush()

@@ -1,0 +1,132 @@
+"""The chaos campaign itself is load-bearing — test the harness.
+
+Three properties keep the campaign trustworthy:
+
+* **anti-drift** — the site registry in :mod:`repro.testing.chaos` must
+  name exactly the trip points instrumented in the source tree.  A new
+  ``chaos.trip(...)`` call without a ``register_site`` entry would be a
+  site the campaign silently never sweeps; a registry entry without a
+  trip call would be an arm that tests nothing.  This test greps the
+  source for the literal site strings and pins set equality.
+* **determinism** — the arm list is a pure function of the registry and
+  the filters, and a fixed seed yields an identical report dict (the
+  acceptance bar for comparing campaign runs across commits).
+* **verdicts** — a real sliced run must uphold every invariant (zero
+  violations, control parity), and the report must carry the
+  machine-readable fields CI and the runbook key off.
+"""
+
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.testing import campaign, chaos
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+_TRIP_CALL = re.compile(
+    r"chaos\.(?:trip|short_write)\(\s*[\"']([^\"']+)[\"']"
+)
+
+
+def _instrumented_sites():
+    found = set()
+    for path in SRC_ROOT.rglob("*.py"):
+        if "testing" in path.parts:
+            continue  # the chaos/campaign machinery itself
+        found.update(_TRIP_CALL.findall(path.read_text(encoding="utf-8")))
+    return found
+
+
+def test_registry_matches_instrumented_trip_points():
+    assert _instrumented_sites() == set(chaos.SITES)
+
+
+def test_every_site_declares_only_known_kinds():
+    for site in chaos.registered_sites():
+        assert set(site.kinds) <= set(chaos.FAULT_KINDS)
+        assert site.kinds, f"site {site.name} declares no fault kinds"
+
+
+def test_arm_list_is_deterministic_and_complete():
+    arms = campaign.build_arms()
+    assert arms == campaign.build_arms()
+    # Every (site, kind) pair the registry declares, exactly once.
+    expected = {
+        (site.name, kind)
+        for site in chaos.registered_sites()
+        for kind in site.kinds
+    }
+    assert set(arms) == expected
+    assert len(arms) == len(expected)
+    # Filters subset without reordering.
+    sliced = campaign.build_arms(sites=["wal.append"], kinds=["enospc", "eio"])
+    assert sliced == [("wal.append", "enospc"), ("wal.append", "eio")]
+
+
+def test_fault_kwargs_cover_every_kind():
+    for kind in chaos.FAULT_KINDS:
+        assert campaign._fault_kwargs(kind)
+    with pytest.raises(ValueError):
+        campaign._fault_kwargs("meteor")
+
+
+def test_latch_expectations_only_name_registered_arms():
+    valid = {
+        (site.name, kind)
+        for site in chaos.registered_sites()
+        for kind in site.kinds
+    }
+    assert set(campaign.LATCH_KIND) <= valid
+
+
+def test_cli_list_matches_build_arms(tmp_path):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.testing.campaign", "--list"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0
+    listed = [tuple(line.split()) for line in proc.stdout.splitlines()]
+    assert listed == campaign.build_arms()
+
+
+def test_cli_rejects_unknown_filters():
+    for flags in (["--sites", "nope.site"], ["--kinds", "meteor"]):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.testing.campaign", "--list", *flags],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 2
+
+
+def test_sliced_campaign_is_deterministic_and_clean(tmp_path):
+    """One real arm end to end, twice: zero violations, identical
+    reports (the per-commit acceptance check in miniature)."""
+    kwargs = dict(
+        seed=3, sites=["wal.append"], kinds=["enospc"], progress=None
+    )
+    first = campaign.run_campaign(workdir=str(tmp_path / "a"), **kwargs)
+    second = campaign.run_campaign(workdir=str(tmp_path / "b"), **kwargs)
+    assert first["ok"] is True
+    assert first["violationCount"] == 0
+    assert first == second
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+    (arm,) = first["arms"]
+    assert arm["site"] == "wal.append"
+    assert arm["kind"] == "enospc"
+    assert arm["fired"] is True
+    assert arm["latched"] is True
+    assert arm["failureKind"] == "enospc"
+    assert arm["ackedPlans"] <= arm["recoveredPlans"]
+    # The control baseline made it into the report for CI dashboards.
+    assert first["control"]["ackedPlans"] == first["control"]["recoveredPlans"]

@@ -412,3 +412,137 @@ def test_client_latency_uses_injected_clock():
             break
     else:  # pragma: no cover
         pytest.fail("latency histogram not exported")
+
+
+# ----------------------------------------------------------------------
+# Retry budget: retries (count-bounded) now also respect a wall-clock
+# cap — retry_budget_s bounds the total time a request may spend
+# retrying, on the injectable clock, with the final sleep clamped so
+# the budget is never overshot.
+# ----------------------------------------------------------------------
+def make_budget_client(script, budget, retries=10):
+    """Like make_client, but with a FakeClock: each transport call costs
+    1 second of fake time, sleeps advance the clock by their length."""
+    from repro.testing.clock import FakeClock
+
+    clock = FakeClock()
+    client = OptImatchClient(
+        "http://127.0.0.1:1",
+        retries=retries,
+        backoff_base=0.1,
+        retry_budget_s=budget,
+        rng=random.Random(0),
+        clock=clock,
+        sleep=lambda s: (client.slept.append(s), clock.advance(s)),
+        registry=MetricsRegistry(),
+    )
+    client.clock = clock
+    client.slept = []
+    client.calls = []
+    steps = iter(script)
+
+    def fake_send(method, path, body, headers):
+        client.calls.append((method, path))
+        clock.advance(1.0)
+        step = next(steps)
+        if isinstance(step, Exception):
+            raise step
+        status, headers_out, payload = step
+        return status, headers_out, json.dumps(payload).encode("utf-8")
+
+    client._send_once = fake_send
+    return client
+
+
+def test_budget_rejects_non_positive_values():
+    for bad in (0, -1, -0.5):
+        with pytest.raises(ValueError):
+            OptImatchClient("http://127.0.0.1:1", retry_budget_s=bad)
+
+
+def test_budget_allows_retries_within_the_window():
+    client = make_budget_client(
+        [ConnectionRefusedError(), (200, {}, {"ok": 1})], budget=10.0
+    )
+    assert client.health() == {"ok": 1}
+    assert len(client.calls) == 2
+
+
+def test_budget_exhaustion_stops_retrying_before_count_does():
+    # Each 503 costs 1s of fake time; with a 2.5s budget the client
+    # affords the first two attempts plus one more, never all 10.
+    client = make_budget_client(
+        [(503, {}, {"error": "shed", "code": "shed"})] * 11,
+        budget=2.5,
+    )
+    started = client.clock()
+    with pytest.raises(ServerUnavailable) as info:
+        client.health()
+    assert info.value.attempts < 10
+    assert "retry budget" in str(info.value)
+    # Fake time never ran past budget + the final (unslept) attempt.
+    assert client.clock() - started <= 2.5 + 1.0
+
+
+def test_budget_clamps_the_final_sleep_to_remaining_time():
+    # Retry-After asks for 60s but only ~1s of budget remains after the
+    # first 1s-long attempt: the sleep must be clamped, not taken whole.
+    client = make_budget_client(
+        [
+            (503, {"Retry-After": "60"}, {"error": "shed", "code": "shed"}),
+            (200, {}, {"ok": 1}),
+        ],
+        budget=2.0,
+    )
+    assert client.health() == {"ok": 1}
+    assert len(client.slept) == 1
+    assert client.slept[0] <= 1.0
+
+
+def test_budget_exhausted_connection_errors_raise_unavailable():
+    client = make_budget_client(
+        [ConnectionRefusedError()] * 5, budget=1.5
+    )
+    with pytest.raises(ServerUnavailable) as info:
+        client.health()
+    assert isinstance(info.value.last, ConnectionRefusedError)
+    assert "retry budget" in str(info.value)
+
+
+def test_no_budget_keeps_count_bounded_behavior():
+    client = make_budget_client(
+        [ConnectionRefusedError()] * 4, budget=None, retries=3
+    )
+    with pytest.raises(ServerUnavailable) as info:
+        client.health()
+    assert info.value.attempts == 4  # the count limit, as before
+
+
+def test_stream_budget_bounds_connect_retries():
+    from repro.client import _StreamConnectError
+    from repro.testing.clock import FakeClock
+
+    clock = FakeClock()
+    client = OptImatchClient(
+        "http://127.0.0.1:1",
+        retries=10,
+        backoff_base=0.1,
+        retry_budget_s=2.5,
+        rng=random.Random(0),
+        clock=clock,
+        sleep=lambda s: (client.slept.append(s), clock.advance(s)),
+        registry=MetricsRegistry(),
+    )
+    client.slept = []
+    client.stream_calls = []
+
+    def fake_stream(path, plans):
+        client.stream_calls.append(path)
+        clock.advance(1.0)
+        raise _StreamConnectError(ConnectionRefusedError())
+
+    client._stream_once = fake_stream
+    with pytest.raises(ServerUnavailable) as info:
+        client.upload_plans_stream(["T1", "T2"])
+    assert "retry budget" in str(info.value)
+    assert len(client.stream_calls) < 10

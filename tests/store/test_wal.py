@@ -207,3 +207,152 @@ class TestFailureModes:
                     writer.append({"op": "clear"})
         finally:
             writer.close()
+
+
+class TestDeviceFaults:
+    """errno carriage, torn (short) writes, and the async atexit flush."""
+
+    def test_wal_error_carries_errno(self, tmp_path):
+        import errno
+
+        from repro.testing import chaos
+
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        try:
+            with chaos.injected(
+                "wal.append", exc=OSError(errno.ENOSPC, "no space")
+            ):
+                with pytest.raises(WalError) as info:
+                    writer.append({"op": "clear"})
+            assert info.value.errno == errno.ENOSPC
+        finally:
+            writer.close()
+
+    def test_wal_error_without_errno_defaults_to_none(self, tmp_path):
+        from repro.testing import chaos
+
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        try:
+            with chaos.injected("wal.append", exc=OSError("device gone")):
+                with pytest.raises(WalError) as info:
+                    writer.append({"op": "clear"})
+            assert info.value.errno is None
+        finally:
+            writer.close()
+
+    def test_fsync_error_carries_errno(self, tmp_path):
+        import errno
+
+        from repro.testing import chaos
+
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="fsync")
+        try:
+            with chaos.injected(
+                "wal.fsync", exc=OSError(errno.EIO, "bad block")
+            ):
+                with pytest.raises(WalError) as info:
+                    writer.append({"op": "clear"})
+            assert info.value.errno == errno.EIO
+        finally:
+            writer.close()
+
+    def test_short_write_persists_prefix_and_fails_with_eio(self, tmp_path):
+        import errno
+
+        from repro.testing import chaos
+
+        path = str(tmp_path / "w.log")
+        _write(path, [{"op": "add", "n": 1}])
+        intact = os.path.getsize(path)
+
+        writer = WalWriter(path, fsync="fsync")
+        try:
+            with chaos.injected("wal.append", short_write=5):
+                with pytest.raises(WalError) as info:
+                    writer.append({"op": "add", "n": 2})
+            assert info.value.errno == errno.EIO
+        finally:
+            writer.close(sync=False)
+        # Exactly 5 torn bytes made it to the device, nothing more.
+        assert os.path.getsize(path) == intact + 5
+
+    def test_recovery_truncates_torn_tail_to_intact_prefix(self, tmp_path):
+        from repro.testing import chaos
+
+        path = str(tmp_path / "w.log")
+        _write(path, [{"op": "add", "n": 1}, {"op": "add", "n": 2}])
+        intact = os.path.getsize(path)
+
+        writer = WalWriter(path, fsync="fsync")
+        try:
+            with chaos.injected("wal.append", short_write=7):
+                with pytest.raises(WalError):
+                    writer.append({"op": "add", "n": 3})
+        finally:
+            writer.close(sync=False)
+
+        info = scan_wal(path)
+        assert info.valid_bytes == intact
+        assert [r["n"] for r in info.records] == [1, 2]
+        truncate_wal(path, info.valid_bytes)
+        assert os.path.getsize(path) == intact
+
+    def test_short_write_longer_than_frame_writes_whole_frame(self, tmp_path):
+        from repro.testing import chaos
+
+        path = str(tmp_path / "w.log")
+        writer = WalWriter(path, fsync="fsync")
+        try:
+            with chaos.injected("wal.append", short_write=1 << 20):
+                with pytest.raises(WalError):
+                    writer.append({"op": "add", "n": 1})
+        finally:
+            writer.close(sync=False)
+        # The "short" write covered the frame: the record is readable.
+        info = scan_wal(path)
+        assert [r["n"] for r in info.records] == [1]
+
+    def test_async_policy_registers_atexit_flush(self, tmp_path):
+        import atexit
+
+        registered = []
+        unregistered = []
+        real_register = atexit.register
+        real_unregister = atexit.unregister
+        atexit.register = lambda fn, *a, **k: registered.append(fn)
+        atexit.unregister = lambda fn: unregistered.append(fn)
+        try:
+            writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+            writer.append({"op": "clear"})
+            writer.close()
+        finally:
+            atexit.register = real_register
+            atexit.unregister = real_unregister
+        assert registered == [writer._flush_at_exit]
+        assert unregistered == [writer._flush_at_exit]
+
+    def test_sync_policies_do_not_register_atexit_flush(self, tmp_path):
+        import atexit
+
+        registered = []
+        real_register = atexit.register
+        atexit.register = lambda fn, *a, **k: registered.append(fn)
+        try:
+            for policy in ("fsync", "batch"):
+                writer = WalWriter(
+                    str(tmp_path / f"{policy}.log"), fsync=policy
+                )
+                writer.close()
+        finally:
+            atexit.register = real_register
+        assert registered == []
+
+    def test_atexit_flush_fsyncs_pending_tail(self, tmp_path):
+        writer = WalWriter(str(tmp_path / "w.log"), fsync="async")
+        writer.append({"op": "add", "n": 1})
+        writer._flush_at_exit()  # what the interpreter calls on exit
+        assert writer.fsyncs == 0  # counts only policy-driven fsyncs
+        info = scan_wal(str(tmp_path / "w.log"))
+        assert [r["n"] for r in info.records] == [1]
+        writer.close()
+        writer._flush_at_exit()  # after close: a no-op, never an error
